@@ -1,0 +1,40 @@
+// Ablation (Sec. 3.5): message batching. The paper accumulates ~100
+// (j, h_j) pairs per network message, following Smola & Narayanamurthy.
+// This bench sweeps the batch size on the commodity preset (where
+// per-message latency is expensive) and reports messages sent, bytes, and
+// time to a fixed RMSE.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/8);
+
+  std::printf("== Ablation: token batch size on the commodity network ==\n");
+  TableWriter t({"dataset", "batch_size", "messages", "mib_sent",
+                 "time_to_rmse", "final_rmse", "vsec"});
+  const Dataset ds = GetDataset("netflix", args.scale);
+  // Pick the RMSE target from a reference run.
+  SimOptions reference = MakeSimOptions(Preset::kCommodity, "netflix",
+                                        "sim_nomad", /*machines=*/8,
+                                        args.rank, args.epochs);
+  auto ref = MakeSimSolver("sim_nomad").value()->Train(ds, reference).value();
+  const double target = ref.train.trace.FinalRmse() * 1.05;
+
+  for (int batch : {1, 4, 16, 64, 256}) {
+    SimOptions options = reference;
+    options.batch_size = batch;
+    auto result =
+        MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+    t.AddRow({"netflix", StrFormat("%d", batch),
+              StrFormat("%lld", static_cast<long long>(result.messages)),
+              StrFormat("%.2f", result.bytes / (1024.0 * 1024.0)),
+              StrFormat("%.6g", result.train.trace.TimeToRmse(target)),
+              StrFormat("%.5f", result.train.trace.FinalRmse()),
+              StrFormat("%.6g", result.train.total_seconds)});
+  }
+  FinishBench(args.flags, "ablation_batching", &t);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation (Sec. 3.4): the hybrid-architecture optimization — circulating
+// a token among all compute threads of a machine before sending it over
+// the network. Compares circulate=on/off on both network presets:
+// circulation amortizes one network hop over `compute_cores` visits, so it
+// should cut messages and improve time-to-RMSE, most visibly on the
+// commodity network.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/8);
+
+  std::printf("== Ablation: intra-machine token circulation (hybrid arch) ==\n");
+  TableWriter t({"dataset", "network", "circulate", "messages",
+                 "final_rmse", "vsec"});
+  const Dataset ds = GetDataset("netflix", args.scale);
+  for (Preset preset : {Preset::kHpc, Preset::kCommodity}) {
+    for (bool circulate : {true, false}) {
+      SimOptions options = MakeSimOptions(preset, "netflix", "sim_nomad",
+                                          /*machines=*/8, args.rank,
+                                          args.epochs);
+      options.circulate = circulate;
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      t.AddRow({"netflix", preset == Preset::kHpc ? "hpc" : "commodity",
+                circulate ? "on" : "off",
+                StrFormat("%lld", static_cast<long long>(result.messages)),
+                StrFormat("%.5f", result.train.trace.FinalRmse()),
+                StrFormat("%.6g", result.train.total_seconds)});
+    }
+  }
+  FinishBench(args.flags, "ablation_hybrid", &t);
+  return 0;
+}

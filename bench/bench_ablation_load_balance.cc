@@ -1,0 +1,45 @@
+// Ablation (Sec. 3.3): value of dynamic load balancing. A straggler
+// machine is injected (machine 0 runs 2-8x slower); NOMAD runs with
+// uniform token routing vs least-loaded (power-of-two-choices) routing
+// under the same virtual-time budget. Metric: updates completed and final
+// RMSE — least-loaded routing should route work away from the straggler.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/8);
+
+  std::printf("== Ablation: uniform vs least-loaded routing under stragglers ==\n");
+  TableWriter t({"dataset", "straggler_slowdown", "routing", "updates",
+                 "final_rmse", "vsec"});
+  const Dataset ds = GetDataset("netflix", args.scale);
+  // Fix the virtual budget to what the uniform no-straggler run needs.
+  SimOptions base = MakeSimOptions(Preset::kHpc, "netflix", "sim_nomad",
+                                   /*machines=*/8, args.rank, args.epochs);
+  auto reference =
+      MakeSimSolver("sim_nomad").value()->Train(ds, base).value();
+  const double budget = reference.train.total_seconds;
+
+  for (double slowdown : {1.0, 2.0, 4.0, 8.0}) {
+    for (Routing routing : {Routing::kUniform, Routing::kLeastLoaded}) {
+      SimOptions options = base;
+      options.train.max_epochs = -1;
+      options.train.max_seconds = budget;
+      options.train.routing = routing;
+      options.cluster.straggler_slowdown = slowdown;
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      t.AddRow({"netflix", StrFormat("%.0fx", slowdown),
+                routing == Routing::kUniform ? "uniform" : "least-loaded",
+                StrFormat("%lld",
+                          static_cast<long long>(result.train.total_updates)),
+                StrFormat("%.5f", result.train.trace.FinalRmse()),
+                StrFormat("%.6g", result.train.total_seconds)});
+    }
+  }
+  FinishBench(args.flags, "ablation_load_balance", &t);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 10 reproduction (HPC, machines ∈ {1..32}):
+//  left  — RMSE of NOMAD vs number of updates on yahoo-mini (smaller
+//          blocks -> faster convergence per update with more machines);
+//  right — updates per machine per core per virtual second vs machines
+//          for all three miniatures (flat = linear scaling; Yahoo-like
+//          data degrades because items have too few ratings per machine).
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/10);
+  const int kMachineGrid[] = {1, 2, 4, 8, 16, 32};
+
+  std::printf("== Figure 10 (left): RMSE vs updates on yahoo-mini ==\n");
+  TableWriter left({"dataset", "algorithm", "setting", "vsec",
+                    "vsec_x_cores", "updates", "rmse"});
+  {
+    const Dataset ds = GetDataset("yahoo", args.scale);
+    for (int machines : kMachineGrid) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, "yahoo", "sim_nomad",
+                                          machines, args.rank, args.epochs);
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      EmitTrace(&left, "yahoo", "nomad", StrFormat("machines=%d", machines),
+                result.train.trace,
+                machines * options.cluster.compute_cores);
+    }
+  }
+  FinishBench(args.flags, "fig10_left_rmse_vs_updates", &left);
+
+  std::printf("\n== Figure 10 (right): updates/machine/core/sec ==\n");
+  TableWriter right({"dataset", "machines", "updates_per_machine_core_vsec"});
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int machines : kMachineGrid) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, name, "sim_nomad",
+                                          machines, args.rank, args.epochs);
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      const double denom = static_cast<double>(machines) *
+                           options.cluster.compute_cores;
+      right.AddRow({name, StrFormat("%d", machines),
+                    StrFormat("%.4g",
+                              result.train.trace.Throughput() / denom)});
+    }
+  }
+  FinishBench(args.flags, "fig10_right_throughput", &right);
+  return 0;
+}

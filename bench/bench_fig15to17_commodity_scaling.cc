@@ -1,0 +1,46 @@
+// Figures 15-17 reproduction (Appendix C): NOMAD scaling on the commodity
+// cluster preset as machines go 1 -> 32:
+//   Fig. 15 — RMSE vs updates per machine count (fresher blocks with more
+//             machines);
+//   Fig. 16 — updates per machine per core per second (linear on
+//             netflix/hugewiki-like data, degrading on yahoo-like);
+//   Fig. 17 — RMSE vs seconds × machines × cores (speed-up overlap).
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/8);
+  const int kMachineGrid[] = {1, 2, 4, 8, 16, 32};
+
+  TableWriter curves({"dataset", "algorithm", "setting", "vsec",
+                      "vsec_x_cores", "updates", "rmse"});
+  TableWriter throughput(
+      {"dataset", "machines", "updates_per_machine_core_vsec"});
+  std::printf("== Figures 15-17: commodity-cluster scaling of NOMAD ==\n");
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int machines : kMachineGrid) {
+      SimOptions options =
+          MakeSimOptions(Preset::kCommodity, name, "sim_nomad", machines,
+                         args.rank, args.epochs);
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      EmitTrace(&curves, name, "nomad", StrFormat("machines=%d", machines),
+                result.train.trace,
+                machines * options.cluster.compute_cores);
+      const double denom = static_cast<double>(machines) *
+                           options.cluster.compute_cores;
+      throughput.AddRow({name, StrFormat("%d", machines),
+                         StrFormat("%.4g",
+                                   result.train.trace.Throughput() / denom)});
+    }
+  }
+  std::printf("-- Figs. 15 & 17 series (RMSE vs updates / vs sec x cores) --\n");
+  FinishBench(args.flags, "fig15_17_commodity_curves", &curves);
+  std::printf("\n-- Fig. 16 series (throughput) --\n");
+  FinishBench(args.flags, "fig16_commodity_throughput", &throughput);
+  return 0;
+}

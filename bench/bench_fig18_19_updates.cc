@@ -1,0 +1,52 @@
+// Figures 18-19 reproduction (Appendix D): test RMSE of NOMAD as a
+// function of the number of updates on the HPC preset —
+//   Fig. 18: single machine, cores ∈ {4, 8, 16, 30};
+//   Fig. 19: multi-machine, machines ∈ {1, 2, 4, 8, 16, 32} × 4 cores.
+// (The companion single-machine Yahoo panel of Fig. 6 left is regenerated
+// by bench_fig6_cores_updates.)
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/8);
+
+  std::printf("== Figure 18: RMSE vs updates, cores sweep ==\n");
+  TableWriter fig18({"dataset", "algorithm", "setting", "vsec",
+                     "vsec_x_cores", "updates", "rmse"});
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int cores : {4, 8, 16, 30}) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, name, "sim_nomad",
+                                          /*machines=*/1, args.rank,
+                                          args.epochs);
+      options.cluster.cores = cores;
+      options.cluster.compute_cores = cores;
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      EmitTrace(&fig18, name, "nomad", StrFormat("cores=%d", cores),
+                result.train.trace, cores);
+    }
+  }
+  FinishBench(args.flags, "fig18_updates_cores", &fig18);
+
+  std::printf("\n== Figure 19: RMSE vs updates, machines sweep ==\n");
+  TableWriter fig19({"dataset", "algorithm", "setting", "vsec",
+                     "vsec_x_cores", "updates", "rmse"});
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int machines : {1, 2, 4, 8, 16, 32}) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, name, "sim_nomad",
+                                          machines, args.rank, args.epochs);
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      EmitTrace(&fig19, name, "nomad", StrFormat("machines=%d", machines),
+                result.train.trace,
+                machines * options.cluster.compute_cores);
+    }
+  }
+  FinishBench(args.flags, "fig19_updates_machines", &fig19);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6 reproduction (single machine, cores ∈ {4, 8, 16, 30}):
+//  left  — test RMSE of NOMAD as a function of the number of updates on
+//          the Yahoo-like miniature (more cores -> smaller blocks ->
+//          fresher information -> faster convergence per update);
+//  right — average throughput (updates per core per second) per dataset as
+//          cores vary (linear scaling = flat line).
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/10);
+  const int kCoreGrid[] = {4, 8, 16, 30};
+
+  std::printf("== Figure 6 (left): RMSE vs updates on yahoo-mini ==\n");
+  TableWriter left({"dataset", "algorithm", "setting", "vsec",
+                    "vsec_x_cores", "updates", "rmse"});
+  for (int cores : kCoreGrid) {
+    const Dataset ds = GetDataset("yahoo", args.scale);
+    SimOptions options = MakeSimOptions(Preset::kHpc, "yahoo", "sim_nomad",
+                                        /*machines=*/1, args.rank,
+                                        args.epochs);
+    options.cluster.cores = cores;
+    options.cluster.compute_cores = cores;
+    auto result =
+        MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+    EmitTrace(&left, "yahoo", "nomad", StrFormat("cores=%d", cores),
+              result.train.trace, cores);
+  }
+  FinishBench(args.flags, "fig6_left_rmse_vs_updates", &left);
+
+  std::printf("\n== Figure 6 (right): updates/core/sec vs cores ==\n");
+  TableWriter right({"dataset", "cores", "updates_per_core_per_vsec"});
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int cores : kCoreGrid) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, name, "sim_nomad",
+                                          /*machines=*/1, args.rank,
+                                          args.epochs);
+      options.cluster.cores = cores;
+      options.cluster.compute_cores = cores;
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      const double throughput =
+          result.train.trace.Throughput() / static_cast<double>(cores);
+      right.AddRow({name, StrFormat("%d", cores),
+                    StrFormat("%.4g", throughput)});
+    }
+  }
+  FinishBench(args.flags, "fig6_right_throughput", &right);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 7 reproduction: test RMSE of NOMAD as a function of total
+// computation (seconds × cores) for cores ∈ {4, 8, 16, 30} on all three
+// miniatures. Overlapping curves = linear speed-up.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/10);
+
+  std::printf("== Figure 7: RMSE vs seconds x cores (linear speed-up test) ==\n");
+  TableWriter t({"dataset", "algorithm", "setting", "vsec", "vsec_x_cores",
+                 "updates", "rmse"});
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int cores : {4, 8, 16, 30}) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, name, "sim_nomad",
+                                          /*machines=*/1, args.rank,
+                                          args.epochs);
+      options.cluster.cores = cores;
+      options.cluster.compute_cores = cores;
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      EmitTrace(&t, name, "nomad", StrFormat("cores=%d", cores),
+                result.train.trace, cores);
+    }
+  }
+  FinishBench(args.flags, "fig7_cores_speedup", &t);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 9 reproduction: test RMSE of NOMAD as a function of
+// seconds × machines × cores, machines ∈ {1, 2, 4, 8, 16, 32}, HPC
+// preset. Coinciding curves = linear scaling; the paper reports mild
+// slowdown at 2-4 machines and super-linear behaviour beyond.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  using namespace nomad::bench;
+  BenchArgs args = ParseBenchArgs(argc, argv, /*default_epochs=*/10);
+
+  std::printf("== Figure 9: RMSE vs seconds x machines x cores ==\n");
+  TableWriter t({"dataset", "algorithm", "setting", "vsec", "vsec_x_cores",
+                 "updates", "rmse"});
+  for (const char* name : {"netflix", "yahoo", "hugewiki"}) {
+    const Dataset ds = GetDataset(name, args.scale);
+    for (int machines : {1, 2, 4, 8, 16, 32}) {
+      SimOptions options = MakeSimOptions(Preset::kHpc, name, "sim_nomad",
+                                          machines, args.rank, args.epochs);
+      auto result =
+          MakeSimSolver("sim_nomad").value()->Train(ds, options).value();
+      EmitTrace(&t, name, "nomad", StrFormat("machines=%d", machines),
+                result.train.trace,
+                machines * options.cluster.compute_cores);
+    }
+  }
+  FinishBench(args.flags, "fig9_machines_speedup", &t);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Capacity-planning study on the cluster simulator.
+//
+// The question a practitioner faces before renting machines: "for my
+// workload, how many nodes pay off, and does the cheap network hurt?"
+// This example sweeps machine counts on both network presets for a
+// Netflix-shaped workload and reports time-to-RMSE and parallel
+// efficiency for NOMAD vs DSGD — the Sec. 5.3/5.4 methodology as a
+// planning tool.
+//
+//   ./cluster_planning [--scale 0.25] [--rank 16] [--epochs 8]
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "sim/cluster.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());
+  const double scale = flags.GetDouble("scale", 0.25);
+  const int rank = static_cast<int>(flags.GetInt("rank", 16));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 8));
+
+  auto dataset = GenerateSynthetic(NetflixMiniConfig(scale));
+  NOMAD_CHECK(dataset.ok());
+  const Dataset& ds = dataset.value();
+  std::printf("workload: %d x %d, %lld train ratings, k=%d\n\n", ds.rows,
+              ds.cols, static_cast<long long>(ds.train_nnz()), rank);
+
+  std::printf("%-10s %-9s %-10s %-14s %-12s %s\n", "network", "machines",
+              "algorithm", "time_to_rmse", "speedup", "efficiency");
+  for (const bool commodity : {false, true}) {
+    double nomad_base_time = -1.0;
+    for (int machines : {1, 2, 4, 8, 16, 32}) {
+      for (const char* solver : {"sim_nomad", "sim_dsgd"}) {
+        SimOptions options;
+        options.train.rank = rank;
+        options.train.lambda = 0.02;
+        options.train.alpha = 0.06;
+        options.train.beta = 0.01;
+        options.train.max_epochs = epochs;
+        options.train.bold_driver = std::string(solver) == "sim_dsgd";
+        options.cluster.machines = machines;
+        options.cluster.cores = 4;
+        options.cluster.compute_cores =
+            std::string(solver) == "sim_nomad" && commodity ? 2 : 4;
+        options.cluster.update_seconds_per_dim = 4e-7 / rank;
+        options.network = commodity ? CommodityNetwork() : HpcNetwork();
+        options.batch_size = 16;
+        options.flush_delay = commodity ? 1e-4 : 5e-6;
+        options.eval_interval = 1e-4;
+
+        auto result =
+            MakeSimSolver(solver).value()->Train(ds, options).value();
+        // Target: within 5% of what this solver eventually reaches at one
+        // machine on the fast network — a fixed quality bar.
+        const double target = 0.5;
+        const double t = result.train.trace.TimeToRmse(target);
+        double speedup = 0.0;
+        if (std::string(solver) == "sim_nomad") {
+          if (machines == 1 && !commodity) nomad_base_time = t;
+          if (nomad_base_time > 0 && t > 0) speedup = nomad_base_time / t;
+        }
+        std::printf("%-10s %-9d %-10s %-14.6g %-12.2f %.2f\n",
+                    commodity ? "commodity" : "hpc", machines, solver + 4,
+                    t, speedup,
+                    machines > 0 ? speedup / machines : 0.0);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: time_to_rmse is virtual seconds to reach test RMSE 0.5;\n"
+      "speedup is relative to 1 HPC machine; efficiency = speedup/machines.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#ifndef NOMAD_BASELINES_ALS_H_
+#define NOMAD_BASELINES_ALS_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// Alternating Least Squares (Zhou et al. 2008; paper Sec. 2.1): each epoch
+/// solves every user's ridge system w_i ← (HᵀΩᵢHΩᵢ + λ|Ω_i| I)⁻¹ Hᵀa_i
+/// exactly via Cholesky (Eq. 3), then every item's symmetric system. Rows
+/// (and then columns) are embarrassingly parallel with a barrier between
+/// the two half-sweeps.
+class AlsSolver final : public Solver {
+ public:
+  std::string Name() const override { return "als"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_ALS_H_

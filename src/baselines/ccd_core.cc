@@ -1,0 +1,123 @@
+#include "baselines/ccd_core.h"
+
+#include "linalg/dense_ops.h"
+
+namespace nomad {
+
+CcdppEngine::CcdppEngine(const SparseMatrix& train, double lambda,
+                         FactorMatrix* w, FactorMatrix* h, ThreadPool* pool)
+    : train_(train), lambda_(lambda), w_(w), h_(h), pool_(pool) {
+  const int64_t nnz = train.nnz();
+  const int k = w_->cols();
+  residual_.resize(static_cast<size_t>(nnz));
+  csc_to_csr_.resize(static_cast<size_t>(nnz));
+  row_offset_.assign(static_cast<size_t>(train.rows()) + 1, 0);
+  for (int32_t i = 0; i < train.rows(); ++i) {
+    row_offset_[static_cast<size_t>(i) + 1] =
+        row_offset_[static_cast<size_t>(i)] + train.RowNnz(i);
+  }
+  {
+    std::vector<int64_t> next(static_cast<size_t>(train.cols()));
+    for (int32_t j = 0; j < train.cols(); ++j) {
+      next[static_cast<size_t>(j)] = train.ColOffset(j);
+    }
+    int64_t csr_pos = 0;
+    for (int32_t i = 0; i < train.rows(); ++i) {
+      const int32_t n = train.RowNnz(i);
+      const int32_t* cols = train.RowCols(i);
+      for (int32_t t = 0; t < n; ++t, ++csr_pos) {
+        csc_to_csr_[static_cast<size_t>(
+            next[static_cast<size_t>(cols[t])]++)] = csr_pos;
+      }
+    }
+  }
+  ParallelFor(pool_, 0, train.rows(), [&](int64_t i) {
+    const int32_t row = static_cast<int32_t>(i);
+    const int32_t n = train.RowNnz(row);
+    const int32_t* cols = train.RowCols(row);
+    const float* vals = train.RowVals(row);
+    int64_t pos = row_offset_[static_cast<size_t>(row)];
+    for (int32_t t = 0; t < n; ++t, ++pos) {
+      residual_[static_cast<size_t>(pos)] =
+          vals[t] - Dot(w_->Row(row), h_->Row(cols[t]), k);
+    }
+  });
+}
+
+void CcdppEngine::AddRankOneBack(int l) {
+  ParallelFor(pool_, 0, train_.rows(), [&](int64_t i) {
+    const int32_t row = static_cast<int32_t>(i);
+    const double wil = w_->At(row, l);
+    const int32_t n = train_.RowNnz(row);
+    const int32_t* cols = train_.RowCols(row);
+    int64_t pos = row_offset_[static_cast<size_t>(row)];
+    for (int32_t t = 0; t < n; ++t, ++pos) {
+      residual_[static_cast<size_t>(pos)] += wil * h_->At(cols[t], l);
+    }
+  });
+}
+
+void CcdppEngine::SubtractRankOne(int l) {
+  ParallelFor(pool_, 0, train_.rows(), [&](int64_t i) {
+    const int32_t row = static_cast<int32_t>(i);
+    const double wil = w_->At(row, l);
+    const int32_t n = train_.RowNnz(row);
+    const int32_t* cols = train_.RowCols(row);
+    int64_t pos = row_offset_[static_cast<size_t>(row)];
+    for (int32_t t = 0; t < n; ++t, ++pos) {
+      residual_[static_cast<size_t>(pos)] -= wil * h_->At(cols[t], l);
+    }
+  });
+}
+
+void CcdppEngine::RowSweep(int l) {
+  ParallelFor(pool_, 0, train_.rows(), [&](int64_t i) {
+    const int32_t row = static_cast<int32_t>(i);
+    const int32_t n = train_.RowNnz(row);
+    if (n == 0) return;
+    const int32_t* cols = train_.RowCols(row);
+    double num = 0.0;
+    double den = lambda_ * n;
+    int64_t pos = row_offset_[static_cast<size_t>(row)];
+    for (int32_t t = 0; t < n; ++t, ++pos) {
+      const double hjl = h_->At(cols[t], l);
+      num += residual_[static_cast<size_t>(pos)] * hjl;
+      den += hjl * hjl;
+    }
+    w_->At(row, l) = num / den;
+  });
+}
+
+void CcdppEngine::ColSweep(int l) {
+  ParallelFor(pool_, 0, train_.cols(), [&](int64_t j) {
+    const int32_t col = static_cast<int32_t>(j);
+    const int32_t n = train_.ColNnz(col);
+    if (n == 0) return;
+    const int32_t* rows = train_.ColRows(col);
+    const int64_t off = train_.ColOffset(col);
+    double num = 0.0;
+    double den = lambda_ * n;
+    for (int32_t t = 0; t < n; ++t) {
+      const double wil = w_->At(rows[t], l);
+      num += residual_[static_cast<size_t>(
+                 csc_to_csr_[static_cast<size_t>(off + t)])] *
+             wil;
+      den += wil * wil;
+    }
+    h_->At(col, l) = num / den;
+  });
+}
+
+void CcdppEngine::SweepEpoch(int inner_iters) {
+  const int k = w_->cols();
+  for (int l = 0; l < k; ++l) {
+    AddRankOneBack(l);
+    for (int inner = 0; inner < inner_iters; ++inner) {
+      RowSweep(l);
+      ColSweep(l);
+    }
+    SubtractRankOne(l);
+  }
+}
+
+}  // namespace nomad

@@ -1,0 +1,55 @@
+#ifndef NOMAD_BASELINES_CCD_CORE_H_
+#define NOMAD_BASELINES_CCD_CORE_H_
+
+#include <vector>
+
+#include "data/sparse_matrix.h"
+#include "linalg/factor_matrix.h"
+#include "util/thread_pool.h"
+
+namespace nomad {
+
+/// The numerical core of CCD++ (Yu et al. 2012), shared by the threaded
+/// baseline (CcdppSolver) and the cluster simulator (SimCcdppSolver):
+/// feature-wise rank-one coordinate descent with an explicitly maintained
+/// residual R = A − W Hᵀ.
+///
+/// Thread-parallel when given a pool, bit-identical serial when pool is
+/// null — CCD++ is bulk-synchronous, so both modes produce the same
+/// trajectory (a property the tests assert).
+class CcdppEngine {
+ public:
+  /// `w` and `h` must outlive the engine and already be initialized;
+  /// the constructor computes the initial residual.
+  CcdppEngine(const SparseMatrix& train, double lambda, FactorMatrix* w,
+              FactorMatrix* h, ThreadPool* pool);
+
+  /// One epoch: for each latent feature, `inner_iters` alternating
+  /// closed-form sweeps over w_{·l} and h_{·l}.
+  void SweepEpoch(int inner_iters);
+
+  /// Ratings touched per epoch (for work accounting).
+  int64_t EpochWork(int inner_iters) const {
+    return train_.nnz() * static_cast<int64_t>(w_->cols()) * inner_iters;
+  }
+
+ private:
+  void AddRankOneBack(int l);
+  void SubtractRankOne(int l);
+  void RowSweep(int l);
+  void ColSweep(int l);
+
+  const SparseMatrix& train_;
+  const double lambda_;
+  FactorMatrix* w_;
+  FactorMatrix* h_;
+  ThreadPool* pool_;  // may be null (serial)
+
+  std::vector<double> residual_;     // CSR order
+  std::vector<int64_t> csc_to_csr_;  // CSC slot -> CSR slot
+  std::vector<int64_t> row_offset_;  // CSR row offsets
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_CCD_CORE_H_

@@ -1,0 +1,35 @@
+#include "baselines/ccdpp.h"
+
+#include "baselines/ccd_core.h"
+#include "solver/epoch_loop.h"
+#include "util/thread_pool.h"
+
+namespace nomad {
+
+Result<TrainResult> CcdppSolver::Train(const Dataset& ds,
+                                       const TrainOptions& options) {
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  if (options.loss != "squared" && !options.loss.empty()) {
+    return Status::InvalidArgument(Name() +
+                                   " supports only the squared loss");
+  }
+  if (options.ccd_inner_iters < 1) {
+    return Status::InvalidArgument("ccd_inner_iters must be >= 1");
+  }
+
+  TrainResult result;
+  result.solver_name = Name();
+  InitFactors(ds, options, &result.w, &result.h);
+
+  ThreadPool pool(options.num_workers);
+  CcdppEngine engine(ds.train, options.lambda, &result.w, &result.h, &pool);
+
+  EpochLoop loop(ds, options, &result);
+  while (loop.Continue()) {
+    engine.SweepEpoch(options.ccd_inner_iters);
+    loop.EndEpoch(engine.EpochWork(options.ccd_inner_iters));
+  }
+  return result;
+}
+
+}  // namespace nomad

@@ -1,0 +1,29 @@
+#ifndef NOMAD_BASELINES_CCDPP_H_
+#define NOMAD_BASELINES_CCDPP_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// CCD++ (Yu et al. 2012; paper Sec. 2.2): feature-wise cyclic coordinate
+/// descent with an explicitly maintained residual matrix R = A − W Hᵀ.
+/// For each latent feature l, the rank-one subproblem over (w_{·l}, h_{·l})
+/// is solved by `ccd_inner_iters` alternating closed-form sweeps:
+///
+///   w_il ← Σ_{j∈Ω_i} R̂_ij h_jl / (λ|Ω_i| + Σ_{j∈Ω_i} h_jl²)
+///
+/// (and symmetrically for h_jl), where R̂ = R + w_{·l} h_{·l}ᵀ.
+/// Row and column sweeps are data-parallel across workers with a barrier
+/// between them — the bulk-synchronous structure the paper contrasts NOMAD
+/// against. One epoch = one sweep over all k features.
+class CcdppSolver final : public Solver {
+ public:
+  std::string Name() const override { return "ccdpp"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_CCDPP_H_

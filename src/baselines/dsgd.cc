@@ -1,0 +1,80 @@
+#include "baselines/dsgd.h"
+
+#include <vector>
+
+#include "baselines/block_grid.h"
+#include "solver/epoch_loop.h"
+#include "solver/sgd_kernel.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nomad {
+
+namespace {
+
+/// Runs SGD over one block in a fresh random order. Used by both DSGD and
+/// DSGD++.
+void ProcessBlock(const std::vector<BlockEntry>& block, const StepSchedule& sched,
+                  StepCounts* counts, bool bold, double bold_step,
+                  double lambda, int k, FactorMatrix* w, FactorMatrix* h,
+                  Rng* rng) {
+  std::vector<int32_t> order(block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    order[i] = static_cast<int32_t>(i);
+  }
+  rng->Shuffle(&order);
+  for (int32_t idx : order) {
+    const BlockEntry& e = block[static_cast<size_t>(idx)];
+    const double step =
+        bold ? bold_step : sched.Step(counts->NextCount(e.pos));
+    SgdUpdatePair(e.value, step, lambda, w->Row(e.row), h->Row(e.col), k);
+  }
+}
+
+}  // namespace
+
+Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
+                                      const TrainOptions& options) {
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
+  if (!schedule.ok()) return schedule.status();
+  const StepSchedule& sched = *schedule.value();
+
+  TrainResult result;
+  result.solver_name = Name();
+  InitFactors(ds, options, &result.w, &result.h);
+  const int p = options.num_workers;
+  const int k = options.rank;
+
+  const UserPartition row_part = UserPartition::ByRatings(ds.train, p);
+  const UserPartition col_part = UserPartition::ByRows(ds.cols, p);
+  const BlockGrid grid = BlockGrid::Build(ds.train, row_part, col_part);
+
+  StepCounts counts(ds.train.nnz());
+  BoldDriver driver(options.alpha);
+  ThreadPool pool(p);
+  EpochLoop loop(ds, options, &result);
+  int epoch = 0;
+  while (loop.Continue()) {
+    for (int s = 0; s < p; ++s) {
+      for (int q = 0; q < p; ++q) {
+        const int cb = (q + s + epoch) % p;
+        pool.Submit([&, q, cb] {
+          Rng rng(options.seed + 31ULL * static_cast<uint64_t>(epoch) +
+                  17ULL * static_cast<uint64_t>(q) +
+                  static_cast<uint64_t>(cb));
+          ProcessBlock(grid.Block(q, cb), sched, &counts,
+                       options.bold_driver, driver.step(), options.lambda, k,
+                       &result.w, &result.h, &rng);
+        });
+      }
+      pool.Wait();  // the bulk-synchronization barrier
+    }
+    const double obj = loop.EndEpoch(ds.train.nnz(), options.bold_driver);
+    if (options.bold_driver) driver.EndEpoch(obj);
+    ++epoch;
+  }
+  return result;
+}
+
+}  // namespace nomad

@@ -1,0 +1,71 @@
+#include "baselines/dsgdpp.h"
+
+#include <vector>
+
+#include "baselines/block_grid.h"
+#include "solver/epoch_loop.h"
+#include "solver/sgd_kernel.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nomad {
+
+Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
+                                        const TrainOptions& options) {
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
+  if (!schedule.ok()) return schedule.status();
+  const StepSchedule& sched = *schedule.value();
+
+  TrainResult result;
+  result.solver_name = Name();
+  InitFactors(ds, options, &result.w, &result.h);
+  const int p = options.num_workers;
+  const int k = options.rank;
+  const int cblocks = 2 * p;
+
+  const UserPartition row_part = UserPartition::ByRatings(ds.train, p);
+  const UserPartition col_part = UserPartition::ByRows(ds.cols, cblocks);
+  const BlockGrid grid = BlockGrid::Build(ds.train, row_part, col_part);
+
+  StepCounts counts(ds.train.nnz());
+  BoldDriver driver(options.alpha);
+  ThreadPool pool(p);
+  EpochLoop loop(ds, options, &result);
+  int epoch = 0;
+  while (loop.Continue()) {
+    for (int s = 0; s < cblocks; ++s) {
+      for (int q = 0; q < p; ++q) {
+        // In stratum s the p active column-blocks are the consecutive range
+        // {s, ..., s+p-1} (mod 2p): disjoint within the stratum, and every
+        // worker covers all 2p blocks across an epoch.
+        const int cb = (q + s) % cblocks;
+        pool.Submit([&, q, cb, s] {
+          Rng rng(options.seed + 131ULL * static_cast<uint64_t>(epoch) +
+                  29ULL * static_cast<uint64_t>(q) + static_cast<uint64_t>(s));
+          const auto& block = grid.Block(q, cb);
+          std::vector<int32_t> order(block.size());
+          for (size_t i = 0; i < block.size(); ++i) {
+            order[i] = static_cast<int32_t>(i);
+          }
+          rng.Shuffle(&order);
+          for (int32_t idx : order) {
+            const BlockEntry& e = block[static_cast<size_t>(idx)];
+            const double step = options.bold_driver
+                                    ? driver.step()
+                                    : sched.Step(counts.NextCount(e.pos));
+            SgdUpdatePair(e.value, step, options.lambda,
+                          result.w.Row(e.row), result.h.Row(e.col), k);
+          }
+        });
+      }
+      pool.Wait();
+    }
+    const double obj = loop.EndEpoch(ds.train.nnz(), options.bold_driver);
+    if (options.bold_driver) driver.EndEpoch(obj);
+    ++epoch;
+  }
+  return result;
+}
+
+}  // namespace nomad

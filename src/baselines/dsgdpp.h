@@ -1,0 +1,24 @@
+#ifndef NOMAD_BASELINES_DSGDPP_H_
+#define NOMAD_BASELINES_DSGDPP_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// DSGD++ (Teflioudi et al. 2012; paper Sec. 4.1): like DSGD but with p×2p
+/// blocks, so that while the p workers compute on p column-blocks, the
+/// other p column-blocks are "in flight" — overlapping communication with
+/// computation. In shared memory the overlap is free; the distributed
+/// overlap behaviour is modelled faithfully by the simulator counterpart
+/// (SimDsgdpp). An epoch is 2p strata with a barrier after each.
+class DsgdppSolver final : public Solver {
+ public:
+  std::string Name() const override { return "dsgdpp"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_DSGDPP_H_

@@ -1,0 +1,28 @@
+#ifndef NOMAD_BASELINES_FPSGD_H_
+#define NOMAD_BASELINES_FPSGD_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// FPSGD** (Zhuang et al. 2013; paper Sec. 4.1): shared-memory SGD where
+/// the matrix is cut into p'×p' blocks with p' > p and a task manager hands
+/// free blocks to idle workers. A block is *free* when no running block
+/// shares its row- or column-range; among free blocks the manager prefers
+/// the least-processed ones (randomly breaking ties), which both load-
+/// balances and keeps update counts even.
+///
+/// p' = fpsgd_grid_factor * p + 1 (the paper's suggestion of "more than p"
+/// sets; LibMF uses 2p×2p by default — grid_factor=2 reproduces that
+/// spirit). Within an epoch every block is processed exactly once.
+class FpsgdSolver final : public Solver {
+ public:
+  std::string Name() const override { return "fpsgd"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_FPSGD_H_

@@ -1,0 +1,24 @@
+#ifndef NOMAD_BASELINES_HOGWILD_H_
+#define NOMAD_BASELINES_HOGWILD_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// Hogwild! (Recht et al., Sec. 4.2/4.3 of the paper): every worker thread
+/// samples training ratings uniformly at random and applies SGD updates to
+/// the shared W and H with no synchronization at all. Updates race — the
+/// algorithm is asynchronous but NOT serializable, which is exactly the
+/// contrast the paper draws with NOMAD. The races are benign at the numeric
+/// level (lost updates, torn reads) and tolerated by design.
+class HogwildSolver final : public Solver {
+ public:
+  std::string Name() const override { return "hogwild"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_HOGWILD_H_

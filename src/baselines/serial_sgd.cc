@@ -1,0 +1,61 @@
+#include "baselines/serial_sgd.h"
+
+#include <vector>
+
+#include "solver/epoch_loop.h"
+#include "solver/sgd_kernel.h"
+#include "util/rng.h"
+
+namespace nomad {
+
+Result<TrainResult> SerialSgdSolver::Train(const Dataset& ds,
+                                           const TrainOptions& options) {
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
+  if (!schedule.ok()) return schedule.status();
+  auto loss = ResolveLoss(options.loss);
+  if (!loss.ok()) return loss.status();
+
+  TrainResult result;
+  result.solver_name = Name();
+  InitFactors(ds, options, &result.w, &result.h);
+  const int k = options.rank;
+
+  // Flatten training ratings in CSC order so positions key the step counts.
+  struct Obs {
+    int32_t row;
+    int32_t col;
+    float value;
+  };
+  const int64_t nnz = ds.train.nnz();
+  std::vector<Obs> obs;
+  obs.reserve(static_cast<size_t>(nnz));
+  for (int32_t j = 0; j < ds.cols; ++j) {
+    const int32_t n = ds.train.ColNnz(j);
+    const int32_t* rows = ds.train.ColRows(j);
+    const float* vals = ds.train.ColVals(j);
+    for (int32_t t = 0; t < n; ++t) {
+      obs.push_back(Obs{rows[t], j, vals[t]});
+    }
+  }
+  std::vector<int64_t> order(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < nnz; ++i) order[static_cast<size_t>(i)] = i;
+
+  StepCounts counts(nnz);
+  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
+                            options.lambda, k);
+  Rng rng(options.seed + 13);
+  EpochLoop loop(ds, options, &result);
+  while (loop.Continue()) {
+    rng.Shuffle(&order);
+    for (int64_t pos : order) {
+      const Obs& o = obs[static_cast<size_t>(pos)];
+      kernel.Apply(o.value, &counts, pos, result.w.Row(o.row),
+                   result.h.Row(o.col));
+    }
+    loop.EndEpoch(nnz);
+  }
+  return result;
+}
+
+}  // namespace nomad

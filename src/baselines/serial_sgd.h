@@ -1,0 +1,24 @@
+#ifndef NOMAD_BASELINES_SERIAL_SGD_H_
+#define NOMAD_BASELINES_SERIAL_SGD_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// Single-threaded SGD (Sec. 2.3): per epoch, visit every training rating
+/// once in a fresh random order and apply the Eq. (9)-(10) update pair with
+/// the Eq. (11) schedule. Ignores num_workers.
+///
+/// Serves as (a) the single-core reference point of the scaling studies and
+/// (b) the replay oracle for NOMAD's serializability property test.
+class SerialSgdSolver final : public Solver {
+ public:
+  std::string Name() const override { return "serial_sgd"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_BASELINES_SERIAL_SGD_H_

@@ -1,0 +1,49 @@
+#include "data/dataset.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace nomad {
+
+SparseMatrix TransposeMatrix(const SparseMatrix& m) {
+  std::vector<Rating> flipped;
+  flipped.reserve(static_cast<size_t>(m.nnz()));
+  for (const Rating& r : m.ToCoo()) {
+    flipped.push_back(Rating{r.col, r.row, r.value});
+  }
+  auto result = SparseMatrix::Build(m.cols(), m.rows(), std::move(flipped));
+  NOMAD_CHECK(result.ok());  // a valid matrix transposes to a valid matrix
+  return std::move(result).value();
+}
+
+Dataset Transpose(const Dataset& ds) {
+  Dataset t;
+  t.name = ds.name + "-transposed";
+  t.rows = ds.cols;
+  t.cols = ds.rows;
+  t.train = TransposeMatrix(ds.train);
+  t.test = TransposeMatrix(ds.test);
+  return t;
+}
+
+DatasetStats ComputeStats(const Dataset& ds) {
+  DatasetStats s;
+  s.name = ds.name;
+  s.rows = ds.rows;
+  s.cols = ds.cols;
+  s.train_nnz = ds.train.nnz();
+  s.test_nnz = ds.test.nnz();
+  s.ratings_per_item = ds.RatingsPerItem();
+  s.ratings_per_user =
+      ds.rows == 0 ? 0.0
+                   : static_cast<double>(ds.train.nnz()) /
+                         static_cast<double>(ds.rows);
+  const double total =
+      static_cast<double>(ds.rows) * static_cast<double>(ds.cols);
+  s.density = total == 0.0 ? 0.0
+                           : static_cast<double>(ds.train.nnz()) / total;
+  return s;
+}
+
+}  // namespace nomad

@@ -1,0 +1,56 @@
+#ifndef NOMAD_DATA_DATASET_H_
+#define NOMAD_DATA_DATASET_H_
+
+#include <string>
+
+#include "data/sparse_matrix.h"
+
+namespace nomad {
+
+/// A matrix-completion problem instance: train ratings Ω, held-out test
+/// ratings Ω_test (same index space), and dimensions.
+struct Dataset {
+  std::string name;
+  int32_t rows = 0;  // m: users
+  int32_t cols = 0;  // n: items
+  SparseMatrix train;
+  SparseMatrix test;
+
+  int64_t train_nnz() const { return train.nnz(); }
+  int64_t test_nnz() const { return test.nnz(); }
+
+  /// Ratings per item, |Ω|/n — the quantity the paper uses to explain when
+  /// communication dominates (Sec. 5.3: Netflix 5575, Yahoo 404, Hugewiki
+  /// 68635).
+  double RatingsPerItem() const {
+    return cols == 0 ? 0.0
+                     : static_cast<double>(train.nnz()) /
+                           static_cast<double>(cols);
+  }
+};
+
+/// Summary statistics used by the Table 2 reproduction.
+struct DatasetStats {
+  std::string name;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t train_nnz = 0;
+  int64_t test_nnz = 0;
+  double ratings_per_item = 0.0;
+  double ratings_per_user = 0.0;
+  double density = 0.0;
+};
+
+DatasetStats ComputeStats(const Dataset& ds);
+
+/// Returns the transposed problem (users ↔ items, Aᵀ). Used by NOMAD's
+/// footnote-2 "nomadic rows" mode and handy for wide matrices generally:
+/// the factorization of Aᵀ is (H, W).
+Dataset Transpose(const Dataset& ds);
+
+/// Transposes one sparse matrix.
+SparseMatrix TransposeMatrix(const SparseMatrix& m);
+
+}  // namespace nomad
+
+#endif  // NOMAD_DATA_DATASET_H_

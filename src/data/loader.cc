@@ -1,0 +1,133 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace nomad {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x4e4f4d4144763101ULL;  // "NOMADv1\x01"
+
+struct BinaryHeader {
+  uint64_t magic;
+  int32_t rows;
+  int32_t cols;
+  int64_t nnz;
+};
+
+struct PackedRating {
+  int32_t row;
+  int32_t col;
+  float value;
+};
+
+}  // namespace
+
+Result<std::vector<Rating>> ParseRatingsText(const std::string& content,
+                                             bool one_based) {
+  std::vector<Rating> out;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line(content.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    line = StripWhitespace(line);
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const auto fields = SplitFields(line, " \t,::");
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected 'user item rating'", line_no));
+    }
+    const auto u = ParseInt64(fields[0]);
+    const auto i = ParseInt64(fields[1]);
+    const auto v = ParseDouble(fields[2]);
+    if (!u.ok()) return u.status();
+    if (!i.ok()) return i.status();
+    if (!v.ok()) return v.status();
+    int64_t row = u.value() - (one_based ? 1 : 0);
+    int64_t col = i.value() - (one_based ? 1 : 0);
+    if (row < 0 || col < 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: negative index after base adjustment", line_no));
+    }
+    out.push_back(Rating{static_cast<int32_t>(row), static_cast<int32_t>(col),
+                         static_cast<float>(v.value())});
+  }
+  return out;
+}
+
+Result<SparseMatrix> LoadRatingsFile(const std::string& path, bool one_based) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  auto ratings = ParseRatingsText(content, one_based);
+  if (!ratings.ok()) return ratings.status();
+  int32_t rows = 0;
+  int32_t cols = 0;
+  for (const Rating& r : ratings.value()) {
+    rows = std::max(rows, r.row + 1);
+    cols = std::max(cols, r.col + 1);
+  }
+  return SparseMatrix::Build(rows, cols, std::move(ratings).value());
+}
+
+Status SaveBinary(const SparseMatrix& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  BinaryHeader header{kBinaryMagic, m.rows(), m.cols(), m.nnz()};
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("short write: " + path);
+  }
+  const auto coo = m.ToCoo();
+  for (const Rating& r : coo) {
+    PackedRating p{r.row, r.col, r.value};
+    if (std::fwrite(&p, sizeof(p), 1, f) != 1) {
+      std::fclose(f);
+      return Status::IOError("short write: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<SparseMatrix> LoadBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  BinaryHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("short read: " + path);
+  }
+  if (header.magic != kBinaryMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  std::vector<Rating> ratings;
+  ratings.reserve(static_cast<size_t>(header.nnz));
+  for (int64_t i = 0; i < header.nnz; ++i) {
+    PackedRating p{};
+    if (std::fread(&p, sizeof(p), 1, f) != 1) {
+      std::fclose(f);
+      return Status::IOError("truncated file: " + path);
+    }
+    ratings.push_back(Rating{p.row, p.col, p.value});
+  }
+  std::fclose(f);
+  return SparseMatrix::Build(header.rows, header.cols, std::move(ratings));
+}
+
+}  // namespace nomad

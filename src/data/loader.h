@@ -1,0 +1,30 @@
+#ifndef NOMAD_DATA_LOADER_H_
+#define NOMAD_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/sparse_matrix.h"
+#include "util/status.h"
+
+namespace nomad {
+
+/// Parses MovieLens/Netflix-style text ratings: one rating per line,
+/// whitespace- or comma-separated `user item rating [timestamp]`, 0- or
+/// 1-based ids (auto-detected as max-based sizing; ids are used verbatim if
+/// 0-based, shifted if `one_based`). Lines starting with '#' or '%' are
+/// comments.
+Result<std::vector<Rating>> ParseRatingsText(const std::string& content,
+                                             bool one_based);
+
+/// Loads a ratings text file. Dimensions are max(row)+1 × max(col)+1.
+Result<SparseMatrix> LoadRatingsFile(const std::string& path, bool one_based);
+
+/// Compact binary format: header (magic, rows, cols, nnz) followed by nnz
+/// packed {int32 row, int32 col, float value} records. Round-trips exactly.
+Status SaveBinary(const SparseMatrix& m, const std::string& path);
+Result<SparseMatrix> LoadBinary(const std::string& path);
+
+}  // namespace nomad
+
+#endif  // NOMAD_DATA_LOADER_H_

@@ -1,0 +1,129 @@
+#include "data/shard.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nomad {
+
+UserPartition UserPartition::ByRows(int32_t rows, int num_workers) {
+  NOMAD_CHECK_GT(num_workers, 0);
+  UserPartition p;
+  p.boundary_.resize(static_cast<size_t>(num_workers) + 1);
+  for (int q = 0; q <= num_workers; ++q) {
+    p.boundary_[static_cast<size_t>(q)] = static_cast<int32_t>(
+        static_cast<int64_t>(rows) * q / num_workers);
+  }
+  return p;
+}
+
+UserPartition UserPartition::ByRatings(const SparseMatrix& train,
+                                       int num_workers) {
+  NOMAD_CHECK_GT(num_workers, 0);
+  const int32_t rows = train.rows();
+  const int64_t total = train.nnz();
+  UserPartition p;
+  p.boundary_.assign(static_cast<size_t>(num_workers) + 1, rows);
+  p.boundary_[0] = 0;
+  int64_t seen = 0;
+  int q = 1;
+  for (int32_t i = 0; i < rows && q < num_workers; ++i) {
+    seen += train.RowNnz(i);
+    // Close partition q when it has reached its proportional share.
+    while (q < num_workers && seen >= total * q / num_workers) {
+      p.boundary_[static_cast<size_t>(q)] = i + 1;
+      ++q;
+    }
+  }
+  // Ensure monotonicity for degenerate inputs (all mass in few rows).
+  for (int w = 1; w <= num_workers; ++w) {
+    p.boundary_[static_cast<size_t>(w)] =
+        std::max(p.boundary_[static_cast<size_t>(w)],
+                 p.boundary_[static_cast<size_t>(w) - 1]);
+  }
+  p.boundary_[static_cast<size_t>(num_workers)] = rows;
+  return p;
+}
+
+int UserPartition::OwnerOf(int32_t row) const {
+  // First boundary strictly greater than row, minus one.
+  const auto it =
+      std::upper_bound(boundary_.begin(), boundary_.end(), row);
+  const int owner = static_cast<int>(it - boundary_.begin()) - 1;
+  NOMAD_DCHECK(owner >= 0 && owner < num_workers());
+  return owner;
+}
+
+ColumnShards ColumnShards::Build(const SparseMatrix& train,
+                                 const UserPartition& partition) {
+  const int p = partition.num_workers();
+  const int32_t cols = train.cols();
+
+  ColumnShards shards;
+  shards.num_workers_ = p;
+  shards.cols_ = cols;
+  shards.ptr_.assign(static_cast<size_t>(p) * (static_cast<size_t>(cols) + 1),
+                     0);
+  shards.entries_.resize(static_cast<size_t>(train.nnz()));
+
+  // Precompute each row's owner once (rows can be numerous; avoid a binary
+  // search per rating).
+  std::vector<int32_t> owner(static_cast<size_t>(train.rows()));
+  for (int q = 0; q < p; ++q) {
+    for (int32_t i = partition.Begin(q); i < partition.End(q); ++i) {
+      owner[static_cast<size_t>(i)] = q;
+    }
+  }
+
+  auto ptr_at = [&](int q, int32_t j) -> int64_t& {
+    return shards.ptr_[static_cast<size_t>(q) *
+                           (static_cast<size_t>(cols) + 1) +
+                       static_cast<size_t>(j)];
+  };
+
+  // Pass 1: count entries per (worker, column).
+  for (int32_t j = 0; j < cols; ++j) {
+    const int32_t n = train.ColNnz(j);
+    const int32_t* rows = train.ColRows(j);
+    for (int32_t t = 0; t < n; ++t) {
+      ptr_at(owner[static_cast<size_t>(rows[t])], j + 1)++;
+    }
+  }
+  // Exclusive prefix sum across the whole (worker, column) grid, in the
+  // order shard 0 cols 0..n, shard 1 cols 0..n, ...
+  int64_t running = 0;
+  for (int q = 0; q < p; ++q) {
+    ptr_at(q, 0) = running;
+    for (int32_t j = 0; j < cols; ++j) {
+      running += ptr_at(q, j + 1);
+      ptr_at(q, j + 1) = running;
+    }
+    running = ptr_at(q, cols);
+  }
+  // Pass 2: fill.
+  std::vector<int64_t> cursor(static_cast<size_t>(p));
+  for (int32_t j = 0; j < cols; ++j) {
+    for (int q = 0; q < p; ++q) cursor[static_cast<size_t>(q)] = ptr_at(q, j);
+    const int32_t n = train.ColNnz(j);
+    const int32_t* rows = train.ColRows(j);
+    const float* vals = train.ColVals(j);
+    const int64_t col_off = train.ColOffset(j);
+    for (int32_t t = 0; t < n; ++t) {
+      const int q = owner[static_cast<size_t>(rows[t])];
+      Entry& e =
+          shards.entries_[static_cast<size_t>(cursor[static_cast<size_t>(q)]++)];
+      e.row = rows[t];
+      e.value = vals[t];
+      e.csc_pos = col_off + t;
+    }
+  }
+  return shards;
+}
+
+int64_t ColumnShards::WorkerNnz(int worker) const {
+  const size_t base =
+      static_cast<size_t>(worker) * (static_cast<size_t>(cols_) + 1);
+  return ptr_[base + static_cast<size_t>(cols_)] - ptr_[base];
+}
+
+}  // namespace nomad

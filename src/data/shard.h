@@ -1,0 +1,82 @@
+#ifndef NOMAD_DATA_SHARD_H_
+#define NOMAD_DATA_SHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/sparse_matrix.h"
+
+namespace nomad {
+
+/// Partition of users {0..m-1} into p contiguous index ranges I_1..I_p
+/// (paper Sec. 3.1). Worker q owns rows [Begin(q), End(q)).
+class UserPartition {
+ public:
+  UserPartition() = default;
+
+  /// Splits rows into p ranges of (almost) equal row count.
+  static UserPartition ByRows(int32_t rows, int num_workers);
+
+  /// Splits rows into p contiguous ranges with (almost) equal *rating*
+  /// counts — the footnote-1 alternative, better balanced under power-law
+  /// user degrees.
+  static UserPartition ByRatings(const SparseMatrix& train, int num_workers);
+
+  int num_workers() const { return static_cast<int>(boundary_.size()) - 1; }
+  int32_t Begin(int q) const { return boundary_[static_cast<size_t>(q)]; }
+  int32_t End(int q) const { return boundary_[static_cast<size_t>(q) + 1]; }
+
+  /// The worker owning `row` (binary search over boundaries).
+  int OwnerOf(int32_t row) const;
+
+ private:
+  std::vector<int32_t> boundary_;  // size p+1, boundary_[0]=0, back()=rows
+};
+
+/// Per-worker column shards: entry lists Ω̄_j^{(q)} = {(i,j) ∈ Ω̄_j : i ∈ I_q}
+/// with their rating values. This is the only training-data view a NOMAD
+/// worker touches while holding item token j, so it is laid out contiguously
+/// per (worker, column).
+class ColumnShards {
+ public:
+  struct Entry {
+    int32_t row;      // global user index (∈ I_q for shard q)
+    float value;      // A_ij
+    int64_t csc_pos;  // position in the global CSC layout; keys per-rating
+                      // SGD step counts (paper Eq. 11's per-(i,j) t)
+  };
+
+  ColumnShards() = default;
+
+  /// Builds shards for all workers in one pass over the global CSC.
+  static ColumnShards Build(const SparseMatrix& train,
+                            const UserPartition& partition);
+
+  int num_workers() const { return num_workers_; }
+  int32_t cols() const { return cols_; }
+
+  /// Entries of Ω̄_j^{(q)}; size returned through `n`.
+  const Entry* ColEntries(int worker, int32_t col, int32_t* n) const {
+    const size_t base =
+        static_cast<size_t>(worker) * (static_cast<size_t>(cols_) + 1);
+    const int64_t begin = ptr_[base + static_cast<size_t>(col)];
+    const int64_t end = ptr_[base + static_cast<size_t>(col) + 1];
+    *n = static_cast<int32_t>(end - begin);
+    return entries_.data() + begin;
+  }
+
+  /// Total ratings assigned to `worker`.
+  int64_t WorkerNnz(int worker) const;
+
+ private:
+  int num_workers_ = 0;
+  int32_t cols_ = 0;
+  // ptr_ holds num_workers contiguous CSC-style offset arrays of size
+  // cols+1 each, all indexing into the shared entries_ array.
+  std::vector<int64_t> ptr_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_DATA_SHARD_H_

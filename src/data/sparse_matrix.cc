@@ -1,0 +1,93 @@
+#include "data/sparse_matrix.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nomad {
+
+Result<SparseMatrix> SparseMatrix::Build(int32_t rows, int32_t cols,
+                                         std::vector<Rating> ratings) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  for (const Rating& r : ratings) {
+    if (r.row < 0 || r.row >= rows || r.col < 0 || r.col >= cols) {
+      return Status::InvalidArgument(
+          StrFormat("rating (%d, %d) out of range for %dx%d matrix", r.row,
+                    r.col, rows, cols));
+    }
+  }
+  // Sort row-major; detect duplicates.
+  std::sort(ratings.begin(), ratings.end(),
+            [](const Rating& a, const Rating& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  for (size_t i = 1; i < ratings.size(); ++i) {
+    if (ratings[i].row == ratings[i - 1].row &&
+        ratings[i].col == ratings[i - 1].col) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate rating at (%d, %d)", ratings[i].row,
+                    ratings[i].col));
+    }
+  }
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  const int64_t nnz = static_cast<int64_t>(ratings.size());
+
+  // CSR.
+  m.csr_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.csr_col_.resize(static_cast<size_t>(nnz));
+  m.csr_value_.resize(static_cast<size_t>(nnz));
+  for (const Rating& r : ratings) m.csr_ptr_[static_cast<size_t>(r.row) + 1]++;
+  for (int32_t i = 0; i < rows; ++i) {
+    m.csr_ptr_[static_cast<size_t>(i) + 1] += m.csr_ptr_[static_cast<size_t>(i)];
+  }
+  for (int64_t p = 0; p < nnz; ++p) {
+    m.csr_col_[static_cast<size_t>(p)] = ratings[static_cast<size_t>(p)].col;
+    m.csr_value_[static_cast<size_t>(p)] =
+        ratings[static_cast<size_t>(p)].value;
+  }
+
+  // CSC: counting sort by column (stable, so rows within a column ascend).
+  m.csc_ptr_.assign(static_cast<size_t>(cols) + 1, 0);
+  m.csc_row_.resize(static_cast<size_t>(nnz));
+  m.csc_value_.resize(static_cast<size_t>(nnz));
+  for (const Rating& r : ratings) m.csc_ptr_[static_cast<size_t>(r.col) + 1]++;
+  for (int32_t j = 0; j < cols; ++j) {
+    m.csc_ptr_[static_cast<size_t>(j) + 1] += m.csc_ptr_[static_cast<size_t>(j)];
+  }
+  std::vector<int64_t> next(m.csc_ptr_.begin(), m.csc_ptr_.end() - 1);
+  for (const Rating& r : ratings) {
+    const int64_t p = next[static_cast<size_t>(r.col)]++;
+    m.csc_row_[static_cast<size_t>(p)] = r.row;
+    m.csc_value_[static_cast<size_t>(p)] = r.value;
+  }
+  return m;
+}
+
+std::vector<Rating> SparseMatrix::ToCoo() const {
+  std::vector<Rating> out;
+  out.reserve(static_cast<size_t>(nnz()));
+  for (int32_t i = 0; i < rows_; ++i) {
+    const int32_t n = RowNnz(i);
+    const int32_t* cols = RowCols(i);
+    const float* vals = RowVals(i);
+    for (int32_t p = 0; p < n; ++p) {
+      out.push_back(Rating{i, cols[p], vals[p]});
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::MeanValue() const {
+  if (nnz() == 0) return 0.0;
+  double sum = 0.0;
+  for (float v : csr_value_) sum += v;
+  return sum / static_cast<double>(nnz());
+}
+
+}  // namespace nomad

@@ -1,0 +1,76 @@
+#include "data/splitter.h"
+
+#include <algorithm>
+
+namespace nomad {
+
+Result<Dataset> SplitTrainTest(const SparseMatrix& all, double test_fraction,
+                               uint64_t seed, const std::string& name) {
+  if (test_fraction < 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in [0, 1)");
+  }
+  Rng rng(seed);
+  std::vector<Rating> train;
+  std::vector<Rating> test;
+  for (const Rating& r : all.ToCoo()) {
+    (rng.NextDouble() < test_fraction ? test : train).push_back(r);
+  }
+  auto train_m = SparseMatrix::Build(all.rows(), all.cols(), std::move(train));
+  if (!train_m.ok()) return train_m.status();
+  auto test_m = SparseMatrix::Build(all.rows(), all.cols(), std::move(test));
+  if (!test_m.ok()) return test_m.status();
+  Dataset ds;
+  ds.name = name;
+  ds.rows = all.rows();
+  ds.cols = all.cols();
+  ds.train = std::move(train_m).value();
+  ds.test = std::move(test_m).value();
+  return ds;
+}
+
+Result<Dataset> SplitPerUserHoldout(const SparseMatrix& all,
+                                    double test_fraction,
+                                    int min_train_per_user, uint64_t seed,
+                                    const std::string& name) {
+  if (test_fraction < 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in [0, 1)");
+  }
+  if (min_train_per_user < 0) {
+    return Status::InvalidArgument("min_train_per_user must be >= 0");
+  }
+  Rng rng(seed);
+  std::vector<Rating> train;
+  std::vector<Rating> test;
+  std::vector<int> order;
+  for (int32_t i = 0; i < all.rows(); ++i) {
+    const int32_t n = all.RowNnz(i);
+    const int32_t* cols = all.RowCols(i);
+    const float* vals = all.RowVals(i);
+    const int max_test = std::max(
+        0, n - min_train_per_user);
+    int want_test = static_cast<int>(test_fraction * n);
+    want_test = std::min(want_test, max_test);
+    // Choose `want_test` random positions of this row for the test set.
+    order.resize(static_cast<size_t>(n));
+    for (int p = 0; p < n; ++p) order[static_cast<size_t>(p)] = p;
+    rng.Shuffle(&order);
+    for (int p = 0; p < n; ++p) {
+      const int32_t pos = order[static_cast<size_t>(p)];
+      const Rating r{i, cols[pos], vals[pos]};
+      (p < want_test ? test : train).push_back(r);
+    }
+  }
+  auto train_m = SparseMatrix::Build(all.rows(), all.cols(), std::move(train));
+  if (!train_m.ok()) return train_m.status();
+  auto test_m = SparseMatrix::Build(all.rows(), all.cols(), std::move(test));
+  if (!test_m.ok()) return test_m.status();
+  Dataset ds;
+  ds.name = name;
+  ds.rows = all.rows();
+  ds.cols = all.cols();
+  ds.train = std::move(train_m).value();
+  ds.test = std::move(test_m).value();
+  return ds;
+}
+
+}  // namespace nomad

@@ -1,0 +1,29 @@
+#ifndef NOMAD_DATA_SPLITTER_H_
+#define NOMAD_DATA_SPLITTER_H_
+
+#include "data/dataset.h"
+#include "data/sparse_matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nomad {
+
+/// Splits a rating matrix into train/test uniformly at random with
+/// P(test) = test_fraction. The same split is used for every algorithm in an
+/// experiment (paper Sec. 5.1: "The same training and test dataset partition
+/// is used consistently for all algorithms").
+Result<Dataset> SplitTrainTest(const SparseMatrix& all, double test_fraction,
+                               uint64_t seed, const std::string& name);
+
+/// Per-user holdout split: keeps at least `min_train_per_user` ratings of
+/// every user in train (users with fewer ratings contribute nothing to
+/// test). Mirrors recommender-system practice and avoids cold-start rows in
+/// the test set.
+Result<Dataset> SplitPerUserHoldout(const SparseMatrix& all,
+                                    double test_fraction,
+                                    int min_train_per_user, uint64_t seed,
+                                    const std::string& name);
+
+}  // namespace nomad
+
+#endif  // NOMAD_DATA_SPLITTER_H_

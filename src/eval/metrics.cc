@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+#include "util/logging.h"
+
+namespace nomad {
+
+double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
+                    const FactorMatrix& h) {
+  NOMAD_CHECK_EQ(w.cols(), h.cols());
+  const int k = w.cols();
+  double sum = 0.0;
+  for (int32_t i = 0; i < ratings.rows(); ++i) {
+    const int32_t n = ratings.RowNnz(i);
+    const int32_t* cols = ratings.RowCols(i);
+    const float* vals = ratings.RowVals(i);
+    const double* wi = w.Row(i);
+    for (int32_t p = 0; p < n; ++p) {
+      const double err = vals[p] - Dot(wi, h.Row(cols[p]), k);
+      sum += err * err;
+    }
+  }
+  return sum;
+}
+
+double Rmse(const SparseMatrix& ratings, const FactorMatrix& w,
+            const FactorMatrix& h) {
+  if (ratings.nnz() == 0) return 0.0;
+  return std::sqrt(SquaredError(ratings, w, h) /
+                   static_cast<double>(ratings.nnz()));
+}
+
+double Objective(const SparseMatrix& train, const FactorMatrix& w,
+                 const FactorMatrix& h, double lambda) {
+  const int k = w.cols();
+  double obj = 0.5 * SquaredError(train, w, h);
+  for (int32_t i = 0; i < train.rows(); ++i) {
+    obj += 0.5 * lambda * train.RowNnz(i) * SquaredNorm(w.Row(i), k);
+  }
+  for (int32_t j = 0; j < train.cols(); ++j) {
+    obj += 0.5 * lambda * train.ColNnz(j) * SquaredNorm(h.Row(j), k);
+  }
+  return obj;
+}
+
+}  // namespace nomad

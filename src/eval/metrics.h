@@ -1,0 +1,25 @@
+#ifndef NOMAD_EVAL_METRICS_H_
+#define NOMAD_EVAL_METRICS_H_
+
+#include "data/sparse_matrix.h"
+#include "linalg/factor_matrix.h"
+
+namespace nomad {
+
+/// Root-mean-square error of the model W Hᵀ on the given ratings
+/// (paper Sec. 5.1). Returns 0 for an empty rating set.
+double Rmse(const SparseMatrix& ratings, const FactorMatrix& w,
+            const FactorMatrix& h);
+
+/// The regularized objective J(W, H) of Eq. (1):
+///   1/2 Σ (A_ij − ⟨w_i,h_j⟩)² + λ/2 (Σ_i |Ω_i|‖w_i‖² + Σ_j |Ω̄_j|‖h_j‖²).
+double Objective(const SparseMatrix& train, const FactorMatrix& w,
+                 const FactorMatrix& h, double lambda);
+
+/// Sum of squared errors only (the loss term of the objective, unhalved).
+double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
+                    const FactorMatrix& h);
+
+}  // namespace nomad
+
+#endif  // NOMAD_EVAL_METRICS_H_

@@ -1,0 +1,47 @@
+#include "eval/trace.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace nomad {
+
+double Trace::FinalRmse() const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  return points_.back().test_rmse;
+}
+
+double Trace::BestRmse() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const TracePoint& p : points_) best = std::min(best, p.test_rmse);
+  return best;
+}
+
+double Trace::TimeToRmse(double target) const {
+  for (const TracePoint& p : points_) {
+    if (p.test_rmse <= target) return p.seconds;
+  }
+  return -1.0;
+}
+
+double Trace::Throughput() const {
+  if (points_.empty()) return 0.0;
+  const TracePoint& last = points_.back();
+  if (last.seconds <= 0.0) return 0.0;
+  return static_cast<double>(last.updates) / last.seconds;
+}
+
+Status Trace::WriteTsv(const std::string& path,
+                       const std::string& label) const {
+  TableWriter t({"label", "seconds", "updates", "test_rmse", "objective"});
+  for (const TracePoint& p : points_) {
+    t.AddRow({label, StrFormat("%.6g", p.seconds),
+              StrFormat("%lld", static_cast<long long>(p.updates)),
+              StrFormat("%.6g", p.test_rmse), StrFormat("%.6g", p.objective)});
+  }
+  return t.WriteTsv(path);
+}
+
+}  // namespace nomad

@@ -1,0 +1,52 @@
+#ifndef NOMAD_EVAL_TRACE_H_
+#define NOMAD_EVAL_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// One convergence measurement: what the paper's figures plot.
+struct TracePoint {
+  double seconds = 0.0;     // wall time (shared-memory) or virtual time (sim)
+  int64_t updates = 0;      // SGD updates (or equivalent work units)
+  double test_rmse = 0.0;   // RMSE on the held-out ratings
+  double objective = 0.0;   // J(W, H) on the training set (optional, 0 if
+                            // not computed)
+};
+
+/// Convergence trace of one training run.
+class Trace {
+ public:
+  void Add(TracePoint p) { points_.push_back(p); }
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  /// Final (latest) test RMSE; +inf when empty.
+  double FinalRmse() const;
+
+  /// Best (minimum) test RMSE seen; +inf when empty.
+  double BestRmse() const;
+
+  /// First time at which test RMSE dropped to `target` or below; -1 if
+  /// never. This is the "time to RMSE" metric used to compare solvers.
+  double TimeToRmse(double target) const;
+
+  /// Updates per second over the whole run (0 when degenerate). Feeds the
+  /// paper's throughput plots (Figs. 6, 10, 16).
+  double Throughput() const;
+
+  /// TSV dump: seconds, updates, test_rmse, objective per line.
+  Status WriteTsv(const std::string& path, const std::string& label) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_EVAL_TRACE_H_

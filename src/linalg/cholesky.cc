@@ -1,0 +1,80 @@
+#include "linalg/cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nomad {
+
+bool CholeskySolveInPlace(double* m, double* b, int k) {
+  // Factorize: m (lower triangle) <- L with M = L Lᵀ.
+  for (int j = 0; j < k; ++j) {
+    double diag = m[j * k + j];
+    for (int p = 0; p < j; ++p) diag -= m[j * k + p] * m[j * k + p];
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    m[j * k + j] = ljj;
+    for (int i = j + 1; i < k; ++i) {
+      double v = m[i * k + j];
+      for (int p = 0; p < j; ++p) v -= m[i * k + p] * m[j * k + p];
+      m[i * k + j] = v / ljj;
+    }
+  }
+  // Forward solve L y = b.
+  for (int i = 0; i < k; ++i) {
+    double v = b[i];
+    for (int p = 0; p < i; ++p) v -= m[i * k + p] * b[p];
+    b[i] = v / m[i * k + i];
+  }
+  // Backward solve Lᵀ x = y.
+  for (int i = k - 1; i >= 0; --i) {
+    double v = b[i];
+    for (int p = i + 1; p < k; ++p) v -= m[p * k + i] * b[p];
+    b[i] = v / m[i * k + i];
+  }
+  return true;
+}
+
+bool CholeskySolve(std::vector<double> m, std::vector<double>* b) {
+  const int k = static_cast<int>(b->size());
+  NOMAD_CHECK_EQ(m.size(), static_cast<size_t>(k) * static_cast<size_t>(k));
+  return CholeskySolveInPlace(m.data(), b->data(), k);
+}
+
+NormalEquations::NormalEquations(int k)
+    : k_(k),
+      m_(static_cast<size_t>(k) * static_cast<size_t>(k), 0.0),
+      rhs_(static_cast<size_t>(k), 0.0),
+      scratch_(m_.size()) {
+  NOMAD_CHECK_GT(k, 0);
+}
+
+void NormalEquations::Add(const double* h, double rating) {
+  for (int i = 0; i < k_; ++i) {
+    const double hi = h[i];
+    double* row = m_.data() + static_cast<size_t>(i) * k_;
+    for (int j = 0; j <= i; ++j) row[j] += hi * h[j];
+    rhs_[static_cast<size_t>(i)] += rating * hi;
+  }
+}
+
+void NormalEquations::Reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+}
+
+bool NormalEquations::Solve(double ridge, double* out) {
+  // Symmetrize into scratch and add the ridge.
+  for (int i = 0; i < k_; ++i) {
+    for (int j = 0; j < k_; ++j) {
+      const double v = j <= i ? m_[static_cast<size_t>(i) * k_ + j]
+                              : m_[static_cast<size_t>(j) * k_ + i];
+      scratch_[static_cast<size_t>(i) * k_ + j] = v + (i == j ? ridge : 0.0);
+    }
+  }
+  for (int i = 0; i < k_; ++i) out[i] = rhs_[static_cast<size_t>(i)];
+  return CholeskySolveInPlace(scratch_.data(), out, k_);
+}
+
+}  // namespace nomad

@@ -1,0 +1,49 @@
+#ifndef NOMAD_LINALG_CHOLESKY_H_
+#define NOMAD_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+namespace nomad {
+
+/// Solves the k×k symmetric positive-definite system M x = b in place via
+/// Cholesky factorization (M = L Lᵀ). `m` is row-major k×k and is destroyed
+/// (overwritten with L). Returns false if M is not numerically SPD.
+///
+/// Used by the ALS baseline (paper Eq. 3: w_i ← M⁻¹ b with
+/// M = HᵀΩᵢ HΩᵢ + λ|Ωᵢ| I) and by the GraphLab-style lock-ALS simulator.
+bool CholeskySolveInPlace(double* m, double* b, int k);
+
+/// Convenience overload building on vectors; `m` must have size k*k and `b`
+/// size k. Result is left in b.
+bool CholeskySolve(std::vector<double> m, std::vector<double>* b);
+
+/// Accumulator for the normal equations of one least-squares subproblem:
+///   M += h hᵀ,  b += a·h
+/// Keeps only the lower triangle during accumulation; Solve() symmetrizes,
+/// adds the ridge term, and calls CholeskySolveInPlace.
+class NormalEquations {
+ public:
+  explicit NormalEquations(int k);
+
+  /// Adds one rating's contribution: M += h hᵀ, rhs += rating · h.
+  void Add(const double* h, double rating);
+
+  /// Resets to zero for reuse.
+  void Reset();
+
+  /// Solves (M + ridge·I) x = rhs; writes x into `out`. Returns false on a
+  /// non-SPD system (cannot happen with ridge > 0 unless inputs are NaN).
+  bool Solve(double ridge, double* out);
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<double> m_;    // k×k row-major, lower triangle maintained
+  std::vector<double> rhs_;  // k
+  std::vector<double> scratch_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_LINALG_CHOLESKY_H_

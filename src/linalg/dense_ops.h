@@ -1,0 +1,39 @@
+#ifndef NOMAD_LINALG_DENSE_OPS_H_
+#define NOMAD_LINALG_DENSE_OPS_H_
+
+#include <cstddef>
+
+namespace nomad {
+
+/// Small dense-vector kernels over raw double arrays of length k. These are
+/// the inner loops of every solver; they are written as simple loops the
+/// compiler auto-vectorizes (k is typically 10-100).
+
+/// Returns ⟨a, b⟩.
+double Dot(const double* a, const double* b, int k);
+
+/// y += alpha * x.
+void Axpy(double alpha, const double* x, double* y, int k);
+
+/// x *= alpha.
+void Scale(double alpha, double* x, int k);
+
+/// dst = src.
+void CopyVec(const double* src, double* dst, int k);
+
+/// Returns ‖a‖₂².
+double SquaredNorm(const double* a, int k);
+
+/// The fused SGD step on a pair of factor rows (paper Eqs. 9-10):
+///   e   = a_ij − ⟨w, h⟩
+///   w  += s·(e·h − λ·w)
+///   h  += s·(e·w_old − λ·h)
+/// The h-update uses w's *pre-update* value, which is what makes the update
+/// an unbiased SGD step on J (and what a serial implementation would do).
+/// Returns the pre-update error e.
+double SgdUpdatePair(double rating, double step, double lambda, double* w,
+                     double* h, int k);
+
+}  // namespace nomad
+
+#endif  // NOMAD_LINALG_DENSE_OPS_H_

@@ -1,0 +1,65 @@
+#ifndef NOMAD_LINALG_FACTOR_MATRIX_H_
+#define NOMAD_LINALG_FACTOR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/rng.h"
+
+namespace nomad {
+
+/// Row-major dense matrix of latent factors (the W and H of A ≈ W Hᵀ).
+///
+/// Rows are padded so each row starts on a cache-line boundary: in NOMAD a
+/// row of H is owned by exactly one worker at a time and a row of W by
+/// exactly one worker forever, so line-aligned rows eliminate false sharing
+/// between workers (paper Sec. 3.5).
+class FactorMatrix {
+ public:
+  FactorMatrix() = default;
+
+  /// Creates a rows×cols matrix of zeros.
+  FactorMatrix(int64_t rows, int cols);
+
+  int64_t rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int stride() const { return stride_; }
+
+  /// Pointer to the first element of row i.
+  double* Row(int64_t i) { return data_.data() + i * stride_; }
+  const double* Row(int64_t i) const { return data_.data() + i * stride_; }
+
+  double& At(int64_t i, int j) { return Row(i)[j]; }
+  double At(int64_t i, int j) const { return Row(i)[j]; }
+
+  /// Fills every entry i.i.d. Uniform(0, 1/sqrt(cols)) — the initialization
+  /// used by the paper (Sec. 5.1) and by Yu et al. / Zhuang et al.
+  void InitUniform(Rng* rng);
+
+  /// Fills every entry i.i.d. N(0, stddev²) — used by the Sec. 5.5 synthetic
+  /// ground-truth factors.
+  void InitGaussian(Rng* rng, double stddev = 1.0);
+
+  void SetZero();
+
+  /// Frobenius norm of the matrix (ignores padding).
+  double FrobeniusNorm() const;
+
+  /// Element-wise maximum absolute difference against `other` (must have the
+  /// same shape). Used by serializability tests.
+  double MaxAbsDiff(const FactorMatrix& other) const;
+
+  /// Deep equality within tolerance `eps`.
+  bool AlmostEquals(const FactorMatrix& other, double eps) const;
+
+ private:
+  int64_t rows_ = 0;
+  int cols_ = 0;
+  int stride_ = 0;  // cols rounded up to a multiple of the cache line
+  std::vector<double, CacheAlignedAllocator<double>> data_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_LINALG_FACTOR_MATRIX_H_

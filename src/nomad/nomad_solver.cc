@@ -1,0 +1,227 @@
+#include "nomad/nomad_solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/shard.h"
+#include "eval/metrics.h"
+#include "nomad/token_router.h"
+#include "queue/mpmc_queue.h"
+#include "solver/sgd_kernel.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+
+namespace {
+
+/// Cooperative pause barrier: the driver quiesces all workers, evaluates,
+/// and resumes them. Training time excludes evaluation pauses.
+class PauseGate {
+ public:
+  explicit PauseGate(int workers) : workers_(workers) {}
+
+  /// Worker side: called between tokens; blocks while a pause is active.
+  void CheckIn() {
+    if (!pause_requested_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++paused_;
+    all_paused_.notify_all();
+    resumed_.wait(lock, [this] {
+      return !pause_requested_.load(std::memory_order_acquire);
+    });
+    --paused_;
+  }
+
+  /// Driver side: returns once every worker is parked.
+  void Pause() {
+    pause_requested_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mu_);
+    all_paused_.wait(lock, [this] { return paused_ == workers_; });
+  }
+
+  void Resume() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pause_requested_.store(false, std::memory_order_release);
+    }
+    resumed_.notify_all();
+  }
+
+ private:
+  const int workers_;
+  std::atomic<bool> pause_requested_{false};
+  std::mutex mu_;
+  std::condition_variable all_paused_;
+  std::condition_variable resumed_;
+  int paused_ = 0;
+};
+
+}  // namespace
+
+Result<TrainResult> NomadSolver::Train(const Dataset& ds,
+                                       const TrainOptions& options) {
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  if (options.nomadic_rows) {
+    // Footnote 2: circulate user parameters instead — train the transposed
+    // problem and swap the factors back.
+    const Dataset transposed = Transpose(ds);
+    TrainOptions inner = options;
+    inner.nomadic_rows = false;
+    auto result = Train(transposed, inner);
+    if (!result.ok()) return result.status();
+    TrainResult swapped = std::move(result).value();
+    std::swap(swapped.w, swapped.h);
+    return swapped;
+  }
+  auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
+  if (!schedule.ok()) return schedule.status();
+  auto loss = ResolveLoss(options.loss);
+  if (!loss.ok()) return loss.status();
+
+  const int p = options.num_workers;
+  const int k = options.rank;
+
+  TrainResult result;
+  result.solver_name = Name();
+  InitFactors(ds, options, &result.w, &result.h);
+  FactorMatrix& w = result.w;
+  FactorMatrix& h = result.h;
+
+  // An empty training set (or no items) can never satisfy an update-count
+  // stopping criterion: the workers would circulate empty tokens forever.
+  // Evaluate once and return.
+  if (ds.train.nnz() == 0 || ds.cols == 0) {
+    TracePoint pt;
+    pt.test_rmse = Rmse(ds.test, result.w, result.h);
+    result.trace.Add(pt);
+    return result;
+  }
+
+  const UserPartition partition =
+      options.partition_by_ratings
+          ? UserPartition::ByRatings(ds.train, p)
+          : UserPartition::ByRows(ds.rows, p);
+  const ColumnShards shards = ColumnShards::Build(ds.train, partition);
+  StepCounts counts(ds.train.nnz());
+
+  // Per-worker token queues; initial tokens scattered uniformly
+  // (Algorithm 1 lines 7-10).
+  std::vector<std::unique_ptr<MpmcQueue<int32_t>>> queues;
+  queues.reserve(static_cast<size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    queues.push_back(std::make_unique<MpmcQueue<int32_t>>());
+  }
+  Rng scatter_rng(options.seed ^ 0xA5A5A5A5ULL);
+  for (int32_t j = 0; j < ds.cols; ++j) {
+    queues[scatter_rng.NextBelow(static_cast<uint64_t>(p))]->Push(j);
+  }
+
+  const TokenRouter router(options.routing, p);
+  const TokenRouter::SizeProbe probe = [&queues](int q) {
+    return queues[static_cast<size_t>(q)]->Size();
+  };
+
+  PauseGate gate(p);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> total_updates{0};
+
+  // Owner table asserting the single-ownership invariant behind NOMAD's
+  // lock-freedom and serializability: a token (and hence its h_j row) must
+  // never be held by two workers at once. -1 = in a queue / in flight.
+  std::vector<std::atomic<int>> owner(static_cast<size_t>(ds.cols));
+  for (auto& o : owner) o.store(-1, std::memory_order_relaxed);
+
+  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
+                            options.lambda, k);
+  auto worker_fn = [&](int q) {
+    Rng rng(options.seed + 7919ULL * static_cast<uint64_t>(q + 1));
+    while (!stop.load(std::memory_order_relaxed)) {
+      gate.CheckIn();
+      // Re-check after a pause: the driver may have taken the final trace
+      // point; no update may happen after it, or the returned factors
+      // would not match the recorded trace.
+      if (stop.load(std::memory_order_relaxed)) break;
+      auto token = queues[static_cast<size_t>(q)]->TryPop();
+      if (!token.has_value()) {
+        std::this_thread::yield();
+        continue;
+      }
+      const int32_t j = *token;
+      int expected = -1;
+      NOMAD_CHECK(owner[static_cast<size_t>(j)].compare_exchange_strong(
+          expected, q, std::memory_order_acquire))
+          << "item " << j << " already owned by worker " << expected;
+      int32_t n = 0;
+      const ColumnShards::Entry* entries = shards.ColEntries(q, j, &n);
+      double* hj = h.Row(j);
+      for (int32_t t = 0; t < n; ++t) {
+        const ColumnShards::Entry& e = entries[t];
+        kernel.Apply(e.value, &counts, e.csc_pos, w.Row(e.row), hj);
+      }
+      if (n > 0) total_updates.fetch_add(n, std::memory_order_relaxed);
+      owner[static_cast<size_t>(j)].store(-1, std::memory_order_release);
+      queues[static_cast<size_t>(router.Pick(q, &rng, probe))]->Push(j);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(p));
+  Stopwatch wall;
+  for (int q = 0; q < p; ++q) workers.emplace_back(worker_fn, q);
+
+  // Driver loop: watches stopping criteria and takes trace points.
+  const int64_t epoch_updates = std::max<int64_t>(ds.train.nnz(), 1);
+  const int64_t eval_every = options.eval_every_updates > 0
+                                 ? options.eval_every_updates
+                                 : epoch_updates;
+  const int64_t max_updates =
+      options.max_updates > 0
+          ? options.max_updates
+          : (options.max_epochs > 0 ? options.max_epochs * epoch_updates
+                                    : -1);
+  double train_seconds = 0.0;  // excludes evaluation pauses
+  int64_t next_eval = eval_every;
+  for (;;) {
+    std::this_thread::yield();
+    const int64_t done = total_updates.load(std::memory_order_relaxed);
+    const double elapsed = train_seconds + wall.ElapsedSeconds();
+    const bool out_of_time =
+        options.max_seconds > 0 && elapsed >= options.max_seconds;
+    const bool out_of_updates = max_updates > 0 && done >= max_updates;
+    if (done >= next_eval || out_of_time || out_of_updates) {
+      gate.Pause();
+      train_seconds += wall.ElapsedSeconds();
+      const int64_t updates_now =
+          total_updates.load(std::memory_order_relaxed);
+      TracePoint pt;
+      pt.seconds = train_seconds;
+      pt.updates = updates_now;
+      pt.test_rmse = Rmse(ds.test, w, h);
+      if (options.record_objective) {
+        pt.objective = Objective(ds.train, w, h, options.lambda);
+      }
+      result.trace.Add(pt);
+      next_eval = updates_now + eval_every;
+      if (out_of_time || out_of_updates) {
+        stop.store(true, std::memory_order_relaxed);
+        gate.Resume();
+        break;
+      }
+      wall.Restart();
+      gate.Resume();
+    }
+  }
+  for (auto& t : workers) t.join();
+
+  result.total_updates = total_updates.load(std::memory_order_relaxed);
+  result.total_seconds = train_seconds;
+  return result;
+}
+
+}  // namespace nomad

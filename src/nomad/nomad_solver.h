@@ -1,0 +1,31 @@
+#ifndef NOMAD_NOMAD_NOMAD_SOLVER_H_
+#define NOMAD_NOMAD_NOMAD_SOLVER_H_
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// The paper's contribution (Algorithm 1): shared-memory NOMAD.
+///
+/// Users are partitioned statically across `num_workers` worker threads;
+/// item parameter rows h_j circulate between workers as tokens through
+/// per-worker concurrent queues. A worker that pops token j runs SGD
+/// updates over its locally-stored ratings Ω̄_j^{(q)} — touching only its
+/// own w_i rows and the h_j it exclusively owns while holding the token —
+/// then pushes the token to another worker chosen by the routing policy.
+///
+/// Properties (Sec. 1): non-blocking, decentralized, lock-free updates
+/// (queue hand-off aside), fully asynchronous, and serializable — every
+/// execution is equivalent to some serial SGD update ordering, which the
+/// serializability test verifies by replay.
+class NomadSolver final : public Solver {
+ public:
+  std::string Name() const override { return "nomad"; }
+
+  Result<TrainResult> Train(const Dataset& ds,
+                            const TrainOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_NOMAD_NOMAD_SOLVER_H_

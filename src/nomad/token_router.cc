@@ -1,0 +1,15 @@
+#include "nomad/token_router.h"
+
+namespace nomad {
+
+int TokenRouter::Pick(int /*self*/, Rng* rng, const SizeProbe& probe) const {
+  const int a = static_cast<int>(rng->NextBelow(
+      static_cast<uint64_t>(num_workers_)));
+  if (routing_ == Routing::kUniform || num_workers_ == 1) return a;
+  int b = static_cast<int>(rng->NextBelow(
+      static_cast<uint64_t>(num_workers_)));
+  if (b == a) b = (b + 1) % num_workers_;
+  return probe(a) <= probe(b) ? a : b;
+}
+
+}  // namespace nomad

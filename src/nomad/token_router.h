@@ -1,0 +1,40 @@
+#ifndef NOMAD_NOMAD_TOKEN_ROUTER_H_
+#define NOMAD_NOMAD_TOKEN_ROUTER_H_
+
+#include <functional>
+
+#include "solver/solver.h"
+#include "util/rng.h"
+
+namespace nomad {
+
+/// Decides which worker receives an item token after processing.
+///
+/// kUniform implements Algorithm 1 line 22 (uniform random recipient).
+/// kLeastLoaded implements the Sec. 3.3 dynamic load balancing with the
+/// power-of-two-choices rule: probe two random queues, send to the shorter.
+/// The paper piggybacks queue sizes on messages; in shared memory we can
+/// probe the queue directly, which carries the same single-integer
+/// information.
+class TokenRouter {
+ public:
+  /// Probe returning the current queue length of a worker.
+  using SizeProbe = std::function<size_t(int)>;
+
+  TokenRouter(Routing routing, int num_workers)
+      : routing_(routing), num_workers_(num_workers) {}
+
+  /// Picks the destination worker. `self` is the sending worker (tokens may
+  /// be routed back to the sender, as in the paper).
+  int Pick(int self, Rng* rng, const SizeProbe& probe) const;
+
+  Routing routing() const { return routing_; }
+
+ private:
+  Routing routing_;
+  int num_workers_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_NOMAD_TOKEN_ROUTER_H_

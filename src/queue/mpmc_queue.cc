@@ -1,0 +1,1 @@
+#include "queue/mpmc_queue.h"

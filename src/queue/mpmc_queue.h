@@ -1,0 +1,60 @@
+#ifndef NOMAD_QUEUE_MPMC_QUEUE_H_
+#define NOMAD_QUEUE_MPMC_QUEUE_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/aligned.h"
+
+namespace nomad {
+
+/// Multi-producer multi-consumer unbounded FIFO queue.
+///
+/// This is the per-worker token queue of the NOMAD algorithm (Algorithm 1's
+/// queue[q]); it replaces the Intel TBB concurrent_queue the paper used
+/// (Sec. 3.5). Any worker may push (token hand-off), while pops come from
+/// the owning worker. A plain mutex suffices: with p queues, contention on
+/// any single queue is O(1/p), and the critical sections are a few
+/// nanoseconds. The structure is padded to its own cache lines to avoid
+/// false sharing between adjacent per-worker queues.
+template <typename T>
+class alignas(kCacheLineBytes) MpmcQueue {
+ public:
+  MpmcQueue() = default;
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  void Push(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(value));
+  }
+
+  /// Pops the front element if any; returns nullopt when empty (NOMAD
+  /// workers spin on their queue rather than block, Algorithm 1 line 14).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Snapshot size; may be stale by the time the caller uses it. This is
+  /// exactly the payload NOMAD's dynamic load balancing sends around (Sec.
+  /// 3.3), which the paper notes is also only advisory.
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_QUEUE_MPMC_QUEUE_H_

@@ -1,0 +1,1 @@
+#include "queue/mpsc_queue.h"

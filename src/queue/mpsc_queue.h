@@ -1,0 +1,85 @@
+#ifndef NOMAD_QUEUE_MPSC_QUEUE_H_
+#define NOMAD_QUEUE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <optional>
+
+namespace nomad {
+
+/// Lock-free multi-producer single-consumer intrusive-style FIFO queue
+/// (Vyukov's algorithm). Producers only CAS-free exchange on the tail;
+/// the single consumer walks the head.
+///
+/// NOMAD's ownership discipline means each queue has exactly one consumer
+/// (its worker), so an MPSC queue is sufficient; this implementation is the
+/// truly lock-free option alongside the mutex-based MpmcQueue, and the two
+/// are interchangeable behind TokenQueue in the solver.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  ~MpscQueue() {
+    Node* node = tail_.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Thread-safe for any number of producers.
+  void Push(T value) {
+    Node* node = new Node();
+    node->value = std::move(value);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    approx_size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Must be called from the single consumer thread only.
+  std::optional<T> TryPop() {
+    Node* tail = tail_.load(std::memory_order_relaxed);
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    T v = std::move(next->value);
+    tail_.store(next, std::memory_order_relaxed);
+    delete tail;
+    approx_size_.fetch_sub(1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Approximate size (relaxed counter); used for load-balancing hints.
+  size_t Size() const {
+    const int64_t s = approx_size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<size_t>(s);
+  }
+
+  bool Empty() const {
+    Node* tail = tail_.load(std::memory_order_relaxed);
+    return tail->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  // head_ is where producers link new nodes; tail_ (with a stub) is where
+  // the consumer reads.
+  std::atomic<Node*> head_;
+  std::atomic<Node*> tail_;
+  std::atomic<int64_t> approx_size_{0};
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_QUEUE_MPSC_QUEUE_H_

@@ -1,0 +1,1 @@
+#include "queue/spsc_ring.h"

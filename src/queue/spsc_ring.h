@@ -1,0 +1,72 @@
+#ifndef NOMAD_QUEUE_SPSC_RING_H_
+#define NOMAD_QUEUE_SPSC_RING_H_
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/logging.h"
+
+namespace nomad {
+
+/// Bounded single-producer single-consumer ring buffer (wait-free).
+///
+/// Models the dedicated sender/receiver communication threads of the hybrid
+/// architecture (paper Sec. 3.4): a compute thread hands outgoing token
+/// batches to its machine's network thread through one of these.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity-1.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool TryPush(T value) {
+    const size_t head = head_.value.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.value.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(value);
+    head_.value.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail == head_.value.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T v = std::move(buffer_[tail]);
+    tail_.value.store((tail + 1) & mask_, std::memory_order_release);
+    return v;
+  }
+
+  size_t Capacity() const { return buffer_.size() - 1; }
+
+  size_t Size() const {
+    const size_t head = head_.value.load(std::memory_order_acquire);
+    const size_t tail = tail_.value.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  CacheLinePadded<std::atomic<size_t>> head_{};  // written by producer
+  CacheLinePadded<std::atomic<size_t>> tail_{};  // written by consumer
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_QUEUE_SPSC_RING_H_

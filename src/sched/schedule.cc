@@ -1,0 +1,34 @@
+#include "sched/schedule.h"
+
+#include <cmath>
+
+namespace nomad {
+
+double PaperSchedule::Step(uint32_t t) const {
+  const double td = static_cast<double>(t);
+  return alpha_ / (1.0 + beta_ * td * std::sqrt(td));
+}
+
+void BoldDriver::EndEpoch(double objective) {
+  if (has_prev_) {
+    step_ *= (objective <= prev_objective_) ? grow_ : shrink_;
+  }
+  prev_objective_ = objective;
+  has_prev_ = true;
+}
+
+Result<std::unique_ptr<StepSchedule>> MakeSchedule(const std::string& name,
+                                                   double alpha, double beta) {
+  if (name == "paper-t1.5") {
+    return std::unique_ptr<StepSchedule>(new PaperSchedule(alpha, beta));
+  }
+  if (name == "constant") {
+    return std::unique_ptr<StepSchedule>(new ConstantSchedule(alpha));
+  }
+  if (name == "inverse-time") {
+    return std::unique_ptr<StepSchedule>(new InverseTimeSchedule(alpha, beta));
+  }
+  return Status::InvalidArgument("unknown schedule: " + name);
+}
+
+}  // namespace nomad

@@ -1,0 +1,93 @@
+#ifndef NOMAD_SCHED_SCHEDULE_H_
+#define NOMAD_SCHED_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// Per-update step-size schedule s_t, where t counts how many times the
+/// specific rating (i, j) has been updated (paper Sec. 5.1).
+class StepSchedule {
+ public:
+  virtual ~StepSchedule() = default;
+
+  /// Step size for the t-th update of a rating (t starts at 0).
+  virtual double Step(uint32_t t) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// The paper's schedule, Eq. (11):  s_t = α / (1 + β · t^{1.5}).
+class PaperSchedule final : public StepSchedule {
+ public:
+  PaperSchedule(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+  double Step(uint32_t t) const override;
+  std::string Name() const override { return "paper-t1.5"; }
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// Constant step size; useful for tests and micro-benchmarks.
+class ConstantSchedule final : public StepSchedule {
+ public:
+  explicit ConstantSchedule(double step) : step_(step) {}
+  double Step(uint32_t) const override { return step_; }
+  std::string Name() const override { return "constant"; }
+
+ private:
+  double step_;
+};
+
+/// Classic Robbins-Monro inverse decay: s_t = α / (1 + β·t).
+class InverseTimeSchedule final : public StepSchedule {
+ public:
+  InverseTimeSchedule(double alpha, double beta)
+      : alpha_(alpha), beta_(beta) {}
+  double Step(uint32_t t) const override {
+    return alpha_ / (1.0 + beta_ * static_cast<double>(t));
+  }
+  std::string Name() const override { return "inverse-time"; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// Bold-driver step adaptation used by DSGD/DSGD++ (paper Sec. 5.1):
+/// after each epoch, grow the step when the objective decreased, shrink it
+/// sharply when it increased.
+class BoldDriver {
+ public:
+  BoldDriver(double initial_step, double grow = 1.05, double shrink = 0.5)
+      : step_(initial_step), grow_(grow), shrink_(shrink) {}
+
+  double step() const { return step_; }
+
+  /// Reports the objective after an epoch; adapts the step for the next one.
+  void EndEpoch(double objective);
+
+ private:
+  double step_;
+  double grow_;
+  double shrink_;
+  double prev_objective_ = -1.0;
+  bool has_prev_ = false;
+};
+
+/// Builds a schedule by name ("paper-t1.5", "constant", "inverse-time").
+Result<std::unique_ptr<StepSchedule>> MakeSchedule(const std::string& name,
+                                                   double alpha, double beta);
+
+}  // namespace nomad
+
+#endif  // NOMAD_SCHED_SCHEDULE_H_

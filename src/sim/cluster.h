@@ -1,0 +1,132 @@
+#ifndef NOMAD_SIM_CLUSTER_H_
+#define NOMAD_SIM_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "sim/network.h"
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// Options for a simulated multi-machine training run. The TrainOptions
+/// stopping fields apply to *virtual* time: max_seconds is a virtual-second
+/// budget. A run is deterministic given (options, dataset).
+///
+/// Core accounting convention (mirrors the paper's setups): solvers with
+/// dedicated communication threads (sim_nomad, sim_dsgdpp) compute on
+/// `cluster.compute_cores` cores; bulk-synchronous solvers (sim_dsgd,
+/// sim_ccdpp, sim_lock_als) compute on all `cluster.cores` cores — exactly
+/// the Sec. 5.4 arrangement (NOMAD/DSGD++ 2+2, DSGD/CCD++ 4+0).
+struct SimOptions {
+  TrainOptions train;
+  ClusterConfig cluster;
+  NetworkModel network;
+
+  /// Virtual seconds between convergence-trace samples.
+  double eval_interval = 0.25;
+
+  // -- sim_nomad specifics --
+  int batch_size = 100;      // tokens accumulated per network message
+                             // (Sec. 3.5, following Smola & Narayanamurthy)
+  bool circulate = true;     // Sec. 3.4 intra-machine token circulation
+  double flush_delay = 2e-4; // max virtual seconds a partial batch waits
+
+  /// When non-null, sim_nomad appends every (worker, item) token-processing
+  /// step in execution order. The serializability property test replays
+  /// this log through a serial SGD and checks bit-identical factors.
+  std::vector<std::pair<int, int32_t>>* process_log = nullptr;
+};
+
+/// Result of a simulated run: the usual TrainResult (trace timestamps are
+/// virtual seconds) plus network accounting.
+struct SimResult {
+  TrainResult train;
+  int64_t messages = 0;   // inter-machine messages
+  double bytes = 0.0;     // inter-machine payload bytes
+  /// Total virtual seconds workers spent processing tokens (sim_nomad
+  /// only). Utilization = busy_seconds / (workers × total_seconds) — the
+  /// "CPU busy while network busy" property the paper claims over
+  /// bulk-synchronous methods.
+  double busy_seconds = 0.0;
+
+  double Utilization(int total_workers) const {
+    const double denom = train.total_seconds * total_workers;
+    return denom > 0 ? busy_seconds / denom : 0.0;
+  }
+};
+
+/// Interface of the simulated distributed solvers.
+class SimSolver {
+ public:
+  virtual ~SimSolver() = default;
+  virtual std::string Name() const = 0;
+  virtual Result<SimResult> Train(const Dataset& ds,
+                                  const SimOptions& options) = 0;
+};
+
+/// {"sim_nomad", "sim_dsgd", "sim_dsgdpp", "sim_ccdpp", "sim_lock_als"}.
+std::vector<std::string> SimSolverNames();
+Result<std::unique_ptr<SimSolver>> MakeSimSolver(const std::string& name);
+
+/// Trace/stopping bookkeeping for the epoch-trajectory simulators (DSGD,
+/// DSGD++, CCD++, lock-ALS): these algorithms are bulk-synchronous, so
+/// their *parameter trajectory* per epoch is independent of timing; the
+/// simulator runs the real updates and then advances the virtual clock by
+/// the modelled epoch duration.
+class VirtualEpochLoop {
+ public:
+  VirtualEpochLoop(const Dataset& ds, const SimOptions& options,
+                   SimResult* result)
+      : ds_(ds), options_(options), result_(result) {}
+
+  bool Continue() const {
+    const TrainOptions& t = options_.train;
+    if (t.max_epochs > 0 && epochs_ >= t.max_epochs) return false;
+    if (t.max_updates > 0 && result_->train.total_updates >= t.max_updates) {
+      return false;
+    }
+    if (t.max_seconds > 0 && virtual_seconds_ >= t.max_seconds) return false;
+    return true;
+  }
+
+  /// Advances virtual time by `epoch_seconds`, credits `epoch_updates`,
+  /// and records a trace point. Returns the training objective when
+  /// requested (for bold-driver callers), else 0.
+  double EndEpoch(double epoch_seconds, int64_t epoch_updates,
+                  bool need_objective = false) {
+    virtual_seconds_ += epoch_seconds;
+    ++epochs_;
+    result_->train.total_updates += epoch_updates;
+    TracePoint pt;
+    pt.seconds = virtual_seconds_;
+    pt.updates = result_->train.total_updates;
+    pt.test_rmse = Rmse(ds_.test, result_->train.w, result_->train.h);
+    double objective = 0.0;
+    if (need_objective || options_.train.record_objective) {
+      objective = Objective(ds_.train, result_->train.w, result_->train.h,
+                            options_.train.lambda);
+      pt.objective = objective;
+    }
+    result_->train.trace.Add(pt);
+    result_->train.total_seconds = virtual_seconds_;
+    return objective;
+  }
+
+  double virtual_seconds() const { return virtual_seconds_; }
+  int epochs_done() const { return epochs_; }
+
+ private:
+  const Dataset& ds_;
+  const SimOptions& options_;
+  SimResult* result_;
+  double virtual_seconds_ = 0.0;
+  int epochs_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_CLUSTER_H_

@@ -1,0 +1,1 @@
+#include "sim/event_queue.h"

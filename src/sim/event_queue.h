@@ -1,0 +1,73 @@
+#ifndef NOMAD_SIM_EVENT_QUEUE_H_
+#define NOMAD_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace nomad {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Deterministic discrete-event queue: events fire in (time, insertion
+/// sequence) order, so ties are broken by scheduling order and a run is a
+/// pure function of its seed. This is the engine under the cluster
+/// simulator that replaces the paper's physical Stampede/AWS testbeds.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `cb` to fire at absolute time `at`. Must not be in the past
+  /// relative to the currently-firing event.
+  void Schedule(SimTime at, Callback cb) {
+    NOMAD_DCHECK(at >= now_);
+    heap_.push(Event{at, next_seq_++, std::move(cb)});
+  }
+
+  /// Fires the next event. Returns false when the queue is empty.
+  bool RunOne() {
+    if (heap_.empty()) return false;
+    // std::priority_queue::top returns const&; the callback must be moved
+    // out before pop. const_cast is confined to this one line.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ev.cb(now_);
+    return true;
+  }
+
+  /// Runs until the queue drains or the next event is later than `until`.
+  /// Returns the final virtual time (== time of last fired event).
+  SimTime RunUntil(SimTime until) {
+    while (!heap_.empty() && heap_.top().at <= until) RunOne();
+    return now_;
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    Callback cb;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_EVENT_QUEUE_H_

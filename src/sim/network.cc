@@ -1,0 +1,23 @@
+#include "sim/network.h"
+
+namespace nomad {
+
+NetworkModel HpcNetwork() {
+  NetworkModel n;
+  n.inter_latency = 2e-6;   // µs-scale RDMA latency
+  n.intra_latency = 2e-7;
+  n.bandwidth = 6.0e9;      // ~48 Gb/s effective
+  n.per_message_overhead = 64;
+  return n;
+}
+
+NetworkModel CommodityNetwork() {
+  NetworkModel n;
+  n.inter_latency = 3e-4;   // ~0.3 ms TCP round-trip contribution
+  n.intra_latency = 2e-7;
+  n.bandwidth = 1.25e8;     // 1 Gb/s
+  n.per_message_overhead = 128;
+  return n;
+}
+
+}  // namespace nomad

@@ -1,0 +1,69 @@
+#ifndef NOMAD_SIM_NETWORK_H_
+#define NOMAD_SIM_NETWORK_H_
+
+#include <cstdint>
+
+namespace nomad {
+
+/// Point-to-point network cost model: a message of b bytes between two
+/// machines takes latency + (b + overhead) / bandwidth seconds of wire
+/// time. Intra-machine hand-offs use intra_latency and no bandwidth cost.
+///
+/// Two presets reproduce the paper's testbeds: an HPC interconnect
+/// (Stampede, MVAPICH2 over InfiniBand) and a commodity cloud network
+/// (AWS m1.xlarge, ~1 Gb/s, Sec. 5.4).
+struct NetworkModel {
+  double inter_latency = 2e-6;       // seconds per inter-machine message
+  double intra_latency = 2e-7;       // seconds per intra-machine hand-off
+  double bandwidth = 6.0e9;          // bytes/second per link
+  double per_message_overhead = 64;  // framing bytes per message
+
+  /// Wire time for a b-byte inter-machine message.
+  double TransitSeconds(double bytes) const {
+    return inter_latency + (bytes + per_message_overhead) / bandwidth;
+  }
+
+  /// Pure bandwidth occupancy (sender-side serialization) of a message.
+  double OccupancySeconds(double bytes) const {
+    return (bytes + per_message_overhead) / bandwidth;
+  }
+};
+
+/// Stampede-like HPC interconnect (56 Gb/s FDR InfiniBand, µs latency).
+NetworkModel HpcNetwork();
+
+/// AWS-like commodity network (1 Gb/s Ethernet, sub-ms latency) — the
+/// Sec. 5.4 environment where communication efficiency decides the race.
+NetworkModel CommodityNetwork();
+
+/// The simulated machines. `cores` is the per-machine core count;
+/// `compute_cores` of them run SGD while the rest model the dedicated
+/// communication threads of NOMAD/DSGD++ (Sec. 3.4: "we reserve two
+/// additional threads per machine for sending and receiving").
+struct ClusterConfig {
+  int machines = 1;
+  int cores = 4;
+  int compute_cores = 4;
+  /// Seconds of compute per rating update per latent dimension; the paper's
+  /// hardware constant `a` (Sec. 3.2). 4e-9 ≈ 2.5M updates/s/core at k=100.
+  double update_seconds_per_dim = 4e-9;
+  /// Per-machine relative slowdown ≥ 1 applied to machine 0; models the
+  /// heterogeneous-speed stragglers of Sec. 3.3 (1 = homogeneous cluster).
+  double straggler_slowdown = 1.0;
+
+  int total_workers() const { return machines * compute_cores; }
+
+  /// Seconds one rating update takes on `machine` at dimensionality k.
+  double UpdateSeconds(int machine, int k) const {
+    const double base = update_seconds_per_dim * k;
+    return machine == 0 ? base * straggler_slowdown : base;
+  }
+};
+
+/// Bytes of one serialized (j, h_j) token at dimensionality k: the item
+/// index plus k doubles (Sec. 3.5's message unit).
+inline double TokenBytes(int k) { return 8.0 + 8.0 * k; }
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_NETWORK_H_

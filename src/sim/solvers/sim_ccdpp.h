@@ -1,0 +1,32 @@
+#ifndef NOMAD_SIM_SOLVERS_SIM_CCDPP_H_
+#define NOMAD_SIM_SOLVERS_SIM_CCDPP_H_
+
+#include "sim/cluster.h"
+
+namespace nomad {
+
+/// Simulated distributed CCD++ (Yu et al.; paper Sec. 2.2/4.1).
+///
+/// CCD++ is fully deterministic and bulk-synchronous, so the distributed
+/// trajectory equals the serial one; the simulator runs the real sweeps
+/// (via CcdppEngine) and charges virtual time per epoch:
+///
+///   compute: nnz·k·inner·c_ccd / (M · cores)    (data-parallel sweeps)
+///   comm:    per feature, 2·inner all-gathers of the updated w_l and h_l
+///            slices ((m+n)/M rows of 8 bytes) over a ring — 2(M−1)
+///            messages each.
+///
+/// The per-feature synchronization makes CCD++ latency-sensitive, which is
+/// why it falls behind on the commodity network (paper Fig. 11) while
+/// staying competitive on HPC (Fig. 8).
+class SimCcdppSolver final : public SimSolver {
+ public:
+  std::string Name() const override { return "sim_ccdpp"; }
+
+  Result<SimResult> Train(const Dataset& ds,
+                          const SimOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_SOLVERS_SIM_CCDPP_H_

@@ -1,0 +1,31 @@
+#ifndef NOMAD_SIM_SOLVERS_SIM_DSGD_H_
+#define NOMAD_SIM_SOLVERS_SIM_DSGD_H_
+
+#include "sim/cluster.h"
+
+namespace nomad {
+
+/// Simulated distributed DSGD (Gemulla et al.; paper Sec. 4.1 & Fig. 3).
+///
+/// DSGD is bulk-synchronous, so its parameter trajectory is independent of
+/// event timing: the simulator executes the real stratified SGD updates
+/// epoch by epoch and advances the virtual clock analytically:
+///
+///   epoch = Σ_strata [ max_m(block_nnz_m · a·k / cores · slowdown_m)
+///                      + H-block exchange time ]
+///
+/// The max() is the "curse of the last reducer"; the additive exchange term
+/// is the compute/communication serialization the paper criticizes — both
+/// emerge directly from this formula. Uses all `cluster.cores` for compute
+/// (DSGD has no dedicated communication threads).
+class SimDsgdSolver final : public SimSolver {
+ public:
+  std::string Name() const override { return "sim_dsgd"; }
+
+  Result<SimResult> Train(const Dataset& ds,
+                          const SimOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_SOLVERS_SIM_DSGD_H_

@@ -1,0 +1,25 @@
+#ifndef NOMAD_SIM_SOLVERS_SIM_DSGDPP_H_
+#define NOMAD_SIM_SOLVERS_SIM_DSGDPP_H_
+
+#include "sim/cluster.h"
+
+namespace nomad {
+
+/// Simulated DSGD++ (Teflioudi et al.; paper Sec. 4.1): DSGD with 2M
+/// column-blocks where the transfer of the *next* H block overlaps the
+/// computation on the current one, so a stratum costs
+/// max(compute, exchange) instead of compute + exchange. Still
+/// bulk-synchronous per stratum (last-reducer max remains). Computes on
+/// `compute_cores` (two cores per machine are reserved for communication,
+/// as in the paper's setup).
+class SimDsgdppSolver final : public SimSolver {
+ public:
+  std::string Name() const override { return "sim_dsgdpp"; }
+
+  Result<SimResult> Train(const Dataset& ds,
+                          const SimOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_SOLVERS_SIM_DSGDPP_H_

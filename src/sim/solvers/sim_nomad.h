@@ -1,0 +1,39 @@
+#ifndef NOMAD_SIM_SOLVERS_SIM_NOMAD_H_
+#define NOMAD_SIM_SOLVERS_SIM_NOMAD_H_
+
+#include "sim/cluster.h"
+
+namespace nomad {
+
+/// Event-driven simulation of distributed NOMAD (Algorithm 1 + the hybrid
+/// architecture of Sec. 3.4 and message batching of Sec. 3.5) on a virtual
+/// cluster of machines × compute cores.
+///
+/// Unlike the bulk-synchronous baselines, NOMAD's parameter trajectory
+/// *depends on timing* (which worker holds which token when), so this
+/// solver simulates every token hop as a discrete event and executes the
+/// real SGD arithmetic in virtual-time order. The result is bit-exact
+/// reproducible, independent of the host machine, and — because every h_j
+/// is owned by exactly one worker at any virtual instant — serializable,
+/// like the real algorithm.
+///
+/// Modelled effects:
+///  - per-rating compute cost a·k on the owning worker (Sec. 3.2)
+///  - intra-machine circulation through all compute threads before a
+///    network hop (Sec. 3.4), at intra-machine hand-off latency
+///  - token batching: up to batch_size (j, h_j) pairs per message, with a
+///    flush timer so partial batches cannot stall the pipeline (Sec. 3.5)
+///  - sender-side bandwidth occupancy of the per-machine communication
+///    thread, plus per-message latency
+///  - optional straggler machine and least-loaded routing (Sec. 3.3)
+class SimNomadSolver final : public SimSolver {
+ public:
+  std::string Name() const override { return "sim_nomad"; }
+
+  Result<SimResult> Train(const Dataset& ds,
+                          const SimOptions& options) override;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SIM_SOLVERS_SIM_NOMAD_H_

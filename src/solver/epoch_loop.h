@@ -1,0 +1,72 @@
+#ifndef NOMAD_SOLVER_EPOCH_LOOP_H_
+#define NOMAD_SOLVER_EPOCH_LOOP_H_
+
+#include "eval/metrics.h"
+#include "solver/solver.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+
+/// Shared driver for epoch-synchronous solvers (serial SGD, Hogwild, DSGD,
+/// DSGD++, FPSGD**, CCD++, ALS): runs the stop-criteria bookkeeping and
+/// takes one trace point per epoch. Evaluation time is excluded from the
+/// reported seconds, mirroring the NOMAD driver.
+class EpochLoop {
+ public:
+  EpochLoop(const Dataset& ds, const TrainOptions& options,
+            TrainResult* result)
+      : ds_(ds), options_(options), result_(result) {}
+
+  /// True while no stopping criterion has fired.
+  bool Continue() const {
+    if (options_.max_epochs > 0 && epochs_ >= options_.max_epochs) {
+      return false;
+    }
+    if (options_.max_updates > 0 &&
+        result_->total_updates >= options_.max_updates) {
+      return false;
+    }
+    if (options_.max_seconds > 0 && train_seconds_ >= options_.max_seconds) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Call once per finished epoch with the number of updates it performed.
+  /// Records a trace point (test RMSE, optionally objective) and returns
+  /// the objective value if it was computed (else a quiet 0) so bold-driver
+  /// callers can reuse it.
+  double EndEpoch(int64_t epoch_updates, bool need_objective = false) {
+    train_seconds_ += watch_.ElapsedSeconds();
+    ++epochs_;
+    result_->total_updates += epoch_updates;
+    TracePoint pt;
+    pt.seconds = train_seconds_;
+    pt.updates = result_->total_updates;
+    pt.test_rmse = Rmse(ds_.test, result_->w, result_->h);
+    double objective = 0.0;
+    if (need_objective || options_.record_objective) {
+      objective =
+          Objective(ds_.train, result_->w, result_->h, options_.lambda);
+      pt.objective = objective;
+    }
+    result_->trace.Add(pt);
+    result_->total_seconds = train_seconds_;
+    watch_.Restart();
+    return objective;
+  }
+
+  int epochs_done() const { return epochs_; }
+
+ private:
+  const Dataset& ds_;
+  const TrainOptions& options_;
+  TrainResult* result_;
+  Stopwatch watch_;
+  double train_seconds_ = 0.0;
+  int epochs_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_SOLVER_EPOCH_LOOP_H_

@@ -1,0 +1,79 @@
+#include "solver/loss.h"
+
+#include <cmath>
+
+#include "linalg/dense_ops.h"
+
+namespace nomad {
+
+double SquaredLoss::Value(double pred, double rating) const {
+  const double e = rating - pred;
+  return 0.5 * e * e;
+}
+
+double SquaredLoss::Gradient(double pred, double rating) const {
+  return pred - rating;
+}
+
+double AbsoluteLoss::Value(double pred, double rating) const {
+  return std::fabs(rating - pred);
+}
+
+double AbsoluteLoss::Gradient(double pred, double rating) const {
+  if (pred > rating) return 1.0;
+  if (pred < rating) return -1.0;
+  return 0.0;
+}
+
+double HuberLoss::Value(double pred, double rating) const {
+  const double e = rating - pred;
+  if (std::fabs(e) <= delta_) return 0.5 * e * e;
+  return delta_ * (std::fabs(e) - 0.5 * delta_);
+}
+
+double HuberLoss::Gradient(double pred, double rating) const {
+  const double e = pred - rating;
+  if (e > delta_) return delta_;
+  if (e < -delta_) return -delta_;
+  return e;
+}
+
+double LogisticLoss::Value(double pred, double rating) const {
+  // rating ∈ {-1, +1}; log1p(exp(x)) computed stably.
+  const double margin = -rating * pred;
+  if (margin > 35.0) return margin;
+  return std::log1p(std::exp(margin));
+}
+
+double LogisticLoss::Gradient(double pred, double rating) const {
+  // d/dpred log(1+exp(-a·pred)) = -a·σ(-a·pred).
+  const double margin = -rating * pred;
+  const double sigma =
+      margin > 35.0 ? 1.0
+                    : (margin < -35.0 ? 0.0
+                                      : 1.0 / (1.0 + std::exp(-margin)));
+  return -rating * sigma;
+}
+
+Result<std::unique_ptr<Loss>> MakeLoss(const std::string& name) {
+  if (name == "squared") return std::unique_ptr<Loss>(new SquaredLoss());
+  if (name == "absolute") return std::unique_ptr<Loss>(new AbsoluteLoss());
+  if (name == "huber") return std::unique_ptr<Loss>(new HuberLoss());
+  if (name == "logistic") return std::unique_ptr<Loss>(new LogisticLoss());
+  return Status::InvalidArgument("unknown loss: " + name);
+}
+
+double SgdUpdatePairLoss(const Loss& loss, double rating, double step,
+                         double lambda, double* w, double* h, int k) {
+  const double g = loss.Gradient(Dot(w, h, k), rating);
+  const double sg = step * g;
+  const double decay = 1.0 - step * lambda;
+  for (int i = 0; i < k; ++i) {
+    const double w_old = w[i];
+    w[i] = decay * w_old - sg * h[i];
+    h[i] = decay * h[i] - sg * w_old;
+  }
+  return g;
+}
+
+}  // namespace nomad

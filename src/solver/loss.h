@@ -1,0 +1,78 @@
+#ifndef NOMAD_SOLVER_LOSS_H_
+#define NOMAD_SOLVER_LOSS_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// Separable per-rating loss ℓ(pred, a). The paper's algorithm "can work
+/// with an arbitrary separable loss" (Sec. 2); squared loss is the paper's
+/// running example and the library default, and the others implement that
+/// claim:
+///  - "squared":  ½(a − pred)²                 (regression, the paper)
+///  - "absolute": |a − pred|                   (robust regression)
+///  - "huber":    Huber(a − pred), δ = 1       (robust, smooth near 0)
+///  - "logistic": log(1 + exp(−a·pred)), a ∈ {−1, +1}
+///                (binary matrix completion — the Sec. 6 direction)
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// ℓ(pred, rating).
+  virtual double Value(double pred, double rating) const = 0;
+
+  /// ∂ℓ/∂pred. SGD moves along −Gradient (times the factor rows).
+  virtual double Gradient(double pred, double rating) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+class SquaredLoss final : public Loss {
+ public:
+  double Value(double pred, double rating) const override;
+  double Gradient(double pred, double rating) const override;
+  std::string Name() const override { return "squared"; }
+};
+
+class AbsoluteLoss final : public Loss {
+ public:
+  double Value(double pred, double rating) const override;
+  double Gradient(double pred, double rating) const override;
+  std::string Name() const override { return "absolute"; }
+};
+
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(double delta = 1.0) : delta_(delta) {}
+  double Value(double pred, double rating) const override;
+  double Gradient(double pred, double rating) const override;
+  std::string Name() const override { return "huber"; }
+
+ private:
+  double delta_;
+};
+
+class LogisticLoss final : public Loss {
+ public:
+  double Value(double pred, double rating) const override;
+  double Gradient(double pred, double rating) const override;
+  std::string Name() const override { return "logistic"; }
+};
+
+/// Builds a loss by name ("squared", "absolute", "huber", "logistic").
+Result<std::unique_ptr<Loss>> MakeLoss(const std::string& name);
+
+/// One general-loss SGD step on a factor-row pair:
+///   g = ∂ℓ/∂pred at pred = ⟨w, h⟩
+///   w ← w − s·(g·h + λ·w),  h ← h − s·(g·w_old + λ·h)
+/// Reduces to SgdUpdatePair for SquaredLoss. Returns the pre-update loss
+/// gradient g.
+double SgdUpdatePairLoss(const Loss& loss, double rating, double step,
+                         double lambda, double* w, double* h, int k);
+
+}  // namespace nomad
+
+#endif  // NOMAD_SOLVER_LOSS_H_

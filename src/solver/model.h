@@ -1,0 +1,56 @@
+#ifndef NOMAD_SOLVER_MODEL_H_
+#define NOMAD_SOLVER_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/sparse_matrix.h"
+#include "linalg/factor_matrix.h"
+#include "util/status.h"
+
+namespace nomad {
+
+/// A trained factorization A ≈ W Hᵀ packaged for serving: persistence and
+/// prediction (including top-N recommendation).
+struct Model {
+  FactorMatrix w;  // m × k user factors
+  FactorMatrix h;  // n × k item factors
+
+  int rank() const { return w.cols(); }
+  int64_t users() const { return w.rows(); }
+  int64_t items() const { return h.rows(); }
+
+  /// ⟨w_i, h_j⟩.
+  double Predict(int32_t user, int32_t item) const;
+};
+
+/// One recommendation: item and predicted score.
+struct ScoredItem {
+  int32_t item = 0;
+  double score = 0.0;
+
+  bool operator==(const ScoredItem&) const = default;
+};
+
+/// Returns the `n` highest-scoring items for `user`, in descending score
+/// order, skipping the items listed in `exclude` (typically the user's
+/// training ratings). Deterministic: ties break toward the lower item id.
+std::vector<ScoredItem> TopN(const Model& model, int32_t user, int n,
+                             const std::vector<int32_t>& exclude = {});
+
+/// Binary model persistence (magic + dimensions + row-major payload for
+/// each factor). Round-trips bit-exactly; versioned by the magic value.
+Status SaveModel(const Model& model, const std::string& path);
+Result<Model> LoadModel(const std::string& path);
+
+/// Mean absolute error of the model on `ratings` (companion metric to
+/// Rmse; 0 for an empty set).
+double Mae(const SparseMatrix& ratings, const Model& model);
+
+/// For logistic-loss models over ±1 ratings: fraction of held-out entries
+/// whose sign is predicted correctly (0 for an empty set).
+double SignAccuracy(const SparseMatrix& ratings, const Model& model);
+
+}  // namespace nomad
+
+#endif  // NOMAD_SOLVER_MODEL_H_

@@ -1,0 +1,22 @@
+#ifndef NOMAD_SOLVER_REGISTRY_H_
+#define NOMAD_SOLVER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/solver.h"
+
+namespace nomad {
+
+/// Names of every registered shared-memory solver, in canonical order:
+/// {"nomad", "serial_sgd", "hogwild", "dsgd", "dsgdpp", "fpsgd", "ccdpp",
+///  "als"}.
+std::vector<std::string> SolverNames();
+
+/// Instantiates a solver by name; NotFound for unknown names.
+Result<std::unique_ptr<Solver>> MakeSolver(const std::string& name);
+
+}  // namespace nomad
+
+#endif  // NOMAD_SOLVER_REGISTRY_H_

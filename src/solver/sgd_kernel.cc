@@ -1,0 +1,19 @@
+#include "solver/sgd_kernel.h"
+
+namespace nomad {
+
+int64_t StepCounts::TotalUpdates() const {
+  int64_t total = 0;
+  for (uint32_t c : counts_) total += c;
+  return total;
+}
+
+Result<std::unique_ptr<Loss>> ResolveLoss(const std::string& name) {
+  if (name.empty() || name == "squared") {
+    // Null signals the specialized squared kernel.
+    return std::unique_ptr<Loss>(nullptr);
+  }
+  return MakeLoss(name);
+}
+
+}  // namespace nomad

@@ -1,0 +1,81 @@
+#ifndef NOMAD_SOLVER_SGD_KERNEL_H_
+#define NOMAD_SOLVER_SGD_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_ops.h"
+#include "sched/schedule.h"
+#include "solver/loss.h"
+
+namespace nomad {
+
+/// Per-rating update counters backing Eq. (11)'s t, keyed by the rating's
+/// global CSC position. Each (i, j) is only ever updated by the worker that
+/// owns user i, so plain (non-atomic) counters are race-free under NOMAD's
+/// ownership discipline; the same holds for DSGD-style strata.
+class StepCounts {
+ public:
+  explicit StepCounts(int64_t nnz)
+      : counts_(static_cast<size_t>(nnz), 0) {}
+
+  /// Returns the current count for the rating at CSC position `pos` and
+  /// advances it.
+  uint32_t NextCount(int64_t pos) {
+    return counts_[static_cast<size_t>(pos)]++;
+  }
+
+  uint32_t CountAt(int64_t pos) const {
+    return counts_[static_cast<size_t>(pos)];
+  }
+
+  int64_t TotalUpdates() const;
+
+ private:
+  std::vector<uint32_t> counts_;
+};
+
+/// One schedule-driven SGD update of (w_i, h_j) for a rating at CSC
+/// position `pos`. Returns the pre-update prediction error.
+inline double ScheduledSgdUpdate(double rating, const StepSchedule& schedule,
+                                 StepCounts* counts, int64_t pos,
+                                 double lambda, double* w, double* h, int k) {
+  const double step = schedule.Step(counts->NextCount(pos));
+  return SgdUpdatePair(rating, step, lambda, w, h, k);
+}
+
+/// Bundles schedule + loss + λ into the per-rating update the SGD-family
+/// solvers share. A null loss selects the specialized squared-loss kernel
+/// (the paper's setting and the fast path); any other Loss goes through the
+/// general gradient form of Sec. 2.
+class UpdateKernel {
+ public:
+  UpdateKernel(const StepSchedule& schedule, const Loss* loss, double lambda,
+               int k)
+      : schedule_(schedule), loss_(loss), lambda_(lambda), k_(k) {}
+
+  void Apply(double rating, StepCounts* counts, int64_t pos, double* w,
+             double* h) const {
+    const double step = schedule_.Step(counts->NextCount(pos));
+    if (loss_ == nullptr) {
+      SgdUpdatePair(rating, step, lambda_, w, h, k_);
+    } else {
+      SgdUpdatePairLoss(*loss_, rating, step, lambda_, w, h, k_);
+    }
+  }
+
+ private:
+  const StepSchedule& schedule_;
+  const Loss* loss_;  // null = squared fast path
+  double lambda_;
+  int k_;
+};
+
+/// Resolves TrainOptions-style loss selection: returns null (fast squared
+/// path) for "squared"/"", a Loss instance otherwise, or an error status
+/// for unknown names.
+Result<std::unique_ptr<Loss>> ResolveLoss(const std::string& name);
+
+}  // namespace nomad
+
+#endif  // NOMAD_SOLVER_SGD_KERNEL_H_

@@ -1,0 +1,34 @@
+#include "solver/solver.h"
+
+#include "util/rng.h"
+
+namespace nomad {
+
+Status ValidateCommonOptions(const TrainOptions& options) {
+  if (options.rank <= 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  if (options.lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (options.max_seconds < 0 && options.max_updates < 0 &&
+      options.max_epochs < 0) {
+    return Status::InvalidArgument(
+        "at least one stopping criterion must be set");
+  }
+  return Status::OK();
+}
+
+void InitFactors(const Dataset& ds, const TrainOptions& options,
+                 FactorMatrix* w, FactorMatrix* h) {
+  *w = FactorMatrix(ds.rows, options.rank);
+  *h = FactorMatrix(ds.cols, options.rank);
+  Rng rng(options.seed);
+  w->InitUniform(&rng);
+  h->InitUniform(&rng);
+}
+
+}  // namespace nomad

@@ -1,0 +1,109 @@
+#ifndef NOMAD_SOLVER_SOLVER_H_
+#define NOMAD_SOLVER_SOLVER_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/trace.h"
+#include "linalg/factor_matrix.h"
+#include "util/status.h"
+
+namespace nomad {
+
+/// How NOMAD routes a token after processing it (paper Sec. 3.1 vs 3.3).
+enum class Routing {
+  kUniform,      // Algorithm 1 line 22: uniform random worker
+  kLeastLoaded,  // Sec. 3.3 dynamic load balancing: prefer shorter queues
+};
+
+/// Options shared by every solver. Solver-specific fields are grouped and
+/// ignored by solvers they do not apply to.
+struct TrainOptions {
+  // -- Model (Table 1) --
+  int rank = 16;         // k: latent dimensionality
+  double lambda = 0.05;  // regularization
+  // Separable loss ℓ(pred, a): "squared" (the paper's setting, fast path),
+  // "absolute", "huber", or "logistic" (ratings in {-1,+1}). Supported by
+  // the SGD-family solvers (nomad, serial_sgd, hogwild); the closed-form
+  // baselines (ALS, CCD++) are squared-loss by construction and reject
+  // other values.
+  std::string loss = "squared";
+
+  // -- Step-size schedule, Eq. (11) (SGD family) --
+  double alpha = 0.012;
+  double beta = 0.05;
+  std::string schedule = "paper-t1.5";
+  bool bold_driver = false;  // DSGD/DSGD++ default to this in the paper
+
+  // -- Parallelism --
+  int num_workers = 4;
+
+  // -- Stopping: whichever of these triggers first ends training. --
+  // Negative values disable a criterion.
+  double max_seconds = -1.0;
+  int64_t max_updates = -1;
+  int max_epochs = 10;  // one epoch ≈ one pass over the training ratings
+
+  // -- Evaluation cadence --
+  // Shared-memory solvers evaluate every `eval_every_updates` updates
+  // (default: once per epoch-equivalent); epoch-based solvers evaluate once
+  // per epoch regardless.
+  int64_t eval_every_updates = -1;
+  bool record_objective = false;  // also log J(W,H) per trace point
+
+  // -- Initialization --
+  uint64_t seed = 1;
+
+  // -- NOMAD-specific --
+  Routing routing = Routing::kUniform;
+  bool partition_by_ratings = true;  // footnote 1: balance by rating count
+  // Footnote 2: make the *user* parameters w_i nomadic and partition the
+  // items instead. Usually worse (m >> n means more tokens to circulate)
+  // but supported for matrices that are wider than tall.
+  bool nomadic_rows = false;
+
+  // -- FPSGD**-specific --
+  int fpsgd_grid_factor = 2;  // p' = grid_factor * p + 1 blocks per side
+
+  // -- CCD++-specific --
+  int ccd_inner_iters = 1;  // inner iterations per rank-one subproblem
+};
+
+/// Everything a training run produces.
+struct TrainResult {
+  FactorMatrix w;
+  FactorMatrix h;
+  Trace trace;
+  int64_t total_updates = 0;
+  double total_seconds = 0.0;
+  std::string solver_name;
+};
+
+/// Interface implemented by NOMAD and by every baseline. Implementations
+/// are stateless between Train calls; all run state lives on the stack of
+/// Train.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Trains a factorization of ds.train, tracing test RMSE on ds.test.
+  /// Returns InvalidArgument for malformed options (rank <= 0 etc.).
+  virtual Result<TrainResult> Train(const Dataset& ds,
+                                    const TrainOptions& options) = 0;
+};
+
+/// Validates option fields common to all solvers.
+Status ValidateCommonOptions(const TrainOptions& options);
+
+/// Initializes W and H with the standard Uniform(0, 1/sqrt(k)) entries
+/// (Sec. 5.1), seeded deterministically from options.seed so every solver
+/// starts from the identical point — as in the paper's experiments.
+void InitFactors(const Dataset& ds, const TrainOptions& options,
+                 FactorMatrix* w, FactorMatrix* h);
+
+}  // namespace nomad
+
+#endif  // NOMAD_SOLVER_SOLVER_H_

@@ -1,0 +1,50 @@
+#ifndef NOMAD_UTIL_ALIGNED_H_
+#define NOMAD_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace nomad {
+
+/// Hardware cache line size assumed throughout the library. The paper (Sec.
+/// 3.5) credits cache-line-aligned per-thread memory for NOMAD's near-linear
+/// multicore scaling; FactorMatrix rounds its row stride up to this.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// std::allocator-compatible allocator returning 64-byte aligned memory.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    const size_t bytes = (n * sizeof(T) + kCacheLineBytes - 1) /
+                         kCacheLineBytes * kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_t /*n*/) { std::free(p); }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// A value padded to occupy a full cache line, preventing false sharing
+/// between adjacent per-worker counters.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheLinePadded {
+  T value{};
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_ALIGNED_H_

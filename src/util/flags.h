@@ -1,0 +1,41 @@
+#ifndef NOMAD_UTIL_FLAGS_H_
+#define NOMAD_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+/// Accepts `--name=value` and `--name value`; bare `--name` sets "true".
+///
+/// Usage:
+///   Flags flags;
+///   NOMAD_CHECK(flags.Parse(argc, argv).ok());
+///   int cores = flags.GetInt("cores", 4);
+class Flags {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed input. Positional
+  /// (non flag) arguments are collected in positional().
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_FLAGS_H_

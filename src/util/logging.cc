@@ -1,0 +1,76 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace nomad {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip directories from the file path for brevity.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LevelTag(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), base, line, msg.c_str());
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >=
+      g_min_level.load(std::memory_order_relaxed)) {
+    Emit(level_, file_, line_, stream_.str());
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line)
+    : file_(file), line_(line) {}
+
+FatalLogMessage::~FatalLogMessage() {
+  Emit(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace nomad

@@ -1,0 +1,89 @@
+#ifndef NOMAD_UTIL_LOGGING_H_
+#define NOMAD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nomad {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp and level tag) on
+/// destruction. Not for direct use; see the NOMAD_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting. Used by NOMAD_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Emits a log line at the given level:
+///   NOMAD_LOG(kInfo) << "loaded " << n << " ratings";
+#define NOMAD_LOG(level)                                               \
+  ::nomad::internal::LogMessage(::nomad::LogLevel::level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+/// Aborts the program with a message if `cond` is false. For programmer
+/// errors (broken invariants), not for recoverable conditions — those should
+/// use Status.
+#define NOMAD_CHECK(cond)                                          \
+  if (!(cond))                                                      \
+  ::nomad::internal::FatalLogMessage(__FILE__, __LINE__).stream()   \
+      << "Check failed: " #cond " "
+
+#define NOMAD_CHECK_EQ(a, b) NOMAD_CHECK((a) == (b))
+#define NOMAD_CHECK_NE(a, b) NOMAD_CHECK((a) != (b))
+#define NOMAD_CHECK_LT(a, b) NOMAD_CHECK((a) < (b))
+#define NOMAD_CHECK_LE(a, b) NOMAD_CHECK((a) <= (b))
+#define NOMAD_CHECK_GT(a, b) NOMAD_CHECK((a) > (b))
+#define NOMAD_CHECK_GE(a, b) NOMAD_CHECK((a) >= (b))
+
+/// Debug-only check; compiles out in NDEBUG builds.
+#ifdef NDEBUG
+#define NOMAD_DCHECK(cond) \
+  if (false) NOMAD_CHECK(cond)
+#else
+#define NOMAD_DCHECK(cond) NOMAD_CHECK(cond)
+#endif
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_LOGGING_H_

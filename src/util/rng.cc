@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nomad {
+
+ZipfSampler::ZipfSampler(int n, double s) : n_(n) {
+  NOMAD_CHECK_GT(n, 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -s);
+    cdf_[static_cast<size_t>(i - 1)] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+int ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace nomad

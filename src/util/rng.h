@@ -1,0 +1,127 @@
+#ifndef NOMAD_UTIL_RNG_H_
+#define NOMAD_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace nomad {
+
+/// SplitMix64: tiny, fast generator used to seed Xoshiro and for cheap
+/// hashing. Reference: Steele, Lea & Flood (2014).
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** — the library's deterministic pseudo-random generator.
+/// Fast (sub-ns per draw), high quality, and — unlike std::mt19937 — has a
+/// specified bit-exact behaviour across platforms, which our tests rely on.
+class Rng {
+ public:
+  /// Seeds all four lanes from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& lane : s_) lane = SplitMix64(&sm);
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's multiply-shift
+  /// rejection-free mapping (bias is negligible for n << 2^64).
+  uint64_t NextBelow(uint64_t n) {
+    // 128-bit multiply-high.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (no cached second value; simple and
+  /// deterministic).
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Returns a random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n) {
+    std::vector<int> p(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) p[static_cast<size_t>(i)] = i;
+    Shuffle(&p);
+    return p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {1, ..., n} using precomputed
+/// cumulative weights (O(log n) per draw). Used by the synthetic dataset
+/// generators to produce power-law user/item degree profiles.
+class ZipfSampler {
+ public:
+  /// `n` support size, `s` exponent (s=1 is the classic Zipf).
+  ZipfSampler(int n, double s);
+
+  /// Draws a value in [1, n].
+  int Sample(Rng* rng) const;
+
+  int n() const { return n_; }
+
+ private:
+  int n_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i+1)
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_RNG_H_

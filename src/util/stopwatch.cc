@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this file exists so the target has a TU and to
+// keep one-source-per-header symmetry.
+#include "util/stopwatch.h"

@@ -1,0 +1,30 @@
+#ifndef NOMAD_UTIL_STOPWATCH_H_
+#define NOMAD_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nomad {
+
+/// Monotonic wall-clock stopwatch used by the shared-memory training drivers
+/// to timestamp convergence traces.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_STOPWATCH_H_

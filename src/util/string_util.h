@@ -1,0 +1,41 @@
+#ifndef NOMAD_UTIL_STRING_UTIL_H_
+#define NOMAD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// Splits `s` on any of the characters in `delims`, dropping empty fields.
+/// "1  2\t3" split on " \t" -> {"1", "2", "3"}.
+std::vector<std::string_view> SplitFields(std::string_view s,
+                                          std::string_view delims = " \t,");
+
+/// Removes leading/trailing whitespace (space, tab, CR, LF).
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a base-10 integer. Rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating point number. Rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count like "1.5 GiB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders a count like "2.74G" / "99.1M".
+std::string HumanCount(double count);
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_STRING_UTIL_H_

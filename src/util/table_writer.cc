@@ -1,0 +1,80 @@
+#include "util/table_writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nomad {
+
+namespace {
+
+// mkdir -p for the directory part of `path`.
+void MakeParentDirs(const std::string& path) {
+  std::string dir;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '/' && i > 0) {
+      dir = path.substr(0, i);
+      ::mkdir(dir.c_str(), 0755);  // EEXIST is fine.
+    }
+  }
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  NOMAD_CHECK(!columns_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  NOMAD_CHECK_EQ(row.size(), columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) fields.push_back(StrFormat("%.6g", v));
+  AddRow(std::move(fields));
+}
+
+void TableWriter::Print(std::FILE* out) const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                   c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(out);
+}
+
+Status TableWriter::WriteTsv(const std::string& path) const {
+  MakeParentDirs(path);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fputs(row[c].c_str(), f);
+      std::fputc(c + 1 == row.size() ? '\n' : '\t', f);
+    }
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace nomad

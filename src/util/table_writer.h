@@ -1,0 +1,48 @@
+#ifndef NOMAD_UTIL_TABLE_WRITER_H_
+#define NOMAD_UTIL_TABLE_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// Writes tabular experiment results as TSV, to stdout and/or to a file.
+/// Every bench binary uses this so the output of
+/// `for b in build/bench/*; do $b; done` is machine-parseable.
+///
+/// Usage:
+///   TableWriter t({"algorithm", "seconds", "rmse"});
+///   t.AddRow({"nomad", "12.5", "0.921"});
+///   t.Print();
+///   t.WriteTsv("bench_out/fig5.tsv");
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many fields as there are columns.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g.
+  void AddNumericRow(const std::vector<double>& row);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Pretty-prints an aligned table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Writes header + rows as TSV. Creates parent directories if needed.
+  Status WriteTsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_TABLE_WRITER_H_

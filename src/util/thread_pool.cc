@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nomad {
+
+ThreadPool::ThreadPool(int num_threads) {
+  NOMAD_CHECK_GT(num_threads, 0);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NOMAD_CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn) {
+  if (end <= begin) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ParallelForShards(pool, begin, end,
+                    [&fn](int /*shard*/, int64_t b, int64_t e) {
+                      for (int64_t i = b; i < e; ++i) fn(i);
+                    });
+}
+
+void ParallelForShards(ThreadPool* pool, int64_t begin, int64_t end,
+                       const std::function<void(int, int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  const int shards =
+      pool == nullptr ? 1 : pool->num_threads();
+  if (shards <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  const int64_t total = end - begin;
+  const int64_t chunk = (total + shards - 1) / shards;
+  for (int s = 0; s < shards; ++s) {
+    const int64_t b = begin + s * chunk;
+    const int64_t e = std::min(end, b + chunk);
+    if (b >= e) break;
+    pool->Submit([&fn, s, b, e] { fn(s, b, e); });
+  }
+  pool->Wait();
+}
+
+}  // namespace nomad

@@ -1,0 +1,58 @@
+#ifndef NOMAD_UTIL_THREAD_POOL_H_
+#define NOMAD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nomad {
+
+/// Fixed-size worker pool used by the data-parallel baselines (ALS, CCD++)
+/// and by ParallelFor. The NOMAD solver manages its own long-lived worker
+/// threads and does not use this pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  int pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `pool`'s threads, splitting the
+/// range into contiguous chunks (one per thread). Blocks until done.
+/// If pool is null or single-threaded the loop runs inline.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn);
+
+/// Runs fn(shard, begin, end) once per shard with the range split evenly.
+/// Useful when per-thread scratch state is needed.
+void ParallelForShards(ThreadPool* pool, int64_t begin, int64_t end,
+                       const std::function<void(int, int64_t, int64_t)>& fn);
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,84 @@
+#include "baselines/ccd_core.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace nomad {
+namespace {
+
+TEST(CcdCoreTest, SweepReducesObjective) {
+  const Dataset ds = MakeTestDataset();
+  FactorMatrix w;
+  FactorMatrix h;
+  TrainOptions options = FastTrainOptions();
+  InitFactors(ds, options, &w, &h);
+  const double before = Objective(ds.train, w, h, 0.05);
+  CcdppEngine engine(ds.train, 0.05, &w, &h, nullptr);
+  engine.SweepEpoch(1);
+  const double after1 = Objective(ds.train, w, h, 0.05);
+  engine.SweepEpoch(1);
+  const double after2 = Objective(ds.train, w, h, 0.05);
+  EXPECT_LT(after1, before);
+  EXPECT_LE(after2, after1 + 1e-9);
+}
+
+TEST(CcdCoreTest, SerialAndPooledTrajectoriesIdentical) {
+  // CCD++ is bulk-synchronous: the pooled sweep must produce bit-identical
+  // factors to the serial sweep.
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 23);
+  TrainOptions options = FastTrainOptions();
+
+  FactorMatrix w_serial;
+  FactorMatrix h_serial;
+  InitFactors(ds, options, &w_serial, &h_serial);
+  CcdppEngine serial(ds.train, 0.05, &w_serial, &h_serial, nullptr);
+
+  FactorMatrix w_pool;
+  FactorMatrix h_pool;
+  InitFactors(ds, options, &w_pool, &h_pool);
+  ThreadPool pool(4);
+  CcdppEngine pooled(ds.train, 0.05, &w_pool, &h_pool, &pool);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    serial.SweepEpoch(2);
+    pooled.SweepEpoch(2);
+  }
+  EXPECT_EQ(w_serial.MaxAbsDiff(w_pool), 0.0);
+  EXPECT_EQ(h_serial.MaxAbsDiff(h_pool), 0.0);
+}
+
+TEST(CcdCoreTest, EpochWorkAccounting) {
+  const Dataset ds = MakeTestDataset(100, 20, 1000, 25);
+  FactorMatrix w;
+  FactorMatrix h;
+  TrainOptions options = FastTrainOptions();
+  InitFactors(ds, options, &w, &h);
+  CcdppEngine engine(ds.train, 0.05, &w, &h, nullptr);
+  EXPECT_EQ(engine.EpochWork(1), ds.train.nnz() * options.rank);
+  EXPECT_EQ(engine.EpochWork(3), ds.train.nnz() * options.rank * 3);
+}
+
+TEST(CcdCoreTest, HandlesEmptyRowsAndColumns) {
+  // Matrix with empty row 2 and empty column 1 must not produce NaNs.
+  auto m = SparseMatrix::Build(
+               4, 3, {{0, 0, 1.0f}, {1, 2, 2.0f}, {3, 0, 1.5f}})
+               .value();
+  Dataset ds;
+  ds.rows = 4;
+  ds.cols = 3;
+  ds.train = m;
+  ds.test = SparseMatrix::Build(4, 3, {}).value();
+  FactorMatrix w;
+  FactorMatrix h;
+  TrainOptions options = FastTrainOptions();
+  InitFactors(ds, options, &w, &h);
+  CcdppEngine engine(ds.train, 0.05, &w, &h, nullptr);
+  engine.SweepEpoch(2);
+  EXPECT_TRUE(std::isfinite(w.FrobeniusNorm()));
+  EXPECT_TRUE(std::isfinite(h.FrobeniusNorm()));
+}
+
+}  // namespace
+}  // namespace nomad

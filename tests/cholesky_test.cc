@@ -1,0 +1,134 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+TEST(CholeskyTest, SolvesIdentity) {
+  std::vector<double> m = {1, 0, 0, 1};
+  std::vector<double> b = {3, -4};
+  ASSERT_TRUE(CholeskySolve(m, &b));
+  EXPECT_DOUBLE_EQ(b[0], 3);
+  EXPECT_DOUBLE_EQ(b[1], -4);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // M = [[4, 2], [2, 3]], b = (10, 9) -> x = (1.5, 2).
+  std::vector<double> m = {4, 2, 2, 3};
+  std::vector<double> b = {10, 9};
+  ASSERT_TRUE(CholeskySolve(m, &b));
+  EXPECT_NEAR(b[0], 1.5, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  std::vector<double> m = {1, 2, 2, 1};  // indefinite
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(CholeskySolve(m, &b));
+  std::vector<double> zero = {0, 0, 0, 0};
+  std::vector<double> b2 = {1, 1};
+  EXPECT_FALSE(CholeskySolve(zero, &b2));
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, RandomSpdSystemsSolve) {
+  const int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k) * 7717);
+  for (int trial = 0; trial < 10; ++trial) {
+    // M = B Bᵀ + I is SPD.
+    std::vector<double> bmat(static_cast<size_t>(k) * k);
+    for (auto& v : bmat) v = rng.Uniform(-1, 1);
+    std::vector<double> m(static_cast<size_t>(k) * k, 0.0);
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        double s = i == j ? 1.0 : 0.0;
+        for (int p = 0; p < k; ++p) {
+          s += bmat[static_cast<size_t>(i) * k + p] *
+               bmat[static_cast<size_t>(j) * k + p];
+        }
+        m[static_cast<size_t>(i) * k + j] = s;
+      }
+    }
+    std::vector<double> x_true(static_cast<size_t>(k));
+    for (auto& v : x_true) v = rng.Uniform(-2, 2);
+    // b = M x_true.
+    std::vector<double> b(static_cast<size_t>(k), 0.0);
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        b[static_cast<size_t>(i)] +=
+            m[static_cast<size_t>(i) * k + j] * x_true[static_cast<size_t>(j)];
+      }
+    }
+    ASSERT_TRUE(CholeskySolve(m, &b));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(b[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)],
+                  1e-8)
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 50));
+
+TEST(NormalEquationsTest, SolvesLeastSquaresExactly) {
+  // Overdetermined LS: rows h1=(1,0), h2=(0,1), h3=(1,1); a=(1, 2, 3.5).
+  // Normal equations: M = [[2,1],[1,2]], rhs = (1+3.5, 2+3.5) = (4.5, 5.5).
+  NormalEquations ne(2);
+  const double h1[] = {1, 0};
+  const double h2[] = {0, 1};
+  const double h3[] = {1, 1};
+  ne.Add(h1, 1.0);
+  ne.Add(h2, 2.0);
+  ne.Add(h3, 3.5);
+  double x[2];
+  ASSERT_TRUE(ne.Solve(0.0, x));
+  // Solve [[2,1],[1,2]] x = (4.5,5.5): x = (7/6, 13/6).
+  EXPECT_NEAR(x[0], 7.0 / 6, 1e-12);
+  EXPECT_NEAR(x[1], 13.0 / 6, 1e-12);
+}
+
+TEST(NormalEquationsTest, RidgeShrinksSolution) {
+  NormalEquations ne(2);
+  const double h[] = {1, 1};
+  ne.Add(h, 2.0);
+  double x_small[2];
+  double x_large[2];
+  ASSERT_TRUE(ne.Solve(0.1, x_small));
+  ne.Reset();
+  ne.Add(h, 2.0);
+  ASSERT_TRUE(ne.Solve(10.0, x_large));
+  EXPECT_GT(std::fabs(x_small[0]), std::fabs(x_large[0]));
+}
+
+TEST(NormalEquationsTest, ResetClearsState) {
+  NormalEquations ne(2);
+  const double e1[] = {1, 0};
+  const double e2[] = {0, 1};
+  ne.Add(e1, 5.0);
+  ne.Add(e2, 5.0);
+  ne.Reset();
+  ne.Add(e1, 1.0);
+  ne.Add(e2, 2.0);
+  double x[2];
+  ASSERT_TRUE(ne.Solve(0.0, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(NormalEquationsTest, RidgeAloneIsSolvableWithNoData) {
+  NormalEquations ne(3);
+  double x[3];
+  ASSERT_TRUE(ne.Solve(1.0, x));
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,131 @@
+#include "linalg/dense_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+TEST(DenseOpsTest, Dot) {
+  const double a[] = {1, 2, 3};
+  const double b[] = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(Dot(a, b, 0), 0.0);
+}
+
+TEST(DenseOpsTest, Axpy) {
+  const double x[] = {1, 2};
+  double y[] = {10, 20};
+  Axpy(3.0, x, y, 2);
+  EXPECT_DOUBLE_EQ(y[0], 13);
+  EXPECT_DOUBLE_EQ(y[1], 26);
+}
+
+TEST(DenseOpsTest, ScaleAndCopy) {
+  double x[] = {2, -4};
+  Scale(0.5, x, 2);
+  EXPECT_DOUBLE_EQ(x[0], 1);
+  EXPECT_DOUBLE_EQ(x[1], -2);
+  double y[2];
+  CopyVec(x, y, 2);
+  EXPECT_DOUBLE_EQ(y[0], 1);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+}
+
+TEST(DenseOpsTest, SquaredNorm) {
+  const double a[] = {3, 4};
+  EXPECT_DOUBLE_EQ(SquaredNorm(a, 2), 25);
+}
+
+TEST(SgdUpdatePairTest, MatchesManualComputation) {
+  // k=2, w=(1, 0), h=(0.5, 0.5), rating=2, step=0.1, lambda=0.2.
+  double w[] = {1.0, 0.0};
+  double h[] = {0.5, 0.5};
+  const double err = SgdUpdatePair(2.0, 0.1, 0.2, w, h, 2);
+  // pred = 0.5; e = 1.5.
+  EXPECT_DOUBLE_EQ(err, 1.5);
+  // w' = w + 0.1*(1.5*h − 0.2*w) = (1*0.98 + 0.15*0.5, 0 + 0.075)
+  EXPECT_DOUBLE_EQ(w[0], 0.98 * 1.0 + 0.15 * 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.075);
+  // h' uses OLD w: h + 0.1*(1.5*w_old − 0.2*h)
+  EXPECT_DOUBLE_EQ(h[0], 0.98 * 0.5 + 0.15 * 1.0);
+  EXPECT_DOUBLE_EQ(h[1], 0.98 * 0.5);
+}
+
+TEST(SgdUpdatePairTest, ZeroStepIsIdentity) {
+  double w[] = {0.3, -0.2, 0.7};
+  double h[] = {0.1, 0.4, -0.5};
+  const double w0[] = {0.3, -0.2, 0.7};
+  const double h0[] = {0.1, 0.4, -0.5};
+  SgdUpdatePair(1.0, 0.0, 0.5, w, h, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(w[i], w0[i]);
+    EXPECT_DOUBLE_EQ(h[i], h0[i]);
+  }
+}
+
+// Property: the update moves parameters along the negative gradient of the
+// instantaneous loss f = 1/2 (a − ⟨w,h⟩)² + λ/2 (‖w‖² + ‖h‖²), verified
+// against central finite differences.
+class SgdGradientPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SgdGradientPropertyTest, StepMatchesNumericalGradient) {
+  Rng rng(GetParam());
+  const int k = 2 + static_cast<int>(rng.NextBelow(6));
+  std::vector<double> w(static_cast<size_t>(k));
+  std::vector<double> h(static_cast<size_t>(k));
+  for (auto& v : w) v = rng.Uniform(-1, 1);
+  for (auto& v : h) v = rng.Uniform(-1, 1);
+  const double rating = rng.Uniform(-2, 2);
+  const double lambda = rng.Uniform(0, 0.5);
+  const double step = 1e-4;
+
+  const auto loss = [&](const std::vector<double>& wv,
+                        const std::vector<double>& hv) {
+    const double e = rating - Dot(wv.data(), hv.data(), k);
+    return 0.5 * e * e +
+           0.5 * lambda *
+               (SquaredNorm(wv.data(), k) + SquaredNorm(hv.data(), k));
+  };
+
+  // Numerical gradient at the starting point.
+  std::vector<double> grad_w(static_cast<size_t>(k));
+  std::vector<double> grad_h(static_cast<size_t>(k));
+  const double eps = 1e-6;
+  for (int i = 0; i < k; ++i) {
+    auto wp = w;
+    auto wm = w;
+    wp[static_cast<size_t>(i)] += eps;
+    wm[static_cast<size_t>(i)] -= eps;
+    grad_w[static_cast<size_t>(i)] = (loss(wp, h) - loss(wm, h)) / (2 * eps);
+    auto hp = h;
+    auto hm = h;
+    hp[static_cast<size_t>(i)] += eps;
+    hm[static_cast<size_t>(i)] -= eps;
+    grad_h[static_cast<size_t>(i)] = (loss(w, hp) - loss(w, hm)) / (2 * eps);
+  }
+
+  auto w_new = w;
+  auto h_new = h;
+  SgdUpdatePair(rating, step, lambda, w_new.data(), h_new.data(), k);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_NEAR(w_new[static_cast<size_t>(i)],
+                w[static_cast<size_t>(i)] -
+                    step * grad_w[static_cast<size_t>(i)],
+                1e-7);
+    EXPECT_NEAR(h_new[static_cast<size_t>(i)],
+                h[static_cast<size_t>(i)] -
+                    step * grad_h[static_cast<size_t>(i)],
+                1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, SgdGradientPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace nomad

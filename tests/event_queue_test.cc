@@ -1,0 +1,90 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> fired;
+  eq.Schedule(3.0, [&](SimTime) { fired.push_back(3); });
+  eq.Schedule(1.0, [&](SimTime) { fired.push_back(1); });
+  eq.Schedule(2.0, [&](SimTime) { fired.push_back(2); });
+  while (eq.RunOne()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue eq;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    eq.Schedule(1.0, [&fired, i](SimTime) { fired.push_back(i); });
+  }
+  while (eq.RunOne()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMoreEvents) {
+  EventQueue eq;
+  std::vector<double> times;
+  std::function<void(SimTime)> tick = [&](SimTime at) {
+    times.push_back(at);
+    if (times.size() < 4) eq.Schedule(at + 0.5, tick);
+  };
+  eq.Schedule(1.0, tick);
+  while (eq.RunOne()) {
+  }
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0, 2.5}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue eq;
+  std::vector<int> fired;
+  eq.Schedule(1.0, [&](SimTime) { fired.push_back(1); });
+  eq.Schedule(2.0, [&](SimTime) { fired.push_back(2); });
+  eq.Schedule(5.0, [&](SimTime) { fired.push_back(5); });
+  eq.RunUntil(3.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(eq.empty());
+  eq.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventQueueTest, NowAdvancesMonotonically) {
+  EventQueue eq;
+  double last = -1.0;
+  for (double t : {0.4, 0.1, 0.9, 0.5}) {
+    eq.Schedule(t, [&](SimTime at) {
+      EXPECT_GE(at, last);
+      last = at;
+    });
+  }
+  while (eq.RunOne()) {
+  }
+  EXPECT_DOUBLE_EQ(last, 0.9);
+}
+
+TEST(EventQueueTest, EmptyQueueRunOneReturnsFalse) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.RunOne());
+  EXPECT_TRUE(eq.empty());
+  EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueueTest, SizeReflectsPending) {
+  EventQueue eq;
+  eq.Schedule(1.0, [](SimTime) {});
+  eq.Schedule(2.0, [](SimTime) {});
+  EXPECT_EQ(eq.size(), 2u);
+  eq.RunOne();
+  EXPECT_EQ(eq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,106 @@
+#include "linalg/factor_matrix.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(FactorMatrixTest, ShapeAndZeroInit) {
+  FactorMatrix m(10, 5);
+  EXPECT_EQ(m.rows(), 10);
+  EXPECT_EQ(m.cols(), 5);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(m.At(i, j), 0.0);
+  }
+}
+
+TEST(FactorMatrixTest, RowsAreCacheLineAligned) {
+  FactorMatrix m(7, 5);
+  EXPECT_EQ(m.stride() % 8, 0);  // 8 doubles per 64-byte line
+  EXPECT_GE(m.stride(), 5);
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(i)) % kCacheLineBytes, 0u)
+        << "row " << i;
+  }
+}
+
+TEST(FactorMatrixTest, StrideEqualsColsWhenAlreadyAligned) {
+  FactorMatrix m(3, 16);
+  EXPECT_EQ(m.stride(), 16);
+}
+
+TEST(FactorMatrixTest, InitUniformRange) {
+  FactorMatrix m(100, 25);
+  Rng rng(3);
+  m.InitUniform(&rng);
+  const double hi = 1.0 / 5.0;  // 1/sqrt(25)
+  double max_seen = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    for (int j = 0; j < 25; ++j) {
+      EXPECT_GE(m.At(i, j), 0.0);
+      EXPECT_LT(m.At(i, j), hi);
+      max_seen = std::max(max_seen, m.At(i, j));
+    }
+  }
+  EXPECT_GT(max_seen, hi * 0.8);  // actually fills the range
+}
+
+TEST(FactorMatrixTest, InitGaussianMoments) {
+  FactorMatrix m(200, 50);
+  Rng rng(5);
+  m.InitGaussian(&rng, 0.5);
+  double sum = 0;
+  double sq = 0;
+  const double n = 200 * 50;
+  for (int64_t i = 0; i < 200; ++i) {
+    for (int j = 0; j < 50; ++j) {
+      sum += m.At(i, j);
+      sq += m.At(i, j) * m.At(i, j);
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 0.25, 0.02);
+}
+
+TEST(FactorMatrixTest, FrobeniusNorm) {
+  FactorMatrix m(2, 2);
+  m.At(0, 0) = 3.0;
+  m.At(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(FactorMatrixTest, MaxAbsDiffAndAlmostEquals) {
+  FactorMatrix a(3, 4);
+  FactorMatrix b(3, 4);
+  a.At(2, 3) = 1.0;
+  b.At(2, 3) = 1.5;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+  EXPECT_TRUE(a.AlmostEquals(b, 0.5));
+  EXPECT_FALSE(a.AlmostEquals(b, 0.4));
+}
+
+TEST(FactorMatrixTest, AlmostEqualsRejectsShapeMismatch) {
+  FactorMatrix a(2, 3);
+  FactorMatrix b(3, 2);
+  EXPECT_FALSE(a.AlmostEquals(b, 1e9));
+}
+
+TEST(FactorMatrixTest, SetZeroClears) {
+  FactorMatrix m(4, 4);
+  Rng rng(7);
+  m.InitUniform(&rng);
+  m.SetZero();
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(FactorMatrixTest, ZeroRowsAllowed) {
+  FactorMatrix m(0, 8);
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,66 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  Flags f;
+  EXPECT_TRUE(
+      f.Parse(static_cast<int>(args.size()),
+              const_cast<char**>(const_cast<const char**>(args.data())))
+          .ok());
+  return f;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseArgs({"--cores=8", "--lambda=0.05"});
+  EXPECT_EQ(f.GetInt("cores", 0), 8);
+  EXPECT_DOUBLE_EQ(f.GetDouble("lambda", 0), 0.05);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = ParseArgs({"--dataset", "netflix", "--machines", "32"});
+  EXPECT_EQ(f.GetString("dataset"), "netflix");
+  EXPECT_EQ(f.GetInt("machines", 0), 32);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = ParseArgs({"--verbose", "--out=x.tsv"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagsTest, Defaults) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("cores", 4), 4);
+  EXPECT_DOUBLE_EQ(f.GetDouble("lambda", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("name", "d"), "d");
+  EXPECT_FALSE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.Has("anything"));
+}
+
+TEST(FlagsTest, Positional) {
+  Flags f = ParseArgs({"input.txt", "--k=10", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags f = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, MalformedNumberFallsBackToDefault) {
+  Flags f = ParseArgs({"--cores=abc"});
+  EXPECT_EQ(f.GetInt("cores", 3), 3);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,114 @@
+#include "data/loader.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(ParseRatingsTextTest, BasicZeroBased) {
+  auto r = ParseRatingsText("0 1 4.5\n2 0 3\n", /*one_based=*/false);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0], (Rating{0, 1, 4.5f}));
+  EXPECT_EQ(r.value()[1], (Rating{2, 0, 3.0f}));
+}
+
+TEST(ParseRatingsTextTest, OneBasedShifts) {
+  auto r = ParseRatingsText("1 1 2\n", /*one_based=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], (Rating{0, 0, 2.0f}));
+}
+
+TEST(ParseRatingsTextTest, CommentsAndBlanksSkipped) {
+  auto r = ParseRatingsText("# header\n\n% matrix-market style\n0 0 1\n",
+                            false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+}
+
+TEST(ParseRatingsTextTest, CommaAndDoubleColonSeparators) {
+  auto csv = ParseRatingsText("3,4,2.5\n", false);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv.value()[0], (Rating{3, 4, 2.5f}));
+  // MovieLens ::-separated format.
+  auto ml = ParseRatingsText("1::2::5::978300760\n", true);
+  ASSERT_TRUE(ml.ok());
+  EXPECT_EQ(ml.value()[0], (Rating{0, 1, 5.0f}));
+}
+
+TEST(ParseRatingsTextTest, TimestampColumnIgnored) {
+  auto r = ParseRatingsText("0 1 4.0 881250949\n", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], (Rating{0, 1, 4.0f}));
+}
+
+TEST(ParseRatingsTextTest, MalformedLines) {
+  EXPECT_FALSE(ParseRatingsText("0 1\n", false).ok());
+  EXPECT_FALSE(ParseRatingsText("a b c\n", false).ok());
+  EXPECT_FALSE(ParseRatingsText("0 1 x\n", false).ok());
+  // One-based input containing a zero index underflows.
+  EXPECT_FALSE(ParseRatingsText("0 1 2\n", true).ok());
+}
+
+TEST(LoadRatingsFileTest, LoadsAndSizes) {
+  const std::string path = ::testing::TempDir() + "/ratings.txt";
+  {
+    std::ofstream out(path);
+    out << "# test file\n0 0 1\n2 3 4.5\n1 1 2\n";
+  }
+  auto m = LoadRatingsFile(path, false);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().rows(), 3);
+  EXPECT_EQ(m.value().cols(), 4);
+  EXPECT_EQ(m.value().nnz(), 3);
+}
+
+TEST(LoadRatingsFileTest, MissingFileIsIOError) {
+  auto m = LoadRatingsFile("/nonexistent/no.txt", false);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryFormatTest, RoundTripsExactly) {
+  auto m = SparseMatrix::Build(
+               4, 3, {{0, 0, 1.25f}, {1, 2, -3.5f}, {3, 1, 0.0f}})
+               .value();
+  const std::string path = ::testing::TempDir() + "/m.bin";
+  ASSERT_TRUE(SaveBinary(m, path).ok());
+  auto back = LoadBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rows(), 4);
+  EXPECT_EQ(back.value().cols(), 3);
+  EXPECT_EQ(back.value().ToCoo(), m.ToCoo());
+}
+
+TEST(BinaryFormatTest, RejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a nomad binary file, padded to header size.....";
+  }
+  auto back = LoadBinary(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryFormatTest, RejectsTruncated) {
+  auto m = SparseMatrix::Build(2, 2, {{0, 0, 1.0f}, {1, 1, 2.0f}}).value();
+  const std::string path = ::testing::TempDir() + "/trunc.bin";
+  ASSERT_TRUE(SaveBinary(m, path).ok());
+  // Chop the last record.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<long>(content.size() - 6));
+  out.close();
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+}  // namespace
+}  // namespace nomad

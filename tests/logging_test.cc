@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/aligned.h"
+
+namespace nomad {
+namespace {
+
+TEST(LoggingTest, LevelFilterRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittingDoesNotCrash) {
+  NOMAD_LOG(kDebug) << "debug " << 1;
+  NOMAD_LOG(kInfo) << "info " << 2.5;
+  NOMAD_LOG(kWarning) << "warning " << "three";
+  NOMAD_LOG(kError) << "error";
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(NOMAD_CHECK(1 == 2) << "impossible", "Check failed: 1 == 2");
+  EXPECT_DEATH(NOMAD_CHECK_EQ(3, 4), "Check failed");
+  EXPECT_DEATH(NOMAD_CHECK_LT(5, 5), "Check failed");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  NOMAD_CHECK(true);
+  NOMAD_CHECK_EQ(1, 1);
+  NOMAD_CHECK_NE(1, 2);
+  NOMAD_CHECK_LE(1, 1);
+  NOMAD_CHECK_GE(2, 1);
+  NOMAD_CHECK_GT(2, 1);
+}
+
+TEST(AlignedTest, AllocatorReturnsCacheAlignedMemory) {
+  CacheAlignedAllocator<double> alloc;
+  for (size_t n : {1u, 7u, 64u, 1000u}) {
+    double* p = alloc.allocate(n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineBytes, 0u);
+    alloc.deallocate(p, n);
+  }
+}
+
+TEST(AlignedTest, PaddedValueOccupiesFullLines) {
+  static_assert(sizeof(CacheLinePadded<int>) == kCacheLineBytes);
+  static_assert(alignof(CacheLinePadded<int>) == kCacheLineBytes);
+  CacheLinePadded<int> a[2];
+  const auto delta = reinterpret_cast<uintptr_t>(&a[1]) -
+                     reinterpret_cast<uintptr_t>(&a[0]);
+  EXPECT_EQ(delta, kCacheLineBytes);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,144 @@
+#include "solver/loss.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_ops.h"
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+TEST(MakeLossTest, BuildsByName) {
+  for (const char* name : {"squared", "absolute", "huber", "logistic"}) {
+    auto loss = MakeLoss(name);
+    ASSERT_TRUE(loss.ok()) << name;
+    EXPECT_EQ(loss.value()->Name(), name);
+  }
+  EXPECT_FALSE(MakeLoss("hinge^3").ok());
+}
+
+TEST(SquaredLossTest, ValueAndGradient) {
+  SquaredLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Value(3.0, 5.0), 2.0);   // ½(5-3)²
+  EXPECT_DOUBLE_EQ(loss.Gradient(3.0, 5.0), -2.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(5.0, 5.0), 0.0);
+}
+
+TEST(AbsoluteLossTest, ValueAndGradient) {
+  AbsoluteLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Value(1.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(1.0, 4.0), -1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(4.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(2.0, 2.0), 0.0);
+}
+
+TEST(HuberLossTest, QuadraticCoreLinearTails) {
+  HuberLoss loss(1.0);
+  // |e| <= delta: quadratic.
+  EXPECT_DOUBLE_EQ(loss.Value(0.0, 0.5), 0.125);
+  EXPECT_DOUBLE_EQ(loss.Gradient(0.0, 0.5), -0.5);
+  // |e| > delta: linear with clipped gradient.
+  EXPECT_DOUBLE_EQ(loss.Value(0.0, 3.0), 1.0 * (3.0 - 0.5));
+  EXPECT_DOUBLE_EQ(loss.Gradient(0.0, 3.0), -1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(3.0, 0.0), 1.0);
+}
+
+TEST(LogisticLossTest, ValueAndGradient) {
+  LogisticLoss loss;
+  // pred 0: loss = log 2 for either label; gradient = ∓0.5.
+  EXPECT_NEAR(loss.Value(0.0, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(loss.Value(0.0, -1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(loss.Gradient(0.0, 1.0), -0.5, 1e-12);
+  EXPECT_NEAR(loss.Gradient(0.0, -1.0), 0.5, 1e-12);
+  // Confident correct prediction: near-zero loss and gradient.
+  EXPECT_LT(loss.Value(10.0, 1.0), 1e-4);
+  EXPECT_GT(loss.Gradient(10.0, 1.0), -1e-4);
+}
+
+TEST(LogisticLossTest, NumericallyStableAtExtremes) {
+  LogisticLoss loss;
+  EXPECT_TRUE(std::isfinite(loss.Value(1000.0, -1.0)));
+  EXPECT_NEAR(loss.Value(1000.0, -1.0), 1000.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(loss.Gradient(-1000.0, 1.0)));
+  EXPECT_NEAR(loss.Gradient(-1000.0, 1.0), -1.0, 1e-12);
+}
+
+// Property: Gradient is the derivative of Value, for every loss, at random
+// differentiable points.
+class LossGradientTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LossGradientTest, GradientMatchesFiniteDifference) {
+  auto loss = MakeLoss(GetParam()).value();
+  Rng rng(77);
+  const double eps = 1e-6;
+  for (int trial = 0; trial < 50; ++trial) {
+    const double rating = std::string(GetParam()) == "logistic"
+                              ? (rng.NextDouble() < 0.5 ? -1.0 : 1.0)
+                              : rng.Uniform(-2, 2);
+    double pred = rng.Uniform(-2, 2);
+    // Step away from the absolute loss's kink.
+    if (std::fabs(pred - rating) < 0.01) pred += 0.05;
+    const double fd =
+        (loss->Value(pred + eps, rating) - loss->Value(pred - eps, rating)) /
+        (2 * eps);
+    EXPECT_NEAR(loss->Gradient(pred, rating), fd, 1e-5)
+        << GetParam() << " at pred=" << pred << " rating=" << rating;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradientTest,
+                         ::testing::Values("squared", "absolute", "huber",
+                                           "logistic"));
+
+TEST(SgdUpdatePairLossTest, SquaredMatchesSpecializedKernel) {
+  Rng rng(5);
+  SquaredLoss loss;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int k = 4;
+    std::vector<double> w1(k), h1(k);
+    for (auto& v : w1) v = rng.Uniform(-1, 1);
+    for (auto& v : h1) v = rng.Uniform(-1, 1);
+    auto w2 = w1;
+    auto h2 = h1;
+    const double rating = rng.Uniform(-2, 2);
+    SgdUpdatePair(rating, 0.01, 0.1, w1.data(), h1.data(), k);
+    SgdUpdatePairLoss(loss, rating, 0.01, 0.1, w2.data(), h2.data(), k);
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(w1[static_cast<size_t>(i)], w2[static_cast<size_t>(i)],
+                  1e-15);
+      EXPECT_NEAR(h1[static_cast<size_t>(i)], h2[static_cast<size_t>(i)],
+                  1e-15);
+    }
+  }
+}
+
+TEST(SgdUpdatePairLossTest, DescendsTheLoss) {
+  // A small step along the update must not increase instantaneous loss +
+  // regularizer (for smooth losses at reasonable step sizes).
+  Rng rng(9);
+  for (const char* name : {"squared", "huber", "logistic"}) {
+    auto loss = MakeLoss(name).value();
+    const int k = 6;
+    std::vector<double> w(k), h(k);
+    for (auto& v : w) v = rng.Uniform(-0.5, 0.5);
+    for (auto& v : h) v = rng.Uniform(-0.5, 0.5);
+    const double rating =
+        std::string(name) == "logistic" ? 1.0 : rng.Uniform(-1, 1);
+    const double lambda = 0.01;
+    const auto total = [&](const std::vector<double>& wv,
+                           const std::vector<double>& hv) {
+      return loss->Value(Dot(wv.data(), hv.data(), k), rating) +
+             0.5 * lambda *
+                 (SquaredNorm(wv.data(), k) + SquaredNorm(hv.data(), k));
+    };
+    const double before = total(w, h);
+    SgdUpdatePairLoss(*loss, rating, 1e-3, lambda, w.data(), h.data(), k);
+    EXPECT_LE(total(w, h), before + 1e-9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,117 @@
+#include "solver/model.h"
+
+#include <gtest/gtest.h>
+
+#include "nomad/nomad_solver.h"
+#include "test_util.h"
+
+namespace nomad {
+namespace {
+
+Model SmallModel() {
+  Model m;
+  m.w = FactorMatrix(3, 2);
+  m.h = FactorMatrix(4, 2);
+  // User 0 = (1, 0), user 1 = (0, 1), user 2 = (1, 1).
+  m.w.At(0, 0) = 1;
+  m.w.At(1, 1) = 1;
+  m.w.At(2, 0) = 1;
+  m.w.At(2, 1) = 1;
+  // Items scored so user 0's ranking is 3 > 2 > 1 > 0.
+  for (int32_t j = 0; j < 4; ++j) {
+    m.h.At(j, 0) = j;
+    m.h.At(j, 1) = -j;
+  }
+  return m;
+}
+
+TEST(ModelTest, Predict) {
+  const Model m = SmallModel();
+  EXPECT_DOUBLE_EQ(m.Predict(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(m.Predict(1, 3), -3.0);
+  EXPECT_DOUBLE_EQ(m.Predict(2, 2), 0.0);
+}
+
+TEST(TopNTest, RanksAndTruncates) {
+  const Model m = SmallModel();
+  const auto top2 = TopN(m, 0, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], (ScoredItem{3, 3.0}));
+  EXPECT_EQ(top2[1], (ScoredItem{2, 2.0}));
+}
+
+TEST(TopNTest, ExcludesSeenItems) {
+  const Model m = SmallModel();
+  const auto top = TopN(m, 0, 2, /*exclude=*/{3});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 2);
+  EXPECT_EQ(top[1].item, 1);
+}
+
+TEST(TopNTest, NLargerThanCatalog) {
+  const Model m = SmallModel();
+  const auto top = TopN(m, 0, 100);
+  EXPECT_EQ(top.size(), 4u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(TopNTest, TiesBreakTowardLowerItemId) {
+  Model m;
+  m.w = FactorMatrix(1, 1);
+  m.h = FactorMatrix(5, 1);
+  m.w.At(0, 0) = 1.0;  // all items score 0 except item 4
+  m.h.At(4, 0) = -1.0;
+  const auto top = TopN(m, 0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 0);
+  EXPECT_EQ(top[1].item, 1);
+  EXPECT_EQ(top[2].item, 2);
+}
+
+TEST(ModelPersistenceTest, RoundTripsBitExact) {
+  const Dataset ds = MakeTestDataset(100, 20, 1000, 81);
+  NomadSolver solver;
+  auto result = solver.Train(ds, FastTrainOptions(3)).value();
+  Model model{std::move(result.w), std::move(result.h)};
+  const std::string path = ::testing::TempDir() + "/model.nomad";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().rank(), model.rank());
+  EXPECT_EQ(loaded.value().w.MaxAbsDiff(model.w), 0.0);
+  EXPECT_EQ(loaded.value().h.MaxAbsDiff(model.h), 0.0);
+}
+
+TEST(ModelPersistenceTest, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/not_a_model.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a model at all, just filler bytes for the header read",
+             f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadModel(path).ok());
+  EXPECT_FALSE(LoadModel("/does/not/exist").ok());
+}
+
+TEST(MaeTest, HandComputed) {
+  const Model m = SmallModel();
+  // Ratings: (0,3)=5 (pred 3, err 2), (1,0)=1 (pred 0, err 1).
+  auto ratings =
+      SparseMatrix::Build(3, 4, {{0, 3, 5.0f}, {1, 0, 1.0f}}).value();
+  EXPECT_DOUBLE_EQ(Mae(ratings, m), 1.5);
+  auto empty = SparseMatrix::Build(3, 4, {}).value();
+  EXPECT_DOUBLE_EQ(Mae(empty, m), 0.0);
+}
+
+TEST(SignAccuracyTest, CountsMatchingSigns) {
+  const Model m = SmallModel();
+  // (0,3): pred +3 vs +1 ✓; (1,3): pred -3 vs +1 ✗; (1,2): pred -2 vs -1 ✓.
+  auto ratings = SparseMatrix::Build(
+                     3, 4, {{0, 3, 1.0f}, {1, 3, 1.0f}, {1, 2, -1.0f}})
+                     .value();
+  EXPECT_NEAR(SignAccuracy(ratings, m), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,58 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(NetworkModelTest, TransitIsLatencyPlusBandwidth) {
+  NetworkModel n;
+  n.inter_latency = 1e-3;
+  n.bandwidth = 1e6;
+  n.per_message_overhead = 0;
+  EXPECT_DOUBLE_EQ(n.TransitSeconds(1000), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(n.OccupancySeconds(1000), 1e-3);
+}
+
+TEST(NetworkModelTest, OverheadCharged) {
+  NetworkModel n;
+  n.inter_latency = 0;
+  n.bandwidth = 100;
+  n.per_message_overhead = 50;
+  EXPECT_DOUBLE_EQ(n.TransitSeconds(50), 1.0);
+}
+
+TEST(NetworkPresetsTest, CommoditySlowerThanHpc) {
+  const NetworkModel hpc = HpcNetwork();
+  const NetworkModel commodity = CommodityNetwork();
+  EXPECT_GT(commodity.inter_latency, hpc.inter_latency);
+  EXPECT_LT(commodity.bandwidth, hpc.bandwidth);
+  // A 100-token k=100 batch must cost much more on commodity.
+  const double bytes = TokenBytes(100) * 100;
+  EXPECT_GT(commodity.TransitSeconds(bytes), 10 * hpc.TransitSeconds(bytes));
+}
+
+TEST(ClusterConfigTest, WorkersAndUpdateCost) {
+  ClusterConfig c;
+  c.machines = 4;
+  c.compute_cores = 2;
+  c.update_seconds_per_dim = 1e-9;
+  EXPECT_EQ(c.total_workers(), 8);
+  EXPECT_DOUBLE_EQ(c.UpdateSeconds(1, 100), 1e-7);
+}
+
+TEST(ClusterConfigTest, StragglerSlowsMachineZeroOnly) {
+  ClusterConfig c;
+  c.straggler_slowdown = 3.0;
+  c.update_seconds_per_dim = 1e-9;
+  EXPECT_DOUBLE_EQ(c.UpdateSeconds(0, 10), 3e-8);
+  EXPECT_DOUBLE_EQ(c.UpdateSeconds(1, 10), 1e-8);
+}
+
+TEST(TokenBytesTest, IndexPlusKDoubles) {
+  EXPECT_DOUBLE_EQ(TokenBytes(100), 8.0 + 800.0);
+  EXPECT_DOUBLE_EQ(TokenBytes(1), 16.0);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,138 @@
+#include "nomad/nomad_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nomad {
+namespace {
+
+TEST(NomadSolverTest, ConvergesOnPlantedData) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  const TrainOptions options = FastTrainOptions();
+  const double initial = InitialRmse(ds, options);
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TrainResult& r = result.value();
+  EXPECT_EQ(r.solver_name, "nomad");
+  EXPECT_LT(r.trace.FinalRmse(), 0.45);
+  EXPECT_LT(r.trace.FinalRmse(), 0.6 * initial);
+  EXPECT_GT(r.total_updates, 0);
+}
+
+TEST(NomadSolverTest, SingleWorkerWorks) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/8, /*workers=*/1);
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().trace.FinalRmse(), 0.6);
+}
+
+TEST(NomadSolverTest, MoreWorkersThanItems) {
+  // 6 items, 8 workers: some workers must idle without deadlock.
+  const Dataset ds = MakeTestDataset(100, 6, 500, 21);
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/5, /*workers=*/8);
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().total_updates, 0);
+}
+
+TEST(NomadSolverTest, LeastLoadedRoutingConverges) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.routing = Routing::kLeastLoaded;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().trace.FinalRmse(), 0.45);
+}
+
+TEST(NomadSolverTest, PartitionByRowsAlsoWorks) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/8);
+  options.partition_by_ratings = false;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().trace.FinalRmse(), 0.6);
+}
+
+TEST(NomadSolverTest, StopsByUpdateBudget) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.max_epochs = -1;
+  options.max_updates = 5000;
+  options.eval_every_updates = 2000;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().total_updates, 5000);
+  // Overshoot is bounded by roughly one eval window plus in-flight tokens.
+  EXPECT_LT(result.value().total_updates, 5000 + ds.train.nnz());
+}
+
+TEST(NomadSolverTest, TraceIsMonotoneInTimeAndUpdates) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/6);
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  const auto& pts = result.value().trace.points();
+  ASSERT_GE(pts.size(), 2u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].seconds, pts[i - 1].seconds);
+    EXPECT_GE(pts[i].updates, pts[i - 1].updates);
+  }
+}
+
+TEST(NomadSolverTest, RecordsObjectiveWhenAsked) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/3);
+  options.record_objective = true;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& pt : result.value().trace.points()) {
+    EXPECT_GT(pt.objective, 0.0);
+  }
+}
+
+TEST(NomadSolverTest, RejectsBadOptions) {
+  const Dataset ds = MakeTestDataset(50, 10, 200, 3);
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.rank = 0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+  options = FastTrainOptions();
+  options.num_workers = 0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+  options = FastTrainOptions();
+  options.lambda = -1.0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+  options = FastTrainOptions();
+  options.max_epochs = -1;  // no stopping criterion at all
+  options.max_updates = -1;
+  options.max_seconds = -1;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+  options = FastTrainOptions();
+  options.schedule = "nope";
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+}
+
+TEST(NomadSolverTest, StopsByWallClock) {
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.max_epochs = -1;
+  options.max_seconds = 0.2;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  // Generous bound: the run must terminate promptly (seconds, not minutes).
+  EXPECT_LT(result.value().total_seconds, 5.0);
+}
+
+}  // namespace
+}  // namespace nomad

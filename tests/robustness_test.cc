@@ -1,0 +1,185 @@
+// Failure-injection and degenerate-input robustness across the stack:
+// extreme network conditions, pathological data shapes, and adversarial
+// option combinations. Every case must either train sensibly or fail with
+// a clean Status — never hang, crash, or emit NaNs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/splitter.h"
+#include "sim/cluster.h"
+#include "solver/registry.h"
+#include "test_util.h"
+
+namespace nomad {
+namespace {
+
+// ---- Degenerate datasets through every shared-memory solver ----
+
+Dataset SingleRatingDataset() {
+  Dataset ds;
+  ds.name = "single";
+  ds.rows = 1;
+  ds.cols = 1;
+  ds.train = SparseMatrix::Build(1, 1, {{0, 0, 3.0f}}).value();
+  ds.test = SparseMatrix::Build(1, 1, {}).value();
+  return ds;
+}
+
+Dataset EmptyTrainDataset() {
+  Dataset ds;
+  ds.name = "empty";
+  ds.rows = 8;
+  ds.cols = 8;
+  ds.train = SparseMatrix::Build(8, 8, {}).value();
+  ds.test = SparseMatrix::Build(8, 8, {{1, 1, 2.0f}}).value();
+  return ds;
+}
+
+Dataset SingleHotColumnDataset() {
+  // Every rating in one column: NOMAD has exactly one useful token.
+  std::vector<Rating> r;
+  for (int32_t i = 0; i < 50; ++i) r.push_back(Rating{i, 3, 1.0f});
+  Dataset ds;
+  ds.name = "hot-column";
+  ds.rows = 50;
+  ds.cols = 8;
+  ds.train = SparseMatrix::Build(50, 8, std::move(r)).value();
+  ds.test = SparseMatrix::Build(50, 8, {{0, 3, 1.0f}}).value();
+  return ds;
+}
+
+class DegenerateDataTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DegenerateDataTest, SingleRating) {
+  auto solver = MakeSolver(GetParam()).value();
+  auto result = solver->Train(SingleRatingDataset(), FastTrainOptions(2));
+  ASSERT_TRUE(result.ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(result.value().w.FrobeniusNorm())) << GetParam();
+}
+
+TEST_P(DegenerateDataTest, EmptyTrainSet) {
+  auto solver = MakeSolver(GetParam()).value();
+  auto result = solver->Train(EmptyTrainDataset(), FastTrainOptions(2));
+  ASSERT_TRUE(result.ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(result.value().trace.FinalRmse())) << GetParam();
+}
+
+TEST_P(DegenerateDataTest, SingleHotColumn) {
+  auto solver = MakeSolver(GetParam()).value();
+  auto result =
+      solver->Train(SingleHotColumnDataset(), FastTrainOptions(3));
+  ASSERT_TRUE(result.ok()) << GetParam();
+  EXPECT_TRUE(std::isfinite(result.value().h.FrobeniusNorm())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, DegenerateDataTest,
+                         ::testing::Values("nomad", "serial_sgd", "hogwild",
+                                           "dsgd", "dsgdpp", "fpsgd",
+                                           "ccdpp", "als"));
+
+// ---- NOMAD worker-count sweep (property: converges for any p) ----
+
+class NomadWorkerSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NomadWorkerSweepTest, ConvergesForEveryWorkerCount) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 111);
+  auto solver = MakeSolver("nomad").value();
+  TrainOptions options = FastTrainOptions(/*epochs=*/8, GetParam());
+  auto result = solver->Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().trace.FinalRmse(), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, NomadWorkerSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// ---- Simulator under extreme network conditions ----
+
+TEST(SimExtremesTest, GlacialNetworkStillTerminatesOnUpdateBudget) {
+  const Dataset ds = MakeTestDataset(100, 20, 1000, 113);
+  SimOptions options;
+  options.train = FastTrainOptions(/*epochs=*/1);
+  options.cluster.machines = 4;
+  options.cluster.compute_cores = 1;
+  options.network.inter_latency = 10.0;    // ten *seconds* per message
+  options.network.bandwidth = 100.0;       // 100 B/s
+  options.eval_interval = 5.0;
+  auto solver = MakeSimSolver("sim_nomad").value();
+  auto result = solver->Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  // The epoch budget is still reached — just very late in virtual time.
+  EXPECT_GE(result.value().train.total_updates, ds.train.nnz());
+  EXPECT_GT(result.value().train.total_seconds, 1.0);
+}
+
+TEST(SimExtremesTest, ZeroLatencyInfiniteBandwidthApproachesCompute) {
+  const Dataset ds = MakeItemRichDataset(117);
+  SimOptions options;
+  options.train = FastTrainOptions(/*epochs=*/3);
+  options.cluster.machines = 4;
+  options.cluster.compute_cores = 2;
+  options.cluster.update_seconds_per_dim = kCalibratedUpdateSecondsPerDim;
+  options.network.inter_latency = 0.0;
+  options.network.intra_latency = 0.0;
+  options.network.bandwidth = 1e18;
+  options.network.per_message_overhead = 0.0;
+  options.batch_size = 1;
+  options.eval_interval = 1e-3;
+  auto solver = MakeSimSolver("sim_nomad").value();
+  auto result = solver->Train(ds, options).value();
+  // With a free network, utilization must be near 1.
+  EXPECT_GT(result.Utilization(8), 0.85);
+}
+
+TEST(SimExtremesTest, ExtremeStragglerDoesNotWedgeTheRun) {
+  const Dataset ds = MakeTestDataset(100, 20, 1000, 119);
+  SimOptions options;
+  options.train = FastTrainOptions(/*epochs=*/2);
+  options.cluster.machines = 4;
+  options.cluster.compute_cores = 1;
+  options.cluster.straggler_slowdown = 1000.0;
+  options.train.routing = Routing::kLeastLoaded;
+  options.eval_interval = 1e-2;
+  auto solver = MakeSimSolver("sim_nomad").value();
+  auto result = solver->Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().train.total_updates, 2 * ds.train.nnz());
+}
+
+// ---- Splitters and loaders on adversarial shapes ----
+
+TEST(RobustSplitTest, AllRatingsOnOneUser) {
+  std::vector<Rating> r;
+  for (int32_t c = 0; c < 100; ++c) r.push_back(Rating{0, c, 1.0f});
+  auto m = SparseMatrix::Build(5, 100, std::move(r)).value();
+  auto ds = SplitPerUserHoldout(m, 0.3, 5, 3, "skew");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GE(ds.value().train.RowNnz(0), 5);
+  EXPECT_EQ(ds.value().train.nnz() + ds.value().test.nnz(), 100);
+}
+
+TEST(RobustOptionsTest, HugeWorkerCountOnTinyData) {
+  const Dataset ds = MakeTestDataset(20, 5, 60, 121);
+  for (const char* name : {"nomad", "dsgd", "fpsgd"}) {
+    auto solver = MakeSolver(name).value();
+    TrainOptions options = FastTrainOptions(/*epochs=*/2, /*workers=*/16);
+    auto result = solver->Train(ds, options);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_TRUE(std::isfinite(result.value().trace.FinalRmse())) << name;
+  }
+}
+
+TEST(RobustOptionsTest, RankLargerThanMatrixDimensions) {
+  const Dataset ds = MakeTestDataset(30, 6, 120, 123);
+  auto solver = MakeSolver("nomad").value();
+  TrainOptions options = FastTrainOptions(/*epochs=*/2);
+  options.rank = 64;  // k >> min(m, n): over-parameterized but legal
+  auto result = solver->Train(ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result.value().trace.FinalRmse()));
+}
+
+}  // namespace
+}  // namespace nomad

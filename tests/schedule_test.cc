@@ -1,0 +1,87 @@
+#include "sched/schedule.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(PaperScheduleTest, MatchesEquation11) {
+  // s_t = alpha / (1 + beta * t^1.5)
+  PaperSchedule s(0.012, 0.05);
+  EXPECT_DOUBLE_EQ(s.Step(0), 0.012);
+  EXPECT_DOUBLE_EQ(s.Step(1), 0.012 / (1 + 0.05));
+  EXPECT_DOUBLE_EQ(s.Step(4), 0.012 / (1 + 0.05 * 8.0));
+  EXPECT_NEAR(s.Step(100), 0.012 / (1 + 0.05 * 1000.0), 1e-15);
+}
+
+TEST(PaperScheduleTest, MonotonicallyDecreasing) {
+  PaperSchedule s(1.0, 0.01);
+  double prev = s.Step(0);
+  for (uint32_t t = 1; t < 200; ++t) {
+    const double cur = s.Step(t);
+    EXPECT_LT(cur, prev) << "t=" << t;
+    prev = cur;
+  }
+}
+
+TEST(PaperScheduleTest, BetaZeroIsConstant) {
+  PaperSchedule s(0.5, 0.0);  // Hugewiki's Table 1 setting
+  EXPECT_DOUBLE_EQ(s.Step(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Step(1000), 0.5);
+}
+
+TEST(ConstantScheduleTest, Constant) {
+  ConstantSchedule s(0.1);
+  EXPECT_DOUBLE_EQ(s.Step(0), 0.1);
+  EXPECT_DOUBLE_EQ(s.Step(12345), 0.1);
+}
+
+TEST(InverseTimeScheduleTest, Decays) {
+  InverseTimeSchedule s(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.Step(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Step(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.Step(9), 0.1);
+}
+
+TEST(BoldDriverTest, GrowsOnImprovement) {
+  BoldDriver d(0.1, 1.05, 0.5);
+  EXPECT_DOUBLE_EQ(d.step(), 0.1);
+  d.EndEpoch(100.0);  // first epoch: no previous, step unchanged
+  EXPECT_DOUBLE_EQ(d.step(), 0.1);
+  d.EndEpoch(90.0);  // improved
+  EXPECT_DOUBLE_EQ(d.step(), 0.1 * 1.05);
+  d.EndEpoch(80.0);  // improved again
+  EXPECT_DOUBLE_EQ(d.step(), 0.1 * 1.05 * 1.05);
+}
+
+TEST(BoldDriverTest, ShrinksOnRegression) {
+  BoldDriver d(0.2);
+  d.EndEpoch(50.0);
+  d.EndEpoch(60.0);  // objective went up
+  EXPECT_DOUBLE_EQ(d.step(), 0.1);
+}
+
+TEST(BoldDriverTest, EqualObjectiveCountsAsImprovement) {
+  BoldDriver d(0.1, 2.0, 0.5);
+  d.EndEpoch(10.0);
+  d.EndEpoch(10.0);
+  EXPECT_DOUBLE_EQ(d.step(), 0.2);
+}
+
+TEST(MakeScheduleTest, BuildsByName) {
+  for (const char* name : {"paper-t1.5", "constant", "inverse-time"}) {
+    auto s = MakeSchedule(name, 0.1, 0.01);
+    ASSERT_TRUE(s.ok()) << name;
+    EXPECT_EQ(s.value()->Name(), name);
+    EXPECT_GT(s.value()->Step(0), 0.0);
+  }
+}
+
+TEST(MakeScheduleTest, RejectsUnknown) {
+  EXPECT_FALSE(MakeSchedule("warp-drive", 0.1, 0.01).ok());
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,141 @@
+#include "data/shard.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+TEST(UserPartitionTest, ByRowsBalances) {
+  const auto p = UserPartition::ByRows(100, 4);
+  EXPECT_EQ(p.num_workers(), 4);
+  EXPECT_EQ(p.Begin(0), 0);
+  EXPECT_EQ(p.End(3), 100);
+  for (int q = 0; q < 4; ++q) EXPECT_EQ(p.End(q) - p.Begin(q), 25);
+}
+
+TEST(UserPartitionTest, ByRowsHandlesMoreWorkersThanRows) {
+  const auto p = UserPartition::ByRows(2, 5);
+  EXPECT_EQ(p.End(4), 2);
+  int total = 0;
+  for (int q = 0; q < 5; ++q) total += p.End(q) - p.Begin(q);
+  EXPECT_EQ(total, 2);
+}
+
+TEST(UserPartitionTest, OwnerOfIsConsistentWithRanges) {
+  const auto p = UserPartition::ByRows(97, 7);
+  for (int32_t r = 0; r < 97; ++r) {
+    const int q = p.OwnerOf(r);
+    EXPECT_GE(r, p.Begin(q));
+    EXPECT_LT(r, p.End(q));
+  }
+}
+
+TEST(UserPartitionTest, ByRatingsBalancesRatingMass) {
+  // Power-law rows: row i has (100 - i) ratings for i in [0, 100).
+  std::vector<Rating> ratings;
+  for (int32_t i = 0; i < 100; ++i) {
+    for (int32_t c = 0; c < 100 - i; ++c) {
+      ratings.push_back(Rating{i, c, 1.0f});
+    }
+  }
+  auto m = SparseMatrix::Build(100, 100, std::move(ratings)).value();
+  const auto p = UserPartition::ByRatings(m, 4);
+  const int64_t total = m.nnz();
+  for (int q = 0; q < 4; ++q) {
+    int64_t mass = 0;
+    for (int32_t i = p.Begin(q); i < p.End(q); ++i) mass += m.RowNnz(i);
+    EXPECT_NEAR(static_cast<double>(mass), total / 4.0, total * 0.08)
+        << "worker " << q;
+  }
+}
+
+TEST(UserPartitionTest, ByRatingsDegenerateSingleHotRow) {
+  std::vector<Rating> ratings;
+  for (int32_t c = 0; c < 50; ++c) ratings.push_back(Rating{0, c, 1.0f});
+  auto m = SparseMatrix::Build(3, 50, std::move(ratings)).value();
+  const auto p = UserPartition::ByRatings(m, 4);
+  // Boundaries must stay monotonic and cover all rows.
+  EXPECT_EQ(p.Begin(0), 0);
+  EXPECT_EQ(p.End(3), 3);
+  for (int q = 0; q < 4; ++q) EXPECT_LE(p.Begin(q), p.End(q));
+}
+
+class ColumnShardsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColumnShardsPropertyTest, ShardsPartitionEveryRatingExactlyOnce) {
+  const int workers = GetParam();
+  SyntheticConfig c;
+  c.rows = 200;
+  c.cols = 40;
+  c.nnz = 3000;
+  c.seed = 77;
+  auto ds = GenerateSynthetic(c).value();
+  const auto part = UserPartition::ByRatings(ds.train, workers);
+  const auto shards = ColumnShards::Build(ds.train, part);
+  ASSERT_EQ(shards.num_workers(), workers);
+  ASSERT_EQ(shards.cols(), 40);
+
+  std::map<std::pair<int32_t, int32_t>, float> seen;
+  std::set<int64_t> positions;
+  int64_t worker_total = 0;
+  for (int q = 0; q < workers; ++q) {
+    worker_total += shards.WorkerNnz(q);
+    for (int32_t j = 0; j < shards.cols(); ++j) {
+      int32_t n = 0;
+      const ColumnShards::Entry* e = shards.ColEntries(q, j, &n);
+      for (int32_t t = 0; t < n; ++t) {
+        // Ownership: the entry's row must belong to worker q.
+        EXPECT_GE(e[t].row, part.Begin(q));
+        EXPECT_LT(e[t].row, part.End(q));
+        EXPECT_TRUE(seen.emplace(std::make_pair(e[t].row, j), e[t].value)
+                        .second)
+            << "duplicate entry";
+        EXPECT_TRUE(positions.insert(e[t].csc_pos).second)
+            << "duplicate csc position";
+      }
+    }
+  }
+  EXPECT_EQ(worker_total, ds.train.nnz());
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), ds.train.nnz());
+  // Values must match the original matrix.
+  for (const Rating& r : ds.train.ToCoo()) {
+    auto it = seen.find({r.row, r.col});
+    ASSERT_NE(it, seen.end());
+    EXPECT_FLOAT_EQ(it->second, r.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ColumnShardsPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64));
+
+TEST(ColumnShardsTest, CscPositionsIndexGlobalCscLayout) {
+  auto m = SparseMatrix::Build(
+               4, 2, {{0, 0, 1.0f}, {1, 0, 2.0f}, {2, 1, 3.0f}, {3, 1, 4.0f}})
+               .value();
+  Dataset ds;
+  ds.rows = 4;
+  ds.cols = 2;
+  ds.train = m;
+  const auto part = UserPartition::ByRows(4, 2);
+  const auto shards = ColumnShards::Build(m, part);
+  // Worker 0 owns rows 0-1: entries (0,0) pos 0 and (1,0) pos 1.
+  int32_t n = 0;
+  const auto* e = shards.ColEntries(0, 0, &n);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(e[0].csc_pos, 0);
+  EXPECT_EQ(e[1].csc_pos, 1);
+  // Worker 1 owns rows 2-3: column 1 entries at global csc pos 2, 3.
+  e = shards.ColEntries(1, 1, &n);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(e[0].csc_pos, 2);
+  EXPECT_EQ(e[1].csc_pos, 3);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,171 @@
+#include "sim/solvers/sim_nomad.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nomad {
+namespace {
+
+SimOptions SmallSimOptions(int machines = 2, int cores = 2, int epochs = 10) {
+  SimOptions o;
+  o.train = FastTrainOptions(epochs);
+  o.cluster.machines = machines;
+  o.cluster.cores = cores + 2;  // two reserved communication cores
+  o.cluster.compute_cores = cores;
+  o.network = HpcNetwork();
+  o.eval_interval = 1e-4;
+  // The paper's batch of 100 tokens suits thousands of items; the planted
+  // test datasets have tens, so scale the batching down to keep the
+  // pipeline moving.
+  o.batch_size = 8;
+  o.flush_delay = 5e-6;
+  return o;
+}
+
+TEST(SimNomadTest, ConvergesOnPlantedData) {
+  const Dataset ds = MakeTestDataset();
+  SimNomadSolver solver;
+  const SimOptions options = SmallSimOptions();
+  const double initial = InitialRmse(ds, options.train);
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result.value().train.trace.FinalRmse(), 0.45);
+  EXPECT_LT(result.value().train.trace.FinalRmse(), 0.75 * initial);
+}
+
+TEST(SimNomadTest, FullyDeterministic) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 31);
+  SimNomadSolver solver;
+  const SimOptions options = SmallSimOptions(4, 2, 5);
+  auto a = solver.Train(ds, options).value();
+  auto b = solver.Train(ds, options).value();
+  EXPECT_EQ(a.train.total_updates, b.train.total_updates);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.train.w.MaxAbsDiff(b.train.w), 0.0);
+  EXPECT_EQ(a.train.h.MaxAbsDiff(b.train.h), 0.0);
+  ASSERT_EQ(a.train.trace.size(), b.train.trace.size());
+  for (size_t i = 0; i < a.train.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.train.trace.points()[i].test_rmse,
+                     b.train.trace.points()[i].test_rmse);
+  }
+}
+
+TEST(SimNomadTest, NetworkTrafficOnlyBetweenMachines) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 33);
+  SimNomadSolver solver;
+  auto single = solver.Train(ds, SmallSimOptions(1, 4, 3)).value();
+  EXPECT_EQ(single.messages, 0);
+  EXPECT_DOUBLE_EQ(single.bytes, 0.0);
+  auto multi = solver.Train(ds, SmallSimOptions(4, 1, 3)).value();
+  EXPECT_GT(multi.messages, 0);
+  EXPECT_GT(multi.bytes, 0.0);
+}
+
+TEST(SimNomadTest, BatchingReducesMessageCount) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 35);
+  SimNomadSolver solver;
+  SimOptions unbatched = SmallSimOptions(4, 1, 3);
+  unbatched.batch_size = 1;
+  SimOptions batched = SmallSimOptions(4, 1, 3);
+  batched.batch_size = 100;
+  auto a = solver.Train(ds, unbatched).value();
+  auto b = solver.Train(ds, batched).value();
+  EXPECT_GT(a.messages, b.messages);
+}
+
+TEST(SimNomadTest, CirculationTogglesWork) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 37);
+  SimNomadSolver solver;
+  SimOptions circulate = SmallSimOptions(2, 4, 3);
+  SimOptions direct = SmallSimOptions(2, 4, 3);
+  direct.circulate = false;
+  auto a = solver.Train(ds, circulate).value();
+  auto b = solver.Train(ds, direct).value();
+  EXPECT_LT(a.train.trace.FinalRmse(), 0.8);
+  EXPECT_LT(b.train.trace.FinalRmse(), 0.8);
+  // Without intra-machine circulation every hop crosses the network:
+  // strictly more messages for the same update budget.
+  EXPECT_GT(b.messages, a.messages);
+}
+
+TEST(SimNomadTest, UpdateBudgetRespectedTightly) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 39);
+  SimNomadSolver solver;
+  SimOptions options = SmallSimOptions(2, 2, /*epochs=*/-1);
+  options.train.max_epochs = -1;
+  options.train.max_updates = 3000;
+  auto result = solver.Train(ds, options).value();
+  EXPECT_GE(result.train.total_updates, 3000);
+  // The very next finish event stops the run: overshoot is at most one
+  // token's worth of ratings.
+  EXPECT_LT(result.train.total_updates, 3000 + ds.rows);
+}
+
+TEST(SimNomadTest, VirtualTimeBudgetRespected) {
+  const Dataset ds = MakeTestDataset(200, 40, 4000, 41);
+  SimNomadSolver solver;
+  SimOptions options = SmallSimOptions(2, 2, /*epochs=*/-1);
+  options.train.max_epochs = -1;
+  options.train.max_seconds = 5e-4;  // virtual
+  auto result = solver.Train(ds, options).value();
+  EXPECT_GE(result.train.total_seconds, 5e-4);
+  EXPECT_LT(result.train.total_seconds, 5e-4 + 2 * options.eval_interval);
+}
+
+TEST(SimNomadTest, StragglerSlowsConvergencePerVirtualSecond) {
+  const Dataset ds = MakeTestDataset();
+  SimNomadSolver solver;
+  SimOptions uniform_cluster = SmallSimOptions(4, 1, /*epochs=*/-1);
+  uniform_cluster.train.max_epochs = -1;
+  uniform_cluster.train.max_seconds = 2e-3;
+  SimOptions straggler = uniform_cluster;
+  straggler.cluster.straggler_slowdown = 8.0;
+  auto fast = solver.Train(ds, uniform_cluster).value();
+  auto slow = solver.Train(ds, straggler).value();
+  // Same virtual budget: the straggler cluster completes fewer updates.
+  EXPECT_LT(slow.train.total_updates, fast.train.total_updates);
+}
+
+TEST(SimNomadTest, LeastLoadedRoutingHelpsUnderStraggler) {
+  const Dataset ds = MakeTestDataset();
+  SimNomadSolver solver;
+  SimOptions uniform_routing = SmallSimOptions(4, 1, /*epochs=*/-1);
+  uniform_routing.train.max_epochs = -1;
+  uniform_routing.train.max_seconds = 2e-3;
+  uniform_routing.cluster.straggler_slowdown = 8.0;
+  SimOptions balanced = uniform_routing;
+  balanced.train.routing = Routing::kLeastLoaded;
+  auto u = solver.Train(ds, uniform_routing).value();
+  auto b = solver.Train(ds, balanced).value();
+  // Dynamic load balancing (Sec. 3.3) must not hurt, and usually helps,
+  // total work completed under a straggler.
+  EXPECT_GE(b.train.total_updates, u.train.total_updates * 0.9);
+}
+
+TEST(SimNomadTest, DegenerateEmptyDataset) {
+  Dataset ds;
+  ds.name = "empty";
+  ds.rows = 10;
+  ds.cols = 5;
+  ds.train = SparseMatrix::Build(10, 5, {}).value();
+  ds.test = SparseMatrix::Build(10, 5, {}).value();
+  SimNomadSolver solver;
+  auto result = solver.Train(ds, SmallSimOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().train.total_updates, 0);
+}
+
+TEST(SimNomadTest, RejectsBadClusterConfig) {
+  const Dataset ds = MakeTestDataset(50, 10, 300, 43);
+  SimNomadSolver solver;
+  SimOptions options = SmallSimOptions();
+  options.cluster.machines = 0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+  options = SmallSimOptions();
+  options.batch_size = 0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,162 @@
+#include "data/sparse_matrix.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+std::vector<Rating> SmallTriplets() {
+  return {
+      {0, 1, 5.0f}, {0, 2, 3.0f}, {1, 0, 1.0f}, {2, 1, 4.0f}, {2, 2, 2.0f},
+  };
+}
+
+TEST(SparseMatrixTest, BuildAndDims) {
+  auto m = SparseMatrix::Build(3, 3, SmallTriplets());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().rows(), 3);
+  EXPECT_EQ(m.value().cols(), 3);
+  EXPECT_EQ(m.value().nnz(), 5);
+}
+
+TEST(SparseMatrixTest, CsrAccess) {
+  auto m = SparseMatrix::Build(3, 3, SmallTriplets()).value();
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 1);
+  EXPECT_EQ(m.RowNnz(2), 2);
+  EXPECT_EQ(m.RowCols(0)[0], 1);
+  EXPECT_EQ(m.RowCols(0)[1], 2);
+  EXPECT_FLOAT_EQ(m.RowVals(0)[0], 5.0f);
+  EXPECT_FLOAT_EQ(m.RowVals(1)[0], 1.0f);
+}
+
+TEST(SparseMatrixTest, CscAccess) {
+  auto m = SparseMatrix::Build(3, 3, SmallTriplets()).value();
+  EXPECT_EQ(m.ColNnz(0), 1);
+  EXPECT_EQ(m.ColNnz(1), 2);
+  EXPECT_EQ(m.ColNnz(2), 2);
+  EXPECT_EQ(m.ColRows(1)[0], 0);
+  EXPECT_EQ(m.ColRows(1)[1], 2);
+  EXPECT_FLOAT_EQ(m.ColVals(1)[1], 4.0f);
+}
+
+TEST(SparseMatrixTest, ColOffsetsAreCumulative) {
+  auto m = SparseMatrix::Build(3, 3, SmallTriplets()).value();
+  EXPECT_EQ(m.ColOffset(0), 0);
+  EXPECT_EQ(m.ColOffset(1), 1);
+  EXPECT_EQ(m.ColOffset(2), 3);
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  auto m = SparseMatrix::Build(4, 5, {}).value();
+  EXPECT_EQ(m.nnz(), 0);
+  for (int32_t i = 0; i < 4; ++i) EXPECT_EQ(m.RowNnz(i), 0);
+  for (int32_t j = 0; j < 5; ++j) EXPECT_EQ(m.ColNnz(j), 0);
+  EXPECT_DOUBLE_EQ(m.MeanValue(), 0.0);
+}
+
+TEST(SparseMatrixTest, EmptyRowsAndColsInMiddle) {
+  auto m = SparseMatrix::Build(5, 5, {{0, 0, 1.0f}, {4, 4, 2.0f}}).value();
+  EXPECT_EQ(m.RowNnz(2), 0);
+  EXPECT_EQ(m.ColNnz(2), 0);
+  EXPECT_EQ(m.RowNnz(4), 1);
+}
+
+TEST(SparseMatrixTest, RejectsDuplicates) {
+  auto m = SparseMatrix::Build(2, 2, {{0, 0, 1.0f}, {0, 0, 2.0f}});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SparseMatrixTest, RejectsOutOfRange) {
+  EXPECT_FALSE(SparseMatrix::Build(2, 2, {{2, 0, 1.0f}}).ok());
+  EXPECT_FALSE(SparseMatrix::Build(2, 2, {{0, 2, 1.0f}}).ok());
+  EXPECT_FALSE(SparseMatrix::Build(2, 2, {{-1, 0, 1.0f}}).ok());
+}
+
+TEST(SparseMatrixTest, MeanValue) {
+  auto m = SparseMatrix::Build(3, 3, SmallTriplets()).value();
+  EXPECT_DOUBLE_EQ(m.MeanValue(), 3.0);
+}
+
+TEST(SparseMatrixTest, ToCooRoundTrip) {
+  const auto triplets = SmallTriplets();
+  auto m = SparseMatrix::Build(3, 3, triplets).value();
+  auto coo = m.ToCoo();
+  ASSERT_EQ(coo.size(), triplets.size());
+  // ToCoo is row-major sorted; SmallTriplets already is.
+  for (size_t i = 0; i < coo.size(); ++i) EXPECT_EQ(coo[i], triplets[i]);
+}
+
+// Property: CSR and CSC views of a random matrix contain exactly the same
+// triplets.
+class SparseMatrixPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseMatrixPropertyTest, CsrCscConsistent) {
+  Rng rng(GetParam());
+  const int32_t rows = 1 + static_cast<int32_t>(rng.NextBelow(40));
+  const int32_t cols = 1 + static_cast<int32_t>(rng.NextBelow(40));
+  std::map<std::pair<int32_t, int32_t>, float> want;
+  const int attempts = static_cast<int>(rng.NextBelow(200));
+  for (int i = 0; i < attempts; ++i) {
+    const int32_t r = static_cast<int32_t>(rng.NextBelow(rows));
+    const int32_t c = static_cast<int32_t>(rng.NextBelow(cols));
+    want[{r, c}] = static_cast<float>(rng.NextDouble());
+  }
+  std::vector<Rating> triplets;
+  for (const auto& [rc, v] : want) {
+    triplets.push_back(Rating{rc.first, rc.second, v});
+  }
+  auto m = SparseMatrix::Build(rows, cols, triplets).value();
+  ASSERT_EQ(m.nnz(), static_cast<int64_t>(want.size()));
+
+  // CSR view.
+  std::map<std::pair<int32_t, int32_t>, float> via_csr;
+  for (int32_t i = 0; i < rows; ++i) {
+    for (int32_t p = 0; p < m.RowNnz(i); ++p) {
+      via_csr[{i, m.RowCols(i)[p]}] = m.RowVals(i)[p];
+    }
+  }
+  EXPECT_EQ(via_csr, want);
+
+  // CSC view.
+  std::map<std::pair<int32_t, int32_t>, float> via_csc;
+  for (int32_t j = 0; j < cols; ++j) {
+    for (int32_t p = 0; p < m.ColNnz(j); ++p) {
+      via_csc[{m.ColRows(j)[p], j}] = m.ColVals(j)[p];
+    }
+  }
+  EXPECT_EQ(via_csc, want);
+}
+
+TEST_P(SparseMatrixPropertyTest, RowsWithinColumnsAscend) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const int32_t rows = 1 + static_cast<int32_t>(rng.NextBelow(60));
+  const int32_t cols = 1 + static_cast<int32_t>(rng.NextBelow(10));
+  std::map<std::pair<int32_t, int32_t>, float> want;
+  for (int i = 0; i < 150; ++i) {
+    want[{static_cast<int32_t>(rng.NextBelow(rows)),
+          static_cast<int32_t>(rng.NextBelow(cols))}] = 1.0f;
+  }
+  std::vector<Rating> triplets;
+  for (const auto& [rc, v] : want) {
+    triplets.push_back(Rating{rc.first, rc.second, v});
+  }
+  auto m = SparseMatrix::Build(rows, cols, triplets).value();
+  for (int32_t j = 0; j < cols; ++j) {
+    for (int32_t p = 1; p < m.ColNnz(j); ++p) {
+      EXPECT_LT(m.ColRows(j)[p - 1], m.ColRows(j)[p]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, SparseMatrixPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,98 @@
+#include "data/splitter.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+SparseMatrix DenseSquare(int32_t n) {
+  std::vector<Rating> r;
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = 0; j < n; ++j) {
+      r.push_back(Rating{i, j, static_cast<float>(i + j)});
+    }
+  }
+  return SparseMatrix::Build(n, n, std::move(r)).value();
+}
+
+std::set<std::pair<int32_t, int32_t>> Keys(const SparseMatrix& m) {
+  std::set<std::pair<int32_t, int32_t>> out;
+  for (const Rating& r : m.ToCoo()) out.insert({r.row, r.col});
+  return out;
+}
+
+TEST(SplitTrainTestTest, PartitionIsDisjointAndComplete) {
+  const auto all = DenseSquare(30);
+  auto ds = SplitTrainTest(all, 0.2, 7, "t").value();
+  const auto train = Keys(ds.train);
+  const auto test = Keys(ds.test);
+  EXPECT_EQ(train.size() + test.size(), static_cast<size_t>(all.nnz()));
+  for (const auto& k : test) EXPECT_EQ(train.count(k), 0u);
+}
+
+TEST(SplitTrainTestTest, FractionApproximatelyRespected) {
+  const auto all = DenseSquare(60);  // 3600 ratings
+  auto ds = SplitTrainTest(all, 0.25, 11, "t").value();
+  const double frac =
+      static_cast<double>(ds.test.nnz()) / static_cast<double>(all.nnz());
+  EXPECT_NEAR(frac, 0.25, 0.03);
+}
+
+TEST(SplitTrainTestTest, DeterministicInSeed) {
+  const auto all = DenseSquare(20);
+  auto a = SplitTrainTest(all, 0.3, 5, "a").value();
+  auto b = SplitTrainTest(all, 0.3, 5, "b").value();
+  EXPECT_EQ(a.train.ToCoo(), b.train.ToCoo());
+  auto c = SplitTrainTest(all, 0.3, 6, "c").value();
+  EXPECT_NE(a.train.nnz() == c.train.nnz() &&
+                a.train.ToCoo() == c.train.ToCoo(),
+            true);
+}
+
+TEST(SplitTrainTestTest, ZeroFractionPutsAllInTrain) {
+  const auto all = DenseSquare(10);
+  auto ds = SplitTrainTest(all, 0.0, 3, "t").value();
+  EXPECT_EQ(ds.train.nnz(), all.nnz());
+  EXPECT_EQ(ds.test.nnz(), 0);
+}
+
+TEST(SplitTrainTestTest, RejectsBadFraction) {
+  const auto all = DenseSquare(4);
+  EXPECT_FALSE(SplitTrainTest(all, 1.0, 3, "t").ok());
+  EXPECT_FALSE(SplitTrainTest(all, -0.1, 3, "t").ok());
+}
+
+TEST(SplitPerUserHoldoutTest, EveryUserKeepsMinimumTrainRatings) {
+  const auto all = DenseSquare(25);
+  auto ds = SplitPerUserHoldout(all, 0.5, 5, 13, "t").value();
+  for (int32_t i = 0; i < 25; ++i) {
+    EXPECT_GE(ds.train.RowNnz(i), 5) << "user " << i;
+  }
+}
+
+TEST(SplitPerUserHoldoutTest, UsersWithFewRatingsStayInTrain) {
+  // Users with exactly 2 ratings and min_train=3: nothing goes to test.
+  std::vector<Rating> r;
+  for (int32_t i = 0; i < 10; ++i) {
+    r.push_back(Rating{i, 0, 1.0f});
+    r.push_back(Rating{i, 1, 2.0f});
+  }
+  auto all = SparseMatrix::Build(10, 2, std::move(r)).value();
+  auto ds = SplitPerUserHoldout(all, 0.5, 3, 17, "t").value();
+  EXPECT_EQ(ds.test.nnz(), 0);
+  EXPECT_EQ(ds.train.nnz(), 20);
+}
+
+TEST(SplitPerUserHoldoutTest, PartitionDisjoint) {
+  const auto all = DenseSquare(15);
+  auto ds = SplitPerUserHoldout(all, 0.3, 2, 19, "t").value();
+  const auto train = Keys(ds.train);
+  const auto test = Keys(ds.test);
+  EXPECT_EQ(train.size() + test.size(), static_cast<size_t>(all.nnz()));
+  for (const auto& k : test) EXPECT_EQ(train.count(k), 0u);
+}
+
+}  // namespace
+}  // namespace nomad

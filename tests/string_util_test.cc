@@ -1,0 +1,86 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(SplitFieldsTest, BasicWhitespace) {
+  const auto f = SplitFields("1  2\t3");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "1");
+  EXPECT_EQ(f[1], "2");
+  EXPECT_EQ(f[2], "3");
+}
+
+TEST(SplitFieldsTest, CommaSeparated) {
+  const auto f = SplitFields("a,b,,c");
+  ASSERT_EQ(f.size(), 3u);  // empty fields dropped
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitFieldsTest, EmptyInput) {
+  EXPECT_TRUE(SplitFields("").empty());
+  EXPECT_TRUE(SplitFields("   ").empty());
+}
+
+TEST(StripWhitespaceTest, Strips) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t a b \r\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\r\n"), "");
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("  123 ").value(), 123);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(),
+            9223372036854775807LL);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("4.5").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3").value(), -1e-3);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 2 ").value(), 2.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("%d/%d", 3, 4), "3/4");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(3ULL << 30), "3.0 GiB");
+}
+
+TEST(HumanCountTest, Units) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(99072112), "99.07M");
+  EXPECT_EQ(HumanCount(2736496604.0), "2.74G");
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,63 @@
+#include "util/table_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(TableWriterTest, RowsAccumulate) {
+  TableWriter t({"a", "b"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2"});
+  t.AddNumericRow({3.5, 4.25});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "3.5");
+}
+
+TEST(TableWriterTest, WritesTsv) {
+  TableWriter t({"algo", "rmse"});
+  t.AddRow({"nomad", "0.92"});
+  t.AddRow({"dsgd", "0.95"});
+  const std::string path = ::testing::TempDir() + "/tw_test.tsv";
+  ASSERT_TRUE(t.WriteTsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "algo\trmse\nnomad\t0.92\ndsgd\t0.95\n");
+}
+
+TEST(TableWriterTest, CreatesParentDirectories) {
+  const std::string path =
+      ::testing::TempDir() + "/tw_nested/deeper/out.tsv";
+  TableWriter t({"x"});
+  t.AddRow({"1"});
+  EXPECT_TRUE(t.WriteTsv(path).ok());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+TEST(TableWriterTest, PrintAlignsColumns) {
+  TableWriter t({"name", "v"});
+  t.AddRow({"longer-name", "1"});
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.Print(f);
+  std::rewind(f);
+  char buf[256] = {0};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  // Header padded to the widest cell of its column.
+  EXPECT_EQ(std::string(buf).find("name        "), 0u);
+  std::fclose(f);
+}
+
+TEST(TableWriterDeathTest, WrongArityAborts) {
+  TableWriter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, 1000, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  int sum = 0;
+  ParallelFor(nullptr, 0, 10, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 5, 5, [&](int64_t) { called = true; });
+  ParallelFor(&pool, 7, 3, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForShardsTest, ShardsPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelForShards(&pool, 0, 103, [&](int /*shard*/, int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  int64_t expected_begin = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_LT(b, e);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 103);
+}
+
+TEST(ParallelForShardsTest, ShardIndicesWithinPoolSize) {
+  ThreadPool pool(3);
+  std::atomic<int> max_shard{-1};
+  ParallelForShards(&pool, 0, 50, [&](int shard, int64_t, int64_t) {
+    int cur = max_shard.load();
+    while (shard > cur && !max_shard.compare_exchange_weak(cur, shard)) {
+    }
+  });
+  EXPECT_GE(max_shard.load(), 0);
+  EXPECT_LT(max_shard.load(), 3);
+}
+
+}  // namespace
+}  // namespace nomad

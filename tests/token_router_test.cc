@@ -1,0 +1,78 @@
+#include "nomad/token_router.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(TokenRouterTest, UniformCoversAllWorkers) {
+  TokenRouter router(Routing::kUniform, 8);
+  Rng rng(3);
+  std::set<int> seen;
+  const auto probe = [](int) -> size_t { return 0; };
+  for (int i = 0; i < 2000; ++i) {
+    const int dest = router.Pick(0, &rng, probe);
+    ASSERT_GE(dest, 0);
+    ASSERT_LT(dest, 8);
+    seen.insert(dest);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(TokenRouterTest, UniformIsApproximatelyUniform) {
+  TokenRouter router(Routing::kUniform, 4);
+  Rng rng(5);
+  std::vector<int> hist(4, 0);
+  const auto probe = [](int) -> size_t { return 0; };
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) hist[static_cast<size_t>(router.Pick(1, &rng, probe))]++;
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(hist[static_cast<size_t>(q)], n / 4.0, n * 0.02);
+  }
+}
+
+TEST(TokenRouterTest, LeastLoadedPrefersShortQueues) {
+  TokenRouter router(Routing::kLeastLoaded, 4);
+  Rng rng(7);
+  // Worker 2 has an empty queue; everyone else is deeply backlogged.
+  const auto probe = [](int q) -> size_t { return q == 2 ? 0 : 1000; };
+  std::vector<int> hist(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hist[static_cast<size_t>(router.Pick(0, &rng, probe))]++;
+  // Power-of-two-choices sends every pick that *sees* worker 2 to worker 2:
+  // P(seeing 2 in two probes) = 1 - (3/4)(2/3)... >= 7/16. It must receive
+  // far more than the uniform share.
+  EXPECT_GT(hist[2], n / 4);
+  for (int q = 0; q < 4; ++q) {
+    if (q != 2) EXPECT_LT(hist[static_cast<size_t>(q)], hist[2]);
+  }
+}
+
+TEST(TokenRouterTest, SingleWorkerAlwaysZero) {
+  TokenRouter uniform(Routing::kUniform, 1);
+  TokenRouter loaded(Routing::kLeastLoaded, 1);
+  Rng rng(9);
+  const auto probe = [](int) -> size_t { return 0; };
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(uniform.Pick(0, &rng, probe), 0);
+    EXPECT_EQ(loaded.Pick(0, &rng, probe), 0);
+  }
+}
+
+TEST(TokenRouterTest, LeastLoadedBreaksTiesFairly) {
+  TokenRouter router(Routing::kLeastLoaded, 2);
+  Rng rng(11);
+  const auto probe = [](int) -> size_t { return 5; };  // equal load
+  std::vector<int> hist(2, 0);
+  for (int i = 0; i < 10000; ++i) {
+    hist[static_cast<size_t>(router.Pick(0, &rng, probe))]++;
+  }
+  EXPECT_GT(hist[0], 2000);
+  EXPECT_GT(hist[1], 2000);
+}
+
+}  // namespace
+}  // namespace nomad

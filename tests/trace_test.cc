@@ -1,0 +1,70 @@
+#include "eval/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+Trace MakeTrace() {
+  Trace t;
+  t.Add({1.0, 100, 0.98, 0.0});
+  t.Add({2.0, 220, 0.95, 0.0});
+  t.Add({3.0, 350, 0.96, 0.0});  // small regression
+  t.Add({4.0, 500, 0.92, 0.0});
+  return t;
+}
+
+TEST(TraceTest, FinalAndBestRmse) {
+  const Trace t = MakeTrace();
+  EXPECT_DOUBLE_EQ(t.FinalRmse(), 0.92);
+  EXPECT_DOUBLE_EQ(t.BestRmse(), 0.92);
+  Trace t2;
+  t2.Add({1.0, 10, 0.5, 0.0});
+  t2.Add({2.0, 20, 0.7, 0.0});
+  EXPECT_DOUBLE_EQ(t2.BestRmse(), 0.5);
+  EXPECT_DOUBLE_EQ(t2.FinalRmse(), 0.7);
+}
+
+TEST(TraceTest, EmptyTraceIsInfinite) {
+  Trace t;
+  EXPECT_TRUE(std::isinf(t.FinalRmse()));
+  EXPECT_TRUE(std::isinf(t.BestRmse()));
+}
+
+TEST(TraceTest, TimeToRmse) {
+  const Trace t = MakeTrace();
+  EXPECT_DOUBLE_EQ(t.TimeToRmse(0.95), 2.0);
+  EXPECT_DOUBLE_EQ(t.TimeToRmse(0.98), 1.0);
+  EXPECT_DOUBLE_EQ(t.TimeToRmse(0.5), -1.0);  // never reached
+}
+
+TEST(TraceTest, Throughput) {
+  const Trace t = MakeTrace();
+  EXPECT_DOUBLE_EQ(t.Throughput(), 500.0 / 4.0);
+  Trace empty;
+  EXPECT_DOUBLE_EQ(empty.Throughput(), 0.0);
+}
+
+TEST(TraceTest, WriteTsv) {
+  const Trace t = MakeTrace();
+  const std::string path = ::testing::TempDir() + "/trace.tsv";
+  ASSERT_TRUE(t.WriteTsv(path, "nomad").ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "label\tseconds\tupdates\ttest_rmse\tobjective");
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.rfind("nomad\t", 0), 0u);
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace nomad

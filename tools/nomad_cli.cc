@@ -1,0 +1,199 @@
+// nomad_cli — command-line front end to the library.
+//
+// Subcommands:
+//   train     train a model on a ratings file (or synthetic preset) and
+//             save it
+//   evaluate  report RMSE/MAE of a saved model on a ratings file
+//   topn      print the top-N recommendations for a user from a saved model
+//   simulate  run one simulated-cluster training and print its trace
+//   solvers   list available solver names
+//
+// Examples:
+//   nomad_cli train --input ratings.txt --model out.nomad --solver nomad \
+//             --rank 32 --epochs 15
+//   nomad_cli train --preset netflix --scale 0.1 --model out.nomad
+//   nomad_cli evaluate --input ratings.txt --model out.nomad
+//   nomad_cli topn --model out.nomad --user 42 --n 10
+//   nomad_cli simulate --preset yahoo --machines 32 --network commodity
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "data/loader.h"
+#include "data/splitter.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "sim/cluster.h"
+#include "solver/model.h"
+#include "solver/registry.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nomad {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<Dataset> LoadInput(const Flags& flags) {
+  const std::string input = flags.GetString("input");
+  const std::string preset = flags.GetString("preset");
+  const double test_fraction = flags.GetDouble("test-fraction", 0.1);
+  if (!input.empty()) {
+    auto matrix = LoadRatingsFile(input, flags.GetBool("one-based", false));
+    if (!matrix.ok()) return matrix.status();
+    return SplitTrainTest(matrix.value(), test_fraction,
+                          static_cast<uint64_t>(flags.GetInt("seed", 1)),
+                          input);
+  }
+  if (!preset.empty()) {
+    return bench::GetDataset(preset, flags.GetDouble("scale", 0.25));
+  }
+  return Status::InvalidArgument("pass --input <file> or --preset <name>");
+}
+
+TrainOptions OptionsFromFlags(const Flags& flags) {
+  TrainOptions o;
+  o.rank = static_cast<int>(flags.GetInt("rank", 16));
+  o.lambda = flags.GetDouble("lambda", 0.05);
+  o.alpha = flags.GetDouble("alpha", 0.05);
+  o.beta = flags.GetDouble("beta", 0.01);
+  o.loss = flags.GetString("loss", "squared");
+  o.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  o.max_epochs = static_cast<int>(flags.GetInt("epochs", 10));
+  o.max_seconds = flags.GetDouble("max-seconds", -1.0);
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  o.bold_driver = flags.GetBool("bold-driver", false);
+  return o;
+}
+
+int CmdSolvers() {
+  std::printf("shared-memory solvers:\n");
+  for (const auto& name : SolverNames()) std::printf("  %s\n", name.c_str());
+  std::printf("simulated distributed solvers:\n");
+  for (const auto& name : SimSolverNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) return Fail(ds.status().ToString());
+  const std::string solver_name = flags.GetString("solver", "nomad");
+  auto solver = MakeSolver(solver_name);
+  if (!solver.ok()) return Fail(solver.status().ToString());
+  const TrainOptions options = OptionsFromFlags(flags);
+  std::printf("training %s on %s (%lld train / %lld test ratings)\n",
+              solver_name.c_str(), ds.value().name.c_str(),
+              static_cast<long long>(ds.value().train_nnz()),
+              static_cast<long long>(ds.value().test_nnz()));
+  auto result = solver.value()->Train(ds.value(), options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  for (const TracePoint& p : result.value().trace.points()) {
+    std::printf("  %.2fs  %12lld updates  test RMSE %.4f\n", p.seconds,
+                static_cast<long long>(p.updates), p.test_rmse);
+  }
+  const std::string model_path = flags.GetString("model");
+  if (!model_path.empty()) {
+    Model model{std::move(result.value().w), std::move(result.value().h)};
+    const Status s = SaveModel(model, model_path);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("model saved to %s\n", model_path.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto model = LoadModel(flags.GetString("model"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) return Fail(ds.status().ToString());
+  const Model& m = model.value();
+  if (m.users() < ds.value().rows || m.items() < ds.value().cols) {
+    return Fail("model is smaller than the dataset's index space");
+  }
+  std::printf("test  RMSE %.4f   MAE %.4f   sign-accuracy %.4f\n",
+              Rmse(ds.value().test, m.w, m.h), Mae(ds.value().test, m),
+              SignAccuracy(ds.value().test, m));
+  std::printf("train RMSE %.4f\n", Rmse(ds.value().train, m.w, m.h));
+  return 0;
+}
+
+int CmdTopN(const Flags& flags) {
+  auto model = LoadModel(flags.GetString("model"));
+  if (!model.ok()) return Fail(model.status().ToString());
+  const int32_t user = static_cast<int32_t>(flags.GetInt("user", 0));
+  const int n = static_cast<int>(flags.GetInt("n", 10));
+  if (user < 0 || user >= model.value().users()) {
+    return Fail("user id out of range");
+  }
+  std::printf("top-%d items for user %d:\n", n, user);
+  for (const ScoredItem& item : TopN(model.value(), user, n)) {
+    std::printf("  item %-8d score %+.4f\n", item.item, item.score);
+  }
+  return 0;
+}
+
+int CmdSimulate(const Flags& flags) {
+  const std::string preset = flags.GetString("preset", "netflix");
+  const std::string solver_name = flags.GetString("solver", "sim_nomad");
+  const int machines = static_cast<int>(flags.GetInt("machines", 8));
+  const int rank = static_cast<int>(flags.GetInt("rank", 16));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 10));
+  const bool commodity =
+      flags.GetString("network", "hpc") == "commodity";
+  const Dataset ds =
+      bench::GetDataset(preset, flags.GetDouble("scale", 0.25));
+  SimOptions options = bench::MakeSimOptions(
+      commodity ? bench::Preset::kCommodity : bench::Preset::kHpc, preset,
+      solver_name, machines, rank, epochs);
+  auto solver = MakeSimSolver(solver_name);
+  if (!solver.ok()) return Fail(solver.status().ToString());
+  auto result = solver.value()->Train(ds, options);
+  if (!result.ok()) return Fail(result.status().ToString());
+  const SimResult& r = result.value();
+  std::printf("%s on %s, %d machines (%s network):\n", solver_name.c_str(),
+              ds.name.c_str(), machines, commodity ? "commodity" : "hpc");
+  for (const TracePoint& p : r.train.trace.points()) {
+    std::printf("  vt=%.5fs  %12lld updates  test RMSE %.4f\n", p.seconds,
+                static_cast<long long>(p.updates), p.test_rmse);
+  }
+  std::printf("network: %lld messages, %s\n",
+              static_cast<long long>(r.messages),
+              HumanBytes(static_cast<uint64_t>(r.bytes)).c_str());
+  if (r.busy_seconds > 0) {
+    std::printf("worker utilization: %.1f%%\n",
+                100.0 * r.Utilization(machines *
+                                      options.cluster.compute_cores));
+  }
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: nomad_cli <train|evaluate|topn|simulate|solvers> [flags]\n"
+      "see the header of tools/nomad_cli.cc for examples\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc - 1, argv + 1).ok());
+  if (command == "solvers") return CmdSolvers();
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "topn") return CmdTopN(flags);
+  if (command == "simulate") return CmdSimulate(flags);
+  return Usage();
+}
