@@ -14,9 +14,9 @@ namespace {
 
 /// Runs SGD over one block in a fresh random order. Used by both DSGD and
 /// DSGD++.
-void ProcessBlock(const std::vector<BlockEntry>& block, const StepSchedule& sched,
-                  StepCounts* counts, bool bold, double bold_step,
-                  double lambda, int k, FactorMatrix* w, FactorMatrix* h,
+void ProcessBlock(const std::vector<BlockEntry>& block,
+                  const UpdateKernel& kernel, StepCounts* counts, bool bold,
+                  double bold_step, FactorMatrix* w, FactorMatrix* h,
                   Rng* rng) {
   std::vector<int32_t> order(block.size());
   for (size_t i = 0; i < block.size(); ++i) {
@@ -25,9 +25,11 @@ void ProcessBlock(const std::vector<BlockEntry>& block, const StepSchedule& sche
   rng->Shuffle(&order);
   for (int32_t idx : order) {
     const BlockEntry& e = block[static_cast<size_t>(idx)];
-    const double step =
-        bold ? bold_step : sched.Step(counts->NextCount(e.pos));
-    SgdUpdatePair(e.value, step, lambda, w->Row(e.row), h->Row(e.col), k);
+    if (bold) {
+      kernel.ApplyWithStep(e.value, bold_step, w->Row(e.row), h->Row(e.col));
+    } else {
+      kernel.Apply(e.value, counts, e.pos, w->Row(e.row), h->Row(e.col));
+    }
   }
 }
 
@@ -38,7 +40,8 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
-  const StepSchedule& sched = *schedule.value();
+  auto loss = ResolveLoss(options.loss);
+  if (!loss.ok()) return loss.status();
 
   TrainResult result;
   result.solver_name = Name();
@@ -52,6 +55,8 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
 
   StepCounts counts(ds.train.nnz());
   BoldDriver driver(options.alpha);
+  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
+                            options.lambda, k);
   ThreadPool pool(p);
   EpochLoop loop(ds, options, &result);
   int epoch = 0;
@@ -63,9 +68,9 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
           Rng rng(options.seed + 31ULL * static_cast<uint64_t>(epoch) +
                   17ULL * static_cast<uint64_t>(q) +
                   static_cast<uint64_t>(cb));
-          ProcessBlock(grid.Block(q, cb), sched, &counts,
-                       options.bold_driver, driver.step(), options.lambda, k,
-                       &result.w, &result.h, &rng);
+          ProcessBlock(grid.Block(q, cb), kernel, &counts,
+                       options.bold_driver, driver.step(), &result.w,
+                       &result.h, &rng);
         });
       }
       pool.Wait();  // the bulk-synchronization barrier

@@ -15,7 +15,8 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
-  const StepSchedule& sched = *schedule.value();
+  auto loss = ResolveLoss(options.loss);
+  if (!loss.ok()) return loss.status();
 
   TrainResult result;
   result.solver_name = Name();
@@ -30,6 +31,8 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
 
   StepCounts counts(ds.train.nnz());
   BoldDriver driver(options.alpha);
+  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
+                            options.lambda, k);
   ThreadPool pool(p);
   EpochLoop loop(ds, options, &result);
   int epoch = 0;
@@ -51,11 +54,13 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
           rng.Shuffle(&order);
           for (int32_t idx : order) {
             const BlockEntry& e = block[static_cast<size_t>(idx)];
-            const double step = options.bold_driver
-                                    ? driver.step()
-                                    : sched.Step(counts.NextCount(e.pos));
-            SgdUpdatePair(e.value, step, options.lambda,
-                          result.w.Row(e.row), result.h.Row(e.col), k);
+            if (options.bold_driver) {
+              kernel.ApplyWithStep(e.value, driver.step(),
+                                   result.w.Row(e.row), result.h.Row(e.col));
+            } else {
+              kernel.Apply(e.value, &counts, e.pos, result.w.Row(e.row),
+                           result.h.Row(e.col));
+            }
           }
         });
       }

@@ -114,7 +114,8 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
   }
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
-  const StepSchedule& sched = *schedule.value();
+  auto loss = ResolveLoss(options.loss);
+  if (!loss.ok()) return loss.status();
 
   TrainResult result;
   result.solver_name = Name();
@@ -128,6 +129,8 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
   const BlockGrid blocks = BlockGrid::Build(ds.train, row_part, col_part);
 
   StepCounts counts(ds.train.nnz());
+  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
+                            options.lambda, k);
   TaskManager manager(grid, options.seed ^ 0xF9F9F9F9ULL);
   EpochLoop loop(ds, options, &result);
   int epoch = 0;
@@ -151,9 +154,8 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
           rng.Shuffle(&order);
           for (int32_t idx : order) {
             const BlockEntry& e = block[static_cast<size_t>(idx)];
-            const double step = sched.Step(counts.NextCount(e.pos));
-            SgdUpdatePair(e.value, step, options.lambda,
-                          result.w.Row(e.row), result.h.Row(e.col), k);
+            kernel.Apply(e.value, &counts, e.pos, result.w.Row(e.row),
+                         result.h.Row(e.col));
           }
           manager.Release(rb, cb);
         }

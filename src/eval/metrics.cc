@@ -1,47 +1,137 @@
 #include "eval/metrics.h"
 
 #include <cmath>
+#include <vector>
 
 #include "linalg/dense_ops.h"
+#include "util/aligned.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace nomad {
 
-double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
-                    const FactorMatrix& h) {
-  NOMAD_CHECK_EQ(w.cols(), h.cols());
-  const int k = w.cols();
-  double sum = 0.0;
-  for (int32_t i = 0; i < ratings.rows(); ++i) {
-    const int32_t n = ratings.RowNnz(i);
-    const int32_t* cols = ratings.RowCols(i);
-    const float* vals = ratings.RowVals(i);
-    const double* wi = w.Row(i);
-    for (int32_t p = 0; p < n; ++p) {
-      const double err = vals[p] - Dot(wi, h.Row(cols[p]), k);
-      sum += err * err;
-    }
+namespace {
+
+/// Below this many rows a parallel pass costs more in hand-off than it
+/// saves; run inline.
+constexpr int64_t kMinRowsForParallel = 2048;
+
+/// Same gate for nnz-proportional work (the error sums).
+constexpr int64_t kMinNnzForParallel = 16384;
+
+/// Reduces fn(shard, begin, end) -> partial sums over [0, rows) across the
+/// pool, summing partials in shard order so the result is deterministic for
+/// a fixed pool size.
+double ParallelSum(ThreadPool* pool, int64_t rows,
+                   const std::function<double(int64_t, int64_t)>& range_sum) {
+  const int shards = pool == nullptr ? 1 : pool->num_threads();
+  if (shards <= 1 || rows < kMinRowsForParallel) {
+    return range_sum(0, rows);
   }
+  std::vector<CacheLinePadded<double>> partial(static_cast<size_t>(shards));
+  ParallelForShards(pool, 0, rows, [&](int s, int64_t b, int64_t e) {
+    partial[static_cast<size_t>(s)].value = range_sum(b, e);
+  });
+  double sum = 0.0;
+  for (const auto& p : partial) sum += p.value;
   return sum;
 }
 
+/// Like ParallelSum but cuts the row range so each shard carries ~equal
+/// *weight* (here: nnz), not equal row count — rating matrices have
+/// power-law row degrees, and an even row split would leave one thread
+/// with most of the work. Gates on total weight, so a short-but-dense
+/// matrix still parallelizes. Deterministic for a fixed pool size.
+double ParallelWeightedSum(
+    ThreadPool* pool, int64_t rows, int64_t total_weight,
+    const std::function<int64_t(int64_t)>& weight_of,
+    const std::function<double(int64_t, int64_t)>& range_sum) {
+  const int shards = pool == nullptr ? 1 : pool->num_threads();
+  if (shards <= 1 || total_weight < kMinNnzForParallel) {
+    return range_sum(0, rows);
+  }
+  // Prefix-walk the weights, cutting at multiples of total/shards.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ranges.reserve(static_cast<size_t>(shards));
+  int64_t begin = 0;
+  int64_t acc = 0;
+  for (int64_t i = 0;
+       i < rows && static_cast<int>(ranges.size()) < shards - 1; ++i) {
+    acc += weight_of(i);
+    if (acc * shards >=
+        total_weight * static_cast<int64_t>(ranges.size() + 1)) {
+      ranges.emplace_back(begin, i + 1);
+      begin = i + 1;
+    }
+  }
+  ranges.emplace_back(begin, rows);
+  std::vector<CacheLinePadded<double>> partial(ranges.size());
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    pool->Submit([&, s] {
+      partial[s].value = range_sum(ranges[s].first, ranges[s].second);
+    });
+  }
+  pool->Wait();
+  double sum = 0.0;
+  for (const auto& p : partial) sum += p.value;
+  return sum;
+}
+
+}  // namespace
+
+double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
+                    const FactorMatrix& h, ThreadPool* pool) {
+  NOMAD_CHECK_EQ(w.cols(), h.cols());
+  const int k = w.cols();
+  const auto row_nnz = [&ratings](int64_t i) {
+    return static_cast<int64_t>(ratings.RowNnz(static_cast<int32_t>(i)));
+  };
+  return ParallelWeightedSum(
+      pool, ratings.rows(), ratings.nnz(), row_nnz,
+      [&](int64_t begin, int64_t end) {
+    double sum = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t row = static_cast<int32_t>(i);
+      const int32_t n = ratings.RowNnz(row);
+      const int32_t* cols = ratings.RowCols(row);
+      const float* vals = ratings.RowVals(row);
+      const double* wi = w.Row(row);
+      for (int32_t p = 0; p < n; ++p) {
+        const double err = vals[p] - Dot(wi, h.Row(cols[p]), k);
+        sum += err * err;
+      }
+    }
+    return sum;
+  });
+}
+
 double Rmse(const SparseMatrix& ratings, const FactorMatrix& w,
-            const FactorMatrix& h) {
+            const FactorMatrix& h, ThreadPool* pool) {
   if (ratings.nnz() == 0) return 0.0;
-  return std::sqrt(SquaredError(ratings, w, h) /
+  return std::sqrt(SquaredError(ratings, w, h, pool) /
                    static_cast<double>(ratings.nnz()));
 }
 
 double Objective(const SparseMatrix& train, const FactorMatrix& w,
-                 const FactorMatrix& h, double lambda) {
+                 const FactorMatrix& h, double lambda, ThreadPool* pool) {
   const int k = w.cols();
-  double obj = 0.5 * SquaredError(train, w, h);
-  for (int32_t i = 0; i < train.rows(); ++i) {
-    obj += 0.5 * lambda * train.RowNnz(i) * SquaredNorm(w.Row(i), k);
-  }
-  for (int32_t j = 0; j < train.cols(); ++j) {
-    obj += 0.5 * lambda * train.ColNnz(j) * SquaredNorm(h.Row(j), k);
-  }
+  double obj = 0.5 * SquaredError(train, w, h, pool);
+  obj += ParallelSum(pool, train.rows(), [&](int64_t begin, int64_t end) {
+    double sum = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t row = static_cast<int32_t>(i);
+      sum += 0.5 * lambda * train.RowNnz(row) * SquaredNorm(w.Row(row), k);
+    }
+    return sum;
+  });
+  obj += ParallelSum(pool, train.cols(), [&](int64_t begin, int64_t end) {
+    double sum = 0.0;
+    for (int64_t j = begin; j < end; ++j) {
+      const int32_t col = static_cast<int32_t>(j);
+      sum += 0.5 * lambda * train.ColNnz(col) * SquaredNorm(h.Row(col), k);
+    }
+    return sum;
+  });
   return obj;
 }
 

@@ -6,19 +6,28 @@
 
 namespace nomad {
 
+class ThreadPool;
+
 /// Root-mean-square error of the model W Hᵀ on the given ratings
 /// (paper Sec. 5.1). Returns 0 for an empty rating set.
+///
+/// When `pool` is non-null the error sum is computed across the pool's
+/// threads (one contiguous row range per thread, partials reduced in shard
+/// order — deterministic for a fixed pool size). The NOMAD driver uses this
+/// so evaluation pauses no longer serialize a full test-set pass on large
+/// sets.
 double Rmse(const SparseMatrix& ratings, const FactorMatrix& w,
-            const FactorMatrix& h);
+            const FactorMatrix& h, ThreadPool* pool = nullptr);
 
 /// The regularized objective J(W, H) of Eq. (1):
 ///   1/2 Σ (A_ij − ⟨w_i,h_j⟩)² + λ/2 (Σ_i |Ω_i|‖w_i‖² + Σ_j |Ω̄_j|‖h_j‖²).
 double Objective(const SparseMatrix& train, const FactorMatrix& w,
-                 const FactorMatrix& h, double lambda);
+                 const FactorMatrix& h, double lambda,
+                 ThreadPool* pool = nullptr);
 
 /// Sum of squared errors only (the loss term of the objective, unhalved).
 double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
-                    const FactorMatrix& h);
+                    const FactorMatrix& h, ThreadPool* pool = nullptr);
 
 }  // namespace nomad
 

@@ -1,15 +1,19 @@
 #include "linalg/dense_ops.h"
 
+#include "linalg/simd_ops.h"
+
 namespace nomad {
 
+// The hot kernels forward to the runtime-dispatched table (AVX2+FMA where
+// the CPU supports it, scalar otherwise) so every solver shares one
+// vectorized inner loop. See simd_ops.h for the dispatch rules.
+
 double Dot(const double* a, const double* b, int k) {
-  double sum = 0.0;
-  for (int i = 0; i < k; ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Active().dot(a, b, k);
 }
 
 void Axpy(double alpha, const double* x, double* y, int k) {
-  for (int i = 0; i < k; ++i) y[i] += alpha * x[i];
+  simd::Active().axpy(alpha, x, y, k);
 }
 
 void Scale(double alpha, double* x, int k) {
@@ -20,20 +24,13 @@ void CopyVec(const double* src, double* dst, int k) {
   for (int i = 0; i < k; ++i) dst[i] = src[i];
 }
 
-double SquaredNorm(const double* a, int k) { return Dot(a, a, k); }
+double SquaredNorm(const double* a, int k) {
+  return simd::Active().squared_norm(a, k);
+}
 
 double SgdUpdatePair(double rating, double step, double lambda, double* w,
                      double* h, int k) {
-  const double err = rating - Dot(w, h, k);
-  const double se = step * err;
-  const double decay = 1.0 - step * lambda;
-  // w_new = w + s(e·h − λw); h_new = h + s(e·w_old − λh).
-  for (int i = 0; i < k; ++i) {
-    const double w_old = w[i];
-    w[i] = decay * w_old + se * h[i];
-    h[i] = decay * h[i] + se * w_old;
-  }
-  return err;
+  return simd::Active().sgd_update_pair(rating, step, lambda, w, h, k);
 }
 
 }  // namespace nomad

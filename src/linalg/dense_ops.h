@@ -5,9 +5,10 @@
 
 namespace nomad {
 
-/// Small dense-vector kernels over raw double arrays of length k. These are
-/// the inner loops of every solver; they are written as simple loops the
-/// compiler auto-vectorizes (k is typically 10-100).
+/// Small dense-vector kernels over raw double arrays of length k — the
+/// inner loops of every solver (k is typically 10-100). Dot/Axpy/
+/// SquaredNorm/SgdUpdatePair forward to the runtime-dispatched SIMD table
+/// in simd_ops.h (AVX2+FMA on capable x86 hosts, scalar elsewhere).
 
 /// Returns ⟨a, b⟩.
 double Dot(const double* a, const double* b, int k);

@@ -1,0 +1,57 @@
+#ifndef NOMAD_LINALG_SIMD_OPS_H_
+#define NOMAD_LINALG_SIMD_OPS_H_
+
+namespace nomad {
+namespace simd {
+
+/// Vectorized implementations of the dense-vector kernels behind every SGD
+/// update (paper Eqs. 9-10). The best instruction set is chosen once at
+/// runtime (AVX2+FMA when the CPU supports it, portable scalar otherwise);
+/// dense_ops.h routes through the active table, so every solver — NOMAD and
+/// the SGD-family baselines alike — picks up the vectorized hot path without
+/// recompiling for a specific machine.
+///
+/// All kernels accept unaligned pointers (FactorMatrix rows happen to be
+/// cache-line aligned, but test vectors and tails are not) and any k >= 0;
+/// the vector bodies handle k % 4 tails with a scalar epilogue.
+///
+/// Numerical note: the AVX2 kernels use FMA and a fixed 2×4-lane
+/// accumulation tree, so results can differ from the scalar reference by
+/// normal floating-point reassociation error (~1 ulp per term). Within one
+/// process the dispatch is fixed, so runs remain bit-deterministic.
+struct KernelTable {
+  double (*dot)(const double* a, const double* b, int k);
+  void (*axpy)(double alpha, const double* x, double* y, int k);
+  double (*squared_norm)(const double* a, int k);
+  /// Fused single-pass SGD pair update (see dense_ops.h SgdUpdatePair):
+  /// one vector pass computes the error term, a second writes both new
+  /// rows from one load of w and h each — no pre-update w copy.
+  double (*sgd_update_pair)(double rating, double step, double lambda,
+                            double* w, double* h, int k);
+  const char* isa;  // "avx2+fma" or "scalar"
+};
+
+/// Portable scalar reference kernels (also the correctness oracle for
+/// simd_ops_test and the baseline side of bench_kernel_throughput).
+const KernelTable& Scalar();
+
+/// The fastest table this binary can run on this CPU. Compile-time gated:
+/// on non-x86 (or non-GCC-compatible) builds this is Scalar().
+const KernelTable& BestAvailable();
+
+/// The table dense_ops.h currently routes through. Defaults to
+/// BestAvailable() on first use.
+const KernelTable& Active();
+
+/// Replaces the active table. Not thread-safe; intended for tests and
+/// benchmarks only — call before any solver threads are running.
+void SetActive(const KernelTable& table);
+
+/// True when the runtime CPU supports the AVX2+FMA kernels and they were
+/// compiled in.
+bool HasAvx2Fma();
+
+}  // namespace simd
+}  // namespace nomad
+
+#endif  // NOMAD_LINALG_SIMD_OPS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "solver/sgd_kernel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace nomad {
 
@@ -130,6 +132,12 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
   PauseGate gate(p);
   std::atomic<bool> stop{false};
   std::atomic<int64_t> total_updates{0};
+  // Updates the workers may apply before the driver's next trace point /
+  // budget stop. Workers check it per token, so overshoot stays bounded by
+  // p × (ratings of one column) no matter how rarely the driver thread gets
+  // scheduled — tokens keep circulating (without updates) until the driver
+  // notices and pauses.
+  std::atomic<int64_t> updates_cap{0};
 
   // Owner table asserting the single-ownership invariant behind NOMAD's
   // lock-freedom and serializability: a token (and hence its h_j row) must
@@ -139,43 +147,83 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
 
   const UpdateKernel kernel(*schedule.value(), loss.value().get(),
                             options.lambda, k);
+  // Tokens drained per queue lock; clamped so one worker cannot hoard the
+  // whole item set (which would starve circulation on tiny problems).
+  const int batch = static_cast<int>(std::min<int64_t>(
+      options.token_batch_size, std::max<int64_t>(1, ds.cols / (2 * p))));
   auto worker_fn = [&](int q) {
     Rng rng(options.seed + 7919ULL * static_cast<uint64_t>(q + 1));
+    std::vector<int32_t> tokens(static_cast<size_t>(batch));
+    std::vector<int> dests(static_cast<size_t>(batch));
+    // Per-destination hand-off buffers: tokens bound for the same queue
+    // leave in one PushBatch (one lock acquisition per destination).
+    std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p));
+    for (auto& buf : outbound) buf.reserve(static_cast<size_t>(batch));
+    int idle_streak = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       gate.CheckIn();
       // Re-check after a pause: the driver may have taken the final trace
       // point; no update may happen after it, or the returned factors
       // would not match the recorded trace.
       if (stop.load(std::memory_order_relaxed)) break;
-      auto token = queues[static_cast<size_t>(q)]->TryPop();
-      if (!token.has_value()) {
-        std::this_thread::yield();
+      const size_t got = queues[static_cast<size_t>(q)]->TryPopBatch(
+          tokens.data(), static_cast<size_t>(batch));
+      if (got == 0) {
+        // Empty queue: yield a few times first (a token usually arrives
+        // within a scheduling quantum), then back off exponentially so an
+        // idle worker stops hammering its queue's mutex and the memory bus.
+        if (idle_streak < 4) {
+          std::this_thread::yield();
+        } else {
+          const int shift = std::min(idle_streak - 4, 7);  // 1..128 µs
+          std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
+        }
+        ++idle_streak;
         continue;
       }
-      const int32_t j = *token;
-      int expected = -1;
-      NOMAD_CHECK(owner[static_cast<size_t>(j)].compare_exchange_strong(
-          expected, q, std::memory_order_acquire))
-          << "item " << j << " already owned by worker " << expected;
-      int32_t n = 0;
-      const ColumnShards::Entry* entries = shards.ColEntries(q, j, &n);
-      double* hj = h.Row(j);
-      for (int32_t t = 0; t < n; ++t) {
-        const ColumnShards::Entry& e = entries[t];
-        kernel.Apply(e.value, &counts, e.csc_pos, w.Row(e.row), hj);
+      idle_streak = 0;
+      for (size_t b = 0; b < got; ++b) {
+        const int32_t j = tokens[b];
+        // Ownership invariant behind NOMAD's lock-freedom. The CAS runs as
+        // a named statement (not as a check-macro argument) so the side
+        // effect is obvious and survives if the always-on NOMAD_CHECK is
+        // ever demoted to a debug-only NOMAD_DCHECK.
+        int expected = -1;
+        const bool acquired =
+            owner[static_cast<size_t>(j)].compare_exchange_strong(
+                expected, q, std::memory_order_acquire);
+        NOMAD_CHECK(acquired)
+            << "item " << j << " already owned by worker " << expected;
+        // At the cap the token hops on unprocessed; the driver will pause
+        // everyone for the trace point before raising the cap.
+        if (total_updates.load(std::memory_order_relaxed) <
+            updates_cap.load(std::memory_order_relaxed)) {
+          int32_t n = 0;
+          const ColumnShards::Entry* entries = shards.ColEntries(q, j, &n);
+          double* hj = h.Row(j);
+          for (int32_t t = 0; t < n; ++t) {
+            const ColumnShards::Entry& e = entries[t];
+            kernel.Apply(e.value, &counts, e.csc_pos, w.Row(e.row), hj);
+          }
+          if (n > 0) total_updates.fetch_add(n, std::memory_order_relaxed);
+        }
+        owner[static_cast<size_t>(j)].store(-1, std::memory_order_release);
       }
-      if (n > 0) total_updates.fetch_add(n, std::memory_order_relaxed);
-      owner[static_cast<size_t>(j)].store(-1, std::memory_order_release);
-      queues[static_cast<size_t>(router.Pick(q, &rng, probe))]->Push(j);
+      router.PickBatch(q, &rng, probe, static_cast<int>(got), dests.data());
+      for (size_t b = 0; b < got; ++b) {
+        outbound[static_cast<size_t>(dests[b])].push_back(tokens[b]);
+      }
+      for (int d = 0; d < p; ++d) {
+        auto& buf = outbound[static_cast<size_t>(d)];
+        if (buf.empty()) continue;
+        queues[static_cast<size_t>(d)]->PushBatch(buf.data(), buf.size());
+        buf.clear();
+      }
     }
   };
 
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(p));
-  Stopwatch wall;
-  for (int q = 0; q < p; ++q) workers.emplace_back(worker_fn, q);
-
-  // Driver loop: watches stopping criteria and takes trace points.
+  // Driver setup: stopping criteria and trace cadence (the update cap must
+  // be in place before the workers start).
   const int64_t epoch_updates = std::max<int64_t>(ds.train.nnz(), 1);
   const int64_t eval_every = options.eval_every_updates > 0
                                  ? options.eval_every_updates
@@ -185,10 +233,53 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
           ? options.max_updates
           : (options.max_epochs > 0 ? options.max_epochs * epoch_updates
                                     : -1);
+  // Workers are quiesced during evaluation, so the pool's threads have the
+  // machine to themselves; test-set RMSE (and optionally the objective)
+  // splits across them instead of running serially on the driver.
+  ThreadPool eval_pool(p);
   double train_seconds = 0.0;  // excludes evaluation pauses
   int64_t next_eval = eval_every;
+  const auto cap_for = [max_updates](int64_t eval_at) {
+    return max_updates > 0 ? std::min(eval_at, max_updates) : eval_at;
+  };
+  updates_cap.store(cap_for(next_eval), std::memory_order_relaxed);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(p));
+  Stopwatch wall;
+  for (int q = 0; q < p; ++q) workers.emplace_back(worker_fn, q);
+
+  // Driver pacing: nap up to 100 µs between checks (the old yield()
+  // degenerated to a hot spin), but shorten the nap to half the estimated
+  // time to the next update threshold so batched workers cannot blow far
+  // past an update budget while the driver sleeps.
+  double est_rate = 0.0;  // updates per second, EWMA
+  int64_t last_done = 0;
+  Stopwatch tick;
   for (;;) {
-    std::this_thread::yield();
+    {
+      const int64_t done_now = total_updates.load(std::memory_order_relaxed);
+      const double dt = tick.ElapsedSeconds();
+      if (dt > 20e-6) {
+        const double inst =
+            static_cast<double>(done_now - last_done) / dt;
+        est_rate = est_rate > 0.0 ? 0.5 * est_rate + 0.5 * inst : inst;
+        last_done = done_now;
+        tick.Restart();
+      }
+      int64_t threshold = next_eval;
+      if (max_updates > 0) threshold = std::min(threshold, max_updates);
+      const int64_t remaining = threshold - done_now;
+      double nap = 100e-6;
+      if (est_rate > 0.0 && remaining > 0) {
+        nap = std::min(nap, 0.5 * static_cast<double>(remaining) / est_rate);
+      }
+      if (remaining <= 0 || nap < 2e-6) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double>(nap));
+      }
+    }
     const int64_t done = total_updates.load(std::memory_order_relaxed);
     const double elapsed = train_seconds + wall.ElapsedSeconds();
     const bool out_of_time =
@@ -202,12 +293,13 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
       TracePoint pt;
       pt.seconds = train_seconds;
       pt.updates = updates_now;
-      pt.test_rmse = Rmse(ds.test, w, h);
+      pt.test_rmse = Rmse(ds.test, w, h, &eval_pool);
       if (options.record_objective) {
-        pt.objective = Objective(ds.train, w, h, options.lambda);
+        pt.objective = Objective(ds.train, w, h, options.lambda, &eval_pool);
       }
       result.trace.Add(pt);
       next_eval = updates_now + eval_every;
+      updates_cap.store(cap_for(next_eval), std::memory_order_relaxed);
       if (out_of_time || out_of_updates) {
         stop.store(true, std::memory_order_relaxed);
         gate.Resume();
@@ -215,6 +307,9 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
       }
       wall.Restart();
       gate.Resume();
+      // The pause froze the workers; drop it from the rate estimate.
+      last_done = total_updates.load(std::memory_order_relaxed);
+      tick.Restart();
     }
   }
   for (auto& t : workers) t.join();

@@ -1,5 +1,7 @@
 #include "nomad/token_router.h"
 
+#include <vector>
+
 namespace nomad {
 
 int TokenRouter::Pick(int /*self*/, Rng* rng, const SizeProbe& probe) const {
@@ -10,6 +12,46 @@ int TokenRouter::Pick(int /*self*/, Rng* rng, const SizeProbe& probe) const {
       static_cast<uint64_t>(num_workers_)));
   if (b == a) b = (b + 1) % num_workers_;
   return probe(a) <= probe(b) ? a : b;
+}
+
+void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
+                            int n, int* out) const {
+  if (n <= 0) return;
+  if (routing_ == Routing::kUniform || num_workers_ == 1) {
+    for (int t = 0; t < n; ++t) {
+      out[t] = static_cast<int>(
+          rng->NextBelow(static_cast<uint64_t>(num_workers_)));
+    }
+    return;
+  }
+  // Least-loaded, power-of-two choices with a lazily filled size cache:
+  // each queue pays at most one probe per batch, and every placement bumps
+  // the cached size so later tokens in the batch see the updated load.
+  // Thread-local scratch — PickBatch runs once per drained batch in every
+  // worker's hot loop, so per-call heap allocation would hand the lock
+  // savings straight to the allocator.
+  thread_local std::vector<size_t> sizes;
+  thread_local std::vector<char> probed;
+  sizes.assign(static_cast<size_t>(num_workers_), 0);
+  probed.assign(static_cast<size_t>(num_workers_), 0);
+  const auto load = [&](int q) {
+    if (!probed[static_cast<size_t>(q)]) {
+      sizes[static_cast<size_t>(q)] = probe(q);
+      probed[static_cast<size_t>(q)] = 1;
+    }
+    return sizes[static_cast<size_t>(q)];
+  };
+  (void)self;
+  for (int t = 0; t < n; ++t) {
+    const int a = static_cast<int>(
+        rng->NextBelow(static_cast<uint64_t>(num_workers_)));
+    int b = static_cast<int>(
+        rng->NextBelow(static_cast<uint64_t>(num_workers_)));
+    if (b == a) b = (b + 1) % num_workers_;
+    const int dst = load(a) <= load(b) ? a : b;
+    out[t] = dst;
+    ++sizes[static_cast<size_t>(dst)];
+  }
 }
 
 }  // namespace nomad

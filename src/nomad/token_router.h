@@ -28,6 +28,15 @@ class TokenRouter {
   /// be routed back to the sender, as in the paper).
   int Pick(int self, Rng* rng, const SizeProbe& probe) const;
 
+  /// Picks destinations for `n` tokens at once, writing them to `out`.
+  /// Equivalent to n independent Pick() draws, except that under
+  /// least-loaded routing each queue is probed at most once per batch (the
+  /// probe takes the destination queue's lock, so this amortizes locking
+  /// the same way PushBatch does) and tokens already placed in this batch
+  /// count toward the cached sizes, spreading the batch across queues.
+  void PickBatch(int self, Rng* rng, const SizeProbe& probe, int n,
+                 int* out) const;
+
   Routing routing() const { return routing_; }
 
  private:

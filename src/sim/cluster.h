@@ -34,6 +34,12 @@ struct SimOptions {
                              // (Sec. 3.5, following Smola & Narayanamurthy)
   bool circulate = true;     // Sec. 3.4 intra-machine token circulation
   double flush_delay = 2e-4; // max virtual seconds a partial batch waits
+  // Tokens a simulated worker drains from its queue per busy period —
+  // mirrors the shared-memory TrainOptions::token_batch_size hand-off
+  // batching. Defaults to 1 (strict token-at-a-time, the paper's
+  // Algorithm 1) so the deterministic figure benches keep their seed
+  // trajectories; batching experiments opt in explicitly.
+  int worker_batch_size = 1;
 
   /// When non-null, sim_nomad appends every (worker, item) token-processing
   /// step in execution order. The serializability property test replays

@@ -32,6 +32,9 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
   if (options.batch_size <= 0) {
     return Status::InvalidArgument("batch_size must be positive");
   }
+  if (options.worker_batch_size <= 0) {
+    return Status::InvalidArgument("worker_batch_size must be positive");
+  }
   auto schedule = MakeSchedule(train.schedule, train.alpha, train.beta);
   if (!schedule.ok()) return schedule.status();
   const StepSchedule& sched = *schedule.value();
@@ -185,54 +188,117 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
     }
   };
 
+  // Applies one token's updates (logging first, as the replay contract
+  // requires) and returns how many ratings it covered.
+  const auto process_token = [&](int worker, const Token& token) {
+    if (options.process_log != nullptr) {
+      options.process_log->emplace_back(worker, token.item);
+    }
+    int32_t count = 0;
+    const ColumnShards::Entry* entries =
+        shards.ColEntries(worker, token.item, &count);
+    double* hj = h.Row(token.item);
+    for (int32_t t = 0; t < count; ++t) {
+      const ColumnShards::Entry& e = entries[t];
+      ScheduledSgdUpdate(e.value, sched, &counts, e.csc_pos, train.lambda,
+                         w.Row(e.row), hj, k);
+    }
+    total_updates += count;
+    return count;
+  };
+
+  // Takes the final trace point when the update budget is exhausted.
+  const auto budget_stop = [&](SimTime at) {
+    stopping = true;
+    TracePoint pt;
+    pt.seconds = at;
+    pt.updates = total_updates;
+    pt.test_rmse = Rmse(ds.test, w, h);
+    if (train.record_objective) {
+      pt.objective = Objective(ds.train, w, h, train.lambda);
+    }
+    result.train.trace.Add(pt);
+  };
+
   try_start = [&](int worker, SimTime now) {
     if (stopping || busy[static_cast<size_t>(worker)] ||
         queue[static_cast<size_t>(worker)].empty()) {
       return;
     }
     busy[static_cast<size_t>(worker)] = 1;
-    const Token token = queue[static_cast<size_t>(worker)].front();
-    queue[static_cast<size_t>(worker)].pop_front();
-    int32_t n = 0;
-    shards.ColEntries(worker, token.item, &n);
+    auto& wq = queue[static_cast<size_t>(worker)];
     const int machine = machine_of(worker);
-    // A token with no local ratings still costs a queue pop/push; charge a
-    // tenth of one rating update for the handling.
-    const double work =
-        n > 0 ? n * cluster.UpdateSeconds(machine, k)
-              : 0.1 * cluster.UpdateSeconds(machine, k);
-    eq.Schedule(now + work, [&, worker, token, work](SimTime at) {
-      result.busy_seconds += work;  // counted at completion so utilization
-                                    // never includes in-flight work
-      if (options.process_log != nullptr) {
-        options.process_log->emplace_back(worker, token.item);
-      }
-      int32_t count = 0;
-      const ColumnShards::Entry* entries =
-          shards.ColEntries(worker, token.item, &count);
-      double* hj = h.Row(token.item);
-      for (int32_t t = 0; t < count; ++t) {
-        const ColumnShards::Entry& e = entries[t];
-        ScheduledSgdUpdate(e.value, sched, &counts, e.csc_pos, train.lambda,
-                           w.Row(e.row), hj, k);
-      }
-      total_updates += count;
-      busy[static_cast<size_t>(worker)] = 0;
-      if (max_updates > 0 && total_updates >= max_updates && !stopping) {
-        // Budget exhausted: take the final trace point right here instead
-        // of waiting for the next evaluation tick.
-        stopping = true;
-        TracePoint pt;
-        pt.seconds = at;
-        pt.updates = total_updates;
-        pt.test_rmse = Rmse(ds.test, w, h);
-        if (train.record_objective) {
-          pt.objective = Objective(ds.train, w, h, train.lambda);
+
+    if (options.worker_batch_size == 1) {
+      // Token-at-a-time fast path (the default and the paper's Algorithm
+      // 1): scalar event captures, no per-event allocation.
+      const Token token = wq.front();
+      wq.pop_front();
+      int32_t n = 0;
+      shards.ColEntries(worker, token.item, &n);
+      const double work =
+          n > 0 ? n * cluster.UpdateSeconds(machine, k)
+                : 0.1 * cluster.UpdateSeconds(machine, k);
+      eq.Schedule(now + work, [&, worker, token, work](SimTime at) {
+        result.busy_seconds += work;  // counted at completion so utilization
+                                      // never includes in-flight work
+        busy[static_cast<size_t>(worker)] = 0;
+        process_token(worker, token);
+        if (max_updates > 0 && total_updates >= max_updates && !stopping) {
+          budget_stop(at);
+          return;
         }
-        result.train.trace.Add(pt);
-        return;
+        route(worker, token, at);
+        try_start(worker, at);
+      });
+      return;
+    }
+
+    // Drain up to worker_batch_size queued tokens into one busy period —
+    // the virtual-time analogue of the shared-memory TryPopBatch hand-off.
+    std::vector<Token> batch;
+    while (!wq.empty() &&
+           static_cast<int>(batch.size()) < options.worker_batch_size) {
+      batch.push_back(wq.front());
+      wq.pop_front();
+    }
+    // Per-token costs, so an early budget stop mid-batch can charge (and
+    // timestamp) only the tokens whose updates were actually applied.
+    std::vector<double> works(batch.size());
+    double total_work = 0.0;
+    for (size_t b = 0; b < batch.size(); ++b) {
+      int32_t n = 0;
+      shards.ColEntries(worker, batch[b].item, &n);
+      // A token with no local ratings still costs a queue pop/push; charge
+      // a tenth of one rating update for the handling.
+      works[b] = n > 0 ? n * cluster.UpdateSeconds(machine, k)
+                       : 0.1 * cluster.UpdateSeconds(machine, k);
+      total_work += works[b];
+    }
+    eq.Schedule(now + total_work,
+                [&, worker, batch = std::move(batch),
+                 works = std::move(works), total_work](SimTime at) {
+      busy[static_cast<size_t>(worker)] = 0;
+      const SimTime start = at - total_work;
+      double done_work = 0.0;
+      for (size_t b = 0; b < batch.size(); ++b) {
+        const Token& token = batch[b];
+        done_work += works[b];
+        process_token(worker, token);
+        if (max_updates > 0 && total_updates >= max_updates && !stopping) {
+          // Budget exhausted: take the final trace point right here instead
+          // of waiting for the next evaluation tick, charging only the
+          // applied tokens' work. Unprocessed tokens of the batch stay
+          // unlogged so a serial replay of the log remains bit-exact.
+          result.busy_seconds += done_work;
+          budget_stop(start + done_work);
+          return;
+        }
+        route(worker, token, at);
       }
-      route(worker, token, at);
+      result.busy_seconds += total_work;  // counted at completion so
+                                          // utilization never includes
+                                          // in-flight work
       try_start(worker, at);
     });
   };

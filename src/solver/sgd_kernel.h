@@ -45,9 +45,10 @@ inline double ScheduledSgdUpdate(double rating, const StepSchedule& schedule,
 }
 
 /// Bundles schedule + loss + λ into the per-rating update the SGD-family
-/// solvers share. A null loss selects the specialized squared-loss kernel
-/// (the paper's setting and the fast path); any other Loss goes through the
-/// general gradient form of Sec. 2.
+/// solvers share (nomad, serial_sgd, hogwild, dsgd, dsgd++, fpsgd**). A
+/// null loss selects the specialized squared-loss kernel (the paper's
+/// setting and the SIMD fast path, see simd_ops.h); any other Loss goes
+/// through the general gradient form of Sec. 2.
 class UpdateKernel {
  public:
   UpdateKernel(const StepSchedule& schedule, const Loss* loss, double lambda,
@@ -56,7 +57,13 @@ class UpdateKernel {
 
   void Apply(double rating, StepCounts* counts, int64_t pos, double* w,
              double* h) const {
-    const double step = schedule_.Step(counts->NextCount(pos));
+    ApplyWithStep(rating, schedule_.Step(counts->NextCount(pos)), w, h);
+  }
+
+  /// Same update with a caller-chosen step size — the bold-driver path of
+  /// DSGD/DSGD++, which adapts one step per epoch instead of per rating.
+  void ApplyWithStep(double rating, double step, double* w,
+                     double* h) const {
     if (loss_ == nullptr) {
       SgdUpdatePair(rating, step, lambda_, w, h, k_);
     } else {

@@ -14,6 +14,9 @@ Status ValidateCommonOptions(const TrainOptions& options) {
   if (options.num_workers <= 0) {
     return Status::InvalidArgument("num_workers must be positive");
   }
+  if (options.token_batch_size <= 0) {
+    return Status::InvalidArgument("token_batch_size must be positive");
+  }
   if (options.max_seconds < 0 && options.max_updates < 0 &&
       options.max_epochs < 0) {
     return Status::InvalidArgument(

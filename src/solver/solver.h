@@ -57,6 +57,11 @@ struct TrainOptions {
 
   // -- NOMAD-specific --
   Routing routing = Routing::kUniform;
+  // Tokens a worker drains from its queue per lock acquisition (and the
+  // granularity of the batched hand-off back out). 1 reproduces the paper's
+  // token-at-a-time Algorithm 1; larger values amortize queue locking over
+  // the batch without changing the updates performed.
+  int token_batch_size = 8;
   bool partition_by_ratings = true;  // footnote 1: balance by rating count
   // Footnote 2: make the *user* parameters w_i nomadic and partition the
   // items instead. Usually worse (m >> n means more tokens to circulate)

@@ -1,0 +1,160 @@
+// The SIMD kernels must be drop-in replacements for the scalar reference:
+// same results up to floating-point reassociation (FMA + a fixed 8-lane
+// accumulation tree ⇒ differences of a few ulps of the accumulated
+// magnitude), across every k a solver might use and regardless of pointer
+// alignment. The scalar table is the oracle.
+
+#include "linalg/simd_ops.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_ops.h"
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+// Tolerance for comparing an accumulation of `k` terms of magnitude ~|m|
+// between two summation orders: a handful of ulps per term.
+double AccumTol(int k, double magnitude) {
+  return 8.0 * std::max(1.0, magnitude) * (k + 1) *
+         std::numeric_limits<double>::epsilon();
+}
+
+// Fills [0, k) with Uniform(-1, 1).
+void FillRandom(Rng* rng, double* v, int k) {
+  for (int i = 0; i < k; ++i) v[i] = rng->Uniform(-1, 1);
+}
+
+class SimdOpsTest : public ::testing::Test {
+ protected:
+  const simd::KernelTable& scalar_ = simd::Scalar();
+  const simd::KernelTable& best_ = simd::BestAvailable();
+};
+
+TEST_F(SimdOpsTest, DotMatchesScalarAcrossK) {
+  Rng rng(11);
+  for (int k = 0; k <= 128; ++k) {
+    std::vector<double> a(static_cast<size_t>(k) + 1);
+    std::vector<double> b(static_cast<size_t>(k) + 1);
+    FillRandom(&rng, a.data(), k);
+    FillRandom(&rng, b.data(), k);
+    const double expect = scalar_.dot(a.data(), b.data(), k);
+    const double got = best_.dot(a.data(), b.data(), k);
+    EXPECT_NEAR(got, expect, AccumTol(k, std::fabs(expect)))
+        << "k=" << k << " isa=" << best_.isa;
+  }
+}
+
+TEST_F(SimdOpsTest, SquaredNormMatchesScalarAcrossK) {
+  Rng rng(12);
+  for (int k = 0; k <= 128; ++k) {
+    std::vector<double> a(static_cast<size_t>(k) + 1);
+    FillRandom(&rng, a.data(), k);
+    const double expect = scalar_.squared_norm(a.data(), k);
+    const double got = best_.squared_norm(a.data(), k);
+    EXPECT_NEAR(got, expect, AccumTol(k, expect)) << "k=" << k;
+    EXPECT_GE(got, 0.0);
+  }
+}
+
+TEST_F(SimdOpsTest, AxpyMatchesScalarAcrossK) {
+  Rng rng(13);
+  for (int k = 0; k <= 128; ++k) {
+    std::vector<double> x(static_cast<size_t>(k) + 1);
+    FillRandom(&rng, x.data(), k);
+    std::vector<double> y_ref(static_cast<size_t>(k) + 1);
+    FillRandom(&rng, y_ref.data(), k);
+    std::vector<double> y_simd = y_ref;
+    const double alpha = rng.Uniform(-2, 2);
+    scalar_.axpy(alpha, x.data(), y_ref.data(), k);
+    best_.axpy(alpha, x.data(), y_simd.data(), k);
+    for (int i = 0; i < k; ++i) {
+      // Element-wise: one FMA vs mul+add differ by at most 1 rounding.
+      EXPECT_NEAR(y_simd[static_cast<size_t>(i)],
+                  y_ref[static_cast<size_t>(i)],
+                  4 * std::numeric_limits<double>::epsilon() *
+                      std::max(1.0, std::fabs(y_ref[static_cast<size_t>(i)])))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdOpsTest, SgdUpdatePairMatchesScalarAcrossK) {
+  Rng rng(14);
+  for (int k = 1; k <= 128; ++k) {
+    std::vector<double> w_ref(static_cast<size_t>(k));
+    std::vector<double> h_ref(static_cast<size_t>(k));
+    FillRandom(&rng, w_ref.data(), k);
+    FillRandom(&rng, h_ref.data(), k);
+    std::vector<double> w_simd = w_ref;
+    std::vector<double> h_simd = h_ref;
+    const double rating = rng.Uniform(-2, 2);
+    const double step = 0.01;
+    const double lambda = 0.05;
+    const double err_ref = scalar_.sgd_update_pair(
+        rating, step, lambda, w_ref.data(), h_ref.data(), k);
+    const double err_simd = best_.sgd_update_pair(
+        rating, step, lambda, w_simd.data(), h_simd.data(), k);
+    EXPECT_NEAR(err_simd, err_ref, AccumTol(k, std::fabs(err_ref)))
+        << "k=" << k;
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(w_simd[static_cast<size_t>(i)],
+                  w_ref[static_cast<size_t>(i)], AccumTol(k, 1.0))
+          << "k=" << k << " i=" << i;
+      EXPECT_NEAR(h_simd[static_cast<size_t>(i)],
+                  h_ref[static_cast<size_t>(i)], AccumTol(k, 1.0))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdOpsTest, UnalignedTailsAndOffsets) {
+  // Slide a window through an oversized buffer so the kernel sees every
+  // possible (mis)alignment of both operands, with k values that exercise
+  // the 8-wide body, the 4-wide step, and the scalar tail.
+  Rng rng(15);
+  constexpr int kMax = 64;
+  std::vector<double> buf_a(kMax + 16);
+  std::vector<double> buf_b(kMax + 16);
+  FillRandom(&rng, buf_a.data(), kMax + 16);
+  FillRandom(&rng, buf_b.data(), kMax + 16);
+  for (int offset = 0; offset < 8; ++offset) {
+    for (int k : {1, 3, 4, 5, 7, 8, 11, 12, 16, 23, 64}) {
+      const double* a = buf_a.data() + offset;
+      const double* b = buf_b.data() + offset + 3;  // different misalignment
+      const double expect = scalar_.dot(a, b, k);
+      const double got = best_.dot(a, b, k);
+      EXPECT_NEAR(got, expect, AccumTol(k, std::fabs(expect)))
+          << "offset=" << offset << " k=" << k;
+    }
+  }
+}
+
+TEST_F(SimdOpsTest, ActiveDefaultsToBestAndIsSwitchable) {
+  EXPECT_EQ(&simd::Active(), &simd::BestAvailable());
+  simd::SetActive(simd::Scalar());
+  EXPECT_EQ(&simd::Active(), &simd::Scalar());
+  // dense_ops routes through the active table.
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 12.0);
+  simd::SetActive(simd::BestAvailable());
+  EXPECT_EQ(&simd::Active(), &simd::BestAvailable());
+}
+
+TEST_F(SimdOpsTest, IsaReportingConsistent) {
+  EXPECT_STREQ(simd::Scalar().isa, "scalar");
+  if (simd::HasAvx2Fma()) {
+    EXPECT_STREQ(simd::BestAvailable().isa, "avx2+fma");
+  } else {
+    EXPECT_STREQ(simd::BestAvailable().isa, "scalar");
+  }
+}
+
+}  // namespace
+}  // namespace nomad

@@ -64,6 +64,7 @@ TrainOptions OptionsFromFlags(const Flags& flags) {
   o.beta = flags.GetDouble("beta", 0.01);
   o.loss = flags.GetString("loss", "squared");
   o.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  o.token_batch_size = static_cast<int>(flags.GetInt("token-batch", 8));
   o.max_epochs = static_cast<int>(flags.GetInt("epochs", 10));
   o.max_seconds = flags.GetDouble("max-seconds", -1.0);
   o.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
