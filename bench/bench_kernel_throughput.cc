@@ -3,9 +3,11 @@
 // successive PRs accumulate a perf trajectory.
 //
 //  1. SGD update kernel throughput (updates/sec) for the scalar reference
-//     vs the runtime-dispatched SIMD table, across latent ranks. The SIMD
-//     column is the paper's "as fast as the hardware allows" claim in
-//     microcosm: AVX2+FMA, fused single-pass pair update.
+//     vs the runtime-dispatched SIMD table, across latent ranks and for
+//     both storage precisions (f64 and f32 tables). The SIMD column is the
+//     paper's "as fast as the hardware allows" claim in microcosm: AVX2+FMA,
+//     fused single-pass pair update; the f32/f64 ratio (reported as
+//     f32_over_f64_sgd) is the win from halving the element width.
 //  2. Token hand-off cost: p workers circulating tokens through MpmcQueues
 //     token-at-a-time (batch=1, Algorithm 1 verbatim) vs batched
 //     (TryPopBatch/PushBatch), reporting tokens/sec and queue lock
@@ -15,6 +17,7 @@
 // --out=<path>). Flags: --seconds-per-case (default 0.2), --workers
 // (default 4), --batch (default 8).
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -67,47 +70,61 @@ struct KernelRow {
   double simd_rate;
 };
 
+/// One row of the SGD-update benchmark for either storage precision: the
+/// float table runs the same access pattern over rows of half the bytes,
+/// so the f64→f32 rate ratio is the bandwidth/lane win in isolation.
+template <typename T>
 KernelRow BenchSgdUpdate(int k, double seconds) {
-  // Mirror the solver's hot loop: a worker holding item token j sweeps the
-  // ratings of column j — distinct user rows w_i, one shared h_j. Cycling
-  // through a pool of w rows reproduces that access pattern (independent
-  // w chains, one loop-carried h chain) instead of measuring the pure
-  // latency of back-to-back updates on a single pair.
-  constexpr int kPool = 64;
-  std::vector<std::vector<double>> w(kPool,
-                                     std::vector<double>(static_cast<size_t>(k)));
-  std::vector<double> h(static_cast<size_t>(k));
+  // Mirror the solver's steady state, not a single dependency chain: a
+  // worker holding item token j sweeps the ratings of column j — distinct
+  // user rows w_i, one loop-carried h_j — and at any moment several such
+  // chains are in flight (this worker's next token, the other p−1 workers).
+  // Interleaving kChains independent h columns reproduces that overlap; a
+  // single chain would serialize every update behind the previous one's
+  // h store → dot → horizontal-sum latency and measure chain latency
+  // (identical for f32 and f64) instead of update throughput. The w pool is
+  // sized to spill L2 the way real factor matrices (hundreds of MB) do, so
+  // the memory-traffic half of the f32 win is visible too.
+  constexpr int kChains = 4;
+  constexpr int kPool = 16384;
+  std::vector<T> w(static_cast<size_t>(kPool) * static_cast<size_t>(k));
+  std::vector<T> h(static_cast<size_t>(kChains) * static_cast<size_t>(k));
   Rng rng(42);
-  for (auto& row : w) {
-    for (auto& v : row) v = rng.Uniform(-1, 1);
-  }
-  for (auto& v : h) v = rng.Uniform(-1, 1);
-  const auto run = [&](const simd::KernelTable& table) {
+  for (auto& v : w) v = static_cast<T>(rng.Uniform(-1, 1));
+  for (auto& v : h) v = static_cast<T>(rng.Uniform(-1, 1));
+  const auto run = [&](const simd::KernelTableT<T>& table) {
     return MeasureRate(seconds, [&](int64_t iters) {
-      for (int64_t i = 0; i < iters; ++i) {
-        table.sgd_update_pair(1.5, 1e-6, 0.05,
-                              w[static_cast<size_t>(i % kPool)].data(),
-                              h.data(), k);
+      const int64_t rounds = iters / kChains + 1;
+      for (int64_t i = 0; i < rounds; ++i) {
+        for (int c = 0; c < kChains; ++c) {
+          table.sgd_update_pair(
+              T{1.5}, T{1e-6}, T{0.05},
+              w.data() +
+                  static_cast<size_t>((i * kChains + c) % kPool) *
+                      static_cast<size_t>(k),
+              h.data() + static_cast<size_t>(c) * static_cast<size_t>(k), k);
+        }
       }
       DoNotOptimize(h.data());
     });
   };
-  return {k, run(simd::Scalar()), run(simd::BestAvailable())};
+  return {k, run(simd::ScalarTable<T>()), run(simd::BestAvailableTable<T>())};
 }
 
+template <typename T>
 KernelRow BenchDot(int k, double seconds) {
-  std::vector<double> a(static_cast<size_t>(k), 0.5);
-  std::vector<double> b(static_cast<size_t>(k), 0.25);
-  const auto run = [&](const simd::KernelTable& table) {
+  std::vector<T> a(static_cast<size_t>(k), T{0.5});
+  std::vector<T> b(static_cast<size_t>(k), T{0.25});
+  const auto run = [&](const simd::KernelTableT<T>& table) {
     return MeasureRate(seconds, [&](int64_t iters) {
-      double sink = 0.0;
+      T sink = T{0};
       for (int64_t i = 0; i < iters; ++i) {
         sink += table.dot(a.data(), b.data(), k);
       }
       DoNotOptimize(&sink);
     });
   };
-  return {k, run(simd::Scalar()), run(simd::BestAvailable())};
+  return {k, run(simd::ScalarTable<T>()), run(simd::BestAvailableTable<T>())};
 }
 
 struct HandoffRow {
@@ -193,7 +210,9 @@ HandoffRow BenchHandoff(int p, int batch, double seconds) {
 
 void WriteJson(const std::string& path, const std::string& isa,
                const std::vector<KernelRow>& sgd,
+               const std::vector<KernelRow>& sgd_f32,
                const std::vector<KernelRow>& dot,
+               const std::vector<KernelRow>& dot_f32,
                const std::vector<HandoffRow>& handoff) {
   FILE* f = std::fopen(path.c_str(), "w");
   NOMAD_CHECK(f != nullptr) << "cannot open " << path;
@@ -204,6 +223,14 @@ void WriteJson(const std::string& path, const std::string& isa,
   for (const KernelRow& r : sgd) geomean *= r.simd_rate / r.scalar_rate;
   geomean = std::pow(geomean, 1.0 / static_cast<double>(sgd.size()));
   std::fprintf(f, "  \"sgd_speedup_geomean\": %.3f,\n", geomean);
+  // Headline number for the float32 storage axis: fused-update throughput
+  // of the f32 table over the f64 table at the paper's largest common rank.
+  for (size_t i = 0; i < sgd.size() && i < sgd_f32.size(); ++i) {
+    if (sgd[i].k == 32 && sgd_f32[i].k == 32) {
+      std::fprintf(f, "  \"f32_over_f64_sgd_k32\": %.3f,\n",
+                   sgd_f32[i].simd_rate / sgd[i].simd_rate);
+    }
+  }
   const auto rows = [&](const char* name, const std::vector<KernelRow>& v) {
     std::fprintf(f, "  \"%s\": [\n", name);
     for (size_t i = 0; i < v.size(); ++i) {
@@ -217,7 +244,16 @@ void WriteJson(const std::string& path, const std::string& isa,
     std::fprintf(f, "  ],\n");
   };
   rows("sgd_update_pair", sgd);
+  rows("sgd_update_pair_f32", sgd_f32);
+  std::fprintf(f, "  \"f32_over_f64_sgd\": [\n");
+  for (size_t i = 0; i < sgd.size() && i < sgd_f32.size(); ++i) {
+    std::fprintf(f, "    {\"k\": %d, \"ratio\": %.3f}%s\n", sgd[i].k,
+                 sgd_f32[i].simd_rate / sgd[i].simd_rate,
+                 i + 1 < std::min(sgd.size(), sgd_f32.size()) ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   rows("dot", dot);
+  rows("dot_f32", dot_f32);
   std::fprintf(f, "  \"token_handoff\": [\n");
   for (size_t i = 0; i < handoff.size(); ++i) {
     std::fprintf(f,
@@ -242,18 +278,31 @@ int Run(int argc, char** argv) {
 
   std::printf("== kernel throughput (simd isa: %s) ==\n", isa.c_str());
   std::vector<KernelRow> sgd;
+  std::vector<KernelRow> sgd_f32;
   std::vector<KernelRow> dot;
+  std::vector<KernelRow> dot_f32;
   for (int k : {8, 16, 32, 64, 128}) {
-    sgd.push_back(BenchSgdUpdate(k, seconds));
+    sgd.push_back(BenchSgdUpdate<double>(k, seconds));
     std::printf("sgd_update_pair k=%-4d scalar %.3e/s  simd %.3e/s  (%.2fx)\n",
                 k, sgd.back().scalar_rate, sgd.back().simd_rate,
                 sgd.back().simd_rate / sgd.back().scalar_rate);
+    sgd_f32.push_back(BenchSgdUpdate<float>(k, seconds));
+    std::printf(
+        "sgd_update_f32  k=%-4d scalar %.3e/s  simd %.3e/s  (%.2fx, "
+        "%.2fx vs f64)\n",
+        k, sgd_f32.back().scalar_rate, sgd_f32.back().simd_rate,
+        sgd_f32.back().simd_rate / sgd_f32.back().scalar_rate,
+        sgd_f32.back().simd_rate / sgd.back().simd_rate);
   }
   for (int k : {16, 64, 128}) {
-    dot.push_back(BenchDot(k, seconds));
+    dot.push_back(BenchDot<double>(k, seconds));
     std::printf("dot             k=%-4d scalar %.3e/s  simd %.3e/s  (%.2fx)\n",
                 k, dot.back().scalar_rate, dot.back().simd_rate,
                 dot.back().simd_rate / dot.back().scalar_rate);
+    dot_f32.push_back(BenchDot<float>(k, seconds));
+    std::printf("dot_f32         k=%-4d scalar %.3e/s  simd %.3e/s  (%.2fx)\n",
+                k, dot_f32.back().scalar_rate, dot_f32.back().simd_rate,
+                dot_f32.back().simd_rate / dot_f32.back().scalar_rate);
   }
   std::vector<HandoffRow> handoff;
   for (int b : {1, batch}) {
@@ -263,7 +312,7 @@ int Run(int argc, char** argv) {
         p, b, handoff.back().tokens_per_sec,
         handoff.back().queue_ops_per_token);
   }
-  WriteJson(out, isa, sgd, dot, handoff);
+  WriteJson(out, isa, sgd, sgd_f32, dot, dot_f32, handoff);
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "baselines/als.h"
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "linalg/cholesky.h"
@@ -9,31 +10,36 @@
 
 namespace nomad {
 
-Result<TrainResult> AlsSolver::Train(const Dataset& ds,
-                                     const TrainOptions& options) {
+namespace {
+
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   if (options.loss != "squared" && !options.loss.empty()) {
-    return Status::InvalidArgument(Name() +
-                                   " supports only the squared loss");
+    return Status::InvalidArgument(name + " supports only the squared loss");
   }
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
-  FactorMatrix& w = result.w;
-  FactorMatrix& h = result.h;
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
   const int k = options.rank;
   const double lambda = options.lambda;
   const SparseMatrix& train = ds.train;
 
   ThreadPool pool(options.num_workers);
   // One normal-equation accumulator per pool shard to avoid re-allocation.
+  // The accumulators and the Cholesky solve stay double even for float
+  // factors (see NormalEquations); only the stored rows are Real.
   std::vector<std::unique_ptr<NormalEquations>> scratch;
   for (int q = 0; q < options.num_workers; ++q) {
     scratch.push_back(std::make_unique<NormalEquations>(k));
   }
 
-  EpochLoop loop(ds, options, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result);
   while (loop.Continue()) {
     // Update all w_i with H fixed.
     ParallelForShards(&pool, 0, train.rows(),
@@ -72,7 +78,17 @@ Result<TrainResult> AlsSolver::Train(const Dataset& ds,
     // Work accounting: one least-squares "update" per row and per column.
     loop.EndEpoch(train.rows() + train.cols());
   }
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> AlsSolver::Train(const Dataset& ds,
+                                     const TrainOptions& options) {
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

@@ -4,8 +4,10 @@
 
 namespace nomad {
 
-CcdppEngine::CcdppEngine(const SparseMatrix& train, double lambda,
-                         FactorMatrix* w, FactorMatrix* h, ThreadPool* pool)
+template <typename Real>
+CcdppEngineT<Real>::CcdppEngineT(const SparseMatrix& train, double lambda,
+                                 FactorMatrixT<Real>* w, FactorMatrixT<Real>* h,
+                                 ThreadPool* pool)
     : train_(train), lambda_(lambda), w_(w), h_(h), pool_(pool) {
   const int64_t nnz = train.nnz();
   const int k = w_->cols();
@@ -39,12 +41,14 @@ CcdppEngine::CcdppEngine(const SparseMatrix& train, double lambda,
     int64_t pos = row_offset_[static_cast<size_t>(row)];
     for (int32_t t = 0; t < n; ++t, ++pos) {
       residual_[static_cast<size_t>(pos)] =
-          vals[t] - Dot(w_->Row(row), h_->Row(cols[t]), k);
+          static_cast<double>(vals[t]) -
+          static_cast<double>(Dot(w_->Row(row), h_->Row(cols[t]), k));
     }
   });
 }
 
-void CcdppEngine::AddRankOneBack(int l) {
+template <typename Real>
+void CcdppEngineT<Real>::AddRankOneBack(int l) {
   ParallelFor(pool_, 0, train_.rows(), [&](int64_t i) {
     const int32_t row = static_cast<int32_t>(i);
     const double wil = w_->At(row, l);
@@ -57,7 +61,8 @@ void CcdppEngine::AddRankOneBack(int l) {
   });
 }
 
-void CcdppEngine::SubtractRankOne(int l) {
+template <typename Real>
+void CcdppEngineT<Real>::SubtractRankOne(int l) {
   ParallelFor(pool_, 0, train_.rows(), [&](int64_t i) {
     const int32_t row = static_cast<int32_t>(i);
     const double wil = w_->At(row, l);
@@ -70,7 +75,8 @@ void CcdppEngine::SubtractRankOne(int l) {
   });
 }
 
-void CcdppEngine::RowSweep(int l) {
+template <typename Real>
+void CcdppEngineT<Real>::RowSweep(int l) {
   ParallelFor(pool_, 0, train_.rows(), [&](int64_t i) {
     const int32_t row = static_cast<int32_t>(i);
     const int32_t n = train_.RowNnz(row);
@@ -84,11 +90,12 @@ void CcdppEngine::RowSweep(int l) {
       num += residual_[static_cast<size_t>(pos)] * hjl;
       den += hjl * hjl;
     }
-    w_->At(row, l) = num / den;
+    w_->At(row, l) = static_cast<Real>(num / den);
   });
 }
 
-void CcdppEngine::ColSweep(int l) {
+template <typename Real>
+void CcdppEngineT<Real>::ColSweep(int l) {
   ParallelFor(pool_, 0, train_.cols(), [&](int64_t j) {
     const int32_t col = static_cast<int32_t>(j);
     const int32_t n = train_.ColNnz(col);
@@ -104,11 +111,12 @@ void CcdppEngine::ColSweep(int l) {
              wil;
       den += wil * wil;
     }
-    h_->At(col, l) = num / den;
+    h_->At(col, l) = static_cast<Real>(num / den);
   });
 }
 
-void CcdppEngine::SweepEpoch(int inner_iters) {
+template <typename Real>
+void CcdppEngineT<Real>::SweepEpoch(int inner_iters) {
   const int k = w_->cols();
   for (int l = 0; l < k; ++l) {
     AddRankOneBack(l);
@@ -119,5 +127,8 @@ void CcdppEngine::SweepEpoch(int inner_iters) {
     SubtractRankOne(l);
   }
 }
+
+template class CcdppEngineT<float>;
+template class CcdppEngineT<double>;
 
 }  // namespace nomad

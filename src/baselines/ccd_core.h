@@ -14,15 +14,23 @@ namespace nomad {
 /// feature-wise rank-one coordinate descent with an explicitly maintained
 /// residual R = A − W Hᵀ.
 ///
+/// Templated on the factor storage precision. The residual and the
+/// rank-one numerator/denominator sums always live in double — CCD++'s
+/// convergence rests on the residual staying consistent across k sweeps,
+/// and a float residual drifts visibly after a few epochs — so float
+/// storage only rounds the factor entries themselves.
+///
 /// Thread-parallel when given a pool, bit-identical serial when pool is
 /// null — CCD++ is bulk-synchronous, so both modes produce the same
 /// trajectory (a property the tests assert).
-class CcdppEngine {
+template <typename Real>
+class CcdppEngineT {
  public:
   /// `w` and `h` must outlive the engine and already be initialized;
   /// the constructor computes the initial residual.
-  CcdppEngine(const SparseMatrix& train, double lambda, FactorMatrix* w,
-              FactorMatrix* h, ThreadPool* pool);
+  CcdppEngineT(const SparseMatrix& train, double lambda,
+               FactorMatrixT<Real>* w, FactorMatrixT<Real>* h,
+               ThreadPool* pool);
 
   /// One epoch: for each latent feature, `inner_iters` alternating
   /// closed-form sweeps over w_{·l} and h_{·l}.
@@ -41,14 +49,20 @@ class CcdppEngine {
 
   const SparseMatrix& train_;
   const double lambda_;
-  FactorMatrix* w_;
-  FactorMatrix* h_;
+  FactorMatrixT<Real>* w_;
+  FactorMatrixT<Real>* h_;
   ThreadPool* pool_;  // may be null (serial)
 
   std::vector<double> residual_;     // CSR order
   std::vector<int64_t> csc_to_csr_;  // CSC slot -> CSR slot
   std::vector<int64_t> row_offset_;  // CSR row offsets
 };
+
+using CcdppEngine = CcdppEngineT<double>;
+using CcdppEngineF = CcdppEngineT<float>;
+
+extern template class CcdppEngineT<float>;
+extern template class CcdppEngineT<double>;
 
 }  // namespace nomad
 

@@ -1,5 +1,6 @@
 #include "baselines/dsgd.h"
 
+#include <utility>
 #include <vector>
 
 #include "baselines/block_grid.h"
@@ -14,10 +15,11 @@ namespace {
 
 /// Runs SGD over one block in a fresh random order. Used by both DSGD and
 /// DSGD++.
+template <typename Real>
 void ProcessBlock(const std::vector<BlockEntry>& block,
-                  const UpdateKernel& kernel, StepCounts* counts, bool bold,
-                  double bold_step, FactorMatrix* w, FactorMatrix* h,
-                  Rng* rng) {
+                  const UpdateKernelT<Real>& kernel, StepCounts* counts,
+                  bool bold, double bold_step, FactorMatrixT<Real>* w,
+                  FactorMatrixT<Real>* h, Rng* rng) {
   std::vector<int32_t> order(block.size());
   for (size_t i = 0; i < block.size(); ++i) {
     order[i] = static_cast<int32_t>(i);
@@ -33,10 +35,9 @@ void ProcessBlock(const std::vector<BlockEntry>& block,
   }
 }
 
-}  // namespace
-
-Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
-                                      const TrainOptions& options) {
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
@@ -44,8 +45,11 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
   if (!loss.ok()) return loss.status();
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
   const int p = options.num_workers;
   const int k = options.rank;
 
@@ -55,10 +59,10 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
 
   StepCounts counts(ds.train.nnz());
   BoldDriver driver(options.alpha);
-  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
-                            options.lambda, k);
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.lambda, k);
   ThreadPool pool(p);
-  EpochLoop loop(ds, options, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result);
   int epoch = 0;
   while (loop.Continue()) {
     for (int s = 0; s < p; ++s) {
@@ -69,8 +73,7 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
                   17ULL * static_cast<uint64_t>(q) +
                   static_cast<uint64_t>(cb));
           ProcessBlock(grid.Block(q, cb), kernel, &counts,
-                       options.bold_driver, driver.step(), &result.w,
-                       &result.h, &rng);
+                       options.bold_driver, driver.step(), &w, &h, &rng);
         });
       }
       pool.Wait();  // the bulk-synchronization barrier
@@ -79,7 +82,17 @@ Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
     if (options.bold_driver) driver.EndEpoch(obj);
     ++epoch;
   }
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> DsgdSolver::Train(const Dataset& ds,
+                                      const TrainOptions& options) {
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

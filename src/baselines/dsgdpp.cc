@@ -1,5 +1,6 @@
 #include "baselines/dsgdpp.h"
 
+#include <utility>
 #include <vector>
 
 #include "baselines/block_grid.h"
@@ -10,8 +11,11 @@
 
 namespace nomad {
 
-Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
-                                        const TrainOptions& options) {
+namespace {
+
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
@@ -19,8 +23,11 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
   if (!loss.ok()) return loss.status();
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
   const int p = options.num_workers;
   const int k = options.rank;
   const int cblocks = 2 * p;
@@ -31,10 +38,10 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
 
   StepCounts counts(ds.train.nnz());
   BoldDriver driver(options.alpha);
-  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
-                            options.lambda, k);
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.lambda, k);
   ThreadPool pool(p);
-  EpochLoop loop(ds, options, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result);
   int epoch = 0;
   while (loop.Continue()) {
     for (int s = 0; s < cblocks; ++s) {
@@ -55,11 +62,11 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
           for (int32_t idx : order) {
             const BlockEntry& e = block[static_cast<size_t>(idx)];
             if (options.bold_driver) {
-              kernel.ApplyWithStep(e.value, driver.step(),
-                                   result.w.Row(e.row), result.h.Row(e.col));
+              kernel.ApplyWithStep(e.value, driver.step(), w.Row(e.row),
+                                   h.Row(e.col));
             } else {
-              kernel.Apply(e.value, &counts, e.pos, result.w.Row(e.row),
-                           result.h.Row(e.col));
+              kernel.Apply(e.value, &counts, e.pos, w.Row(e.row),
+                           h.Row(e.col));
             }
           }
         });
@@ -70,7 +77,17 @@ Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
     if (options.bold_driver) driver.EndEpoch(obj);
     ++epoch;
   }
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> DsgdppSolver::Train(const Dataset& ds,
+                                        const TrainOptions& options) {
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

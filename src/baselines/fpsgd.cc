@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/block_grid.h"
@@ -104,10 +105,9 @@ class TaskManager {
   int remaining_count_ = 0;
 };
 
-}  // namespace
-
-Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
-                                       const TrainOptions& options) {
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   if (options.fpsgd_grid_factor < 1) {
     return Status::InvalidArgument("fpsgd_grid_factor must be >= 1");
@@ -118,8 +118,11 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
   if (!loss.ok()) return loss.status();
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
   const int p = options.num_workers;
   const int k = options.rank;
   const int grid = options.fpsgd_grid_factor * p + 1;
@@ -129,10 +132,10 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
   const BlockGrid blocks = BlockGrid::Build(ds.train, row_part, col_part);
 
   StepCounts counts(ds.train.nnz());
-  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
-                            options.lambda, k);
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.lambda, k);
   TaskManager manager(grid, options.seed ^ 0xF9F9F9F9ULL);
-  EpochLoop loop(ds, options, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result);
   int epoch = 0;
   while (loop.Continue()) {
     manager.StartEpoch();
@@ -154,8 +157,7 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
           rng.Shuffle(&order);
           for (int32_t idx : order) {
             const BlockEntry& e = block[static_cast<size_t>(idx)];
-            kernel.Apply(e.value, &counts, e.pos, result.w.Row(e.row),
-                         result.h.Row(e.col));
+            kernel.Apply(e.value, &counts, e.pos, w.Row(e.row), h.Row(e.col));
           }
           manager.Release(rb, cb);
         }
@@ -165,7 +167,17 @@ Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
     loop.EndEpoch(ds.train.nnz());
     ++epoch;
   }
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> FpsgdSolver::Train(const Dataset& ds,
+                                       const TrainOptions& options) {
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

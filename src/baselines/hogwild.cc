@@ -1,6 +1,7 @@
 #include "baselines/hogwild.h"
 
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "solver/epoch_loop.h"
@@ -9,8 +10,11 @@
 
 namespace nomad {
 
-Result<TrainResult> HogwildSolver::Train(const Dataset& ds,
-                                         const TrainOptions& options) {
+namespace {
+
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
@@ -18,8 +22,11 @@ Result<TrainResult> HogwildSolver::Train(const Dataset& ds,
   if (!loss.ok()) return loss.status();
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
   const int k = options.rank;
   const int p = options.num_workers;
 
@@ -30,8 +37,9 @@ Result<TrainResult> HogwildSolver::Train(const Dataset& ds,
   };
   const int64_t nnz = ds.train.nnz();
   if (nnz == 0) {
-    EpochLoop loop(ds, options, &result);
+    EpochLoopT<Real> loop(ds, options, w, h, &result);
     loop.EndEpoch(0);
+    StoreTrainedFactors(std::move(w), std::move(h), &result);
     return result;
   }
   std::vector<Obs> obs;
@@ -47,10 +55,10 @@ Result<TrainResult> HogwildSolver::Train(const Dataset& ds,
   // counter merely loses an occasional increment, slightly slowing the
   // schedule decay — consistent with Hogwild's benign-race philosophy.
   StepCounts counts(nnz);
-  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
-                            options.lambda, k);
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.lambda, k);
 
-  EpochLoop loop(ds, options, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result);
   while (loop.Continue()) {
     const int64_t per_worker = (nnz + p - 1) / p;
     std::vector<std::thread> threads;
@@ -63,15 +71,24 @@ Result<TrainResult> HogwildSolver::Train(const Dataset& ds,
           const int64_t pos =
               static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(nnz)));
           const Obs& o = obs[static_cast<size_t>(pos)];
-          kernel.Apply(o.value, &counts, pos, result.w.Row(o.row),
-                       result.h.Row(o.col));
+          kernel.Apply(o.value, &counts, pos, w.Row(o.row), h.Row(o.col));
         }
       });
     }
     for (auto& t : threads) t.join();
     loop.EndEpoch(per_worker * p);
   }
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> HogwildSolver::Train(const Dataset& ds,
+                                         const TrainOptions& options) {
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

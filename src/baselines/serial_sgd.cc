@@ -1,5 +1,6 @@
 #include "baselines/serial_sgd.h"
 
+#include <utility>
 #include <vector>
 
 #include "solver/epoch_loop.h"
@@ -8,8 +9,11 @@
 
 namespace nomad {
 
-Result<TrainResult> SerialSgdSolver::Train(const Dataset& ds,
-                                           const TrainOptions& options) {
+namespace {
+
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
@@ -17,8 +21,11 @@ Result<TrainResult> SerialSgdSolver::Train(const Dataset& ds,
   if (!loss.ok()) return loss.status();
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
   const int k = options.rank;
 
   // Flatten training ratings in CSC order so positions key the step counts.
@@ -42,20 +49,29 @@ Result<TrainResult> SerialSgdSolver::Train(const Dataset& ds,
   for (int64_t i = 0; i < nnz; ++i) order[static_cast<size_t>(i)] = i;
 
   StepCounts counts(nnz);
-  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
-                            options.lambda, k);
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.lambda, k);
   Rng rng(options.seed + 13);
-  EpochLoop loop(ds, options, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result);
   while (loop.Continue()) {
     rng.Shuffle(&order);
     for (int64_t pos : order) {
       const Obs& o = obs[static_cast<size_t>(pos)];
-      kernel.Apply(o.value, &counts, pos, result.w.Row(o.row),
-                   result.h.Row(o.col));
+      kernel.Apply(o.value, &counts, pos, w.Row(o.row), h.Row(o.col));
     }
     loop.EndEpoch(nnz);
   }
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> SerialSgdSolver::Train(const Dataset& ds,
+                                           const TrainOptions& options) {
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

@@ -77,10 +77,14 @@ double ParallelWeightedSum(
   return sum;
 }
 
-}  // namespace
-
-double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
-                    const FactorMatrix& h, ThreadPool* pool) {
+/// Shared implementation over either storage precision. The per-rating
+/// prediction ⟨w_i, h_j⟩ uses the SIMD dot for the row's own element type
+/// (f32 rows keep their 8-lane kernels), and every sum past that point is
+/// double — so metric traces from f32 and f64 runs differ only by the f32
+/// rows themselves, not by accumulation error.
+template <typename Real>
+double SquaredErrorT(const SparseMatrix& ratings, const FactorMatrixT<Real>& w,
+                     const FactorMatrixT<Real>& h, ThreadPool* pool) {
   NOMAD_CHECK_EQ(w.cols(), h.cols());
   const int k = w.cols();
   const auto row_nnz = [&ratings](int64_t i) {
@@ -95,9 +99,10 @@ double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
       const int32_t n = ratings.RowNnz(row);
       const int32_t* cols = ratings.RowCols(row);
       const float* vals = ratings.RowVals(row);
-      const double* wi = w.Row(row);
+      const Real* wi = w.Row(row);
       for (int32_t p = 0; p < n; ++p) {
-        const double err = vals[p] - Dot(wi, h.Row(cols[p]), k);
+        const double err = static_cast<double>(vals[p]) -
+                           static_cast<double>(Dot(wi, h.Row(cols[p]), k));
         sum += err * err;
       }
     }
@@ -105,22 +110,26 @@ double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
   });
 }
 
-double Rmse(const SparseMatrix& ratings, const FactorMatrix& w,
-            const FactorMatrix& h, ThreadPool* pool) {
+template <typename Real>
+double RmseT(const SparseMatrix& ratings, const FactorMatrixT<Real>& w,
+             const FactorMatrixT<Real>& h, ThreadPool* pool) {
   if (ratings.nnz() == 0) return 0.0;
-  return std::sqrt(SquaredError(ratings, w, h, pool) /
+  return std::sqrt(SquaredErrorT(ratings, w, h, pool) /
                    static_cast<double>(ratings.nnz()));
 }
 
-double Objective(const SparseMatrix& train, const FactorMatrix& w,
-                 const FactorMatrix& h, double lambda, ThreadPool* pool) {
+template <typename Real>
+double ObjectiveT(const SparseMatrix& train, const FactorMatrixT<Real>& w,
+                  const FactorMatrixT<Real>& h, double lambda,
+                  ThreadPool* pool) {
   const int k = w.cols();
-  double obj = 0.5 * SquaredError(train, w, h, pool);
+  double obj = 0.5 * SquaredErrorT(train, w, h, pool);
   obj += ParallelSum(pool, train.rows(), [&](int64_t begin, int64_t end) {
     double sum = 0.0;
     for (int64_t i = begin; i < end; ++i) {
       const int32_t row = static_cast<int32_t>(i);
-      sum += 0.5 * lambda * train.RowNnz(row) * SquaredNorm(w.Row(row), k);
+      sum += 0.5 * lambda * train.RowNnz(row) *
+             static_cast<double>(SquaredNorm(w.Row(row), k));
     }
     return sum;
   });
@@ -128,11 +137,44 @@ double Objective(const SparseMatrix& train, const FactorMatrix& w,
     double sum = 0.0;
     for (int64_t j = begin; j < end; ++j) {
       const int32_t col = static_cast<int32_t>(j);
-      sum += 0.5 * lambda * train.ColNnz(col) * SquaredNorm(h.Row(col), k);
+      sum += 0.5 * lambda * train.ColNnz(col) *
+             static_cast<double>(SquaredNorm(h.Row(col), k));
     }
     return sum;
   });
   return obj;
+}
+
+}  // namespace
+
+double SquaredError(const SparseMatrix& ratings, const FactorMatrix& w,
+                    const FactorMatrix& h, ThreadPool* pool) {
+  return SquaredErrorT<double>(ratings, w, h, pool);
+}
+
+double SquaredError(const SparseMatrix& ratings, const FactorMatrixF& w,
+                    const FactorMatrixF& h, ThreadPool* pool) {
+  return SquaredErrorT<float>(ratings, w, h, pool);
+}
+
+double Rmse(const SparseMatrix& ratings, const FactorMatrix& w,
+            const FactorMatrix& h, ThreadPool* pool) {
+  return RmseT<double>(ratings, w, h, pool);
+}
+
+double Rmse(const SparseMatrix& ratings, const FactorMatrixF& w,
+            const FactorMatrixF& h, ThreadPool* pool) {
+  return RmseT<float>(ratings, w, h, pool);
+}
+
+double Objective(const SparseMatrix& train, const FactorMatrix& w,
+                 const FactorMatrix& h, double lambda, ThreadPool* pool) {
+  return ObjectiveT<double>(train, w, h, lambda, pool);
+}
+
+double Objective(const SparseMatrix& train, const FactorMatrixF& w,
+                 const FactorMatrixF& h, double lambda, ThreadPool* pool) {
+  return ObjectiveT<float>(train, w, h, lambda, pool);
 }
 
 }  // namespace nomad

@@ -46,17 +46,9 @@ NormalEquations::NormalEquations(int k)
     : k_(k),
       m_(static_cast<size_t>(k) * static_cast<size_t>(k), 0.0),
       rhs_(static_cast<size_t>(k), 0.0),
-      scratch_(m_.size()) {
+      scratch_(m_.size()),
+      x_(rhs_.size()) {
   NOMAD_CHECK_GT(k, 0);
-}
-
-void NormalEquations::Add(const double* h, double rating) {
-  for (int i = 0; i < k_; ++i) {
-    const double hi = h[i];
-    double* row = m_.data() + static_cast<size_t>(i) * k_;
-    for (int j = 0; j <= i; ++j) row[j] += hi * h[j];
-    rhs_[static_cast<size_t>(i)] += rating * hi;
-  }
 }
 
 void NormalEquations::Reset() {
@@ -64,7 +56,7 @@ void NormalEquations::Reset() {
   std::fill(rhs_.begin(), rhs_.end(), 0.0);
 }
 
-bool NormalEquations::Solve(double ridge, double* out) {
+bool NormalEquations::SolveInternal(double ridge) {
   // Symmetrize into scratch and add the ridge.
   for (int i = 0; i < k_; ++i) {
     for (int j = 0; j < k_; ++j) {
@@ -73,8 +65,10 @@ bool NormalEquations::Solve(double ridge, double* out) {
       scratch_[static_cast<size_t>(i) * k_ + j] = v + (i == j ? ridge : 0.0);
     }
   }
-  for (int i = 0; i < k_; ++i) out[i] = rhs_[static_cast<size_t>(i)];
-  return CholeskySolveInPlace(scratch_.data(), out, k_);
+  for (int i = 0; i < k_; ++i) {
+    x_[static_cast<size_t>(i)] = rhs_[static_cast<size_t>(i)];
+  }
+  return CholeskySolveInPlace(scratch_.data(), x_.data(), k_);
 }
 
 }  // namespace nomad

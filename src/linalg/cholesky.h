@@ -1,6 +1,7 @@
 #ifndef NOMAD_LINALG_CHOLESKY_H_
 #define NOMAD_LINALG_CHOLESKY_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace nomad {
@@ -21,27 +22,52 @@ bool CholeskySolve(std::vector<double> m, std::vector<double>* b);
 ///   M += h hᵀ,  b += a·h
 /// Keeps only the lower triangle during accumulation; Solve() symmetrizes,
 /// adds the ridge term, and calls CholeskySolveInPlace.
+///
+/// Add and Solve accept factor rows of either storage precision (float or
+/// double FactorMatrixT rows); the accumulation and factorization always
+/// run in double — a float-accumulated Gram matrix over a popular row's
+/// thousands of ratings would be too noisy to stay SPD — and Solve rounds
+/// the solution to the output type on the final store.
 class NormalEquations {
  public:
   explicit NormalEquations(int k);
 
   /// Adds one rating's contribution: M += h hᵀ, rhs += rating · h.
-  void Add(const double* h, double rating);
+  template <typename T>
+  void Add(const T* h, double rating) {
+    for (int i = 0; i < k_; ++i) {
+      const double hi = static_cast<double>(h[i]);
+      double* row = m_.data() + static_cast<size_t>(i) * k_;
+      for (int j = 0; j <= i; ++j) row[j] += hi * static_cast<double>(h[j]);
+      rhs_[static_cast<size_t>(i)] += rating * hi;
+    }
+  }
 
   /// Resets to zero for reuse.
   void Reset();
 
   /// Solves (M + ridge·I) x = rhs; writes x into `out`. Returns false on a
   /// non-SPD system (cannot happen with ridge > 0 unless inputs are NaN).
-  bool Solve(double ridge, double* out);
+  template <typename T>
+  bool Solve(double ridge, T* out) {
+    if (!SolveInternal(ridge)) return false;
+    for (int i = 0; i < k_; ++i) {
+      out[i] = static_cast<T>(x_[static_cast<size_t>(i)]);
+    }
+    return true;
+  }
 
   int k() const { return k_; }
 
  private:
+  /// Symmetrizes M + ridge·I into scratch_ and solves into x_.
+  bool SolveInternal(double ridge);
+
   int k_;
   std::vector<double> m_;    // k×k row-major, lower triangle maintained
   std::vector<double> rhs_;  // k
   std::vector<double> scratch_;
+  std::vector<double> x_;    // solution buffer (double even for float out)
 };
 
 }  // namespace nomad

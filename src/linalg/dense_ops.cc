@@ -4,19 +4,32 @@
 
 namespace nomad {
 
-// The hot kernels forward to the runtime-dispatched table (AVX2+FMA where
-// the CPU supports it, scalar otherwise) so every solver shares one
-// vectorized inner loop. See simd_ops.h for the dispatch rules.
+// The hot kernels forward to the runtime-dispatched table for their element
+// type (AVX2+FMA where the CPU supports it, scalar otherwise) so every
+// solver shares one vectorized inner loop per precision. See simd_ops.h for
+// the dispatch rules.
 
 double Dot(const double* a, const double* b, int k) {
-  return simd::Active().dot(a, b, k);
+  return simd::ActiveTable<double>().dot(a, b, k);
+}
+
+float Dot(const float* a, const float* b, int k) {
+  return simd::ActiveTable<float>().dot(a, b, k);
 }
 
 void Axpy(double alpha, const double* x, double* y, int k) {
-  simd::Active().axpy(alpha, x, y, k);
+  simd::ActiveTable<double>().axpy(alpha, x, y, k);
+}
+
+void Axpy(float alpha, const float* x, float* y, int k) {
+  simd::ActiveTable<float>().axpy(alpha, x, y, k);
 }
 
 void Scale(double alpha, double* x, int k) {
+  for (int i = 0; i < k; ++i) x[i] *= alpha;
+}
+
+void Scale(float alpha, float* x, int k) {
   for (int i = 0; i < k; ++i) x[i] *= alpha;
 }
 
@@ -24,13 +37,28 @@ void CopyVec(const double* src, double* dst, int k) {
   for (int i = 0; i < k; ++i) dst[i] = src[i];
 }
 
+void CopyVec(const float* src, float* dst, int k) {
+  for (int i = 0; i < k; ++i) dst[i] = src[i];
+}
+
 double SquaredNorm(const double* a, int k) {
-  return simd::Active().squared_norm(a, k);
+  return simd::ActiveTable<double>().squared_norm(a, k);
+}
+
+float SquaredNorm(const float* a, int k) {
+  return simd::ActiveTable<float>().squared_norm(a, k);
 }
 
 double SgdUpdatePair(double rating, double step, double lambda, double* w,
                      double* h, int k) {
-  return simd::Active().sgd_update_pair(rating, step, lambda, w, h, k);
+  return simd::ActiveTable<double>().sgd_update_pair(rating, step, lambda, w,
+                                                     h, k);
+}
+
+float SgdUpdatePair(float rating, float step, float lambda, float* w,
+                    float* h, int k) {
+  return simd::ActiveTable<float>().sgd_update_pair(rating, step, lambda, w,
+                                                    h, k);
 }
 
 }  // namespace nomad

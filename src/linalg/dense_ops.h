@@ -5,25 +5,37 @@
 
 namespace nomad {
 
-/// Small dense-vector kernels over raw double arrays of length k — the
-/// inner loops of every solver (k is typically 10-100). Dot/Axpy/
+/// Small dense-vector kernels over raw arrays of length k — the inner loops
+/// of every solver (k is typically 10-100). Each kernel exists for double
+/// and for float rows (the two FactorMatrixT storage precisions); Dot/Axpy/
 /// SquaredNorm/SgdUpdatePair forward to the runtime-dispatched SIMD table
-/// in simd_ops.h (AVX2+FMA on capable x86 hosts, scalar elsewhere).
+/// for that element type in simd_ops.h (AVX2+FMA on capable x86 hosts —
+/// 4 double or 8 float lanes per register — scalar elsewhere).
+///
+/// The float kernels compute and accumulate in float: they are the f32
+/// training arithmetic itself. Code that needs an exact reduction over many
+/// rows (eval/metrics, FactorMatrixT norms) must accumulate the per-row
+/// results in double at the call site.
 
 /// Returns ⟨a, b⟩.
 double Dot(const double* a, const double* b, int k);
+float Dot(const float* a, const float* b, int k);
 
 /// y += alpha * x.
 void Axpy(double alpha, const double* x, double* y, int k);
+void Axpy(float alpha, const float* x, float* y, int k);
 
 /// x *= alpha.
 void Scale(double alpha, double* x, int k);
+void Scale(float alpha, float* x, int k);
 
 /// dst = src.
 void CopyVec(const double* src, double* dst, int k);
+void CopyVec(const float* src, float* dst, int k);
 
 /// Returns ‖a‖₂².
 double SquaredNorm(const double* a, int k);
+float SquaredNorm(const float* a, int k);
 
 /// The fused SGD step on a pair of factor rows (paper Eqs. 9-10):
 ///   e   = a_ij − ⟨w, h⟩
@@ -34,6 +46,8 @@ double SquaredNorm(const double* a, int k);
 /// Returns the pre-update error e.
 double SgdUpdatePair(double rating, double step, double lambda, double* w,
                      double* h, int k);
+float SgdUpdatePair(float rating, float step, float lambda, float* w,
+                    float* h, int k);
 
 }  // namespace nomad
 

@@ -1,70 +1,10 @@
 #include "linalg/factor_matrix.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
-
-#include "util/logging.h"
-
 namespace nomad {
 
-namespace {
-constexpr int kDoublesPerLine =
-    static_cast<int>(kCacheLineBytes / sizeof(double));
-}  // namespace
-
-FactorMatrix::FactorMatrix(int64_t rows, int cols) : rows_(rows), cols_(cols) {
-  NOMAD_CHECK_GE(rows, 0);
-  NOMAD_CHECK_GT(cols, 0);
-  stride_ = (cols + kDoublesPerLine - 1) / kDoublesPerLine * kDoublesPerLine;
-  data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(stride_), 0.0);
-}
-
-void FactorMatrix::InitUniform(Rng* rng) {
-  const double hi = 1.0 / std::sqrt(static_cast<double>(cols_));
-  for (int64_t i = 0; i < rows_; ++i) {
-    double* row = Row(i);
-    for (int j = 0; j < cols_; ++j) row[j] = rng->Uniform(0.0, hi);
-  }
-}
-
-void FactorMatrix::InitGaussian(Rng* rng, double stddev) {
-  for (int64_t i = 0; i < rows_; ++i) {
-    double* row = Row(i);
-    for (int j = 0; j < cols_; ++j) row[j] = rng->Gaussian(0.0, stddev);
-  }
-}
-
-void FactorMatrix::SetZero() {
-  std::fill(data_.begin(), data_.end(), 0.0);
-}
-
-double FactorMatrix::FrobeniusNorm() const {
-  double sum = 0.0;
-  for (int64_t i = 0; i < rows_; ++i) {
-    const double* row = Row(i);
-    for (int j = 0; j < cols_; ++j) sum += row[j] * row[j];
-  }
-  return std::sqrt(sum);
-}
-
-double FactorMatrix::MaxAbsDiff(const FactorMatrix& other) const {
-  NOMAD_CHECK_EQ(rows_, other.rows_);
-  NOMAD_CHECK_EQ(cols_, other.cols_);
-  double max_diff = 0.0;
-  for (int64_t i = 0; i < rows_; ++i) {
-    const double* a = Row(i);
-    const double* b = other.Row(i);
-    for (int j = 0; j < cols_; ++j) {
-      max_diff = std::max(max_diff, std::fabs(a[j] - b[j]));
-    }
-  }
-  return max_diff;
-}
-
-bool FactorMatrix::AlmostEquals(const FactorMatrix& other, double eps) const {
-  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  return MaxAbsDiff(other) <= eps;
-}
+// Compile the two supported storage precisions once, here, so the templated
+// class costs nothing in every including translation unit.
+template class FactorMatrixT<float>;
+template class FactorMatrixT<double>;
 
 }  // namespace nomad

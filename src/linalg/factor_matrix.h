@@ -1,64 +1,153 @@
 #ifndef NOMAD_LINALG_FACTOR_MATRIX_H_
 #define NOMAD_LINALG_FACTOR_MATRIX_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "util/aligned.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace nomad {
 
-/// Row-major dense matrix of latent factors (the W and H of A ≈ W Hᵀ).
+/// Row-major dense matrix of latent factors (the W and H of A ≈ W Hᵀ),
+/// templated on the element type so a run can choose its storage precision
+/// (TrainOptions::precision): float rows carry half the memory traffic of
+/// double rows and feed twice as many SIMD lanes per instruction — the
+/// dominant cost of circulating factor rows (paper Sec. 3.5).
 ///
 /// Rows are padded so each row starts on a cache-line boundary: in NOMAD a
 /// row of H is owned by exactly one worker at a time and a row of W by
 /// exactly one worker forever, so line-aligned rows eliminate false sharing
-/// between workers (paper Sec. 3.5).
-class FactorMatrix {
+/// between workers (paper Sec. 3.5). The padding is counted in elements, so
+/// a float matrix packs twice as many entries per line as a double one.
+///
+/// Reductions over the whole matrix (FrobeniusNorm, MaxAbsDiff) accumulate
+/// in double regardless of the storage type: a float-accumulated sum over
+/// millions of entries would lose the small terms entirely.
+template <typename T>
+class FactorMatrixT {
  public:
-  FactorMatrix() = default;
+  using value_type = T;
+
+  FactorMatrixT() = default;
 
   /// Creates a rows×cols matrix of zeros.
-  FactorMatrix(int64_t rows, int cols);
+  FactorMatrixT(int64_t rows, int cols) : rows_(rows), cols_(cols) {
+    NOMAD_CHECK_GE(rows, 0);
+    NOMAD_CHECK_GT(cols, 0);
+    constexpr int kElemsPerLine = static_cast<int>(kCacheLineBytes / sizeof(T));
+    stride_ = (cols + kElemsPerLine - 1) / kElemsPerLine * kElemsPerLine;
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(stride_),
+                 T{0});
+  }
 
   int64_t rows() const { return rows_; }
   int cols() const { return cols_; }
   int stride() const { return stride_; }
 
   /// Pointer to the first element of row i.
-  double* Row(int64_t i) { return data_.data() + i * stride_; }
-  const double* Row(int64_t i) const { return data_.data() + i * stride_; }
+  T* Row(int64_t i) { return data_.data() + i * stride_; }
+  const T* Row(int64_t i) const { return data_.data() + i * stride_; }
 
-  double& At(int64_t i, int j) { return Row(i)[j]; }
-  double At(int64_t i, int j) const { return Row(i)[j]; }
+  T& At(int64_t i, int j) { return Row(i)[j]; }
+  T At(int64_t i, int j) const { return Row(i)[j]; }
 
   /// Fills every entry i.i.d. Uniform(0, 1/sqrt(cols)) — the initialization
-  /// used by the paper (Sec. 5.1) and by Yu et al. / Zhuang et al.
-  void InitUniform(Rng* rng);
+  /// used by the paper (Sec. 5.1) and by Yu et al. / Zhuang et al. The draws
+  /// are made in double and then rounded to T, so a float and a double
+  /// matrix seeded identically start from the same point (up to rounding) —
+  /// which is what makes f32-vs-f64 convergence comparisons meaningful.
+  void InitUniform(Rng* rng) {
+    const double hi = 1.0 / std::sqrt(static_cast<double>(cols_));
+    for (int64_t i = 0; i < rows_; ++i) {
+      T* row = Row(i);
+      for (int j = 0; j < cols_; ++j) {
+        row[j] = static_cast<T>(rng->Uniform(0.0, hi));
+      }
+    }
+  }
 
   /// Fills every entry i.i.d. N(0, stddev²) — used by the Sec. 5.5 synthetic
   /// ground-truth factors.
-  void InitGaussian(Rng* rng, double stddev = 1.0);
+  void InitGaussian(Rng* rng, double stddev = 1.0) {
+    for (int64_t i = 0; i < rows_; ++i) {
+      T* row = Row(i);
+      for (int j = 0; j < cols_; ++j) {
+        row[j] = static_cast<T>(rng->Gaussian(0.0, stddev));
+      }
+    }
+  }
 
-  void SetZero();
+  void SetZero() { std::fill(data_.begin(), data_.end(), T{0}); }
 
-  /// Frobenius norm of the matrix (ignores padding).
-  double FrobeniusNorm() const;
+  /// Frobenius norm of the matrix (ignores padding). Double accumulation
+  /// even for float storage.
+  double FrobeniusNorm() const {
+    double sum = 0.0;
+    for (int64_t i = 0; i < rows_; ++i) {
+      const T* row = Row(i);
+      for (int j = 0; j < cols_; ++j) {
+        const double v = static_cast<double>(row[j]);
+        sum += v * v;
+      }
+    }
+    return std::sqrt(sum);
+  }
 
   /// Element-wise maximum absolute difference against `other` (must have the
-  /// same shape). Used by serializability tests.
-  double MaxAbsDiff(const FactorMatrix& other) const;
+  /// same shape), computed in double. Used by serializability tests.
+  double MaxAbsDiff(const FactorMatrixT& other) const {
+    NOMAD_CHECK_EQ(rows_, other.rows_);
+    NOMAD_CHECK_EQ(cols_, other.cols_);
+    double max_diff = 0.0;
+    for (int64_t i = 0; i < rows_; ++i) {
+      const T* a = Row(i);
+      const T* b = other.Row(i);
+      for (int j = 0; j < cols_; ++j) {
+        max_diff = std::max(max_diff, std::fabs(static_cast<double>(a[j]) -
+                                                static_cast<double>(b[j])));
+      }
+    }
+    return max_diff;
+  }
 
   /// Deep equality within tolerance `eps`.
-  bool AlmostEquals(const FactorMatrix& other, double eps) const;
+  bool AlmostEquals(const FactorMatrixT& other, double eps) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    return MaxAbsDiff(other) <= eps;
+  }
+
+  /// Element-wise precision conversion (float→double widens exactly;
+  /// double→float rounds to nearest). Padding is not copied.
+  template <typename U>
+  FactorMatrixT<U> Cast() const {
+    if (cols_ == 0) return FactorMatrixT<U>();
+    FactorMatrixT<U> out(rows_, cols_);
+    for (int64_t i = 0; i < rows_; ++i) {
+      const T* src = Row(i);
+      U* dst = out.Row(i);
+      for (int j = 0; j < cols_; ++j) dst[j] = static_cast<U>(src[j]);
+    }
+    return out;
+  }
 
  private:
   int64_t rows_ = 0;
   int cols_ = 0;
   int stride_ = 0;  // cols rounded up to a multiple of the cache line
-  std::vector<double, CacheAlignedAllocator<double>> data_;
+  std::vector<T, CacheAlignedAllocator<T>> data_;
 };
+
+/// The library's historical double-precision matrix (model persistence and
+/// the simulators stay f64) and its float32 sibling.
+using FactorMatrix = FactorMatrixT<double>;
+using FactorMatrixF = FactorMatrixT<float>;
+
+extern template class FactorMatrixT<float>;
+extern template class FactorMatrixT<double>;
 
 }  // namespace nomad
 

@@ -5,51 +5,94 @@ namespace nomad {
 namespace simd {
 
 /// Vectorized implementations of the dense-vector kernels behind every SGD
-/// update (paper Eqs. 9-10). The best instruction set is chosen once at
-/// runtime (AVX2+FMA when the CPU supports it, portable scalar otherwise);
-/// dense_ops.h routes through the active table, so every solver — NOMAD and
-/// the SGD-family baselines alike — picks up the vectorized hot path without
-/// recompiling for a specific machine.
+/// update (paper Eqs. 9-10), one table per storage precision. The best
+/// instruction set is chosen once at runtime (AVX2+FMA when the CPU
+/// supports it, portable scalar otherwise); dense_ops.h routes through the
+/// active table, so every solver — NOMAD and the SGD-family baselines alike
+/// — picks up the vectorized hot path without recompiling for a specific
+/// machine.
+///
+/// The float table processes 8 lanes per ymm register where the double
+/// table processes 4: together with halved row bytes this is the
+/// memory-traffic argument for float32 factor storage (ROADMAP). Float
+/// kernels accumulate in float — they ARE the f32 arithmetic being
+/// benchmarked; reductions that must stay exact (metrics, FrobeniusNorm)
+/// accumulate in double at the call site instead.
 ///
 /// All kernels accept unaligned pointers (FactorMatrix rows happen to be
 /// cache-line aligned, but test vectors and tails are not) and any k >= 0;
-/// the vector bodies handle k % 4 tails with a scalar epilogue.
+/// the vector bodies handle lane-count tails with a scalar epilogue.
 ///
-/// Numerical note: the AVX2 kernels use FMA and a fixed 2×4-lane
-/// accumulation tree, so results can differ from the scalar reference by
+/// Numerical note: the AVX2 kernels use FMA and a fixed 2-accumulator
+/// reduction tree, so results can differ from the scalar reference by
 /// normal floating-point reassociation error (~1 ulp per term). Within one
 /// process the dispatch is fixed, so runs remain bit-deterministic.
-struct KernelTable {
-  double (*dot)(const double* a, const double* b, int k);
-  void (*axpy)(double alpha, const double* x, double* y, int k);
-  double (*squared_norm)(const double* a, int k);
+template <typename T>
+struct KernelTableT {
+  T (*dot)(const T* a, const T* b, int k);
+  void (*axpy)(T alpha, const T* x, T* y, int k);
+  T (*squared_norm)(const T* a, int k);
   /// Fused single-pass SGD pair update (see dense_ops.h SgdUpdatePair):
   /// one vector pass computes the error term, a second writes both new
   /// rows from one load of w and h each — no pre-update w copy.
-  double (*sgd_update_pair)(double rating, double step, double lambda,
-                            double* w, double* h, int k);
+  T (*sgd_update_pair)(T rating, T step, T lambda, T* w, T* h, int k);
   const char* isa;  // "avx2+fma" or "scalar"
 };
 
+using KernelTable = KernelTableT<double>;
+using KernelTableF = KernelTableT<float>;
+
 /// Portable scalar reference kernels (also the correctness oracle for
 /// simd_ops_test and the baseline side of bench_kernel_throughput).
-const KernelTable& Scalar();
+/// Defined for T in {float, double}.
+template <typename T>
+const KernelTableT<T>& ScalarTable();
 
 /// The fastest table this binary can run on this CPU. Compile-time gated:
-/// on non-x86 (or non-GCC-compatible) builds this is Scalar().
-const KernelTable& BestAvailable();
+/// on non-x86 (or non-GCC-compatible) builds this is the scalar table.
+/// Setting the NOMAD_DISABLE_SIMD environment variable to a non-empty,
+/// non-"0" value before first use forces scalar at runtime (CI uses this to
+/// exercise the fallback path on SIMD-capable hosts).
+template <typename T>
+const KernelTableT<T>& BestAvailableTable();
 
-/// The table dense_ops.h currently routes through. Defaults to
-/// BestAvailable() on first use.
-const KernelTable& Active();
+/// The table dense_ops.h currently routes through for T-typed rows.
+/// Defaults to BestAvailableTable<T>() on first use.
+template <typename T>
+const KernelTableT<T>& ActiveTable();
 
-/// Replaces the active table. Not thread-safe; intended for tests and
+/// Replaces the active table for T. Not thread-safe; intended for tests and
 /// benchmarks only — call before any solver threads are running.
-void SetActive(const KernelTable& table);
+template <typename T>
+void SetActiveTable(const KernelTableT<T>& table);
 
-/// True when the runtime CPU supports the AVX2+FMA kernels and they were
-/// compiled in.
+// The templates above are defined only for float and double (simd_ops.cc).
+template <> const KernelTableT<float>& ScalarTable<float>();
+template <> const KernelTableT<double>& ScalarTable<double>();
+template <> const KernelTableT<float>& BestAvailableTable<float>();
+template <> const KernelTableT<double>& BestAvailableTable<double>();
+template <> const KernelTableT<float>& ActiveTable<float>();
+template <> const KernelTableT<double>& ActiveTable<double>();
+template <> void SetActiveTable<float>(const KernelTableT<float>& table);
+template <> void SetActiveTable<double>(const KernelTableT<double>& table);
+
+/// Legacy double-precision spellings, kept for existing callers.
+inline const KernelTable& Scalar() { return ScalarTable<double>(); }
+inline const KernelTable& BestAvailable() {
+  return BestAvailableTable<double>();
+}
+inline const KernelTable& Active() { return ActiveTable<double>(); }
+inline void SetActive(const KernelTable& table) {
+  SetActiveTable<double>(table);
+}
+
+/// True when the runtime CPU supports the AVX2+FMA kernels, they were
+/// compiled in, and the NOMAD_DISABLE_SIMD environment override is not set.
 bool HasAvx2Fma();
+
+/// True when the NOMAD_DISABLE_SIMD environment variable forced the scalar
+/// tables (read once, cached).
+bool SimdDisabledByEnv();
 
 }  // namespace simd
 }  // namespace nomad

@@ -64,23 +64,13 @@ class PauseGate {
   int paused_ = 0;
 };
 
-}  // namespace
-
-Result<TrainResult> NomadSolver::Train(const Dataset& ds,
-                                       const TrainOptions& options) {
-  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
-  if (options.nomadic_rows) {
-    // Footnote 2: circulate user parameters instead — train the transposed
-    // problem and swap the factors back.
-    const Dataset transposed = Transpose(ds);
-    TrainOptions inner = options;
-    inner.nomadic_rows = false;
-    auto result = Train(transposed, inner);
-    if (!result.ok()) return result.status();
-    TrainResult swapped = std::move(result).value();
-    std::swap(swapped.w, swapped.h);
-    return swapped;
-  }
+/// The training run for one storage precision. Everything the workers
+/// touch per rating — the circulated h_j rows, the owned w_i rows, and the
+/// fused SGD kernel — is Real-typed; update accounting, the step schedule,
+/// and the evaluation sums stay double.
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
+                              const std::string& name) {
   auto schedule = MakeSchedule(options.schedule, options.alpha, options.beta);
   if (!schedule.ok()) return schedule.status();
   auto loss = ResolveLoss(options.loss);
@@ -90,18 +80,20 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
   const int k = options.rank;
 
   TrainResult result;
-  result.solver_name = Name();
-  InitFactors(ds, options, &result.w, &result.h);
-  FactorMatrix& w = result.w;
-  FactorMatrix& h = result.h;
+  result.solver_name = name;
+  result.precision = options.precision;
+  FactorMatrixT<Real> w;
+  FactorMatrixT<Real> h;
+  InitFactorsT<Real>(ds, options, &w, &h);
 
   // An empty training set (or no items) can never satisfy an update-count
   // stopping criterion: the workers would circulate empty tokens forever.
   // Evaluate once and return.
   if (ds.train.nnz() == 0 || ds.cols == 0) {
     TracePoint pt;
-    pt.test_rmse = Rmse(ds.test, result.w, result.h);
+    pt.test_rmse = Rmse(ds.test, w, h);
     result.trace.Add(pt);
+    StoreTrainedFactors(std::move(w), std::move(h), &result);
     return result;
   }
 
@@ -145,8 +137,8 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
   std::vector<std::atomic<int>> owner(static_cast<size_t>(ds.cols));
   for (auto& o : owner) o.store(-1, std::memory_order_relaxed);
 
-  const UpdateKernel kernel(*schedule.value(), loss.value().get(),
-                            options.lambda, k);
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.lambda, k);
   // Tokens drained per queue lock; clamped so one worker cannot hoard the
   // whole item set (which would starve circulation on tiny problems).
   const int batch = static_cast<int>(std::min<int64_t>(
@@ -200,7 +192,7 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
             updates_cap.load(std::memory_order_relaxed)) {
           int32_t n = 0;
           const ColumnShards::Entry* entries = shards.ColEntries(q, j, &n);
-          double* hj = h.Row(j);
+          Real* hj = h.Row(j);
           for (int32_t t = 0; t < n; ++t) {
             const ColumnShards::Entry& e = entries[t];
             kernel.Apply(e.value, &counts, e.csc_pos, w.Row(e.row), hj);
@@ -316,7 +308,30 @@ Result<TrainResult> NomadSolver::Train(const Dataset& ds,
 
   result.total_updates = total_updates.load(std::memory_order_relaxed);
   result.total_seconds = train_seconds;
+  StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
+}
+
+}  // namespace
+
+Result<TrainResult> NomadSolver::Train(const Dataset& ds,
+                                       const TrainOptions& options) {
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  if (options.nomadic_rows) {
+    // Footnote 2: circulate user parameters instead — train the transposed
+    // problem and swap the factors back.
+    const Dataset transposed = Transpose(ds);
+    TrainOptions inner = options;
+    inner.nomadic_rows = false;
+    auto result = Train(transposed, inner);
+    if (!result.ok()) return result.status();
+    TrainResult swapped = std::move(result).value();
+    std::swap(swapped.w, swapped.h);
+    return swapped;
+  }
+  return DispatchPrecision(options.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, Name());
+  });
 }
 
 }  // namespace nomad

@@ -9,13 +9,20 @@ namespace nomad {
 
 /// Shared driver for epoch-synchronous solvers (serial SGD, Hogwild, DSGD,
 /// DSGD++, FPSGD**, CCD++, ALS): runs the stop-criteria bookkeeping and
-/// takes one trace point per epoch. Evaluation time is excluded from the
-/// reported seconds, mirroring the NOMAD driver.
-class EpochLoop {
+/// takes one trace point per epoch. Templated on the factor storage
+/// precision: it evaluates the (possibly float) working matrices directly —
+/// metrics accumulate in double either way — while trace/update accounting
+/// lives on the precision-agnostic TrainResult. Evaluation time is excluded
+/// from the reported seconds, mirroring the NOMAD driver.
+template <typename Real>
+class EpochLoopT {
  public:
-  EpochLoop(const Dataset& ds, const TrainOptions& options,
-            TrainResult* result)
-      : ds_(ds), options_(options), result_(result) {}
+  /// `w` and `h` are the solver's working factors; they must outlive the
+  /// loop.
+  EpochLoopT(const Dataset& ds, const TrainOptions& options,
+             const FactorMatrixT<Real>& w, const FactorMatrixT<Real>& h,
+             TrainResult* result)
+      : ds_(ds), options_(options), w_(w), h_(h), result_(result) {}
 
   /// True while no stopping criterion has fired.
   bool Continue() const {
@@ -43,11 +50,10 @@ class EpochLoop {
     TracePoint pt;
     pt.seconds = train_seconds_;
     pt.updates = result_->total_updates;
-    pt.test_rmse = Rmse(ds_.test, result_->w, result_->h);
+    pt.test_rmse = Rmse(ds_.test, w_, h_);
     double objective = 0.0;
     if (need_objective || options_.record_objective) {
-      objective =
-          Objective(ds_.train, result_->w, result_->h, options_.lambda);
+      objective = Objective(ds_.train, w_, h_, options_.lambda);
       pt.objective = objective;
     }
     result_->trace.Add(pt);
@@ -61,11 +67,15 @@ class EpochLoop {
  private:
   const Dataset& ds_;
   const TrainOptions& options_;
+  const FactorMatrixT<Real>& w_;
+  const FactorMatrixT<Real>& h_;
   TrainResult* result_;
   Stopwatch watch_;
   double train_seconds_ = 0.0;
   int epochs_ = 0;
 };
+
+using EpochLoop = EpochLoopT<double>;
 
 }  // namespace nomad
 

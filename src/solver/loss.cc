@@ -76,4 +76,18 @@ double SgdUpdatePairLoss(const Loss& loss, double rating, double step,
   return g;
 }
 
+float SgdUpdatePairLoss(const Loss& loss, float rating, float step,
+                        float lambda, float* w, float* h, int k) {
+  const double g =
+      loss.Gradient(static_cast<double>(Dot(w, h, k)), rating);
+  const float sg = static_cast<float>(step * g);
+  const float decay = 1.0f - step * lambda;
+  for (int i = 0; i < k; ++i) {
+    const float w_old = w[i];
+    w[i] = decay * w_old - sg * h[i];
+    h[i] = decay * h[i] - sg * w_old;
+  }
+  return static_cast<float>(g);
+}
+
 }  // namespace nomad

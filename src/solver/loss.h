@@ -69,9 +69,13 @@ Result<std::unique_ptr<Loss>> MakeLoss(const std::string& name);
 ///   g = ∂ℓ/∂pred at pred = ⟨w, h⟩
 ///   w ← w − s·(g·h + λ·w),  h ← h − s·(g·w_old + λ·h)
 /// Reduces to SgdUpdatePair for SquaredLoss. Returns the pre-update loss
-/// gradient g.
+/// gradient g. The float overload evaluates the (scalar, per-update) loss
+/// gradient in double and runs the per-element row arithmetic in float,
+/// matching the squared-loss f32 kernel's precision profile.
 double SgdUpdatePairLoss(const Loss& loss, double rating, double step,
                          double lambda, double* w, double* h, int k);
+float SgdUpdatePairLoss(const Loss& loss, float rating, float step,
+                        float lambda, float* w, float* h, int k);
 
 }  // namespace nomad
 

@@ -45,29 +45,35 @@ inline double ScheduledSgdUpdate(double rating, const StepSchedule& schedule,
 }
 
 /// Bundles schedule + loss + λ into the per-rating update the SGD-family
-/// solvers share (nomad, serial_sgd, hogwild, dsgd, dsgd++, fpsgd**). A
-/// null loss selects the specialized squared-loss kernel (the paper's
-/// setting and the SIMD fast path, see simd_ops.h); any other Loss goes
-/// through the general gradient form of Sec. 2.
-class UpdateKernel {
+/// solvers share (nomad, serial_sgd, hogwild, dsgd, dsgd++, fpsgd**),
+/// templated on the factor-row storage precision. A null loss selects the
+/// specialized squared-loss kernel (the paper's setting and the SIMD fast
+/// path, see simd_ops.h); any other Loss goes through the general gradient
+/// form of Sec. 2. Rating/step/λ arrive in double from the schedule and
+/// are rounded once per update for float rows — the per-element arithmetic
+/// then runs entirely in Real.
+template <typename Real>
+class UpdateKernelT {
  public:
-  UpdateKernel(const StepSchedule& schedule, const Loss* loss, double lambda,
-               int k)
+  UpdateKernelT(const StepSchedule& schedule, const Loss* loss, double lambda,
+                int k)
       : schedule_(schedule), loss_(loss), lambda_(lambda), k_(k) {}
 
-  void Apply(double rating, StepCounts* counts, int64_t pos, double* w,
-             double* h) const {
+  void Apply(double rating, StepCounts* counts, int64_t pos, Real* w,
+             Real* h) const {
     ApplyWithStep(rating, schedule_.Step(counts->NextCount(pos)), w, h);
   }
 
   /// Same update with a caller-chosen step size — the bold-driver path of
   /// DSGD/DSGD++, which adapts one step per epoch instead of per rating.
-  void ApplyWithStep(double rating, double step, double* w,
-                     double* h) const {
+  void ApplyWithStep(double rating, double step, Real* w, Real* h) const {
     if (loss_ == nullptr) {
-      SgdUpdatePair(rating, step, lambda_, w, h, k_);
+      SgdUpdatePair(static_cast<Real>(rating), static_cast<Real>(step),
+                    static_cast<Real>(lambda_), w, h, k_);
     } else {
-      SgdUpdatePairLoss(*loss_, rating, step, lambda_, w, h, k_);
+      SgdUpdatePairLoss(*loss_, static_cast<Real>(rating),
+                        static_cast<Real>(step), static_cast<Real>(lambda_),
+                        w, h, k_);
     }
   }
 
@@ -77,6 +83,9 @@ class UpdateKernel {
   double lambda_;
   int k_;
 };
+
+using UpdateKernel = UpdateKernelT<double>;
+using UpdateKernelF = UpdateKernelT<float>;
 
 /// Resolves TrainOptions-style loss selection: returns null (fast squared
 /// path) for "squared"/"", a Loss instance otherwise, or an error status

@@ -27,11 +27,24 @@ Status ValidateCommonOptions(const TrainOptions& options) {
 
 void InitFactors(const Dataset& ds, const TrainOptions& options,
                  FactorMatrix* w, FactorMatrix* h) {
-  *w = FactorMatrix(ds.rows, options.rank);
-  *h = FactorMatrix(ds.cols, options.rank);
-  Rng rng(options.seed);
-  w->InitUniform(&rng);
-  h->InitUniform(&rng);
+  InitFactorsT<double>(ds, options, w, h);
+}
+
+const char* PrecisionName(Precision precision) {
+  return precision == Precision::kF32 ? "f32" : "f64";
+}
+
+Result<Precision> ParsePrecision(const std::string& name) {
+  if (name == "f32" || name == "float32" || name == "float" ||
+      name == "single") {
+    return Precision::kF32;
+  }
+  if (name == "f64" || name == "float64" || name == "double" ||
+      name.empty()) {
+    return Precision::kF64;
+  }
+  return Status::InvalidArgument("unknown precision: " + name +
+                                 " (expected f32 or f64)");
 }
 
 }  // namespace nomad

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "data/dataset.h"
 #include "eval/trace.h"
@@ -16,6 +18,33 @@ enum class Routing {
   kUniform,      // Algorithm 1 line 22: uniform random worker
   kLeastLoaded,  // Sec. 3.3 dynamic load balancing: prefer shorter queues
 };
+
+/// Storage precision of the factor matrices during training. f32 halves the
+/// memory traffic over the circulating factor rows — the bottleneck the
+/// paper's Sec. 3.5 layout work targets — and doubles the SIMD lanes per
+/// update; evaluation metrics accumulate in double either way, and the
+/// returned TrainResult factors are always widened to double.
+enum class Precision {
+  kF64,  // double storage (the historical default)
+  kF32,  // float storage, f32 SGD arithmetic
+};
+
+/// "f64" / "f32".
+const char* PrecisionName(Precision precision);
+
+/// Invokes fn with a zero of the storage type `precision` selects and
+/// returns its result: fn(float{}) for kF32, fn(double{}) for kF64. Every
+/// solver's Train dispatches its templated implementation through this
+/// (TrainImpl<decltype(zero)>), so adding a storage precision means
+/// extending this one switch, not eight solver files.
+template <typename Fn>
+auto DispatchPrecision(Precision precision, Fn&& fn) {
+  return precision == Precision::kF32 ? fn(float{}) : fn(double{});
+}
+
+/// Parses "f32"/"float32"/"float"/"single" and "f64"/"float64"/"double";
+/// anything else is InvalidArgument.
+Result<Precision> ParsePrecision(const std::string& name);
 
 /// Options shared by every solver. Solver-specific fields are grouped and
 /// ignored by solvers they do not apply to.
@@ -55,6 +84,11 @@ struct TrainOptions {
   // -- Initialization --
   uint64_t seed = 1;
 
+  // -- Numerics --
+  // Storage precision of W and H while training (all SGD-family solvers,
+  // ALS, and CCD++ honor this; the cluster simulators are f64-only).
+  Precision precision = Precision::kF64;
+
   // -- NOMAD-specific --
   Routing routing = Routing::kUniform;
   // Tokens a worker drains from its queue per lock acquisition (and the
@@ -75,7 +109,10 @@ struct TrainOptions {
   int ccd_inner_iters = 1;  // inner iterations per rank-one subproblem
 };
 
-/// Everything a training run produces.
+/// Everything a training run produces. The factors are always returned in
+/// double (a float-precision run widens its result), so model persistence
+/// and downstream evaluation are precision-agnostic; `precision` records
+/// what the storage was during training.
 struct TrainResult {
   FactorMatrix w;
   FactorMatrix h;
@@ -83,6 +120,7 @@ struct TrainResult {
   int64_t total_updates = 0;
   double total_seconds = 0.0;
   std::string solver_name;
+  Precision precision = Precision::kF64;
 };
 
 /// Interface implemented by NOMAD and by every baseline. Implementations
@@ -105,9 +143,36 @@ Status ValidateCommonOptions(const TrainOptions& options);
 
 /// Initializes W and H with the standard Uniform(0, 1/sqrt(k)) entries
 /// (Sec. 5.1), seeded deterministically from options.seed so every solver
-/// starts from the identical point — as in the paper's experiments.
+/// starts from the identical point — as in the paper's experiments. The
+/// draws are made in double and rounded to Real, so an f32 run and an f64
+/// run with the same seed start from the same point up to rounding.
+template <typename Real>
+void InitFactorsT(const Dataset& ds, const TrainOptions& options,
+                  FactorMatrixT<Real>* w, FactorMatrixT<Real>* h) {
+  *w = FactorMatrixT<Real>(ds.rows, options.rank);
+  *h = FactorMatrixT<Real>(ds.cols, options.rank);
+  Rng rng(options.seed);
+  w->InitUniform(&rng);
+  h->InitUniform(&rng);
+}
+
+/// Double-precision spelling kept for existing callers (tests, simulators).
 void InitFactors(const Dataset& ds, const TrainOptions& options,
                  FactorMatrix* w, FactorMatrix* h);
+
+/// Moves trained factors into the result, widening f32 storage to the
+/// result's double matrices. The moved-from matrices are consumed.
+template <typename Real>
+void StoreTrainedFactors(FactorMatrixT<Real>&& w, FactorMatrixT<Real>&& h,
+                         TrainResult* result) {
+  if constexpr (std::is_same_v<Real, double>) {
+    result->w = std::move(w);
+    result->h = std::move(h);
+  } else {
+    result->w = w.template Cast<double>();
+    result->h = h.template Cast<double>();
+  }
+}
 
 }  // namespace nomad
 

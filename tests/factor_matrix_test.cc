@@ -1,6 +1,7 @@
 #include "linalg/factor_matrix.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include <gtest/gtest.h>
@@ -100,6 +101,93 @@ TEST(FactorMatrixTest, ZeroRowsAllowed) {
   FactorMatrix m(0, 8);
   EXPECT_EQ(m.rows(), 0);
   EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(FactorMatrixFloatTest, FloatRowsAreCacheLineAligned) {
+  FactorMatrixF m(7, 5);
+  EXPECT_EQ(m.stride() % 16, 0);  // 16 floats per 64-byte line
+  EXPECT_GE(m.stride(), 5);
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(i)) % kCacheLineBytes, 0u)
+        << "row " << i;
+  }
+}
+
+TEST(FactorMatrixFloatTest, FloatStridePacksTwicePerLine) {
+  // The padding is counted in elements: a float row of 16 entries fills one
+  // cache line exactly, where a double row of 16 needs two.
+  FactorMatrixF f(3, 16);
+  FactorMatrix d(3, 16);
+  EXPECT_EQ(f.stride(), 16);
+  EXPECT_EQ(d.stride(), 16);
+  EXPECT_EQ(f.stride() * sizeof(float) * 2, d.stride() * sizeof(double));
+}
+
+TEST(FactorMatrixFloatTest, InitUniformMatchesDoubleUpToRounding) {
+  // Identically-seeded float and double matrices must start from the same
+  // point up to f32 rounding — the premise of f32-vs-f64 convergence
+  // comparisons.
+  FactorMatrixF f(20, 9);
+  FactorMatrix d(20, 9);
+  Rng rf(11);
+  Rng rd(11);
+  f.InitUniform(&rf);
+  d.InitUniform(&rd);
+  for (int64_t i = 0; i < 20; ++i) {
+    for (int j = 0; j < 9; ++j) {
+      EXPECT_EQ(f.At(i, j), static_cast<float>(d.At(i, j)))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(FactorMatrixFloatTest, FrobeniusNormAccumulatesInDouble) {
+  // One large entry followed by many small ones: a float accumulator would
+  // saturate at 4096² (the small squares fall below its ulp) and miss their
+  // combined contribution of exactly 1.0. The double accumulator must not.
+  constexpr int kSmall = 10000;
+  FactorMatrixF m(kSmall + 1, 1);
+  m.At(0, 0) = 4096.0f;
+  for (int64_t i = 1; i <= kSmall; ++i) m.At(i, 0) = 0.01f;
+  const double small_sq =
+      static_cast<double>(kSmall) * static_cast<double>(0.01f) *
+      static_cast<double>(0.01f);
+  const double expect = std::sqrt(4096.0 * 4096.0 + small_sq);
+  // Float accumulation would return exactly 4096, off by ~1.2e-4; double
+  // accumulation is good to ~1e-10 relative.
+  EXPECT_NEAR(m.FrobeniusNorm(), expect, 1e-6);
+  EXPECT_GT(m.FrobeniusNorm(), 4096.0 + 1e-5);
+}
+
+TEST(FactorMatrixFloatTest, MaxAbsDiffComputedInDouble) {
+  FactorMatrixF a(2, 2);
+  FactorMatrixF b(2, 2);
+  a.At(1, 1) = 1.5f;
+  b.At(1, 1) = 0.25f;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.25);
+  EXPECT_TRUE(a.AlmostEquals(b, 1.25));
+  EXPECT_FALSE(a.AlmostEquals(b, 1.2));
+}
+
+TEST(FactorMatrixFloatTest, CastRoundTrips) {
+  FactorMatrixF f(6, 5);
+  Rng rng(21);
+  f.InitUniform(&rng);
+  const FactorMatrix widened = f.Cast<double>();
+  EXPECT_EQ(widened.rows(), f.rows());
+  EXPECT_EQ(widened.cols(), f.cols());
+  // float→double is exact, so narrowing back loses nothing.
+  const FactorMatrixF back = widened.Cast<float>();
+  EXPECT_DOUBLE_EQ(f.MaxAbsDiff(back), 0.0);
+  // Spot-check a widened value.
+  EXPECT_EQ(widened.At(3, 2), static_cast<double>(f.At(3, 2)));
+}
+
+TEST(FactorMatrixFloatTest, CastOfEmptyMatrix) {
+  FactorMatrixF f;
+  const FactorMatrix d = f.Cast<double>();
+  EXPECT_EQ(d.rows(), 0);
+  EXPECT_EQ(d.cols(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// The float32 storage path must be a drop-in for double: same starting
+// point, same trajectory up to f32 rounding, and a converged model within
+// a whisker of the f64 one. These tests pin the user-visible contract of
+// TrainOptions::precision across the solver families, and the double
+// accumulation of the float metrics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "solver/registry.h"
+#include "solver/solver.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace nomad {
+namespace {
+
+TEST(PrecisionTest, ParseAndName) {
+  EXPECT_EQ(ParsePrecision("f32").value(), Precision::kF32);
+  EXPECT_EQ(ParsePrecision("float32").value(), Precision::kF32);
+  EXPECT_EQ(ParsePrecision("float").value(), Precision::kF32);
+  EXPECT_EQ(ParsePrecision("single").value(), Precision::kF32);
+  EXPECT_EQ(ParsePrecision("f64").value(), Precision::kF64);
+  EXPECT_EQ(ParsePrecision("float64").value(), Precision::kF64);
+  EXPECT_EQ(ParsePrecision("double").value(), Precision::kF64);
+  EXPECT_EQ(ParsePrecision("").value(), Precision::kF64);
+  EXPECT_FALSE(ParsePrecision("f16").ok());
+  EXPECT_FALSE(ParsePrecision("bf16").ok());
+  EXPECT_STREQ(PrecisionName(Precision::kF32), "f32");
+  EXPECT_STREQ(PrecisionName(Precision::kF64), "f64");
+}
+
+TEST(PrecisionTest, FloatMetricsMatchWidenedDouble) {
+  // The float Rmse/Objective overloads accumulate in double, so evaluating
+  // float matrices must agree with evaluating their exact double widening
+  // to near double precision (float→double widening is lossless, so the
+  // only difference is the f32 per-row dot — bounded by k·eps_f per term).
+  const Dataset ds = MakeTestDataset();
+  TrainOptions options = FastTrainOptions();
+  FactorMatrixF wf(ds.rows, options.rank);
+  FactorMatrixF hf(ds.cols, options.rank);
+  Rng rng(17);
+  wf.InitUniform(&rng);
+  hf.InitUniform(&rng);
+  const FactorMatrix wd = wf.Cast<double>();
+  const FactorMatrix hd = hf.Cast<double>();
+  EXPECT_NEAR(Rmse(ds.test, wf, hf), Rmse(ds.test, wd, hd), 1e-5);
+  EXPECT_NEAR(Objective(ds.train, wf, hf, 0.05),
+              Objective(ds.train, wd, hd, 0.05),
+              1e-4 * std::max(1.0, Objective(ds.train, wd, hd, 0.05)));
+}
+
+/// Trains one solver at both precisions from the same seed and returns the
+/// two final test RMSEs.
+std::pair<double, double> TrainBothPrecisions(const std::string& solver_name,
+                                              const TrainOptions& base) {
+  const Dataset ds = MakeTestDataset();
+  TrainOptions f64 = base;
+  f64.precision = Precision::kF64;
+  TrainOptions f32 = base;
+  f32.precision = Precision::kF32;
+
+  auto solver = MakeSolver(solver_name);
+  EXPECT_TRUE(solver.ok());
+  auto r64 = solver.value()->Train(ds, f64);
+  auto r32 = solver.value()->Train(ds, f32);
+  EXPECT_TRUE(r64.ok()) << r64.status().ToString();
+  EXPECT_TRUE(r32.ok()) << r32.status().ToString();
+  EXPECT_EQ(r64.value().precision, Precision::kF64);
+  EXPECT_EQ(r32.value().precision, Precision::kF32);
+  EXPECT_FALSE(r32.value().trace.points().empty());
+  // The f32 run's factors come back widened to double and must be finite.
+  const TrainResult& res32 = r32.value();
+  EXPECT_TRUE(std::isfinite(res32.w.FrobeniusNorm()));
+  EXPECT_TRUE(std::isfinite(res32.h.FrobeniusNorm()));
+  return {r64.value().trace.points().back().test_rmse,
+          r32.value().trace.points().back().test_rmse};
+}
+
+TEST(PrecisionTest, SerialSgdF32ConvergesLikeF64) {
+  // The satellite acceptance bound: on the planted synthetic dataset the
+  // f32 and f64 runs must land within 1e-3 RMSE of each other (both end
+  // ≈0.3, so this is a tight relative bound), and f32 must actually
+  // converge rather than ride rounding noise.
+  const auto [rmse64, rmse32] =
+      TrainBothPrecisions("serial_sgd", FastTrainOptions());
+  EXPECT_LT(rmse64, 0.4);
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 1e-3);
+}
+
+TEST(PrecisionTest, NomadF32ConvergesLikeF64) {
+  // NOMAD's update interleaving is nondeterministic across runs, so the two
+  // precisions see different update orders; compare converged quality, not
+  // trajectories. Both must fit the planted model.
+  const auto [rmse64, rmse32] =
+      TrainBothPrecisions("nomad", FastTrainOptions());
+  EXPECT_LT(rmse64, 0.4);
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 5e-2);
+}
+
+TEST(PrecisionTest, HogwildF32Converges) {
+  const auto [rmse64, rmse32] =
+      TrainBothPrecisions("hogwild", FastTrainOptions());
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 5e-2);
+}
+
+TEST(PrecisionTest, DsgdF32ConvergesLikeF64) {
+  // DSGD is bulk-synchronous with a deterministic block order, so the f32
+  // trajectory shadows the f64 one closely.
+  const auto [rmse64, rmse32] =
+      TrainBothPrecisions("dsgd", FastTrainOptions());
+  EXPECT_LT(rmse64, 0.4);
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 1e-3);
+}
+
+TEST(PrecisionTest, FpsgdF32Converges) {
+  const auto [rmse64, rmse32] =
+      TrainBothPrecisions("fpsgd", FastTrainOptions());
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 5e-2);
+}
+
+TEST(PrecisionTest, AlsF32ConvergesLikeF64) {
+  // ALS accumulates its normal equations in double regardless of storage,
+  // so the f32 run only rounds the stored rows: the gap stays tiny.
+  TrainOptions options = FastTrainOptions(8);
+  const auto [rmse64, rmse32] = TrainBothPrecisions("als", options);
+  EXPECT_LT(rmse64, 0.4);
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 1e-3);
+}
+
+TEST(PrecisionTest, CcdppF32ConvergesLikeF64) {
+  TrainOptions options = FastTrainOptions(8);
+  const auto [rmse64, rmse32] = TrainBothPrecisions("ccdpp", options);
+  EXPECT_LT(rmse64, 0.4);
+  EXPECT_LT(rmse32, 0.4);
+  EXPECT_NEAR(rmse32, rmse64, 1e-3);
+}
+
+TEST(PrecisionTest, F32StartsFromSameInitialRmse) {
+  // Identically-seeded f32 and f64 factor initializations must score the
+  // same initial test RMSE to f32 rounding — the precondition that makes
+  // the convergence comparisons above apples-to-apples.
+  const Dataset ds = MakeTestDataset();
+  const TrainOptions options = FastTrainOptions();
+  FactorMatrixF wf;
+  FactorMatrixF hf;
+  InitFactorsT<float>(ds, options, &wf, &hf);
+  FactorMatrix wd;
+  FactorMatrix hd;
+  InitFactorsT<double>(ds, options, &wd, &hd);
+  EXPECT_NEAR(Rmse(ds.test, wf, hf), Rmse(ds.test, wd, hd), 1e-5);
+}
+
+TEST(PrecisionTest, GeneralLossF32Trains) {
+  // The non-squared (general gradient) kernel path must also honor f32
+  // storage: huber loss through serial SGD.
+  const Dataset ds = MakeTestDataset();
+  TrainOptions options = FastTrainOptions(6);
+  options.loss = "huber";
+  options.precision = Precision::kF32;
+  auto solver = MakeSolver("serial_sgd");
+  ASSERT_TRUE(solver.ok());
+  auto result = solver.value()->Train(ds, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const double initial = InitialRmse(ds, options);
+  EXPECT_LT(result.value().trace.points().back().test_rmse, initial);
+}
+
+}  // namespace
+}  // namespace nomad

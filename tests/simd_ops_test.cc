@@ -156,5 +156,186 @@ TEST_F(SimdOpsTest, IsaReportingConsistent) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Float table: same contract as the double table — the scalar float kernels
+// are the oracle for what pure f32 arithmetic produces, and the AVX2 float
+// kernels must match them up to f32 reassociation error across every k and
+// every misalignment. Mirrors the double coverage above.
+// ---------------------------------------------------------------------------
+
+// f32 analogue of AccumTol: a handful of float ulps per accumulated term.
+float AccumTolF(int k, float magnitude) {
+  return 8.0f * std::max(1.0f, magnitude) * static_cast<float>(k + 1) *
+         std::numeric_limits<float>::epsilon();
+}
+
+void FillRandomF(Rng* rng, float* v, int k) {
+  for (int i = 0; i < k; ++i) v[i] = static_cast<float>(rng->Uniform(-1, 1));
+}
+
+class SimdOpsFloatTest : public ::testing::Test {
+ protected:
+  const simd::KernelTableF& scalar_ = simd::ScalarTable<float>();
+  const simd::KernelTableF& best_ = simd::BestAvailableTable<float>();
+};
+
+TEST_F(SimdOpsFloatTest, DotMatchesScalarAcrossK) {
+  Rng rng(111);
+  for (int k = 0; k <= 128; ++k) {
+    std::vector<float> a(static_cast<size_t>(k) + 1);
+    std::vector<float> b(static_cast<size_t>(k) + 1);
+    FillRandomF(&rng, a.data(), k);
+    FillRandomF(&rng, b.data(), k);
+    const float expect = scalar_.dot(a.data(), b.data(), k);
+    const float got = best_.dot(a.data(), b.data(), k);
+    EXPECT_NEAR(got, expect, AccumTolF(k, std::fabs(expect)))
+        << "k=" << k << " isa=" << best_.isa;
+  }
+}
+
+TEST_F(SimdOpsFloatTest, SquaredNormMatchesScalarAcrossK) {
+  Rng rng(112);
+  for (int k = 0; k <= 128; ++k) {
+    std::vector<float> a(static_cast<size_t>(k) + 1);
+    FillRandomF(&rng, a.data(), k);
+    const float expect = scalar_.squared_norm(a.data(), k);
+    const float got = best_.squared_norm(a.data(), k);
+    EXPECT_NEAR(got, expect, AccumTolF(k, expect)) << "k=" << k;
+    EXPECT_GE(got, 0.0f);
+  }
+}
+
+TEST_F(SimdOpsFloatTest, AxpyMatchesScalarAcrossK) {
+  Rng rng(113);
+  for (int k = 0; k <= 128; ++k) {
+    std::vector<float> x(static_cast<size_t>(k) + 1);
+    FillRandomF(&rng, x.data(), k);
+    std::vector<float> y_ref(static_cast<size_t>(k) + 1);
+    FillRandomF(&rng, y_ref.data(), k);
+    std::vector<float> y_simd = y_ref;
+    const float alpha = static_cast<float>(rng.Uniform(-2, 2));
+    scalar_.axpy(alpha, x.data(), y_ref.data(), k);
+    best_.axpy(alpha, x.data(), y_simd.data(), k);
+    for (int i = 0; i < k; ++i) {
+      // Element-wise: one FMA vs mul+add differ by at most 1 rounding.
+      EXPECT_NEAR(y_simd[static_cast<size_t>(i)],
+                  y_ref[static_cast<size_t>(i)],
+                  4 * std::numeric_limits<float>::epsilon() *
+                      std::max(1.0f,
+                               std::fabs(y_ref[static_cast<size_t>(i)])))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdOpsFloatTest, SgdUpdatePairMatchesScalarAcrossK) {
+  // k=1..128 crosses every fixed-NV fused variant (8, 16, 24, 32), the
+  // generic 8-wide body, and the scalar tail.
+  Rng rng(114);
+  for (int k = 1; k <= 128; ++k) {
+    std::vector<float> w_ref(static_cast<size_t>(k));
+    std::vector<float> h_ref(static_cast<size_t>(k));
+    FillRandomF(&rng, w_ref.data(), k);
+    FillRandomF(&rng, h_ref.data(), k);
+    std::vector<float> w_simd = w_ref;
+    std::vector<float> h_simd = h_ref;
+    const float rating = static_cast<float>(rng.Uniform(-2, 2));
+    const float step = 0.01f;
+    const float lambda = 0.05f;
+    const float err_ref = scalar_.sgd_update_pair(
+        rating, step, lambda, w_ref.data(), h_ref.data(), k);
+    const float err_simd = best_.sgd_update_pair(
+        rating, step, lambda, w_simd.data(), h_simd.data(), k);
+    EXPECT_NEAR(err_simd, err_ref, AccumTolF(k, std::fabs(err_ref)))
+        << "k=" << k;
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(w_simd[static_cast<size_t>(i)],
+                  w_ref[static_cast<size_t>(i)], AccumTolF(k, 1.0f))
+          << "k=" << k << " i=" << i;
+      EXPECT_NEAR(h_simd[static_cast<size_t>(i)],
+                  h_ref[static_cast<size_t>(i)], AccumTolF(k, 1.0f))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdOpsFloatTest, UnalignedTailsAndOffsets) {
+  // Slide a window through an oversized buffer so the kernel sees every
+  // possible (mis)alignment of both operands, with k values that exercise
+  // the 16-wide body, the 8-wide step, and the scalar tail.
+  Rng rng(115);
+  constexpr int kMax = 64;
+  std::vector<float> buf_a(kMax + 32);
+  std::vector<float> buf_b(kMax + 32);
+  FillRandomF(&rng, buf_a.data(), kMax + 32);
+  FillRandomF(&rng, buf_b.data(), kMax + 32);
+  for (int offset = 0; offset < 16; ++offset) {
+    for (int k : {1, 3, 5, 7, 8, 9, 11, 15, 16, 17, 23, 24, 31, 33, 64}) {
+      const float* a = buf_a.data() + offset;
+      const float* b = buf_b.data() + offset + 5;  // different misalignment
+      const float expect = scalar_.dot(a, b, k);
+      const float got = best_.dot(a, b, k);
+      EXPECT_NEAR(got, expect, AccumTolF(k, std::fabs(expect)))
+          << "offset=" << offset << " k=" << k;
+    }
+  }
+}
+
+TEST_F(SimdOpsFloatTest, UnalignedFusedUpdate) {
+  // The fixed-NV fused variants must also tolerate arbitrary row offsets
+  // (FactorMatrix rows are aligned, but test vectors and sliced buffers are
+  // not).
+  Rng rng(116);
+  for (int offset = 0; offset < 8; ++offset) {
+    for (int k : {8, 16, 24, 32}) {
+      std::vector<float> w_buf(static_cast<size_t>(k) + 8);
+      std::vector<float> h_buf(static_cast<size_t>(k) + 8);
+      FillRandomF(&rng, w_buf.data(), k + 8);
+      FillRandomF(&rng, h_buf.data(), k + 8);
+      std::vector<float> w_ref = w_buf;
+      std::vector<float> h_ref = h_buf;
+      const float err_ref = scalar_.sgd_update_pair(
+          0.7f, 0.02f, 0.05f, w_ref.data() + offset, h_ref.data() + offset,
+          k);
+      const float err_simd = best_.sgd_update_pair(
+          0.7f, 0.02f, 0.05f, w_buf.data() + offset, h_buf.data() + offset,
+          k);
+      EXPECT_NEAR(err_simd, err_ref, AccumTolF(k, std::fabs(err_ref)))
+          << "offset=" << offset << " k=" << k;
+      for (int i = 0; i < k + 8; ++i) {
+        EXPECT_NEAR(w_buf[static_cast<size_t>(i)],
+                    w_ref[static_cast<size_t>(i)], AccumTolF(k, 1.0f))
+            << "offset=" << offset << " k=" << k << " i=" << i;
+        EXPECT_NEAR(h_buf[static_cast<size_t>(i)],
+                    h_ref[static_cast<size_t>(i)], AccumTolF(k, 1.0f))
+            << "offset=" << offset << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(SimdOpsFloatTest, ActiveDefaultsToBestAndIsSwitchable) {
+  EXPECT_EQ(&simd::ActiveTable<float>(), &simd::BestAvailableTable<float>());
+  simd::SetActiveTable<float>(simd::ScalarTable<float>());
+  EXPECT_EQ(&simd::ActiveTable<float>(), &simd::ScalarTable<float>());
+  // dense_ops routes float rows through the float active table; the double
+  // table is untouched by the float switch.
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 12.0f);
+  EXPECT_EQ(&simd::Active(), &simd::BestAvailable());
+  simd::SetActiveTable<float>(simd::BestAvailableTable<float>());
+  EXPECT_EQ(&simd::ActiveTable<float>(), &simd::BestAvailableTable<float>());
+}
+
+TEST_F(SimdOpsFloatTest, IsaReportingConsistent) {
+  EXPECT_STREQ(simd::ScalarTable<float>().isa, "scalar");
+  if (simd::HasAvx2Fma()) {
+    EXPECT_STREQ(simd::BestAvailableTable<float>().isa, "avx2+fma");
+  } else {
+    EXPECT_STREQ(simd::BestAvailableTable<float>().isa, "scalar");
+  }
+}
+
 }  // namespace
 }  // namespace nomad

@@ -10,7 +10,7 @@
 //
 // Examples:
 //   nomad_cli train --input ratings.txt --model out.nomad --solver nomad \
-//             --rank 32 --epochs 15
+//             --rank 32 --epochs 15 --precision f32
 //   nomad_cli train --preset netflix --scale 0.1 --model out.nomad
 //   nomad_cli evaluate --input ratings.txt --model out.nomad
 //   nomad_cli topn --model out.nomad --user 42 --n 10
@@ -56,7 +56,7 @@ Result<Dataset> LoadInput(const Flags& flags) {
   return Status::InvalidArgument("pass --input <file> or --preset <name>");
 }
 
-TrainOptions OptionsFromFlags(const Flags& flags) {
+Result<TrainOptions> OptionsFromFlags(const Flags& flags) {
   TrainOptions o;
   o.rank = static_cast<int>(flags.GetInt("rank", 16));
   o.lambda = flags.GetDouble("lambda", 0.05);
@@ -69,6 +69,9 @@ TrainOptions OptionsFromFlags(const Flags& flags) {
   o.max_seconds = flags.GetDouble("max-seconds", -1.0);
   o.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   o.bold_driver = flags.GetBool("bold-driver", false);
+  auto precision = ParsePrecision(flags.GetString("precision", "f64"));
+  if (!precision.ok()) return precision.status();
+  o.precision = precision.value();
   return o;
 }
 
@@ -88,12 +91,15 @@ int CmdTrain(const Flags& flags) {
   const std::string solver_name = flags.GetString("solver", "nomad");
   auto solver = MakeSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status().ToString());
-  const TrainOptions options = OptionsFromFlags(flags);
-  std::printf("training %s on %s (%lld train / %lld test ratings)\n",
-              solver_name.c_str(), ds.value().name.c_str(),
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status().ToString());
+  std::printf("training %s (%s) on %s (%lld train / %lld test ratings)\n",
+              solver_name.c_str(),
+              PrecisionName(options.value().precision),
+              ds.value().name.c_str(),
               static_cast<long long>(ds.value().train_nnz()),
               static_cast<long long>(ds.value().test_nnz()));
-  auto result = solver.value()->Train(ds.value(), options);
+  auto result = solver.value()->Train(ds.value(), options.value());
   if (!result.ok()) return Fail(result.status().ToString());
   for (const TracePoint& p : result.value().trace.points()) {
     std::printf("  %.2fs  %12lld updates  test RMSE %.4f\n", p.seconds,
