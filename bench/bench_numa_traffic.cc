@@ -1,0 +1,272 @@
+// NUMA traffic benchmark: measures, on the real host, how much of NOMAD's
+// token hand-off traffic stays on the sending worker's NUMA node under
+// each placement policy, and what that does to hand-off throughput.
+//
+// Scenarios (each: p pinned-or-not workers circulating tokens through
+// MpmcQueues, one SGD touch per token, destinations from a TokenRouter):
+//
+//  1. "off"  — topology-blind routing on the detected topology: the
+//     baseline locality you get for free (1.0 on a single-node host,
+//     ~1/nodes on a multi-socket one).
+//  2. "auto" — NUMA-aware routing + worker pinning on the detected
+//     topology (identical to "off" on a single-node host, where the
+//     NUMA-aware router degenerates to topology-blind).
+//  3. "simulated_two_node" — the p workers are split over a synthetic
+//     2-node map and routed both blind and NUMA-aware. This exercises the
+//     router's locality policy on any host (CI machines are single-node),
+//     so BENCH_numa.json always carries a non-trivial local/remote split.
+//
+// Output: BENCH_numa.json (override with --out=<path>). Flags:
+// --seconds-per-case (default 0.2), --workers (default 4), --batch
+// (default 8), --remote-fraction (default 1/16).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/simd_ops.h"
+#include "nomad/token_router.h"
+#include "queue/mpmc_queue.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/numa_topology.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+namespace {
+
+struct TrafficRow {
+  std::string scenario;
+  bool numa_aware = false;
+  int workers = 0;
+  int nodes = 0;
+  double tokens_per_sec = 0.0;
+  int64_t local_handoffs = 0;
+  int64_t remote_handoffs = 0;
+
+  double LocalFraction() const {
+    const int64_t total = local_handoffs + remote_handoffs;
+    return total > 0 ? static_cast<double>(local_handoffs) /
+                           static_cast<double>(total)
+                     : 1.0;
+  }
+};
+
+/// p workers, one queue each, circulate 512 tokens for ~`seconds`: pop a
+/// batch, run one fused SGD update per token (k=32; realistic per-token
+/// work at mini scale), route the batch through `router`, hand off. Every
+/// hand-off is classified local/remote against `worker_node`; workers are
+/// pinned to `cpus_per_worker` when non-empty.
+TrafficRow RunScenario(const std::string& scenario, const TokenRouter& router,
+                       const std::vector<int>& worker_node,
+                       const std::vector<std::vector<int>>& cpus_per_worker,
+                       int p, int batch, double seconds) {
+  constexpr int kRank = 32;
+  constexpr int kTokens = 512;
+  std::vector<std::unique_ptr<MpmcQueue<int32_t>>> queues;
+  for (int q = 0; q < p; ++q) {
+    queues.push_back(std::make_unique<MpmcQueue<int32_t>>());
+  }
+  Rng scatter(7);
+  for (int32_t j = 0; j < kTokens; ++j) {
+    queues[scatter.NextBelow(static_cast<uint64_t>(p))]->Push(j);
+  }
+  std::vector<std::vector<double>> rows(kTokens,
+                                        std::vector<double>(kRank, 0.5));
+  std::vector<std::vector<double>> wrows(static_cast<size_t>(p),
+                                         std::vector<double>(kRank, 0.25));
+  const simd::KernelTable& table = simd::BestAvailable();
+  const TokenRouter::SizeProbe probe = [&queues](int q) {
+    return queues[static_cast<size_t>(q)]->Size();
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> processed{0};
+  std::atomic<int64_t> local{0};
+  std::atomic<int64_t> remote{0};
+  std::vector<std::thread> workers;
+  for (int q = 0; q < p; ++q) {
+    workers.emplace_back([&, q] {
+      if (!cpus_per_worker.empty()) {
+        PinCurrentThreadToCpus(cpus_per_worker[static_cast<size_t>(q)]);
+      }
+      const int my_node = worker_node[static_cast<size_t>(q)];
+      Rng rng(1000ULL + static_cast<uint64_t>(q));
+      std::vector<int32_t> tokens(static_cast<size_t>(batch));
+      std::vector<int> dests(static_cast<size_t>(batch));
+      std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p));
+      int64_t my_processed = 0;
+      int64_t my_local = 0;
+      int64_t my_remote = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t got = queues[static_cast<size_t>(q)]->TryPopBatch(
+            tokens.data(), static_cast<size_t>(batch));
+        if (got == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (size_t b = 0; b < got; ++b) {
+          table.sgd_update_pair(
+              1.0, 1e-6, 0.05, wrows[static_cast<size_t>(q)].data(),
+              rows[static_cast<size_t>(tokens[b])].data(), kRank);
+        }
+        router.PickBatch(q, &rng, probe, static_cast<int>(got), dests.data());
+        for (size_t b = 0; b < got; ++b) {
+          const int dst = dests[b];
+          if (worker_node[static_cast<size_t>(dst)] == my_node) {
+            ++my_local;
+          } else {
+            ++my_remote;
+          }
+          outbound[static_cast<size_t>(dst)].push_back(tokens[b]);
+        }
+        my_processed += static_cast<int64_t>(got);
+        for (int d = 0; d < p; ++d) {
+          auto& buf = outbound[static_cast<size_t>(d)];
+          if (buf.empty()) continue;
+          queues[static_cast<size_t>(d)]->PushBatch(buf.data(), buf.size());
+          buf.clear();
+        }
+      }
+      processed.fetch_add(my_processed);
+      local.fetch_add(my_local);
+      remote.fetch_add(my_remote);
+    });
+  }
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(seconds, 0.05)));
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  TrafficRow row;
+  row.scenario = scenario;
+  row.numa_aware = router.numa_aware();
+  row.workers = p;
+  row.nodes = 1 + *std::max_element(worker_node.begin(), worker_node.end());
+  row.tokens_per_sec = static_cast<double>(processed.load()) / elapsed;
+  row.local_handoffs = local.load();
+  row.remote_handoffs = remote.load();
+  return row;
+}
+
+void WriteJson(const std::string& path, const NumaTopology& topo,
+               double remote_fraction, const std::vector<TrafficRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  NOMAD_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"topology\": {\n");
+  std::fprintf(f, "    \"num_nodes\": %d,\n", topo.num_nodes());
+  std::fprintf(f, "    \"total_cpus\": %d,\n", topo.total_cpus());
+  std::fprintf(f, "    \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"nodes\": [\n");
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    std::fprintf(f, "      {\"id\": %d, \"cpus\": %d}%s\n", topo.node(i).id,
+                 static_cast<int>(topo.node(i).cpus.size()),
+                 i + 1 < topo.num_nodes() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"remote_fraction\": %.4f,\n", remote_fraction);
+  std::fprintf(f, "  \"handoff\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TrafficRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"numa_aware\": %s, \"workers\": %d, "
+        "\"nodes\": %d, \"tokens_per_sec\": %.3e, \"local_handoffs\": %lld, "
+        "\"remote_handoffs\": %lld, \"local_fraction\": %.4f}%s\n",
+        r.scenario.c_str(), r.numa_aware ? "true" : "false", r.workers,
+        r.nodes, r.tokens_per_sec, static_cast<long long>(r.local_handoffs),
+        static_cast<long long>(r.remote_handoffs), r.LocalFraction(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void Print(const TrafficRow& r) {
+  std::printf(
+      "%-28s nodes=%d numa_aware=%-5s %.3e tokens/s  local %lld  remote %lld"
+      "  (local fraction %.3f)\n",
+      r.scenario.c_str(), r.nodes, r.numa_aware ? "true" : "false",
+      r.tokens_per_sec, static_cast<long long>(r.local_handoffs),
+      static_cast<long long>(r.remote_handoffs), r.LocalFraction());
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());
+  const double seconds = flags.GetDouble("seconds-per-case", 0.2);
+  const int p = std::max(2, static_cast<int>(flags.GetInt("workers", 4)));
+  const int batch = static_cast<int>(flags.GetInt("batch", 8));
+  const double remote_fraction = flags.GetDouble(
+      "remote-fraction", TokenRouter::kDefaultRemoteFraction);
+  const std::string out = flags.GetString("out", "BENCH_numa.json");
+
+  const NumaTopology topo = NumaTopology::Detect();
+  std::printf("== NUMA token traffic (%d node%s, %d cpus) ==\n",
+              topo.num_nodes(), topo.num_nodes() == 1 ? "" : "s",
+              topo.total_cpus());
+
+  const std::vector<int> real_map = topo.AssignWorkers(p);
+  std::vector<std::vector<int>> real_cpus(static_cast<size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    real_cpus[static_cast<size_t>(q)] =
+        topo.node(real_map[static_cast<size_t>(q)]).cpus;
+  }
+
+  std::vector<TrafficRow> rows;
+
+  // 1. Detected topology, topology-blind routing (numa=off).
+  {
+    const TokenRouter router(Routing::kUniform, p);
+    rows.push_back(
+        RunScenario("off", router, real_map, {}, p, batch, seconds));
+    Print(rows.back());
+  }
+
+  // 2. Detected topology, NUMA-aware routing + pinning (numa=auto).
+  {
+    TokenRouter router(Routing::kUniform, p);
+    router.MakeNumaAware(real_map, remote_fraction);
+    rows.push_back(
+        RunScenario("auto", router, real_map, real_cpus, p, batch, seconds));
+    Print(rows.back());
+  }
+
+  // 3. Synthetic 2-node split of the same workers: first half node 0,
+  // second half node 1. No pinning (the nodes are fictional); this
+  // isolates the router policy so the local/remote split is non-trivial
+  // even on single-node CI hosts.
+  std::vector<int> sim_map(static_cast<size_t>(p), 0);
+  for (int q = p / 2; q < p; ++q) sim_map[static_cast<size_t>(q)] = 1;
+  {
+    const TokenRouter router(Routing::kUniform, p);
+    rows.push_back(RunScenario("simulated_two_node_off", router, sim_map, {},
+                               p, batch, seconds));
+    Print(rows.back());
+  }
+  {
+    TokenRouter router(Routing::kUniform, p);
+    router.MakeNumaAware(sim_map, remote_fraction);
+    rows.push_back(RunScenario("simulated_two_node_auto", router, sim_map,
+                               {}, p, batch, seconds));
+    Print(rows.back());
+  }
+
+  WriteJson(out, topo, remote_fraction, rows);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) { return nomad::Run(argc, argv); }

@@ -39,7 +39,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
     scratch.push_back(std::make_unique<NormalEquations>(k));
   }
 
-  EpochLoopT<Real> loop(ds, options, w, h, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result, &pool);
   while (loop.Continue()) {
     // Update all w_i with H fixed.
     ParallelForShards(&pool, 0, train.rows(),

@@ -31,7 +31,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   ThreadPool pool(options.num_workers);
   CcdppEngineT<Real> engine(ds.train, options.lambda, &w, &h, &pool);
 
-  EpochLoopT<Real> loop(ds, options, w, h, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result, &pool);
   while (loop.Continue()) {
     engine.SweepEpoch(options.ccd_inner_iters);
     loop.EndEpoch(engine.EpochWork(options.ccd_inner_iters));

@@ -41,7 +41,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
                                    options.lambda, k);
   ThreadPool pool(p);
-  EpochLoopT<Real> loop(ds, options, w, h, &result);
+  EpochLoopT<Real> loop(ds, options, w, h, &result, &pool);
   int epoch = 0;
   while (loop.Continue()) {
     for (int s = 0; s < cblocks; ++s) {

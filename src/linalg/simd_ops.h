@@ -2,6 +2,7 @@
 #define NOMAD_LINALG_SIMD_OPS_H_
 
 namespace nomad {
+/// Runtime-dispatched SIMD kernel tables for the dense hot-path vector ops.
 namespace simd {
 
 /// Vectorized implementations of the dense-vector kernels behind every SGD
@@ -29,17 +30,23 @@ namespace simd {
 /// process the dispatch is fixed, so runs remain bit-deterministic.
 template <typename T>
 struct KernelTableT {
+  /// Inner product ⟨a, b⟩ over k elements (the prediction ⟨w_i, h_j⟩).
   T (*dot)(const T* a, const T* b, int k);
+  /// y += alpha * x over k elements.
   void (*axpy)(T alpha, const T* x, T* y, int k);
+  /// ‖a‖² over k elements (regularization terms).
   T (*squared_norm)(const T* a, int k);
   /// Fused single-pass SGD pair update (see dense_ops.h SgdUpdatePair):
   /// one vector pass computes the error term, a second writes both new
   /// rows from one load of w and h each — no pre-update w copy.
   T (*sgd_update_pair)(T rating, T step, T lambda, T* w, T* h, int k);
-  const char* isa;  // "avx2+fma" or "scalar"
+  /// Human-readable name of the instruction set: "avx2+fma" or "scalar".
+  const char* isa;
 };
 
+/// Double-precision kernel table.
 using KernelTable = KernelTableT<double>;
+/// Float32 kernel table (8 lanes per ymm register instead of 4).
 using KernelTableF = KernelTableT<float>;
 
 /// Portable scalar reference kernels (also the correctness oracle for
@@ -66,6 +73,7 @@ const KernelTableT<T>& ActiveTable();
 template <typename T>
 void SetActiveTable(const KernelTableT<T>& table);
 
+/// @cond INTERNAL
 // The templates above are defined only for float and double (simd_ops.cc).
 template <> const KernelTableT<float>& ScalarTable<float>();
 template <> const KernelTableT<double>& ScalarTable<double>();
@@ -75,13 +83,17 @@ template <> const KernelTableT<float>& ActiveTable<float>();
 template <> const KernelTableT<double>& ActiveTable<double>();
 template <> void SetActiveTable<float>(const KernelTableT<float>& table);
 template <> void SetActiveTable<double>(const KernelTableT<double>& table);
+/// @endcond
 
-/// Legacy double-precision spellings, kept for existing callers.
+/// Legacy spelling of ScalarTable<double>(), kept for existing callers.
 inline const KernelTable& Scalar() { return ScalarTable<double>(); }
+/// Legacy spelling of BestAvailableTable<double>().
 inline const KernelTable& BestAvailable() {
   return BestAvailableTable<double>();
 }
+/// Legacy spelling of ActiveTable<double>().
 inline const KernelTable& Active() { return ActiveTable<double>(); }
+/// Legacy spelling of SetActiveTable<double>().
 inline void SetActive(const KernelTable& table) {
   SetActiveTable<double>(table);
 }

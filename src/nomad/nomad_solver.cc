@@ -15,6 +15,7 @@
 #include "queue/mpmc_queue.h"
 #include "solver/sgd_kernel.h"
 #include "util/logging.h"
+#include "util/numa_topology.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -104,6 +105,55 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   const ColumnShards shards = ColumnShards::Build(ds.train, partition);
   StepCounts counts(ds.train.nnz());
 
+  // NUMA placement (numa_topology.h). Only a multi-node host with the
+  // policy enabled does anything here; single-node hosts and numa=off take
+  // the exact historical code path (empty worker_cpus ⇒ no pinning, no
+  // page binding, topology-blind router).
+  const NumaTopology topo = options.numa_policy == NumaPolicy::kOff
+                                ? NumaTopology::SingleNode()
+                                : NumaTopology::Detect();
+  const bool numa_place =
+      options.numa_policy != NumaPolicy::kOff && topo.multi_node();
+  std::vector<int> worker_node;               // worker -> node index
+  std::vector<std::vector<int>> worker_cpus;  // worker -> its node's CPUs
+  if (numa_place) {
+    worker_node = topo.AssignWorkers(p);
+    worker_cpus.resize(static_cast<size_t>(p));
+    std::vector<int> node_ids;  // kernel ids, for the mbind node masks
+    for (const NumaNode& n : topo.nodes()) node_ids.push_back(n.id);
+    for (int q = 0; q < p; ++q) {
+      worker_cpus[static_cast<size_t>(q)] =
+          topo.node(worker_node[static_cast<size_t>(q)]).cpus;
+    }
+    const size_t h_bytes = static_cast<size_t>(ds.cols) *
+                           static_cast<size_t>(h.stride()) * sizeof(Real);
+    if (options.numa_policy == NumaPolicy::kAuto) {
+      // Each worker reads and writes only its own w-row partition
+      // [Begin(q), End(q)) for the whole run: bind those pages to the
+      // worker's node (numa_alloc_onnode-style placement of an
+      // already-touched allocation, via mbind+MPOL_MF_MOVE). The h rows
+      // circulate between all workers, so their pages are interleaved —
+      // every node then serves an equal share of the remote h traffic.
+      for (int q = 0; q < p; ++q) {
+        const int32_t begin = partition.Begin(q);
+        const int32_t end = partition.End(q);
+        if (end <= begin) continue;
+        BindMemoryToNode(
+            w.Row(begin),
+            static_cast<size_t>(end - begin) *
+                static_cast<size_t>(w.stride()) * sizeof(Real),
+            topo.node(worker_node[static_cast<size_t>(q)]).id);
+      }
+      InterleaveMemory(h.Row(0), h_bytes, node_ids);
+    } else {  // NumaPolicy::kInterleave
+      InterleaveMemory(w.Row(0),
+                       static_cast<size_t>(ds.rows) *
+                           static_cast<size_t>(w.stride()) * sizeof(Real),
+                       node_ids);
+      InterleaveMemory(h.Row(0), h_bytes, node_ids);
+    }
+  }
+
   // Per-worker token queues; initial tokens scattered uniformly
   // (Algorithm 1 lines 7-10).
   std::vector<std::unique_ptr<MpmcQueue<int32_t>>> queues;
@@ -116,7 +166,12 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
     queues[scatter_rng.NextBelow(static_cast<uint64_t>(p))]->Push(j);
   }
 
-  const TokenRouter router(options.routing, p);
+  TokenRouter router(options.routing, p);
+  // numa=auto biases hand-offs toward the sender's node (interleave keeps
+  // routing topology-blind: its point is spreading bandwidth, not locality).
+  if (numa_place && options.numa_policy == NumaPolicy::kAuto) {
+    router.MakeNumaAware(worker_node);
+  }
   const TokenRouter::SizeProbe probe = [&queues](int q) {
     return queues[static_cast<size_t>(q)]->Size();
   };
@@ -144,6 +199,12 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   const int batch = static_cast<int>(std::min<int64_t>(
       options.token_batch_size, std::max<int64_t>(1, ds.cols / (2 * p))));
   auto worker_fn = [&](int q) {
+    // NUMA pinning: keep this worker on its node so its w-row partition
+    // (bound there above) and its token queue stay local. No-op when
+    // placement is off.
+    if (numa_place) {
+      PinCurrentThreadToCpus(worker_cpus[static_cast<size_t>(q)]);
+    }
     Rng rng(options.seed + 7919ULL * static_cast<uint64_t>(q + 1));
     std::vector<int32_t> tokens(static_cast<size_t>(batch));
     std::vector<int> dests(static_cast<size_t>(batch));
@@ -227,8 +288,10 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
                                     : -1);
   // Workers are quiesced during evaluation, so the pool's threads have the
   // machine to themselves; test-set RMSE (and optionally the objective)
-  // splits across them instead of running serially on the driver.
-  ThreadPool eval_pool(p);
+  // splits across them instead of running serially on the driver. Under
+  // NUMA placement the pool inherits the workers' node pinning, so each
+  // eval shard reads mostly-local factor pages.
+  ThreadPool eval_pool(p, worker_cpus);
   double train_seconds = 0.0;  // excludes evaluation pauses
   int64_t next_eval = eval_every;
   const auto cap_for = [max_updates](int64_t eval_at) {

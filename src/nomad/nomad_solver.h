@@ -18,10 +18,21 @@ namespace nomad {
 /// (queue hand-off aside), fully asynchronous, and serializable — every
 /// execution is equivalent to some serial SGD update ordering, which the
 /// serializability test verifies by replay.
+///
+/// On multi-socket hosts, `TrainOptions::numa_policy` additionally controls
+/// hardware-conscious placement (util/numa_topology.h): workers pinned to
+/// NUMA nodes, each worker's w-row partition bound to its node, the
+/// circulated H pages interleaved, and token routing biased toward
+/// intra-node hand-offs. Single-node hosts and `numa=off` run the
+/// placement-free historical path, so results there are unaffected.
 class NomadSolver final : public Solver {
  public:
+  /// Always "nomad".
   std::string Name() const override { return "nomad"; }
 
+  /// Runs Algorithm 1 on ds.train with `options.num_workers` threads,
+  /// tracing test RMSE at the configured cadence. See TrainOptions for the
+  /// NOMAD-specific knobs (routing, token_batch_size, numa_policy, …).
   Result<TrainResult> Train(const Dataset& ds,
                             const TrainOptions& options) override;
 };

@@ -1,47 +1,136 @@
 #include "nomad/token_router.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace nomad {
 
-int TokenRouter::Pick(int /*self*/, Rng* rng, const SizeProbe& probe) const {
-  const int a = static_cast<int>(rng->NextBelow(
-      static_cast<uint64_t>(num_workers_)));
-  if (routing_ == Routing::kUniform || num_workers_ == 1) return a;
-  int b = static_cast<int>(rng->NextBelow(
-      static_cast<uint64_t>(num_workers_)));
-  if (b == a) b = (b + 1) % num_workers_;
-  return probe(a) <= probe(b) ? a : b;
+void TokenRouter::MakeNumaAware(const std::vector<int>& worker_node,
+                                double remote_fraction) {
+  node_workers_.clear();
+  remote_workers_.clear();
+  remote_prob_.clear();
+  worker_node_.clear();
+  if (static_cast<int>(worker_node.size()) != num_workers_) return;
+  const int nodes =
+      worker_node.empty()
+          ? 0
+          : 1 + *std::max_element(worker_node.begin(), worker_node.end());
+  if (nodes < 2) return;
+  std::vector<std::vector<int>> by_node(static_cast<size_t>(nodes));
+  for (int w = 0; w < num_workers_; ++w) {
+    const int n = worker_node[static_cast<size_t>(w)];
+    if (n < 0) return;  // malformed map: stay topology-blind
+    by_node[static_cast<size_t>(n)].push_back(w);
+  }
+  // A node with every worker (or none elsewhere) makes "remote" empty and
+  // the split meaningless; require at least two populated nodes.
+  int populated = 0;
+  for (const auto& ws : by_node) populated += ws.empty() ? 0 : 1;
+  if (populated < 2) return;
+  worker_node_ = worker_node;
+  node_workers_ = std::move(by_node);
+  remote_workers_.assign(node_workers_.size(), {});
+  for (size_t n = 0; n < node_workers_.size(); ++n) {
+    for (int w = 0; w < num_workers_; ++w) {
+      if (worker_node_[static_cast<size_t>(w)] != static_cast<int>(n)) {
+        remote_workers_[n].push_back(w);
+      }
+    }
+  }
+  // Scale each node's remote probability by its remote-worker count so the
+  // pairwise cross-node flow rates match (P(q→w) = P(w→q) under uniform
+  // routing): a node holding most of the workers sends out less often,
+  // keeping the stationary token distribution uniform per worker instead
+  // of per node. The smallest node gets exactly remote_fraction.
+  const double fraction = std::clamp(remote_fraction, 0.0, 1.0);
+  size_t m_max = 0;
+  for (const auto& remote : remote_workers_) {
+    m_max = std::max(m_max, remote.size());
+  }
+  remote_prob_.assign(node_workers_.size(), 0.0);
+  for (size_t n = 0; n < node_workers_.size(); ++n) {
+    remote_prob_[n] = fraction * static_cast<double>(remote_workers_[n].size()) /
+                      static_cast<double>(m_max);
+  }
+}
+
+template <typename Load>
+int TokenRouter::PickFrom(const std::vector<int>& candidates, Rng* rng,
+                          const Load& load) const {
+  const size_t m = candidates.size();
+  const int a = candidates[rng->NextBelow(static_cast<uint64_t>(m))];
+  if (routing_ == Routing::kUniform || m == 1) return a;
+  int b = candidates[rng->NextBelow(static_cast<uint64_t>(m))];
+  if (b == a) {
+    // Re-draw deterministically: step to the next candidate in the set.
+    const auto it = std::find(candidates.begin(), candidates.end(), a);
+    b = candidates[static_cast<size_t>(it - candidates.begin() + 1) % m];
+  }
+  return load(a) <= load(b) ? a : b;
+}
+
+int TokenRouter::Pick(int self, Rng* rng, const SizeProbe& probe) const {
+  if (!numa_aware()) {
+    const int a = static_cast<int>(rng->NextBelow(
+        static_cast<uint64_t>(num_workers_)));
+    if (routing_ == Routing::kUniform || num_workers_ == 1) return a;
+    int b = static_cast<int>(rng->NextBelow(
+        static_cast<uint64_t>(num_workers_)));
+    if (b == a) b = (b + 1) % num_workers_;
+    return probe(a) <= probe(b) ? a : b;
+  }
+  const size_t node = static_cast<size_t>(NodeOf(self));
+  const bool go_remote =
+      rng->Uniform(0.0, 1.0) < remote_prob_[node] &&
+      !remote_workers_[node].empty();
+  const std::vector<int>& candidates =
+      go_remote ? remote_workers_[node] : node_workers_[node];
+  return PickFrom(candidates, rng, probe);
 }
 
 void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
                             int n, int* out) const {
   if (n <= 0) return;
-  if (routing_ == Routing::kUniform || num_workers_ == 1) {
+  if (!numa_aware() &&
+      (routing_ == Routing::kUniform || num_workers_ == 1)) {
     for (int t = 0; t < n; ++t) {
       out[t] = static_cast<int>(
           rng->NextBelow(static_cast<uint64_t>(num_workers_)));
     }
     return;
   }
-  // Least-loaded, power-of-two choices with a lazily filled size cache:
-  // each queue pays at most one probe per batch, and every placement bumps
-  // the cached size so later tokens in the batch see the updated load.
-  // Thread-local scratch — PickBatch runs once per drained batch in every
-  // worker's hot loop, so per-call heap allocation would hand the lock
-  // savings straight to the allocator.
+  // Lazily filled size cache shared by the whole batch: each queue pays at
+  // most one probe, and every placement bumps the cached size so later
+  // tokens in the batch see the updated load. NUMA-aware uniform routing
+  // never consults it (the lambda stays uncalled), so it costs nothing
+  // there. Thread-local scratch — PickBatch runs once per drained batch in
+  // every worker's hot loop, so per-call heap allocation would hand the
+  // lock savings straight to the allocator.
   thread_local std::vector<size_t> sizes;
   thread_local std::vector<char> probed;
   sizes.assign(static_cast<size_t>(num_workers_), 0);
   probed.assign(static_cast<size_t>(num_workers_), 0);
-  const auto load = [&](int q) {
+  const auto load = [&](int q) -> size_t {
     if (!probed[static_cast<size_t>(q)]) {
       sizes[static_cast<size_t>(q)] = probe(q);
       probed[static_cast<size_t>(q)] = 1;
     }
     return sizes[static_cast<size_t>(q)];
   };
-  (void)self;
+  if (numa_aware()) {
+    const size_t node = static_cast<size_t>(NodeOf(self));
+    for (int t = 0; t < n; ++t) {
+      const bool go_remote = rng->Uniform(0.0, 1.0) < remote_prob_[node] &&
+                             !remote_workers_[node].empty();
+      const std::vector<int>& candidates =
+          go_remote ? remote_workers_[node] : node_workers_[node];
+      const int dst = PickFrom(candidates, rng, load);
+      out[t] = dst;
+      ++sizes[static_cast<size_t>(dst)];
+    }
+    return;
+  }
   for (int t = 0; t < n; ++t) {
     const int a = static_cast<int>(
         rng->NextBelow(static_cast<uint64_t>(num_workers_)));

@@ -2,6 +2,7 @@
 #define NOMAD_NOMAD_TOKEN_ROUTER_H_
 
 #include <functional>
+#include <vector>
 
 #include "solver/solver.h"
 #include "util/rng.h"
@@ -16,13 +17,48 @@ namespace nomad {
 /// The paper piggybacks queue sizes on messages; in shared memory we can
 /// probe the queue directly, which carries the same single-integer
 /// information.
+///
+/// On multi-socket hosts the router can additionally be made NUMA-aware
+/// (MakeNumaAware): each hand-off stays on the sending worker's node — a
+/// token bound for a same-node queue keeps its h_j row in that node's
+/// caches and local DRAM — except with a small probability it goes to a
+/// uniformly random worker on another node. The per-sender remote
+/// probability is scaled by its node's remote-worker count
+/// (remote_fraction × m_node / m_max), which makes the uniform-routing
+/// transition matrix symmetric and hence doubly stochastic: the stationary
+/// token distribution stays uniform *per worker* even when nodes hold
+/// unequal worker counts, instead of equalizing mass per node and
+/// overloading the small node's queues. Workers on the node with the most
+/// remote peers (the smallest node) route remote with exactly
+/// remote_fraction. Because the remote probability is positive, every
+/// (sender, receiver) pair retains positive hand-off probability, so
+/// tokens still visit every worker and NOMAD's uniform-coverage/
+/// convergence argument is preserved; within the chosen candidate set the
+/// configured Routing policy (uniform or two-choice) still applies. With
+/// one node, or no node map, routing is topology-blind.
 class TokenRouter {
  public:
   /// Probe returning the current queue length of a worker.
   using SizeProbe = std::function<size_t(int)>;
 
+  /// Baseline inter-node hand-off probability for NUMA-aware routing
+  /// (applied to the smallest node, scaled down elsewhere — see the class
+  /// comment): high enough that every item token crosses sockets several
+  /// times per epoch on real workloads, low enough that the h-row traffic
+  /// is predominantly node-local.
+  static constexpr double kDefaultRemoteFraction = 1.0 / 16.0;
+
+  /// Topology-blind router (single-node hosts, numa=off, the baselines).
   TokenRouter(Routing routing, int num_workers)
       : routing_(routing), num_workers_(num_workers) {}
+
+  /// Makes this router NUMA-aware: `worker_node` maps each worker to its
+  /// node index (as produced by NumaTopology::AssignWorkers). A map that is
+  /// empty, of the wrong size, or naming fewer than two distinct nodes
+  /// leaves the router topology-blind. Call before handing the router to
+  /// worker threads; not thread-safe.
+  void MakeNumaAware(const std::vector<int>& worker_node,
+                     double remote_fraction = kDefaultRemoteFraction);
 
   /// Picks the destination worker. `self` is the sending worker (tokens may
   /// be routed back to the sender, as in the paper).
@@ -39,9 +75,33 @@ class TokenRouter {
 
   Routing routing() const { return routing_; }
 
+  /// True when MakeNumaAware installed a usable multi-node map.
+  bool numa_aware() const { return !node_workers_.empty(); }
+
+  /// Node index of `worker` (0 when the router is topology-blind).
+  int NodeOf(int worker) const {
+    return numa_aware() ? worker_node_[static_cast<size_t>(worker)] : 0;
+  }
+
  private:
+  /// Picks within an explicit candidate set (node-local or node-remote),
+  /// applying the configured routing policy. `load` resolves a worker's
+  /// queue size (probe, possibly cached by PickBatch); templated so the
+  /// hot path never wraps the caller's lambda in a std::function.
+  template <typename Load>
+  int PickFrom(const std::vector<int>& candidates, Rng* rng,
+               const Load& load) const;
+
   Routing routing_;
   int num_workers_;
+  std::vector<int> worker_node_;               // worker -> node index
+  std::vector<std::vector<int>> node_workers_; // node index -> its workers
+  // remote_workers_[node] = all workers NOT on `node`; precomputed so the
+  // hot path never scans the worker set.
+  std::vector<std::vector<int>> remote_workers_;
+  // Per-node remote probability remote_fraction × m_node / m_max (see the
+  // class comment for why it scales with the remote-worker count).
+  std::vector<double> remote_prob_;
 };
 
 }  // namespace nomad

@@ -22,10 +22,12 @@ namespace nomad {
 template <typename T>
 class alignas(kCacheLineBytes) MpmcQueue {
  public:
+  /// Creates an empty queue.
   MpmcQueue() = default;
-  MpmcQueue(const MpmcQueue&) = delete;
-  MpmcQueue& operator=(const MpmcQueue&) = delete;
+  MpmcQueue(const MpmcQueue&) = delete;             ///< Not copyable.
+  MpmcQueue& operator=(const MpmcQueue&) = delete;  ///< Not copyable.
 
+  /// Appends one element (a single token hand-off, Algorithm 1 line 23).
   void Push(T value) {
     std::lock_guard<std::mutex> lock(mu_);
     items_.push_back(std::move(value));
@@ -72,6 +74,7 @@ class alignas(kCacheLineBytes) MpmcQueue {
     return items_.size();
   }
 
+  /// True when Size() == 0; the same staleness caveat applies.
   bool Empty() const { return Size() == 0; }
 
  private:

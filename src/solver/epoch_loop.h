@@ -1,9 +1,12 @@
 #ifndef NOMAD_SOLVER_EPOCH_LOOP_H_
 #define NOMAD_SOLVER_EPOCH_LOOP_H_
 
+#include <memory>
+
 #include "eval/metrics.h"
 #include "solver/solver.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace nomad {
 
@@ -14,15 +17,30 @@ namespace nomad {
 /// metrics accumulate in double either way — while trace/update accounting
 /// lives on the precision-agnostic TrainResult. Evaluation time is excluded
 /// from the reported seconds, mirroring the NOMAD driver.
+///
+/// When the run is multi-threaded (num_workers > 1) the loop evaluates
+/// Rmse/Objective across a ThreadPool, so end-of-epoch trace points scale
+/// with the worker count instead of serializing a full test-set pass on
+/// the driver — the same mechanism the NOMAD driver uses at its pause
+/// points. Solvers that already own a pool (ALS, CCD++, DSGD, DSGD++)
+/// lend it to the loop; the others get a lazily created one whose threads
+/// are idle (parked on a condition variable) during training.
 template <typename Real>
 class EpochLoopT {
  public:
   /// `w` and `h` are the solver's working factors; they must outlive the
-  /// loop.
+  /// loop. `eval_pool` (optional, borrowed, must outlive the loop) is used
+  /// for parallel evaluation; when null and num_workers > 1 the loop
+  /// creates its own pool at the first trace point.
   EpochLoopT(const Dataset& ds, const TrainOptions& options,
              const FactorMatrixT<Real>& w, const FactorMatrixT<Real>& h,
-             TrainResult* result)
-      : ds_(ds), options_(options), w_(w), h_(h), result_(result) {}
+             TrainResult* result, ThreadPool* eval_pool = nullptr)
+      : ds_(ds),
+        options_(options),
+        w_(w),
+        h_(h),
+        result_(result),
+        eval_pool_(eval_pool) {}
 
   /// True while no stopping criterion has fired.
   bool Continue() const {
@@ -47,13 +65,17 @@ class EpochLoopT {
     train_seconds_ += watch_.ElapsedSeconds();
     ++epochs_;
     result_->total_updates += epoch_updates;
+    if (eval_pool_ == nullptr && options_.num_workers > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+      eval_pool_ = owned_pool_.get();
+    }
     TracePoint pt;
     pt.seconds = train_seconds_;
     pt.updates = result_->total_updates;
-    pt.test_rmse = Rmse(ds_.test, w_, h_);
+    pt.test_rmse = Rmse(ds_.test, w_, h_, eval_pool_);
     double objective = 0.0;
     if (need_objective || options_.record_objective) {
-      objective = Objective(ds_.train, w_, h_, options_.lambda);
+      objective = Objective(ds_.train, w_, h_, options_.lambda, eval_pool_);
       pt.objective = objective;
     }
     result_->trace.Add(pt);
@@ -70,6 +92,8 @@ class EpochLoopT {
   const FactorMatrixT<Real>& w_;
   const FactorMatrixT<Real>& h_;
   TrainResult* result_;
+  ThreadPool* eval_pool_;  // borrowed or owned_pool_; null = serial eval
+  std::unique_ptr<ThreadPool> owned_pool_;
   Stopwatch watch_;
   double train_seconds_ = 0.0;
   int epochs_ = 0;

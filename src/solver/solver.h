@@ -9,14 +9,17 @@
 #include "data/dataset.h"
 #include "eval/trace.h"
 #include "linalg/factor_matrix.h"
+#include "util/numa_topology.h"
 #include "util/status.h"
 
+/// The library namespace: solvers, data, linear algebra, evaluation, and
+/// the concurrency/placement utilities beneath them.
 namespace nomad {
 
 /// How NOMAD routes a token after processing it (paper Sec. 3.1 vs 3.3).
 enum class Routing {
-  kUniform,      // Algorithm 1 line 22: uniform random worker
-  kLeastLoaded,  // Sec. 3.3 dynamic load balancing: prefer shorter queues
+  kUniform,      ///< Algorithm 1 line 22: uniform random worker.
+  kLeastLoaded,  ///< Sec. 3.3 dynamic load balancing: prefer shorter queues.
 };
 
 /// Storage precision of the factor matrices during training. f32 halves the
@@ -25,8 +28,8 @@ enum class Routing {
 /// update; evaluation metrics accumulate in double either way, and the
 /// returned TrainResult factors are always widened to double.
 enum class Precision {
-  kF64,  // double storage (the historical default)
-  kF32,  // float storage, f32 SGD arithmetic
+  kF64,  ///< double storage (the historical default).
+  kF32,  ///< float storage, f32 SGD arithmetic.
 };
 
 /// "f64" / "f32".
@@ -50,63 +53,97 @@ Result<Precision> ParsePrecision(const std::string& name);
 /// ignored by solvers they do not apply to.
 struct TrainOptions {
   // -- Model (Table 1) --
-  int rank = 16;         // k: latent dimensionality
-  double lambda = 0.05;  // regularization
-  // Separable loss ℓ(pred, a): "squared" (the paper's setting, fast path),
-  // "absolute", "huber", or "logistic" (ratings in {-1,+1}). Supported by
-  // the SGD-family solvers (nomad, serial_sgd, hogwild); the closed-form
-  // baselines (ALS, CCD++) are squared-loss by construction and reject
-  // other values.
+
+  /// k: latent dimensionality of W (m×k) and H (n×k).
+  int rank = 16;
+  /// λ: L2 regularization weight of Eq. (1).
+  double lambda = 0.05;
+  /// Separable loss ℓ(pred, a): "squared" (the paper's setting, fast path),
+  /// "absolute", "huber", or "logistic" (ratings in {-1,+1}). Supported by
+  /// the SGD-family solvers (nomad, serial_sgd, hogwild); the closed-form
+  /// baselines (ALS, CCD++) are squared-loss by construction and reject
+  /// other values.
   std::string loss = "squared";
 
   // -- Step-size schedule, Eq. (11) (SGD family) --
+
+  /// α: initial step size of the Eq. (11) schedule.
   double alpha = 0.012;
+  /// β: step-decay rate of the Eq. (11) schedule.
   double beta = 0.05;
+  /// Schedule name ("paper-t1.5", see MakeSchedule for the full list).
   std::string schedule = "paper-t1.5";
-  bool bold_driver = false;  // DSGD/DSGD++ default to this in the paper
+  /// Bold-driver step adaptation; DSGD/DSGD++ default to this in the paper.
+  bool bold_driver = false;
 
   // -- Parallelism --
-  int num_workers = 4;
 
-  // -- Stopping: whichever of these triggers first ends training. --
-  // Negative values disable a criterion.
+  /// p: worker threads (NOMAD workers, Hogwild threads, DSGD strata, …).
+  int num_workers = 4;
+  /// NUMA placement of workers and factor memory (NOMAD): kAuto pins
+  /// workers to nodes, binds each worker's w-row partition to its node,
+  /// interleaves the circulated H pages, and biases token routing toward
+  /// intra-node hand-offs; kOff is the topology-blind historical behavior;
+  /// kInterleave only spreads factor pages round-robin. Single-node hosts
+  /// are unaffected by any value (see util/numa_topology.h).
+  NumaPolicy numa_policy = NumaPolicy::kAuto;
+
+  // -- Stopping --
+  // Whichever criterion triggers first ends training; negative disables.
+
+  /// Wall-clock training budget in seconds (evaluation pauses excluded).
   double max_seconds = -1.0;
+  /// Total single-rating SGD update budget.
   int64_t max_updates = -1;
-  int max_epochs = 10;  // one epoch ≈ one pass over the training ratings
+  /// Epoch budget; one epoch ≈ one pass over the training ratings.
+  int max_epochs = 10;
 
   // -- Evaluation cadence --
-  // Shared-memory solvers evaluate every `eval_every_updates` updates
-  // (default: once per epoch-equivalent); epoch-based solvers evaluate once
-  // per epoch regardless.
+
+  /// Shared-memory solvers evaluate every `eval_every_updates` updates
+  /// (default: once per epoch-equivalent); epoch-based solvers evaluate
+  /// once per epoch regardless.
   int64_t eval_every_updates = -1;
-  bool record_objective = false;  // also log J(W,H) per trace point
+  /// Also record the Eq. (1) objective J(W,H) at every trace point.
+  bool record_objective = false;
 
   // -- Initialization --
+
+  /// Seed for the common Uniform(0, 1/sqrt(k)) starting point.
   uint64_t seed = 1;
 
   // -- Numerics --
-  // Storage precision of W and H while training (all SGD-family solvers,
-  // ALS, and CCD++ honor this; the cluster simulators are f64-only).
+
+  /// Storage precision of W and H while training (all SGD-family solvers,
+  /// ALS, and CCD++ honor this; the cluster simulators are f64-only).
   Precision precision = Precision::kF64;
 
   // -- NOMAD-specific --
+
+  /// Token routing policy (uniform vs Sec. 3.3 least-loaded).
   Routing routing = Routing::kUniform;
-  // Tokens a worker drains from its queue per lock acquisition (and the
-  // granularity of the batched hand-off back out). 1 reproduces the paper's
-  // token-at-a-time Algorithm 1; larger values amortize queue locking over
-  // the batch without changing the updates performed.
+  /// Tokens a worker drains from its queue per lock acquisition (and the
+  /// granularity of the batched hand-off back out). 1 reproduces the
+  /// paper's token-at-a-time Algorithm 1; larger values amortize queue
+  /// locking over the batch without changing the updates performed.
   int token_batch_size = 8;
-  bool partition_by_ratings = true;  // footnote 1: balance by rating count
-  // Footnote 2: make the *user* parameters w_i nomadic and partition the
-  // items instead. Usually worse (m >> n means more tokens to circulate)
-  // but supported for matrices that are wider than tall.
+  /// Footnote 1: partition users by rating count instead of row count —
+  /// better balanced under power-law user degrees.
+  bool partition_by_ratings = true;
+  /// Footnote 2: make the *user* parameters w_i nomadic and partition the
+  /// items instead. Usually worse (m >> n means more tokens to circulate)
+  /// but supported for matrices that are wider than tall.
   bool nomadic_rows = false;
 
   // -- FPSGD**-specific --
-  int fpsgd_grid_factor = 2;  // p' = grid_factor * p + 1 blocks per side
+
+  /// p' = fpsgd_grid_factor * p + 1 blocks per grid side.
+  int fpsgd_grid_factor = 2;
 
   // -- CCD++-specific --
-  int ccd_inner_iters = 1;  // inner iterations per rank-one subproblem
+
+  /// Inner iterations per rank-one subproblem.
+  int ccd_inner_iters = 1;
 };
 
 /// Everything a training run produces. The factors are always returned in
@@ -114,13 +151,13 @@ struct TrainOptions {
 /// and downstream evaluation are precision-agnostic; `precision` records
 /// what the storage was during training.
 struct TrainResult {
-  FactorMatrix w;
-  FactorMatrix h;
-  Trace trace;
-  int64_t total_updates = 0;
-  double total_seconds = 0.0;
-  std::string solver_name;
-  Precision precision = Precision::kF64;
+  FactorMatrix w;                         ///< Trained user factors (m×k).
+  FactorMatrix h;                         ///< Trained item factors (n×k).
+  Trace trace;                            ///< Per-trace-point RMSE/objective.
+  int64_t total_updates = 0;              ///< Single-rating SGD updates run.
+  double total_seconds = 0.0;             ///< Training time, eval excluded.
+  std::string solver_name;                ///< Solver::Name() of the run.
+  Precision precision = Precision::kF64;  ///< Storage used while training.
 };
 
 /// Interface implemented by NOMAD and by every baseline. Implementations
@@ -128,8 +165,9 @@ struct TrainResult {
 /// Train.
 class Solver {
  public:
-  virtual ~Solver() = default;
+  virtual ~Solver() = default;  ///< Solvers are owned via unique_ptr.
 
+  /// Registry name of the solver ("nomad", "hogwild", "als", …).
   virtual std::string Name() const = 0;
 
   /// Trains a factorization of ds.train, tracing test RMSE on ds.test.

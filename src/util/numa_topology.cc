@@ -1,0 +1,265 @@
+#include "util/numa_topology.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace nomad {
+
+namespace {
+
+/// Reads a sysfs file into a string; empty on any failure. Loops to EOF —
+/// fragmented cpulists on large hosts ("0,4,8,…" across hundreds of CPUs)
+/// can exceed any fixed buffer, and truncating one would silently
+/// undercount a node's CPUs and skew proportional worker assignment.
+std::string ReadSmallFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+}  // namespace
+
+const char* NumaPolicyName(NumaPolicy policy) {
+  switch (policy) {
+    case NumaPolicy::kAuto:
+      return "auto";
+    case NumaPolicy::kOff:
+      return "off";
+    case NumaPolicy::kInterleave:
+      return "interleave";
+  }
+  return "off";
+}
+
+Result<NumaPolicy> ParseNumaPolicy(const std::string& name) {
+  if (name == "auto" || name.empty()) return NumaPolicy::kAuto;
+  if (name == "off" || name == "none") return NumaPolicy::kOff;
+  if (name == "interleave") return NumaPolicy::kInterleave;
+  return Status::InvalidArgument("unknown numa policy: " + name +
+                                 " (expected auto, off, or interleave)");
+}
+
+std::vector<int> ParseCpuList(const std::string& list) {
+  std::vector<int> cpus;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string chunk = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    int lo = 0;
+    int hi = 0;
+    if (std::sscanf(chunk.c_str(), "%d-%d", &lo, &hi) == 2) {
+      // fallthrough with the parsed range
+    } else if (std::sscanf(chunk.c_str(), "%d", &lo) == 1) {
+      hi = lo;
+    } else {
+      continue;  // whitespace / trailing newline / malformed chunk
+    }
+    if (lo < 0 || hi < lo || hi - lo > 4095) continue;
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology NumaTopology::SingleNode() {
+  NumaTopology topo;
+  NumaNode node;
+  node.id = 0;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned c = 0; c < hw; ++c) node.cpus.push_back(static_cast<int>(c));
+  topo.nodes_.push_back(std::move(node));
+  return topo;
+}
+
+NumaTopology NumaTopology::ForCpus(
+    std::vector<std::vector<int>> cpus_per_node) {
+  NumaTopology topo;
+  for (size_t i = 0; i < cpus_per_node.size(); ++i) {
+    NumaNode node;
+    node.id = static_cast<int>(i);
+    node.cpus = std::move(cpus_per_node[i]);
+    topo.nodes_.push_back(std::move(node));
+  }
+  if (topo.nodes_.empty()) return SingleNode();
+  return topo;
+}
+
+NumaTopology NumaTopology::Detect() {
+  const std::string online =
+      ReadSmallFile("/sys/devices/system/node/online");
+  const std::vector<int> node_ids = ParseCpuList(online);
+  if (node_ids.empty()) return SingleNode();
+  NumaTopology topo;
+  for (int id : node_ids) {
+    const std::string cpulist =
+        ReadSmallFile("/sys/devices/system/node/node" + std::to_string(id) +
+                      "/cpulist");
+    NumaNode node;
+    node.id = id;
+    node.cpus = ParseCpuList(cpulist);
+    // Memory-only nodes (CXL expanders, some HBM configs) carry no CPUs;
+    // workers cannot be pinned there, so they are skipped for scheduling.
+    if (!node.cpus.empty()) topo.nodes_.push_back(std::move(node));
+  }
+  if (topo.nodes_.empty()) return SingleNode();
+  return topo;
+}
+
+int NumaTopology::total_cpus() const {
+  int total = 0;
+  for (const NumaNode& n : nodes_) total += static_cast<int>(n.cpus.size());
+  return total;
+}
+
+std::vector<int> NumaTopology::AssignWorkers(int num_workers) const {
+  std::vector<int> assignment(static_cast<size_t>(std::max(num_workers, 0)));
+  if (num_workers <= 0) return assignment;
+  const int nodes = num_nodes();
+  const int cpus = std::max(total_cpus(), 1);
+  // Contiguous proportional split: node i receives workers
+  // [round(W * cpus_before/cpus), round(W * cpus_through/cpus)). Rounding a
+  // running prefix (instead of each node's share independently) guarantees
+  // the counts sum to exactly num_workers.
+  int cpus_before = 0;
+  int begin = 0;
+  for (int i = 0; i < nodes; ++i) {
+    cpus_before += static_cast<int>(nodes_[static_cast<size_t>(i)].cpus.size());
+    const int end = static_cast<int>(
+        (static_cast<int64_t>(num_workers) * cpus_before + cpus / 2) / cpus);
+    for (int w = begin; w < end && w < num_workers; ++w) {
+      assignment[static_cast<size_t>(w)] = i;
+    }
+    begin = std::max(begin, end);
+  }
+  // Guard against rounding leaving a tail unassigned (cannot happen with
+  // the prefix construction, but an all-zero-CPU topology would).
+  for (int w = begin; w < num_workers; ++w) {
+    assignment[static_cast<size_t>(w)] = nodes - 1;
+  }
+  return assignment;
+}
+
+#if defined(__linux__)
+
+bool PinCurrentThreadToCpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) {
+      CPU_SET(c, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+namespace {
+
+// Raw-syscall mbind so placement needs no libnuma. Constants from
+// <linux/mempolicy.h>, spelled out to avoid requiring kernel headers.
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolMfMove = 1u << 1;
+constexpr unsigned long kMaxNodeBits = 1024;
+constexpr size_t kMaskWords = kMaxNodeBits / (8 * sizeof(unsigned long));
+
+/// Shrinks [addr, addr+bytes) to the fully-contained pages; false if none.
+bool WholePages(void* addr, size_t bytes, void** page_addr,
+                size_t* page_bytes) {
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  const uintptr_t p = static_cast<uintptr_t>(page);
+  const uintptr_t begin =
+      (reinterpret_cast<uintptr_t>(addr) + p - 1) / p * p;
+  const uintptr_t end =
+      (reinterpret_cast<uintptr_t>(addr) + bytes) / p * p;
+  if (end <= begin) return false;
+  *page_addr = reinterpret_cast<void*>(begin);
+  *page_bytes = end - begin;
+  return true;
+}
+
+bool MbindPages(void* addr, size_t bytes, int mode,
+                const std::vector<int>& node_ids) {
+#if defined(SYS_mbind)
+  void* page_addr = nullptr;
+  size_t page_bytes = 0;
+  if (!WholePages(addr, bytes, &page_addr, &page_bytes)) return false;
+  unsigned long mask[kMaskWords] = {0};
+  bool any = false;
+  for (int id : node_ids) {
+    if (id < 0 || static_cast<unsigned long>(id) >= kMaxNodeBits) continue;
+    mask[static_cast<size_t>(id) / (8 * sizeof(unsigned long))] |=
+        1UL << (static_cast<size_t>(id) % (8 * sizeof(unsigned long)));
+    any = true;
+  }
+  if (!any) return false;
+  return syscall(SYS_mbind, page_addr, page_bytes, mode, mask, kMaxNodeBits,
+                 kMpolMfMove) == 0;
+#else
+  (void)addr;
+  (void)bytes;
+  (void)mode;
+  (void)node_ids;
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool BindMemoryToNode(void* addr, size_t bytes, int node) {
+  return MbindPages(addr, bytes, kMpolBind, {node});
+}
+
+bool InterleaveMemory(void* addr, size_t bytes,
+                      const std::vector<int>& nodes) {
+  if (nodes.empty()) return false;
+  return MbindPages(addr, bytes, kMpolInterleave, nodes);
+}
+
+#else  // !defined(__linux__)
+
+bool PinCurrentThreadToCpus(const std::vector<int>& cpus) {
+  (void)cpus;
+  return false;
+}
+
+bool BindMemoryToNode(void* addr, size_t bytes, int node) {
+  (void)addr;
+  (void)bytes;
+  (void)node;
+  return false;
+}
+
+bool InterleaveMemory(void* addr, size_t bytes,
+                      const std::vector<int>& nodes) {
+  (void)addr;
+  (void)bytes;
+  (void)nodes;
+  return false;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace nomad

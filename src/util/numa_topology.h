@@ -1,0 +1,117 @@
+#ifndef NOMAD_UTIL_NUMA_TOPOLOGY_H_
+#define NOMAD_UTIL_NUMA_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nomad {
+
+/// How a training run places its workers and factor memory relative to the
+/// host's NUMA topology. NOMAD is memory-bandwidth-bound once the SGD
+/// kernels are vectorized; on multi-socket hosts the dominant cost becomes
+/// cross-node traffic over the circulated item rows h_j and the
+/// worker-owned w-row partitions, which these policies control.
+enum class NumaPolicy {
+  /// Full hardware-conscious placement: worker threads pinned to their
+  /// node's CPUs, each worker's w-row partition bound to its node
+  /// (first-touch / `numa_alloc_onnode`-style via `mbind`), the circulated
+  /// H matrix interleaved across nodes, and the token router preferring
+  /// intra-node hand-offs. On a single-node host this degenerates to no-op
+  /// placement and the run is behaviorally identical to kOff.
+  kAuto,
+  /// No pinning, no placement, topology never consulted — the historical
+  /// behavior, and the guaranteed-identical baseline for parity tests.
+  kOff,
+  /// Interleave all factor pages round-robin across nodes and pin workers
+  /// to nodes (same proportional contiguous assignment as kAuto), but keep
+  /// routing topology-blind and W owner-agnostic. Spreads bandwidth evenly
+  /// at the cost of locality; useful as the middle ablation point between
+  /// kOff and kAuto.
+  kInterleave,
+};
+
+/// "auto" / "off" / "interleave".
+const char* NumaPolicyName(NumaPolicy policy);
+
+/// Parses "auto", "off" (or "none"), "interleave"; anything else is
+/// InvalidArgument. The empty string parses as kAuto (the CLI default).
+Result<NumaPolicy> ParseNumaPolicy(const std::string& name);
+
+/// One NUMA node: its kernel id and the online CPUs local to it.
+struct NumaNode {
+  int id = 0;             ///< Kernel node id (the N of /sys/.../nodeN).
+  std::vector<int> cpus;  ///< Online CPUs local to this node, sorted.
+};
+
+/// The host's NUMA node/CPU layout, detected once per training run.
+///
+/// Detection reads Linux sysfs (`/sys/devices/system/node/`) and needs no
+/// libnuma; any host where that fails — non-Linux, sysfs unmounted,
+/// containers hiding the node directory — falls back to a single node
+/// holding every hardware thread, on which all placement becomes a no-op.
+/// CI and laptops therefore run the exact pre-NUMA code paths.
+class NumaTopology {
+ public:
+  /// Reads the topology from sysfs; falls back to SingleNode() on any
+  /// failure. Never errors.
+  static NumaTopology Detect();
+
+  /// One node containing CPUs {0 .. hardware_concurrency-1}.
+  static NumaTopology SingleNode();
+
+  /// Builds a synthetic topology (tests and the bench's simulated-two-node
+  /// section): one node per entry, with the given CPU ids.
+  static NumaTopology ForCpus(std::vector<std::vector<int>> cpus_per_node);
+
+  /// Number of CPU-bearing nodes (≥ 1).
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// All nodes, ordered by kernel id.
+  const std::vector<NumaNode>& nodes() const { return nodes_; }
+  /// The i-th node (index into nodes(), not a kernel id).
+  const NumaNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+
+  /// True when placement can matter at all (two or more nodes).
+  bool multi_node() const { return nodes_.size() > 1; }
+
+  /// Sum of the per-node CPU counts.
+  int total_cpus() const;
+
+  /// Assigns `num_workers` workers to nodes, proportionally to each node's
+  /// CPU count (a 12-CPU node gets twice the workers of a 6-CPU node) and
+  /// contiguously (workers 0..a-1 on node 0, a..b-1 on node 1, …) so NOMAD's
+  /// contiguous w-row partitions map to contiguous per-node row ranges.
+  /// Returns worker → node index (into nodes(), not kernel ids).
+  std::vector<int> AssignWorkers(int num_workers) const;
+
+ private:
+  std::vector<NumaNode> nodes_;
+};
+
+/// Parses a sysfs cpulist string like "0-3,8,10-11" into sorted CPU ids.
+/// Malformed chunks are skipped; exposed for the topology test.
+std::vector<int> ParseCpuList(const std::string& list);
+
+/// Pins the calling thread to the given CPU set. Returns false (leaving
+/// affinity untouched) when `cpus` is empty, the platform has no
+/// sched_setaffinity, or the call fails — pinning is an optimization, never
+/// a correctness requirement, so callers ignore the result.
+bool PinCurrentThreadToCpus(const std::vector<int>& cpus);
+
+/// Binds the whole pages inside [addr, addr+bytes) to `node` (kernel node
+/// id), moving already-touched pages (`mbind` + MPOL_MF_MOVE). Partial
+/// pages at the range edges are left alone so neighboring allocations are
+/// never rebound. Returns false without side effects when the range spans
+/// no full page, the platform lacks mbind, or the syscall fails.
+bool BindMemoryToNode(void* addr, size_t bytes, int node);
+
+/// Interleaves the whole pages inside [addr, addr+bytes) round-robin across
+/// the kernel node ids in `nodes`. Same edge/page semantics and failure
+/// contract as BindMemoryToNode.
+bool InterleaveMemory(void* addr, size_t bytes, const std::vector<int>& nodes);
+
+}  // namespace nomad
+
+#endif  // NOMAD_UTIL_NUMA_TOPOLOGY_H_

@@ -3,14 +3,25 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/numa_topology.h"
 
 namespace nomad {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads) : ThreadPool(num_threads, {}) {}
+
+ThreadPool::ThreadPool(int num_threads,
+                       const std::vector<std::vector<int>>& cpus_per_thread) {
   NOMAD_CHECK_GT(num_threads, 0);
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    std::vector<int> cpus;
+    if (!cpus_per_thread.empty()) {
+      cpus = cpus_per_thread[static_cast<size_t>(i) % cpus_per_thread.size()];
+    }
+    threads_.emplace_back([this, cpus = std::move(cpus)] {
+      if (!cpus.empty()) PinCurrentThreadToCpus(cpus);
+      WorkerLoop();
+    });
   }
 }
 

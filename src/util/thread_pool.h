@@ -11,12 +11,22 @@
 
 namespace nomad {
 
-/// Fixed-size worker pool used by the data-parallel baselines (ALS, CCD++)
-/// and by ParallelFor. The NOMAD solver manages its own long-lived worker
-/// threads and does not use this pool.
+/// Fixed-size worker pool used by the data-parallel baselines (ALS, CCD++),
+/// by ParallelFor, and for parallel trace-point evaluation. The NOMAD
+/// solver manages its own long-lived worker threads and does not use this
+/// pool for training.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
+
+  /// As above, but thread i is additionally pinned to the CPU set
+  /// `cpus_per_thread[i % cpus_per_thread.size()]` (empty sets, an empty
+  /// vector, or a failed pin leave that thread unpinned — pinning is an
+  /// optimization, never a requirement). The NOMAD driver uses this to give
+  /// its evaluation pool the same NUMA placement as the training workers.
+  ThreadPool(int num_threads,
+             const std::vector<std::vector<int>>& cpus_per_thread);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

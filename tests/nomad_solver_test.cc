@@ -122,6 +122,34 @@ TEST(NomadSolverTest, RejectsBadOptions) {
   EXPECT_FALSE(solver.Train(ds, options).ok());
 }
 
+TEST(NomadSolverTest, NumaPoliciesReachRmseParity) {
+  // numa=auto must not change what is computed, only where it is placed:
+  // on a single-node host it is the identical code path to numa=off, and
+  // on a multi-node host placement/pinning/routing-bias still performs the
+  // same per-token updates. NOMAD's async interleaving makes runs
+  // non-bit-identical, so parity is asserted on converged test RMSE.
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.numa_policy = NumaPolicy::kOff;
+  auto off = solver.Train(ds, options);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  options.numa_policy = NumaPolicy::kAuto;
+  auto aut = solver.Train(ds, options);
+  ASSERT_TRUE(aut.ok()) << aut.status().ToString();
+  options.numa_policy = NumaPolicy::kInterleave;
+  auto inter = solver.Train(ds, options);
+  ASSERT_TRUE(inter.ok()) << inter.status().ToString();
+
+  EXPECT_LT(off.value().trace.FinalRmse(), 0.45);
+  EXPECT_LT(aut.value().trace.FinalRmse(), 0.45);
+  EXPECT_LT(inter.value().trace.FinalRmse(), 0.45);
+  EXPECT_NEAR(aut.value().trace.FinalRmse(), off.value().trace.FinalRmse(),
+              0.05);
+  EXPECT_NEAR(inter.value().trace.FinalRmse(), off.value().trace.FinalRmse(),
+              0.05);
+}
+
 TEST(NomadSolverTest, StopsByWallClock) {
   const Dataset ds = MakeTestDataset();
   NomadSolver solver;

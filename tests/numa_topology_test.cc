@@ -1,0 +1,163 @@
+#include "util/numa_topology.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(ParseCpuListTest, ParsesRangesAndSingles) {
+  EXPECT_EQ(ParseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ParseCpuList("5"), (std::vector<int>{5}));
+  EXPECT_EQ(ParseCpuList("0-1,4,6-7"), (std::vector<int>{0, 1, 4, 6, 7}));
+  // sysfs files carry a trailing newline.
+  EXPECT_EQ(ParseCpuList("0-2\n"), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParseCpuListTest, SortsAndDeduplicates) {
+  EXPECT_EQ(ParseCpuList("4,0-2,1"), (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(ParseCpuListTest, SkipsMalformedChunks) {
+  EXPECT_TRUE(ParseCpuList("").empty());
+  EXPECT_TRUE(ParseCpuList("garbage").empty());
+  EXPECT_TRUE(ParseCpuList("-3").empty());    // negative
+  EXPECT_TRUE(ParseCpuList("7-2").empty());   // inverted range
+  EXPECT_EQ(ParseCpuList("x,3,y-1"), (std::vector<int>{3}));
+}
+
+TEST(NumaTopologyTest, DetectReturnsAtLeastOneNodeWithCpus) {
+  const NumaTopology topo = NumaTopology::Detect();
+  ASSERT_GE(topo.num_nodes(), 1);
+  EXPECT_GT(topo.total_cpus(), 0);
+  std::set<int> all_cpus;
+  for (const NumaNode& node : topo.nodes()) {
+    EXPECT_FALSE(node.cpus.empty());
+    EXPECT_GE(node.id, 0);
+    for (int c : node.cpus) {
+      EXPECT_GE(c, 0);
+      // No CPU may belong to two nodes.
+      EXPECT_TRUE(all_cpus.insert(c).second) << "cpu " << c << " duplicated";
+    }
+  }
+}
+
+TEST(NumaTopologyTest, SingleNodeFallbackHoldsAllHardwareThreads) {
+  const NumaTopology topo = NumaTopology::SingleNode();
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(topo.node(0).id, 0);
+  EXPECT_GE(topo.total_cpus(), 1);
+}
+
+TEST(NumaTopologyTest, ForCpusBuildsSyntheticNodes) {
+  const NumaTopology topo = NumaTopology::ForCpus({{0, 1}, {2, 3}});
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_TRUE(topo.multi_node());
+  EXPECT_EQ(topo.total_cpus(), 4);
+  EXPECT_EQ(topo.node(1).cpus, (std::vector<int>{2, 3}));
+  // Empty input degenerates to the single-node fallback, never zero nodes.
+  EXPECT_EQ(NumaTopology::ForCpus({}).num_nodes(), 1);
+}
+
+TEST(NumaTopologyTest, AssignWorkersCoversAllWorkersContiguously) {
+  const NumaTopology topo = NumaTopology::ForCpus({{0, 1}, {2, 3}});
+  const std::vector<int> map = topo.AssignWorkers(8);
+  ASSERT_EQ(map.size(), 8u);
+  for (size_t w = 1; w < map.size(); ++w) {
+    EXPECT_GE(map[w], map[w - 1]) << "assignment must be contiguous";
+  }
+  int on_node0 = 0;
+  for (int n : map) {
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, 2);
+    on_node0 += n == 0 ? 1 : 0;
+  }
+  // Equal CPU counts: an even split.
+  EXPECT_EQ(on_node0, 4);
+}
+
+TEST(NumaTopologyTest, AssignWorkersIsProportionalToCpuCounts) {
+  // 12-CPU node vs 4-CPU node: 3/4 of the workers land on the big node.
+  const NumaTopology topo = NumaTopology::ForCpus(
+      {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, {12, 13, 14, 15}});
+  const std::vector<int> map = topo.AssignWorkers(16);
+  int on_node0 = 0;
+  for (int n : map) on_node0 += n == 0 ? 1 : 0;
+  EXPECT_EQ(on_node0, 12);
+}
+
+TEST(NumaTopologyTest, AssignWorkersHandlesFewerWorkersThanNodes) {
+  const NumaTopology topo = NumaTopology::ForCpus({{0}, {1}, {2}, {3}});
+  const std::vector<int> map = topo.AssignWorkers(2);
+  ASSERT_EQ(map.size(), 2u);
+  for (int n : map) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 4);
+  }
+  EXPECT_TRUE(topo.AssignWorkers(0).empty());
+}
+
+TEST(NumaPolicyTest, ParseAndNameRoundTrip) {
+  for (NumaPolicy p :
+       {NumaPolicy::kAuto, NumaPolicy::kOff, NumaPolicy::kInterleave}) {
+    auto parsed = ParseNumaPolicy(NumaPolicyName(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), p);
+  }
+  EXPECT_EQ(ParseNumaPolicy("").value(), NumaPolicy::kAuto);
+  EXPECT_EQ(ParseNumaPolicy("none").value(), NumaPolicy::kOff);
+  EXPECT_FALSE(ParseNumaPolicy("fastest").ok());
+}
+
+TEST(NumaPlacementTest, PinningRejectsEmptyAndInvalidSets) {
+  EXPECT_FALSE(PinCurrentThreadToCpus({}));
+  // CPU ids beyond any plausible machine: must fail cleanly, not crash.
+  EXPECT_FALSE(PinCurrentThreadToCpus({1 << 20}));
+}
+
+TEST(NumaPlacementTest, PinningToOwnCpuSucceedsOnLinux) {
+#if defined(__linux__)
+  const NumaTopology topo = NumaTopology::Detect();
+  EXPECT_TRUE(PinCurrentThreadToCpus(topo.node(0).cpus));
+  // Restore a permissive mask so later tests in this process are unaffected.
+  std::vector<int> all;
+  for (const NumaNode& n : topo.nodes()) {
+    all.insert(all.end(), n.cpus.begin(), n.cpus.end());
+  }
+  PinCurrentThreadToCpus(all);
+#endif
+}
+
+TEST(NumaPlacementTest, MemoryBindingFailsCleanlyOnDegenerateInput) {
+  std::vector<char> buf(64);
+  // Too small to contain a whole page — must be a no-op, not a crash.
+  EXPECT_FALSE(BindMemoryToNode(buf.data(), buf.size(), 0));
+  EXPECT_FALSE(InterleaveMemory(buf.data(), buf.size(), {0}));
+  std::vector<char> pages(1 << 20);
+  EXPECT_FALSE(InterleaveMemory(pages.data(), pages.size(), {}));
+  // Node id far beyond kernel reality: mbind rejects it, we report false.
+  EXPECT_FALSE(BindMemoryToNode(pages.data(), pages.size(), 100000));
+}
+
+TEST(NumaPlacementTest, MemoryBindingToNodeZeroWorksOnLinux) {
+#if defined(__linux__)
+  // Binding a large touched buffer to the (always-present) node 0 should
+  // succeed on any Linux where mbind is permitted — single-node hosts
+  // included. Sandboxes may deny the syscall outright (Docker's default
+  // seccomp profile returns EPERM); BindMemoryToNode's contract is to
+  // report false there, which callers tolerate, so the test skips rather
+  // than fails.
+  std::vector<char> pages(1 << 20, 1);
+  const NumaTopology topo = NumaTopology::Detect();
+  if (!BindMemoryToNode(pages.data(), pages.size(), topo.node(0).id)) {
+    GTEST_SKIP() << "mbind unavailable (seccomp/LSM?); placement will "
+                    "no-op on this host";
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace nomad

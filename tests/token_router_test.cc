@@ -47,7 +47,9 @@ TEST(TokenRouterTest, LeastLoadedPrefersShortQueues) {
   // far more than the uniform share.
   EXPECT_GT(hist[2], n / 4);
   for (int q = 0; q < 4; ++q) {
-    if (q != 2) EXPECT_LT(hist[static_cast<size_t>(q)], hist[2]);
+    if (q != 2) {
+      EXPECT_LT(hist[static_cast<size_t>(q)], hist[2]);
+    }
   }
 }
 
@@ -72,6 +74,114 @@ TEST(TokenRouterTest, LeastLoadedBreaksTiesFairly) {
   }
   EXPECT_GT(hist[0], 2000);
   EXPECT_GT(hist[1], 2000);
+}
+
+TEST(TokenRouterTest, NumaAwarePrefersLocalNode) {
+  TokenRouter router(Routing::kUniform, 8);
+  // Workers 0-3 on node 0, 4-7 on node 1; 1/16 of hand-offs cross over.
+  router.MakeNumaAware({0, 0, 0, 0, 1, 1, 1, 1});
+  ASSERT_TRUE(router.numa_aware());
+  EXPECT_EQ(router.NodeOf(1), 0);
+  EXPECT_EQ(router.NodeOf(6), 1);
+  Rng rng(13);
+  const auto probe = [](int) -> size_t { return 0; };
+  const int n = 40000;
+  int local = 0;
+  for (int i = 0; i < n; ++i) {
+    local += router.NodeOf(router.Pick(2, &rng, probe)) == 0 ? 1 : 0;
+  }
+  const double expected = 1.0 - TokenRouter::kDefaultRemoteFraction;
+  EXPECT_NEAR(static_cast<double>(local) / n, expected, 0.01);
+}
+
+TEST(TokenRouterTest, NumaAwareStillCoversAllWorkers) {
+  // The inter-node fraction keeps every (sender, receiver) pair reachable —
+  // NOMAD's uniform-coverage argument depends on it.
+  TokenRouter router(Routing::kUniform, 6);
+  router.MakeNumaAware({0, 0, 1, 1, 2, 2});
+  Rng rng(17);
+  const auto probe = [](int) -> size_t { return 0; };
+  for (int self = 0; self < 6; ++self) {
+    std::set<int> seen;
+    for (int i = 0; i < 5000; ++i) seen.insert(router.Pick(self, &rng, probe));
+    EXPECT_EQ(seen.size(), 6u) << "sender " << self;
+  }
+}
+
+TEST(TokenRouterTest, NumaAwareLeastLoadedProbesWithinNode) {
+  TokenRouter router(Routing::kLeastLoaded, 4);
+  router.MakeNumaAware({0, 0, 1, 1}, /*remote_fraction=*/0.0);
+  Rng rng(19);
+  // Worker 1 idle, worker 0 backlogged; both on sender 0's node.
+  const auto probe = [](int q) -> size_t { return q == 1 ? 0 : 1000; };
+  std::vector<int> hist(4, 0);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    hist[static_cast<size_t>(router.Pick(0, &rng, probe))]++;
+  }
+  // remote_fraction 0 never leaves node 0, and two-choice within the node
+  // always sees idle worker 1.
+  EXPECT_EQ(hist[2] + hist[3], 0);
+  EXPECT_GT(hist[1], hist[0]);
+}
+
+TEST(TokenRouterTest, NumaAwareKeepsPerWorkerBalanceOnAsymmetricNodes) {
+  // 6 workers on node 0, 2 on node 1. The per-node remote probability is
+  // scaled by remote-worker count (doubly stochastic chain), so a
+  // circulating token must still visit every WORKER equally often — not
+  // equalize mass per node, which would triple the small node's load.
+  TokenRouter router(Routing::kUniform, 8);
+  router.MakeNumaAware({0, 0, 0, 0, 0, 0, 1, 1});
+  ASSERT_TRUE(router.numa_aware());
+  Rng rng(29);
+  const auto probe = [](int) -> size_t { return 0; };
+  std::vector<int64_t> visits(8, 0);
+  int cur = 0;
+  const int64_t n = 400000;
+  for (int64_t i = 0; i < n; ++i) {
+    cur = router.Pick(cur, &rng, probe);  // token hops to its next holder
+    visits[static_cast<size_t>(cur)]++;
+  }
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_NEAR(static_cast<double>(visits[static_cast<size_t>(w)]),
+                static_cast<double>(n) / 8.0, 0.05 * static_cast<double>(n) / 8.0)
+        << "worker " << w;
+  }
+}
+
+TEST(TokenRouterTest, NumaAwareRejectsDegenerateMaps) {
+  TokenRouter wrong_size(Routing::kUniform, 4);
+  wrong_size.MakeNumaAware({0, 1});  // size != num_workers
+  EXPECT_FALSE(wrong_size.numa_aware());
+
+  TokenRouter one_node(Routing::kUniform, 4);
+  one_node.MakeNumaAware({0, 0, 0, 0});  // all on one node
+  EXPECT_FALSE(one_node.numa_aware());
+
+  TokenRouter negative(Routing::kUniform, 3);
+  negative.MakeNumaAware({0, -1, 1});  // malformed
+  EXPECT_FALSE(negative.numa_aware());
+}
+
+TEST(TokenRouterTest, NumaAwarePickBatchMatchesPickDistribution) {
+  TokenRouter router(Routing::kUniform, 8);
+  router.MakeNumaAware({0, 0, 0, 0, 1, 1, 1, 1});
+  Rng rng(23);
+  const auto probe = [](int) -> size_t { return 0; };
+  std::vector<int> dests(16);
+  int local = 0;
+  int total = 0;
+  for (int i = 0; i < 2500; ++i) {
+    router.PickBatch(5, &rng, probe, 16, dests.data());
+    for (int d : dests) {
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, 8);
+      local += router.NodeOf(d) == 1 ? 1 : 0;
+      ++total;
+    }
+  }
+  const double expected = 1.0 - TokenRouter::kDefaultRemoteFraction;
+  EXPECT_NEAR(static_cast<double>(local) / total, expected, 0.01);
 }
 
 }  // namespace

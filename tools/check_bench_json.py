@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validates the schema of the host-benchmark JSON artifacts.
+
+Usage:
+  tools/check_bench_json.py kernels BENCH_kernels.json
+  tools/check_bench_json.py numa BENCH_numa.json
+
+Exits non-zero (listing the problems) when a required field is missing or
+has the wrong shape. Values are not range-checked — CI runners are noisy;
+this guards the contract documented in docs/BENCHMARKS.md, not the perf.
+"""
+
+import json
+import sys
+
+
+def fail(problems):
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(problems, obj, field, types, context):
+    if field not in obj:
+        problems.append(f"{context}: missing field '{field}'")
+        return None
+    if not isinstance(obj[field], types):
+        problems.append(
+            f"{context}: field '{field}' is {type(obj[field]).__name__}, "
+            f"expected {'/'.join(t.__name__ for t in types)}"
+        )
+        return None
+    return obj[field]
+
+
+def check_kernels(doc):
+    problems = []
+    require(problems, doc, "simd_isa", (str,), "root")
+    require(problems, doc, "hardware_threads", (int,), "root")
+    require(problems, doc, "sgd_speedup_geomean", (int, float), "root")
+    for name in ("sgd_update_pair", "sgd_update_pair_f32", "dot", "dot_f32"):
+        rows = require(problems, doc, name, (list,), "root")
+        if not rows:
+            if rows is not None:
+                problems.append(f"{name}: must be non-empty")
+            continue
+        for i, row in enumerate(rows):
+            for field in ("k", "scalar_per_sec", "simd_per_sec", "speedup"):
+                require(problems, row, field, (int, float), f"{name}[{i}]")
+    handoff = require(problems, doc, "token_handoff", (list,), "root")
+    for i, row in enumerate(handoff or []):
+        for field in ("workers", "batch", "tokens_per_sec", "queue_ops_per_token"):
+            require(problems, row, field, (int, float), f"token_handoff[{i}]")
+    return problems
+
+
+def check_numa(doc):
+    problems = []
+    topo = require(problems, doc, "topology", (dict,), "root")
+    if topo is not None:
+        num_nodes = require(problems, topo, "num_nodes", (int,), "topology")
+        require(problems, topo, "total_cpus", (int,), "topology")
+        require(problems, topo, "hardware_threads", (int,), "topology")
+        nodes = require(problems, topo, "nodes", (list,), "topology")
+        if num_nodes is not None and num_nodes < 1:
+            problems.append("topology: num_nodes must be >= 1")
+        if nodes is not None and num_nodes is not None and len(nodes) != num_nodes:
+            problems.append("topology: nodes[] length disagrees with num_nodes")
+        for i, node in enumerate(nodes or []):
+            require(problems, node, "id", (int,), f"topology.nodes[{i}]")
+            require(problems, node, "cpus", (int,), f"topology.nodes[{i}]")
+    require(problems, doc, "remote_fraction", (int, float), "root")
+    rows = require(problems, doc, "handoff", (list,), "root")
+    if rows is not None and not rows:
+        problems.append("handoff: must be non-empty")
+    scenarios = set()
+    for i, row in enumerate(rows or []):
+        ctx = f"handoff[{i}]"
+        scenario = require(problems, row, "scenario", (str,), ctx)
+        scenarios.add(scenario)
+        require(problems, row, "numa_aware", (bool,), ctx)
+        require(problems, row, "workers", (int,), ctx)
+        require(problems, row, "nodes", (int,), ctx)
+        require(problems, row, "tokens_per_sec", (int, float), ctx)
+        local = require(problems, row, "local_handoffs", (int,), ctx)
+        remote = require(problems, row, "remote_handoffs", (int,), ctx)
+        require(problems, row, "local_fraction", (int, float), ctx)
+        if local is not None and remote is not None and local + remote <= 0:
+            problems.append(f"{ctx}: no hand-offs recorded")
+    # The simulated split must always be present so the local/remote ratio
+    # is meaningful even on single-node hosts.
+    for required in (
+        "off",
+        "auto",
+        "simulated_two_node_off",
+        "simulated_two_node_auto",
+    ):
+        if rows is not None and required not in scenarios:
+            problems.append(f"handoff: missing scenario '{required}'")
+    return problems
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("kernels", "numa"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[2]) as f:
+        doc = json.load(f)
+    problems = check_kernels(doc) if sys.argv[1] == "kernels" else check_numa(doc)
+    if problems:
+        fail(problems)
+    print(f"{sys.argv[2]}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Usage: tools/check_markdown_links.py [root]
+
+Scans every tracked-looking *.md under `root` (default: the repo root,
+inferred from this script's location), extracts inline links and images
+([text](target)), and verifies that every relative target exists on disk.
+External links (http/https/mailto) and pure in-page anchors (#…) are not
+fetched — CI must not depend on the network — but an anchor suffix on a
+relative link is checked against the target file's headings.
+
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "node_modules", ".cache"}
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(path):
+    """GitHub-style anchors for every heading in a markdown file."""
+    anchors = set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                m = re.match(r"#+\s+(.*)", line)
+                if not m:
+                    continue
+                text = re.sub(r"[`*_]", "", m.group(1).strip()).lower()
+                text = re.sub(r"[^\w\- ]", "", text)
+                anchors.add(text.replace(" ", "-"))
+    except OSError:
+        pass
+    return anchors
+
+
+def check_file(md_path, root):
+    problems = []
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    # Strip fenced code blocks: mermaid/code samples are not links.
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    for target in LINK_RE.findall(content):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        # Badge-style repo-relative CI links (../../actions/…) point at the
+        # GitHub UI, not the tree.
+        if "/actions/" in target:
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(md_path), path_part)
+        )
+        if not os.path.exists(resolved):
+            problems.append(
+                f"{os.path.relpath(md_path, root)}: broken link '{target}'"
+            )
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor.lower() not in heading_anchors(resolved):
+                problems.append(
+                    f"{os.path.relpath(md_path, root)}: link '{target}' "
+                    f"anchor '#{anchor}' not found in {path_part}"
+                )
+    return problems
+
+
+def main():
+    root = (
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    problems = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                checked += 1
+                problems.extend(check_file(os.path.join(dirpath, name), root))
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    print(f"checked {checked} markdown files: "
+          f"{'FAIL' if problems else 'ok'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@
 //
 // Examples:
 //   nomad_cli train --input ratings.txt --model out.nomad --solver nomad \
-//             --rank 32 --epochs 15 --precision f32
+//             --rank 32 --epochs 15 --precision f32 --numa auto
 //   nomad_cli train --preset netflix --scale 0.1 --model out.nomad
 //   nomad_cli evaluate --input ratings.txt --model out.nomad
 //   nomad_cli topn --model out.nomad --user 42 --n 10
@@ -72,6 +72,9 @@ Result<TrainOptions> OptionsFromFlags(const Flags& flags) {
   auto precision = ParsePrecision(flags.GetString("precision", "f64"));
   if (!precision.ok()) return precision.status();
   o.precision = precision.value();
+  auto numa = ParseNumaPolicy(flags.GetString("numa", "auto"));
+  if (!numa.ok()) return numa.status();
+  o.numa_policy = numa.value();
   return o;
 }
 
