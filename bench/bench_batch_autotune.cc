@@ -1,0 +1,317 @@
+// Token-batch autotuning benchmark: fixed batch sizes {1, 4, 8, 32} vs the
+// runtime BatchController (token_batch_mode=auto), measured two ways on the
+// real host:
+//
+//  1. "handoff" — the bench_numa_traffic-style circulation harness: p
+//     workers, one MpmcQueue each, 512 tokens, one fused SGD touch per
+//     token, uniform routing. Isolates hand-off throughput (tokens/sec):
+//     exactly the cost the batch size trades off (queue locking vs
+//     circulation latency).
+//  2. "train" — real NomadSolver runs on the netflix miniature with a
+//     small wall-clock budget, reporting end-to-end SGD updates/sec.
+//
+// The claim under test: auto mode lands within a few percent of the best
+// fixed setting without being told which one that is, and clearly beats
+// the worst one. `auto_summary` carries the ratios so successive PRs can
+// track them; tools/check_bench_json.py (mode `autotune`) checks the
+// schema in CI.
+//
+// Output: BENCH_autotune.json (override with --out=<path>). Flags:
+// --seconds-per-case (default 0.2), --workers (default 4),
+// --max-batch (default 32), --scale (train-section dataset scale,
+// default 0.05).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "linalg/simd_ops.h"
+#include "nomad/batch_controller.h"
+#include "nomad/nomad_solver.h"
+#include "nomad/token_router.h"
+#include "queue/mpmc_queue.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+namespace {
+
+constexpr int kFixedSweep[] = {1, 4, 8, 32};
+
+struct HandoffRow {
+  std::string mode;          // "fixed" or "auto"
+  int batch = 0;             // configured fixed batch; ceiling for auto
+  double tokens_per_sec = 0.0;
+  double final_batch_mean = 0.0;  // mean over workers of the final batch
+};
+
+struct TrainRow {
+  std::string mode;
+  int batch = 0;
+  double updates_per_sec = 0.0;
+  double final_rmse = 0.0;
+  double final_batch_mean = 0.0;
+};
+
+/// Circulates 512 tokens through p per-worker queues for ~`seconds`. In
+/// fixed mode every pop requests `batch`; in auto mode each worker runs a
+/// BatchController capped at `batch` and seeded at the fixed default 8 —
+/// the same wiring as NomadSolver's worker loop.
+HandoffRow RunHandoff(bool auto_mode, int batch, int p, double seconds) {
+  constexpr int kRank = 32;
+  constexpr int kTokens = 512;
+  std::vector<std::unique_ptr<MpmcQueue<int32_t>>> queues;
+  for (int q = 0; q < p; ++q) {
+    queues.push_back(std::make_unique<MpmcQueue<int32_t>>());
+  }
+  Rng scatter(7);
+  for (int32_t j = 0; j < kTokens; ++j) {
+    queues[scatter.NextBelow(static_cast<uint64_t>(p))]->Push(j);
+  }
+  std::vector<std::vector<double>> rows(kTokens,
+                                        std::vector<double>(kRank, 0.5));
+  std::vector<std::vector<double>> wrows(static_cast<size_t>(p),
+                                         std::vector<double>(kRank, 0.25));
+  const simd::KernelTable& table = simd::BestAvailable();
+  const TokenRouter router(Routing::kUniform, p);
+  const TokenRouter::SizeProbe probe = [&queues](int q) {
+    return queues[static_cast<size_t>(q)]->SizeEstimate();
+  };
+  BatchControllerConfig cc;
+  cc.max_batch = EffectiveMaxBatch(kTokens, p, batch);
+  cc.initial_batch = std::min(8, cc.max_batch);
+  const int cap = EffectiveMaxBatch(kTokens, p, batch);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> processed{0};
+  std::vector<double> final_batches(static_cast<size_t>(p), 0.0);
+  std::vector<std::thread> workers;
+  for (int q = 0; q < p; ++q) {
+    workers.emplace_back([&, q] {
+      Rng rng(1000ULL + static_cast<uint64_t>(q));
+      BatchController controller(cc);
+      std::vector<int32_t> tokens(static_cast<size_t>(cap));
+      std::vector<int> dests(static_cast<size_t>(cap));
+      std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p));
+      int64_t my_processed = 0;
+      int idle_streak = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int want = auto_mode ? controller.batch() : cap;
+        const size_t got = queues[static_cast<size_t>(q)]->TryPopBatch(
+            tokens.data(), static_cast<size_t>(want));
+        if (got == 0) {
+          // Mirror the solver's signal semantics: empty polls are not
+          // rounds; one idle episode feeds the controller one backoff.
+          if (auto_mode && idle_streak == 4) controller.NoteIdleBackoff();
+          ++idle_streak;
+          std::this_thread::yield();
+          continue;
+        }
+        idle_streak = 0;
+        if (auto_mode) {
+          controller.Observe(
+              static_cast<size_t>(want), got,
+              queues[static_cast<size_t>(q)]->SizeEstimate());
+        }
+        for (size_t b = 0; b < got; ++b) {
+          table.sgd_update_pair(
+              1.0, 1e-6, 0.05, wrows[static_cast<size_t>(q)].data(),
+              rows[static_cast<size_t>(tokens[b])].data(), kRank);
+        }
+        router.PickBatch(q, &rng, probe, static_cast<int>(got), dests.data());
+        for (size_t b = 0; b < got; ++b) {
+          outbound[static_cast<size_t>(dests[b])].push_back(tokens[b]);
+        }
+        my_processed += static_cast<int64_t>(got);
+        for (int d = 0; d < p; ++d) {
+          auto& buf = outbound[static_cast<size_t>(d)];
+          if (buf.empty()) continue;
+          queues[static_cast<size_t>(d)]->PushBatch(buf.data(), buf.size());
+          buf.clear();
+        }
+      }
+      processed.fetch_add(my_processed);
+      final_batches[static_cast<size_t>(q)] =
+          static_cast<double>(auto_mode ? controller.batch() : cap);
+      if (auto_mode && std::getenv("NOMAD_AUTOTUNE_DEBUG") != nullptr) {
+        const WorkerBatchStats s = controller.Stats(q);
+        std::printf(
+            "  [debug] worker %d: final %d mean %.1f rounds %lld grows %lld "
+            "shrinks %lld backoffs %lld\n",
+            q, s.final_batch, s.mean_batch, static_cast<long long>(s.rounds),
+            static_cast<long long>(s.grows),
+            static_cast<long long>(s.shrinks),
+            static_cast<long long>(s.backoffs));
+      }
+    });
+  }
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(seconds, 0.05)));
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  HandoffRow row;
+  row.mode = auto_mode ? "auto" : "fixed";
+  row.batch = batch;
+  row.tokens_per_sec = static_cast<double>(processed.load()) / elapsed;
+  double sum = 0.0;
+  for (double b : final_batches) sum += b;
+  row.final_batch_mean = sum / static_cast<double>(p);
+  return row;
+}
+
+/// One real NomadSolver run on the netflix miniature under a wall-clock
+/// budget; end-to-end updates/sec is total_updates / total_seconds (the
+/// training clock excludes evaluation pauses).
+TrainRow RunTrain(const Dataset& ds, bool auto_mode, int batch, int p,
+                  double seconds) {
+  NomadSolver solver;
+  const bench::MiniParams mp = bench::GetMiniParams("netflix");
+  TrainOptions o;
+  o.rank = 16;
+  o.lambda = mp.lambda;
+  o.alpha = mp.alpha;
+  o.beta = mp.beta;
+  o.num_workers = p;
+  o.max_epochs = -1;
+  o.max_seconds = std::max(seconds, 0.05);
+  o.seed = 17;
+  if (auto_mode) {
+    o.token_batch_mode = TokenBatchMode::kAuto;
+    o.max_token_batch = batch;
+  } else {
+    o.token_batch_size = batch;
+  }
+  auto result = solver.Train(ds, o);
+  NOMAD_CHECK(result.ok()) << result.status().ToString();
+  const TrainResult& r = result.value();
+  TrainRow row;
+  row.mode = auto_mode ? "auto" : "fixed";
+  row.batch = batch;
+  row.updates_per_sec =
+      r.total_seconds > 0
+          ? static_cast<double>(r.total_updates) / r.total_seconds
+          : 0.0;
+  row.final_rmse = r.trace.FinalRmse();
+  double sum = 0.0;
+  for (const WorkerBatchStats& s : r.worker_batch) {
+    sum += static_cast<double>(s.final_batch);
+  }
+  row.final_batch_mean =
+      r.worker_batch.empty() ? 0.0
+                             : sum / static_cast<double>(r.worker_batch.size());
+  return row;
+}
+
+void WriteJson(const std::string& path, int p, int max_batch,
+               const std::vector<HandoffRow>& handoff,
+               const std::vector<TrainRow>& train) {
+  double auto_tps = 0.0, best_fixed = 0.0, worst_fixed = 0.0;
+  for (const HandoffRow& r : handoff) {
+    if (r.mode == "auto") {
+      auto_tps = r.tokens_per_sec;
+    } else {
+      if (best_fixed == 0.0 || r.tokens_per_sec > best_fixed) {
+        best_fixed = r.tokens_per_sec;
+      }
+      if (worst_fixed == 0.0 || r.tokens_per_sec < worst_fixed) {
+        worst_fixed = r.tokens_per_sec;
+      }
+    }
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  NOMAD_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workers\": %d,\n", p);
+  std::fprintf(f, "  \"max_batch\": %d,\n", max_batch);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"handoff\": [\n");
+  for (size_t i = 0; i < handoff.size(); ++i) {
+    const HandoffRow& r = handoff[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"batch\": %d, \"tokens_per_sec\": "
+                 "%.3e, \"final_batch_mean\": %.2f}%s\n",
+                 r.mode.c_str(), r.batch, r.tokens_per_sec,
+                 r.final_batch_mean, i + 1 < handoff.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"train\": [\n");
+  for (size_t i = 0; i < train.size(); ++i) {
+    const TrainRow& r = train[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"batch\": %d, \"updates_per_sec\": "
+                 "%.3e, \"final_rmse\": %.4f, \"final_batch_mean\": %.2f}%s\n",
+                 r.mode.c_str(), r.batch, r.updates_per_sec, r.final_rmse,
+                 r.final_batch_mean, i + 1 < train.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"auto_summary\": {\n");
+  std::fprintf(f, "    \"tokens_per_sec\": %.3e,\n", auto_tps);
+  std::fprintf(f, "    \"best_fixed_tokens_per_sec\": %.3e,\n", best_fixed);
+  std::fprintf(f, "    \"worst_fixed_tokens_per_sec\": %.3e,\n", worst_fixed);
+  std::fprintf(f, "    \"vs_best_fixed\": %.4f,\n",
+               best_fixed > 0 ? auto_tps / best_fixed : 0.0);
+  std::fprintf(f, "    \"vs_worst_fixed\": %.4f\n",
+               worst_fixed > 0 ? auto_tps / worst_fixed : 0.0);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());
+  const double seconds = flags.GetDouble("seconds-per-case", 0.2);
+  const int p = std::max(2, static_cast<int>(flags.GetInt("workers", 4)));
+  const int max_batch = static_cast<int>(flags.GetInt("max-batch", 32));
+  const double scale = flags.GetDouble("scale", 0.05);
+  const std::string out = flags.GetString("out", "BENCH_autotune.json");
+
+  std::printf("== token-batch autotuning (p=%d, ceiling %d) ==\n", p,
+              max_batch);
+
+  std::vector<HandoffRow> handoff;
+  for (int batch : kFixedSweep) {
+    handoff.push_back(RunHandoff(/*auto_mode=*/false, batch, p, seconds));
+    std::printf("handoff fixed %-3d  %.3e tokens/s\n", batch,
+                handoff.back().tokens_per_sec);
+  }
+  handoff.push_back(RunHandoff(/*auto_mode=*/true, max_batch, p, seconds));
+  std::printf("handoff auto (<=%d) %.3e tokens/s  final batch mean %.1f\n",
+              max_batch, handoff.back().tokens_per_sec,
+              handoff.back().final_batch_mean);
+
+  const Dataset ds = bench::GetDataset("netflix", scale);
+  std::vector<TrainRow> train;
+  for (int batch : kFixedSweep) {
+    train.push_back(RunTrain(ds, /*auto_mode=*/false, batch, p, seconds));
+    std::printf("train   fixed %-3d  %.3e updates/s  rmse %.4f\n", batch,
+                train.back().updates_per_sec, train.back().final_rmse);
+  }
+  train.push_back(RunTrain(ds, /*auto_mode=*/true, max_batch, p, seconds));
+  std::printf(
+      "train   auto (<=%d) %.3e updates/s  rmse %.4f  final batch mean "
+      "%.1f\n",
+      max_batch, train.back().updates_per_sec, train.back().final_rmse,
+      train.back().final_batch_mean);
+
+  WriteJson(out, p, max_batch, handoff, train);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) { return nomad::Run(argc, argv); }

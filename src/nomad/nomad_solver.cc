@@ -11,6 +11,7 @@
 
 #include "data/shard.h"
 #include "eval/metrics.h"
+#include "nomad/batch_controller.h"
 #include "nomad/token_router.h"
 #include "queue/mpmc_queue.h"
 #include "solver/sgd_kernel.h"
@@ -172,8 +173,12 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   if (numa_place && options.numa_policy == NumaPolicy::kAuto) {
     router.MakeNumaAware(worker_node);
   }
+  // Queue sizes are advisory everywhere they are used (Sec. 3.3), so the
+  // probe reads the lock-free estimate instead of taking the destination
+  // queue's mutex — a least-loaded batch no longer locks the queues it
+  // merely considers.
   const TokenRouter::SizeProbe probe = [&queues](int q) {
-    return queues[static_cast<size_t>(q)]->Size();
+    return queues[static_cast<size_t>(q)]->SizeEstimate();
   };
 
   PauseGate gate(p);
@@ -194,10 +199,26 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
 
   const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
                                    options.lambda, k);
-  // Tokens drained per queue lock; clamped so one worker cannot hoard the
-  // whole item set (which would starve circulation on tiny problems).
-  const int batch = static_cast<int>(std::min<int64_t>(
-      options.token_batch_size, std::max<int64_t>(1, ds.cols / (2 * p))));
+  // Token-batch sizing. Fixed mode drains a constant batch per queue lock;
+  // auto mode gives each worker a BatchController that adapts the batch per
+  // hand-off round from its queue depth, pop hit rate, and idle backoffs.
+  // Both modes share the EffectiveMaxBatch hoarding clamp, so `auto` can
+  // never reach a batch that `fixed` could not be configured to.
+  const bool auto_batch =
+      options.token_batch_mode == TokenBatchMode::kAuto;
+  const int fixed_batch =
+      EffectiveMaxBatch(ds.cols, p, options.token_batch_size);
+  const int max_batch =
+      auto_batch ? EffectiveMaxBatch(ds.cols, p, options.max_token_batch)
+                 : fixed_batch;
+  BatchControllerConfig controller_config;
+  controller_config.max_batch = max_batch;
+  // Start auto runs from the fixed default so the two modes begin
+  // identically and only diverge where the signals say they should.
+  controller_config.initial_batch = std::min(fixed_batch, max_batch);
+  // Written by each worker just before it exits (exclusive slots, joined
+  // before the read), so TrainResult can report the adaptation per worker.
+  std::vector<WorkerBatchStats> batch_stats(static_cast<size_t>(p));
   auto worker_fn = [&](int q) {
     // NUMA pinning: keep this worker on its node so its w-row partition
     // (bound there above) and its token queue stay local. No-op when
@@ -206,12 +227,13 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
       PinCurrentThreadToCpus(worker_cpus[static_cast<size_t>(q)]);
     }
     Rng rng(options.seed + 7919ULL * static_cast<uint64_t>(q + 1));
-    std::vector<int32_t> tokens(static_cast<size_t>(batch));
-    std::vector<int> dests(static_cast<size_t>(batch));
+    BatchController controller(controller_config);
+    std::vector<int32_t> tokens(static_cast<size_t>(max_batch));
+    std::vector<int> dests(static_cast<size_t>(max_batch));
     // Per-destination hand-off buffers: tokens bound for the same queue
     // leave in one PushBatch (one lock acquisition per destination).
     std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p));
-    for (auto& buf : outbound) buf.reserve(static_cast<size_t>(batch));
+    for (auto& buf : outbound) buf.reserve(static_cast<size_t>(max_batch));
     int idle_streak = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       gate.CheckIn();
@@ -219,8 +241,9 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
       // point; no update may happen after it, or the returned factors
       // would not match the recorded trace.
       if (stop.load(std::memory_order_relaxed)) break;
+      const int want = auto_batch ? controller.batch() : fixed_batch;
       const size_t got = queues[static_cast<size_t>(q)]->TryPopBatch(
-          tokens.data(), static_cast<size_t>(batch));
+          tokens.data(), static_cast<size_t>(want));
       if (got == 0) {
         // Empty queue: yield a few times first (a token usually arrives
         // within a scheduling quantum), then back off exponentially so an
@@ -228,6 +251,12 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         if (idle_streak < 4) {
           std::this_thread::yield();
         } else {
+          // Sustained starvation: tell the controller once per idle
+          // episode (at the yield→sleep escalation) so the worker
+          // re-enters circulation with a smaller bite. Neither the plain
+          // empty polls nor the later sleeps are fed to the controller —
+          // one scheduling gap is one starvation signal, not hundreds.
+          if (auto_batch && idle_streak == 4) controller.NoteIdleBackoff();
           const int shift = std::min(idle_streak - 4, 7);  // 1..128 µs
           std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
         }
@@ -235,6 +264,11 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         continue;
       }
       idle_streak = 0;
+      if (auto_batch) {
+        controller.Observe(
+            static_cast<size_t>(want), got,
+            queues[static_cast<size_t>(q)]->SizeEstimate());
+      }
       for (size_t b = 0; b < got; ++b) {
         const int32_t j = tokens[b];
         // Ownership invariant behind NOMAD's lock-freedom. The CAS runs as
@@ -272,6 +306,17 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         queues[static_cast<size_t>(d)]->PushBatch(buf.data(), buf.size());
         buf.clear();
       }
+    }
+    if (auto_batch) {
+      batch_stats[static_cast<size_t>(q)] = controller.Stats(q);
+    } else {
+      // Fixed mode reports the same shape with a constant trajectory, so
+      // downstream tooling reads one format regardless of the mode.
+      WorkerBatchStats& s = batch_stats[static_cast<size_t>(q)];
+      s.worker = q;
+      s.final_batch = s.min_batch_seen = s.max_batch_seen = fixed_batch;
+      s.mean_batch = static_cast<double>(fixed_batch);
+      s.trajectory.emplace_back(0, fixed_batch);
     }
   };
 
@@ -371,6 +416,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
 
   result.total_updates = total_updates.load(std::memory_order_relaxed);
   result.total_seconds = train_seconds;
+  result.worker_batch = std::move(batch_stats);
   StoreTrainedFactors(std::move(w), std::move(h), &result);
   return result;
 }

@@ -32,7 +32,10 @@ class NomadSolver final : public Solver {
 
   /// Runs Algorithm 1 on ds.train with `options.num_workers` threads,
   /// tracing test RMSE at the configured cadence. See TrainOptions for the
-  /// NOMAD-specific knobs (routing, token_batch_size, numa_policy, …).
+  /// NOMAD-specific knobs (routing, token_batch_size/token_batch_mode,
+  /// numa_policy, …). Under token_batch_mode=auto each worker adapts its
+  /// hand-off batch at runtime (nomad/batch_controller.h); the per-worker
+  /// adaptation is returned in TrainResult::worker_batch.
   Result<TrainResult> Train(const Dataset& ds,
                             const TrainOptions& options) override;
 };

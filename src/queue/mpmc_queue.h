@@ -2,6 +2,7 @@
 #define NOMAD_QUEUE_MPMC_QUEUE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -31,6 +32,7 @@ class alignas(kCacheLineBytes) MpmcQueue {
   void Push(T value) {
     std::lock_guard<std::mutex> lock(mu_);
     items_.push_back(std::move(value));
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
   }
 
   /// Pushes `n` elements in FIFO order under one lock acquisition. This is
@@ -42,6 +44,7 @@ class alignas(kCacheLineBytes) MpmcQueue {
     if (n == 0) return;
     std::lock_guard<std::mutex> lock(mu_);
     items_.insert(items_.end(), items, items + n);
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
   }
 
   /// Pops the front element if any; returns nullopt when empty (NOMAD
@@ -51,6 +54,7 @@ class alignas(kCacheLineBytes) MpmcQueue {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
     return v;
   }
 
@@ -63,6 +67,7 @@ class alignas(kCacheLineBytes) MpmcQueue {
       out[i] = std::move(items_.front());
       items_.pop_front();
     }
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
     return n;
   }
 
@@ -77,9 +82,22 @@ class alignas(kCacheLineBytes) MpmcQueue {
   /// True when Size() == 0; the same staleness caveat applies.
   bool Empty() const { return Size() == 0; }
 
+  /// Approximate size without taking the lock: the value written by the
+  /// last completed mutation. May lag concurrent pushes/pops by a batch,
+  /// and that is fine for its two consumers — the least-loaded routing
+  /// probe and the BatchController's queue-depth signal, both of which the
+  /// paper already treats as advisory (Sec. 3.3). Once the queue is
+  /// quiescent, SizeEstimate() == Size() exactly.
+  size_t SizeEstimate() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::deque<T> items_;
+  /// Mirror of items_.size(), updated inside each critical section, read
+  /// lock-free by SizeEstimate().
+  std::atomic<size_t> approx_size_{0};
 };
 
 }  // namespace nomad

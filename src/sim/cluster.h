@@ -40,6 +40,17 @@ struct SimOptions {
   // Algorithm 1) so the deterministic figure benches keep their seed
   // trajectories; batching experiments opt in explicitly.
   int worker_batch_size = 1;
+  // Mirrors TrainOptions::token_batch_mode = auto: each simulated worker
+  // runs the same BatchController AIMD rule (nomad/batch_controller.h)
+  // over its virtual queue instead of the fixed worker_batch_size, with
+  // worker_max_batch as the ceiling and worker_batch_size as the start.
+  // The simulator has no idle backoff (an empty-queue worker simply is
+  // not scheduled), so the controller sees only the depth and hit-rate
+  // signals there — documented asymmetry with the shared-memory path.
+  // Keeps sim and shared-memory runs comparable when studying adaptive
+  // batching; per-worker stats land in SimResult::worker_batch.
+  bool worker_batch_auto = false;
+  int worker_max_batch = 32;
 
   /// When non-null, sim_nomad appends every (worker, item) token-processing
   /// step in execution order. The serializability property test replays
@@ -58,6 +69,10 @@ struct SimResult {
   /// "CPU busy while network busy" property the paper claims over
   /// bulk-synchronous methods.
   double busy_seconds = 0.0;
+  /// Per-worker token-batch adaptation stats (sim_nomad with
+  /// worker_batch_auto only; empty otherwise). Mirrors
+  /// TrainResult::worker_batch for the shared-memory solver.
+  std::vector<WorkerBatchStats> worker_batch;
 
   double Utilization(int total_workers) const {
     const double denom = train.total_seconds * total_workers;

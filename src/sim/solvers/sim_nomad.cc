@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/shard.h"
+#include "nomad/batch_controller.h"
 #include "sim/event_queue.h"
 #include "solver/sgd_kernel.h"
 #include "util/rng.h"
@@ -35,6 +36,10 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
   if (options.worker_batch_size <= 0) {
     return Status::InvalidArgument("worker_batch_size must be positive");
   }
+  if (options.worker_batch_auto && options.worker_max_batch <= 0) {
+    return Status::InvalidArgument(
+        "worker_max_batch must be positive with worker_batch_auto");
+  }
   auto schedule = MakeSchedule(train.schedule, train.alpha, train.beta);
   if (!schedule.ok()) return schedule.status();
   const StepSchedule& sched = *schedule.value();
@@ -63,6 +68,18 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
   // Per-worker state.
   std::vector<std::deque<Token>> queue(static_cast<size_t>(num_workers));
   std::vector<char> busy(static_cast<size_t>(num_workers), 0);
+  // Adaptive batching mirror of the shared-memory token_batch_mode=auto:
+  // one controller per simulated worker, same AIMD rule, same
+  // EffectiveMaxBatch hoarding clamp, fed from the virtual queues.
+  std::vector<BatchController> controllers;
+  if (options.worker_batch_auto) {
+    BatchControllerConfig cc;
+    cc.max_batch =
+        EffectiveMaxBatch(ds.cols, num_workers, options.worker_max_batch);
+    cc.initial_batch = std::min(options.worker_batch_size, cc.max_batch);
+    controllers.assign(static_cast<size_t>(num_workers),
+                       BatchController(cc));
+  }
   // Per-machine communication state.
   std::vector<double> sender_free(static_cast<size_t>(num_machines), 0.0);
   // outbox[src * M + dst]: tokens (with target worker) awaiting batch send.
@@ -229,7 +246,7 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
     auto& wq = queue[static_cast<size_t>(worker)];
     const int machine = machine_of(worker);
 
-    if (options.worker_batch_size == 1) {
+    if (!options.worker_batch_auto && options.worker_batch_size == 1) {
       // Token-at-a-time fast path (the default and the paper's Algorithm
       // 1): scalar event captures, no per-event allocation.
       const Token token = wq.front();
@@ -254,13 +271,23 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
       return;
     }
 
-    // Drain up to worker_batch_size queued tokens into one busy period —
-    // the virtual-time analogue of the shared-memory TryPopBatch hand-off.
+    // Drain up to the configured (or controller-chosen) batch of queued
+    // tokens into one busy period — the virtual-time analogue of the
+    // shared-memory TryPopBatch hand-off.
+    const int want = options.worker_batch_auto
+                         ? controllers[static_cast<size_t>(worker)].batch()
+                         : options.worker_batch_size;
     std::vector<Token> batch;
-    while (!wq.empty() &&
-           static_cast<int>(batch.size()) < options.worker_batch_size) {
+    while (!wq.empty() && static_cast<int>(batch.size()) < want) {
       batch.push_back(wq.front());
       wq.pop_front();
+    }
+    if (options.worker_batch_auto) {
+      // The simulator never observes an empty pop (try_start only runs on
+      // a non-empty queue) and has no idle backoff, so the controller sees
+      // the depth and hit-rate signals only.
+      controllers[static_cast<size_t>(worker)].Observe(
+          static_cast<size_t>(want), batch.size(), wq.size());
     }
     // Per-token costs, so an early budget stop mid-batch can charge (and
     // timestamp) only the tokens whose updates were actually applied.
@@ -347,6 +374,13 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
 
   result.train.total_updates = total_updates;
   result.train.total_seconds = eq.now();
+  if (options.worker_batch_auto) {
+    result.worker_batch.reserve(controllers.size());
+    for (int q = 0; q < num_workers; ++q) {
+      result.worker_batch.push_back(
+          controllers[static_cast<size_t>(q)].Stats(q));
+    }
+  }
   return result;
 }
 

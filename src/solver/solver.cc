@@ -17,6 +17,11 @@ Status ValidateCommonOptions(const TrainOptions& options) {
   if (options.token_batch_size <= 0) {
     return Status::InvalidArgument("token_batch_size must be positive");
   }
+  if (options.token_batch_mode == TokenBatchMode::kAuto &&
+      options.max_token_batch <= 0) {
+    return Status::InvalidArgument(
+        "max_token_batch must be positive in token_batch_mode=auto");
+  }
   if (options.max_seconds < 0 && options.max_updates < 0 &&
       options.max_epochs < 0) {
     return Status::InvalidArgument(
@@ -28,6 +33,17 @@ Status ValidateCommonOptions(const TrainOptions& options) {
 void InitFactors(const Dataset& ds, const TrainOptions& options,
                  FactorMatrix* w, FactorMatrix* h) {
   InitFactorsT<double>(ds, options, w, h);
+}
+
+const char* TokenBatchModeName(TokenBatchMode mode) {
+  return mode == TokenBatchMode::kAuto ? "auto" : "fixed";
+}
+
+Result<TokenBatchMode> ParseTokenBatchMode(const std::string& name) {
+  if (name == "auto" || name == "adaptive") return TokenBatchMode::kAuto;
+  if (name == "fixed" || name.empty()) return TokenBatchMode::kFixed;
+  return Status::InvalidArgument("unknown token batch mode: " + name +
+                                 " (expected fixed or auto)");
 }
 
 const char* PrecisionName(Precision precision) {

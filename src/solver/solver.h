@@ -22,6 +22,22 @@ enum class Routing {
   kLeastLoaded,  ///< Sec. 3.3 dynamic load balancing: prefer shorter queues.
 };
 
+/// How the NOMAD token-batch size is chosen (see nomad/batch_controller.h).
+enum class TokenBatchMode {
+  kFixed,  ///< Every pop requests TrainOptions::token_batch_size tokens.
+  kAuto,   ///< Each worker's BatchController adapts the batch at runtime
+           ///< inside [1, max_token_batch] from queue depth, pop hit rate,
+           ///< and idle backoffs (AIMD rule).
+};
+
+/// "fixed" / "auto".
+const char* TokenBatchModeName(TokenBatchMode mode);
+
+/// Parses "fixed" and "auto" (with "adaptive" accepted as an alias for
+/// auto, and the empty string as the kFixed default, mirroring
+/// ParsePrecision); anything else is InvalidArgument.
+Result<TokenBatchMode> ParseTokenBatchMode(const std::string& name);
+
 /// Storage precision of the factor matrices during training. f32 halves the
 /// memory traffic over the circulating factor rows — the bottleneck the
 /// paper's Sec. 3.5 layout work targets — and doubles the SIMD lanes per
@@ -125,8 +141,19 @@ struct TrainOptions {
   /// Tokens a worker drains from its queue per lock acquisition (and the
   /// granularity of the batched hand-off back out). 1 reproduces the
   /// paper's token-at-a-time Algorithm 1; larger values amortize queue
-  /// locking over the batch without changing the updates performed.
+  /// locking over the batch without changing the updates performed. In
+  /// auto mode this is the starting batch each worker's controller adapts
+  /// from. Both modes are clamped by EffectiveMaxBatch (a worker never
+  /// drains more than half the average per-worker item share per pop).
   int token_batch_size = 8;
+  /// kFixed keeps token_batch_size for the whole run; kAuto lets each
+  /// worker's BatchController adapt the batch per hand-off round (CLI:
+  /// --token-batch=auto). Per-worker adaptation stats are returned in
+  /// TrainResult::worker_batch.
+  TokenBatchMode token_batch_mode = TokenBatchMode::kFixed;
+  /// Auto-mode ceiling: the controller may grow the batch up to
+  /// min(max_token_batch, EffectiveMaxBatch). Ignored in fixed mode.
+  int max_token_batch = 32;
   /// Footnote 1: partition users by rating count instead of row count —
   /// better balanced under power-law user degrees.
   bool partition_by_ratings = true;
@@ -146,6 +173,28 @@ struct TrainOptions {
   int ccd_inner_iters = 1;
 };
 
+/// What one worker's token-batch controller did over a NOMAD run (see
+/// nomad/batch_controller.h for the AIMD rule that produces these).
+/// Returned for both token-batch modes; a fixed-mode run reports constant
+/// trajectories, so downstream tooling reads one shape either way.
+struct WorkerBatchStats {
+  int worker = -1;         ///< Worker index the stats belong to.
+  int final_batch = 0;     ///< Batch size at the end of the run.
+  int min_batch_seen = 0;  ///< Smallest batch the worker ever used.
+  int max_batch_seen = 0;  ///< Largest batch the worker ever used.
+  int64_t rounds = 0;      ///< Hand-off rounds observed.
+  int64_t grows = 0;       ///< Additive increases that changed the batch.
+  int64_t shrinks = 0;     ///< Multiplicative decreases that changed the
+                           ///< batch (a shrink at the floor counts as
+                           ///< neither).
+  int64_t backoffs = 0;    ///< Idle-backoff notifications received.
+  double mean_batch = 0.0;  ///< Round-weighted mean batch size.
+  /// Adaptation trajectory: (round index, new batch) at every change,
+  /// capped at BatchControllerConfig::trajectory_limit entries. Entry 0 is
+  /// (0, initial batch).
+  std::vector<std::pair<int64_t, int>> trajectory;
+};
+
 /// Everything a training run produces. The factors are always returned in
 /// double (a float-precision run widens its result), so model persistence
 /// and downstream evaluation are precision-agnostic; `precision` records
@@ -158,6 +207,9 @@ struct TrainResult {
   double total_seconds = 0.0;             ///< Training time, eval excluded.
   std::string solver_name;                ///< Solver::Name() of the run.
   Precision precision = Precision::kF64;  ///< Storage used while training.
+  /// Per-worker token-batch adaptation stats (NOMAD only; empty for the
+  /// baselines). One entry per worker, indexed by worker id.
+  std::vector<WorkerBatchStats> worker_batch;
 };
 
 /// Interface implemented by NOMAD and by every baseline. Implementations

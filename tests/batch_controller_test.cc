@@ -1,0 +1,222 @@
+#include "nomad/batch_controller.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+// ---------- EffectiveMaxBatch (the clamp shared by fixed and auto) ----------
+
+TEST(EffectiveMaxBatchTest, ClampsToHalfPerWorkerShare) {
+  // 64 items over 4 workers: average share 16, hoard cap 8.
+  EXPECT_EQ(EffectiveMaxBatch(64, 4, 32), 8);
+  EXPECT_EQ(EffectiveMaxBatch(64, 4, 8), 8);
+  EXPECT_EQ(EffectiveMaxBatch(64, 4, 5), 5);
+}
+
+TEST(EffectiveMaxBatchTest, FewerItemsThanWorkersStillProgresses) {
+  // cols < workers: the cap floors at 1 so every pop can still move a token.
+  EXPECT_EQ(EffectiveMaxBatch(6, 8, 32), 1);
+  EXPECT_EQ(EffectiveMaxBatch(1, 8, 1), 1);
+  EXPECT_EQ(EffectiveMaxBatch(0, 4, 8), 1);
+}
+
+TEST(EffectiveMaxBatchTest, SingleWorker) {
+  // p=1: a worker may still only drain half the items per pop.
+  EXPECT_EQ(EffectiveMaxBatch(100, 1, 8), 8);
+  EXPECT_EQ(EffectiveMaxBatch(100, 1, 1000), 50);
+  EXPECT_EQ(EffectiveMaxBatch(1, 1, 8), 1);
+}
+
+TEST(EffectiveMaxBatchTest, DegenerateWorkerCountTreatedAsOne) {
+  EXPECT_EQ(EffectiveMaxBatch(100, 0, 8), 8);
+  EXPECT_EQ(EffectiveMaxBatch(100, -3, 1000), 50);
+}
+
+TEST(EffectiveMaxBatchTest, RequestedNeverInflated) {
+  EXPECT_EQ(EffectiveMaxBatch(1000000, 2, 1), 1);
+  EXPECT_EQ(EffectiveMaxBatch(1000000, 2, 0), 1);  // floor at 1
+}
+
+// ---------- AIMD rule ----------
+
+// The rule tests pin the step sizes explicitly (classic halving AIMD) so
+// they exercise the mechanism independent of the tuned defaults.
+BatchControllerConfig Config(int min, int max, int initial) {
+  BatchControllerConfig c;
+  c.min_batch = min;
+  c.max_batch = max;
+  c.initial_batch = initial;
+  c.additive_increase = 1;
+  c.multiplicative_decrease = 0.5;
+  c.lean_rounds_to_shrink = 2;
+  return c;
+}
+
+TEST(BatchControllerTest, GrowsMonotonicallyUnderDeepQueues) {
+  BatchController ctl(Config(1, 32, 4));
+  int prev = ctl.batch();
+  EXPECT_EQ(prev, 4);
+  for (int round = 0; round < 64; ++round) {
+    const size_t want = static_cast<size_t>(ctl.batch());
+    // Full pop with a backlog far deeper than the batch: always grow.
+    ctl.Observe(want, want, /*depth_after_pop=*/1000);
+    EXPECT_GE(ctl.batch(), prev);
+    prev = ctl.batch();
+  }
+  EXPECT_EQ(ctl.batch(), 32);  // reached and held the ceiling
+  const WorkerBatchStats s = ctl.Stats(0);
+  EXPECT_EQ(s.final_batch, 32);
+  EXPECT_EQ(s.grows, 32 - 4);  // one additive step per deep round below cap
+  EXPECT_EQ(s.shrinks, 0);
+}
+
+TEST(BatchControllerTest, ShrinksMultiplicativelyUnderStarvation) {
+  BatchController ctl(Config(1, 32, 32));
+  // Empty pops: halve every round down to the floor.
+  ctl.Observe(32, 0, 0);
+  EXPECT_EQ(ctl.batch(), 16);
+  ctl.Observe(16, 0, 0);
+  EXPECT_EQ(ctl.batch(), 8);
+  for (int i = 0; i < 10; ++i) ctl.Observe(static_cast<size_t>(ctl.batch()), 0, 0);
+  EXPECT_EQ(ctl.batch(), 1);
+  const WorkerBatchStats s = ctl.Stats(3);
+  EXPECT_EQ(s.worker, 3);
+  EXPECT_EQ(s.min_batch_seen, 1);
+  EXPECT_EQ(s.max_batch_seen, 32);
+  EXPECT_GE(s.shrinks, 5);
+}
+
+TEST(BatchControllerTest, LeanStreakShrinksOnceSingleLeanRoundDoesNot) {
+  BatchController ctl(Config(1, 32, 16));
+  // One short fill is noise: no change.
+  ctl.Observe(16, 4, 0);
+  EXPECT_EQ(ctl.batch(), 16);
+  // A healthy round resets the streak.
+  ctl.Observe(16, 16, 16);
+  ctl.Observe(16, 4, 0);
+  EXPECT_EQ(ctl.batch(), 16);
+  // Second consecutive lean round: one multiplicative decrease.
+  ctl.Observe(16, 4, 0);
+  EXPECT_EQ(ctl.batch(), 8);
+}
+
+TEST(BatchControllerTest, HealthyRoundsHoldSteady) {
+  BatchController ctl(Config(1, 32, 8));
+  for (int i = 0; i < 50; ++i) {
+    // Full pop but shallow backlog: neither grow nor shrink.
+    ctl.Observe(8, 8, 4);
+    EXPECT_EQ(ctl.batch(), 8);
+  }
+  const WorkerBatchStats s = ctl.Stats(0);
+  EXPECT_EQ(s.grows, 0);
+  EXPECT_EQ(s.shrinks, 0);
+  EXPECT_EQ(s.rounds, 50);
+  EXPECT_DOUBLE_EQ(s.mean_batch, 8.0);
+}
+
+TEST(BatchControllerTest, ClampsAtConfiguredBounds) {
+  BatchController ctl(Config(2, 8, 100));  // initial clamps down to 8
+  EXPECT_EQ(ctl.batch(), 8);
+  for (int i = 0; i < 20; ++i) {
+    ctl.Observe(static_cast<size_t>(ctl.batch()),
+                static_cast<size_t>(ctl.batch()), 1000);
+  }
+  EXPECT_EQ(ctl.batch(), 8);  // never exceeds max
+  for (int i = 0; i < 20; ++i) {
+    ctl.Observe(static_cast<size_t>(ctl.batch()), 0, 0);
+  }
+  EXPECT_EQ(ctl.batch(), 2);  // never undercuts min
+  BatchController low(Config(4, 16, 1));  // initial clamps up to 4
+  EXPECT_EQ(low.batch(), 4);
+}
+
+TEST(BatchControllerTest, IdleBackoffHalves) {
+  BatchController ctl(Config(1, 32, 16));
+  ctl.NoteIdleBackoff();
+  EXPECT_EQ(ctl.batch(), 8);
+  ctl.NoteIdleBackoff();
+  ctl.NoteIdleBackoff();
+  ctl.NoteIdleBackoff();
+  ctl.NoteIdleBackoff();
+  EXPECT_EQ(ctl.batch(), 1);
+  const WorkerBatchStats s = ctl.Stats(0);
+  EXPECT_EQ(s.backoffs, 5);
+}
+
+TEST(BatchControllerTest, DeterministicGivenFixedSignalSequence) {
+  // The controller must be a pure function of its signal sequence: two
+  // instances fed the same signals take identical trajectories. The
+  // sequence mixes deep, lean, starved, and healthy rounds via a fixed
+  // LCG (no std::rand, no time).
+  const BatchControllerConfig cfg = Config(1, 32, 8);
+  BatchController a(cfg);
+  BatchController b(cfg);
+  uint64_t x = 12345;
+  for (int round = 0; round < 500; ++round) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const size_t want_a = static_cast<size_t>(a.batch());
+    const size_t want_b = static_cast<size_t>(b.batch());
+    ASSERT_EQ(want_a, want_b);
+    const uint32_t r = static_cast<uint32_t>(x >> 33);
+    const size_t popped = r % (want_a + 1);         // 0..want
+    const size_t depth = (r >> 8) % 128;            // 0..127
+    a.Observe(want_a, popped, depth);
+    b.Observe(want_b, popped, depth);
+    if (r % 17 == 0) {
+      a.NoteIdleBackoff();
+      b.NoteIdleBackoff();
+    }
+    ASSERT_EQ(a.batch(), b.batch()) << "diverged at round " << round;
+  }
+  const WorkerBatchStats sa = a.Stats(0);
+  const WorkerBatchStats sb = b.Stats(0);
+  EXPECT_EQ(sa.trajectory, sb.trajectory);
+  EXPECT_EQ(sa.grows, sb.grows);
+  EXPECT_EQ(sa.shrinks, sb.shrinks);
+  EXPECT_EQ(sa.backoffs, sb.backoffs);
+  EXPECT_DOUBLE_EQ(sa.mean_batch, sb.mean_batch);
+}
+
+TEST(BatchControllerTest, TrajectoryRecordsChangesAndRespectsLimit) {
+  BatchControllerConfig cfg = Config(1, 32, 4);
+  cfg.trajectory_limit = 5;
+  BatchController ctl(cfg);
+  for (int i = 0; i < 40; ++i) {
+    ctl.Observe(static_cast<size_t>(ctl.batch()),
+                static_cast<size_t>(ctl.batch()), 1000);
+  }
+  const WorkerBatchStats s = ctl.Stats(0);
+  ASSERT_EQ(s.trajectory.size(), 5u);  // capped
+  EXPECT_EQ(s.trajectory[0], (std::pair<int64_t, int>{0, 4}));
+  // Each recorded change carries a non-decreasing round index and the
+  // batch value after the change.
+  for (size_t i = 1; i < s.trajectory.size(); ++i) {
+    EXPECT_GE(s.trajectory[i].first, s.trajectory[i - 1].first);
+    EXPECT_GT(s.trajectory[i].second, s.trajectory[i - 1].second);
+  }
+  EXPECT_EQ(ctl.batch(), 32);  // the cap is reached even past the log limit
+}
+
+TEST(BatchControllerTest, MeanBatchIsRoundWeighted) {
+  BatchController ctl(Config(1, 32, 8));
+  // 2 rounds at 8 (the second starves, dropping to 4 afterwards), then 2
+  // rounds at 4: mean = (8 + 8 + 4 + 4) / 4 = 6.
+  ctl.Observe(8, 8, 0);
+  ctl.Observe(8, 0, 0);
+  ctl.Observe(4, 4, 0);
+  ctl.Observe(4, 4, 0);
+  EXPECT_DOUBLE_EQ(ctl.Stats(0).mean_batch, 6.0);
+}
+
+TEST(BatchControllerTest, ZeroRequestIsNoSignal) {
+  BatchController ctl(Config(1, 32, 8));
+  ctl.Observe(0, 0, 1000);
+  EXPECT_EQ(ctl.batch(), 8);
+  EXPECT_EQ(ctl.Stats(0).shrinks, 0);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nomad/batch_controller.h"
+
 #include "test_util.h"
 
 namespace nomad {
@@ -148,6 +150,57 @@ TEST(NomadSolverTest, NumaPoliciesReachRmseParity) {
               0.05);
   EXPECT_NEAR(inter.value().trace.FinalRmse(), off.value().trace.FinalRmse(),
               0.05);
+}
+
+TEST(NomadSolverTest, AutoTokenBatchReachesRmseParity) {
+  // token_batch_mode=auto changes only how many tokens a worker drains per
+  // queue lock, never which updates a token's processing performs — so an
+  // auto run must converge like the fixed default (token_batch_size=8).
+  // NOMAD's async interleaving makes runs non-bit-identical; parity is
+  // asserted on converged test RMSE, as in the NUMA-policy parity test.
+  const Dataset ds = MakeTestDataset();
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.token_batch_size = 8;
+  auto fixed = solver.Train(ds, options);
+  ASSERT_TRUE(fixed.ok()) << fixed.status().ToString();
+  options.token_batch_mode = TokenBatchMode::kAuto;
+  auto adaptive = solver.Train(ds, options);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+
+  EXPECT_LT(fixed.value().trace.FinalRmse(), 0.45);
+  EXPECT_LT(adaptive.value().trace.FinalRmse(), 0.45);
+  EXPECT_NEAR(adaptive.value().trace.FinalRmse(),
+              fixed.value().trace.FinalRmse(), 0.05);
+
+  // Both modes report per-worker batch stats; the auto run's batches must
+  // respect the EffectiveMaxBatch hoarding clamp (60 items / (2*4) = 7).
+  const int cap = EffectiveMaxBatch(ds.cols, options.num_workers,
+                                    options.max_token_batch);
+  ASSERT_EQ(adaptive.value().worker_batch.size(), 4u);
+  ASSERT_EQ(fixed.value().worker_batch.size(), 4u);
+  for (const WorkerBatchStats& s : adaptive.value().worker_batch) {
+    EXPECT_GE(s.min_batch_seen, 1);
+    EXPECT_LE(s.max_batch_seen, cap);
+    EXPECT_GT(s.rounds, 0);
+    ASSERT_FALSE(s.trajectory.empty());
+    EXPECT_GE(s.mean_batch, 1.0);
+    EXPECT_LE(s.mean_batch, static_cast<double>(cap));
+  }
+  for (const WorkerBatchStats& s : fixed.value().worker_batch) {
+    EXPECT_EQ(s.final_batch, EffectiveMaxBatch(ds.cols, 4, 8));
+    EXPECT_EQ(s.grows, 0);
+    EXPECT_EQ(s.shrinks, 0);
+  }
+}
+
+TEST(NomadSolverTest, AutoModeRejectsBadMaxTokenBatch) {
+  const Dataset ds = MakeTestDataset(50, 10, 200, 3);
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions();
+  options.token_batch_mode = TokenBatchMode::kAuto;
+  options.max_token_batch = 0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
 }
 
 TEST(NomadSolverTest, StopsByWallClock) {

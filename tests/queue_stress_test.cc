@@ -1,0 +1,208 @@
+// Concurrency stress tests for the NOMAD token queues, registered as their
+// own ctest suite (and run under ThreadSanitizer in CI).
+//
+// The shared-memory solver's correctness rests on one invariant: a token
+// handed through MpmcQueues is never lost and never duplicated, no matter
+// how pushes and pops are batched or interleaved. These tests hammer that
+// invariant from 8+ threads with mixed batch sizes — including the exact
+// circulation pattern the adaptive BatchController produces, where every
+// worker's pop size changes round to round.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nomad/batch_controller.h"
+#include "queue/mpmc_queue.h"
+
+namespace nomad {
+namespace {
+
+// NOMAD-shaped circulation: W workers, one queue each, T distinct tokens
+// scattered at start. Each worker repeatedly pops a batch — size cycling
+// through `pop_sizes`, or chosen per round by its own BatchController when
+// `pop_sizes` is empty (the adaptive path, where batch sizes drift
+// independently per worker) — asserts exclusive ownership of every token
+// with a CAS (live duplication check — two holders of one token fail the
+// CAS), then pushes each token to a pseudo-randomly chosen queue, grouped
+// per destination like the solver's outbound buffers. After the run the
+// queues are drained and every token must be present exactly once
+// (conservation).
+void CirculateAndCheck(int workers, int tokens, int rounds_per_worker,
+                       std::vector<int> pop_sizes) {
+  std::vector<std::unique_ptr<MpmcQueue<int32_t>>> queues;
+  for (int q = 0; q < workers; ++q) {
+    queues.push_back(std::make_unique<MpmcQueue<int32_t>>());
+  }
+  for (int32_t j = 0; j < tokens; ++j) {
+    queues[static_cast<size_t>(j) % static_cast<size_t>(workers)]->Push(j);
+  }
+  std::vector<std::atomic<int>> owner(static_cast<size_t>(tokens));
+  for (auto& o : owner) o.store(-1);
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int q = 0; q < workers; ++q) {
+    threads.emplace_back([&, q] {
+      BatchControllerConfig cfg;
+      cfg.max_batch = EffectiveMaxBatch(tokens, workers, 32);
+      cfg.initial_batch = 1 + q;  // start the adaptive workers apart
+      BatchController ctl(cfg);
+      uint64_t rng = 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(q + 1);
+      std::vector<int32_t> popped(64);
+      std::vector<std::vector<int32_t>> outbound(
+          static_cast<size_t>(workers));
+      for (int round = 0; round < rounds_per_worker; ++round) {
+        const int want =
+            pop_sizes.empty()
+                ? ctl.batch()
+                : pop_sizes[static_cast<size_t>(round) % pop_sizes.size()];
+        const size_t got = queues[static_cast<size_t>(q)]->TryPopBatch(
+            popped.data(), static_cast<size_t>(want));
+        if (pop_sizes.empty()) {
+          ctl.Observe(static_cast<size_t>(want), got,
+                      queues[static_cast<size_t>(q)]->SizeEstimate());
+        }
+        for (size_t i = 0; i < got; ++i) {
+          const int32_t j = popped[i];
+          int expected = -1;
+          if (!owner[static_cast<size_t>(j)].compare_exchange_strong(
+                  expected, q, std::memory_order_acquire)) {
+            failed.store(true);  // duplicated token: two concurrent holders
+            return;
+          }
+          owner[static_cast<size_t>(j)].store(-1, std::memory_order_release);
+          rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+          const int dest = static_cast<int>((rng >> 33) %
+                                            static_cast<uint64_t>(workers));
+          outbound[static_cast<size_t>(dest)].push_back(j);
+        }
+        for (int d = 0; d < workers; ++d) {
+          auto& buf = outbound[static_cast<size_t>(d)];
+          if (buf.empty()) continue;
+          queues[static_cast<size_t>(d)]->PushBatch(buf.data(), buf.size());
+          buf.clear();
+        }
+        if (got == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed.load()) << "a token was held by two workers at once";
+
+  // Conservation: drain everything; each token exactly once.
+  std::vector<int> seen(static_cast<size_t>(tokens), 0);
+  int64_t total = 0;
+  for (auto& q : queues) {
+    EXPECT_EQ(q->SizeEstimate(), q->Size());  // exact once quiescent
+    while (auto v = q->TryPop()) {
+      ASSERT_GE(*v, 0);
+      ASSERT_LT(*v, tokens);
+      ++seen[static_cast<size_t>(*v)];
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, tokens);
+  for (int j = 0; j < tokens; ++j) {
+    EXPECT_EQ(seen[static_cast<size_t>(j)], 1) << "token " << j;
+  }
+}
+
+TEST(MpmcQueueStressTest, TokenConservationMixedBatches8Workers) {
+  CirculateAndCheck(/*workers=*/8, /*tokens=*/512,
+                    /*rounds_per_worker=*/4000,
+                    /*pop_sizes=*/{1, 3, 8, 17, 32});
+}
+
+TEST(MpmcQueueStressTest, TokenConservationAdaptiveBatches8Workers) {
+  // The adaptive path's exact shape: every worker's pop size comes from
+  // its own BatchController (empty pop_sizes), so batch sizes drift
+  // independently per worker while tokens circulate. Conservation and the
+  // live CAS-ownership check must hold regardless.
+  CirculateAndCheck(/*workers=*/8, /*tokens=*/512,
+                    /*rounds_per_worker=*/3000, /*pop_sizes=*/{});
+}
+
+TEST(MpmcQueueStressTest, MixedBatchProducersAndConsumersNoLossNoDup) {
+  // 8 producers with cycling push-batch sizes, 8 consumers with cycling
+  // pop-batch sizes, one shared queue: every element delivered once.
+  MpmcQueue<int> q;
+  constexpr int kProducers = 8;
+  constexpr int kConsumers = 8;
+  constexpr int kPerProducer = 3000;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      int batch[13];
+      int fill = 0;
+      int flushed = 0;
+      for (int i = 0; i < kPerProducer; ++i) {
+        batch[fill++] = p * kPerProducer + i;
+        if (fill == 1 + ((p + flushed) % 13)) {
+          q.PushBatch(batch, static_cast<size_t>(fill));
+          fill = 0;
+          ++flushed;
+        }
+      }
+      if (fill > 0) q.PushBatch(batch, static_cast<size_t>(fill));
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      int out[9];
+      int round = 0;
+      while (consumed.load() < kProducers * kPerProducer) {
+        const size_t want = 1 + static_cast<size_t>((c + round++) % 9);
+        const size_t n = q.TryPopBatch(out, want);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          seen[static_cast<size_t>(out[i])].fetch_add(1);
+        }
+        consumed.fetch_add(static_cast<int>(n));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MpmcQueueStressTest, SizeEstimateStaysSaneUnderConcurrency) {
+  // The lock-free estimate is advisory, but it must never exceed the
+  // number of elements that can possibly be queued, never go "negative"
+  // (wrap), and must be exact at quiescence.
+  MpmcQueue<int32_t> q;
+  constexpr int kTokens = 256;
+  for (int32_t j = 0; j < kTokens; ++j) q.Push(j);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      int32_t buf[16];
+      while (!stop.load()) {
+        const size_t n = q.TryPopBatch(buf, 16);
+        if (n > 0) q.PushBatch(buf, n);
+      }
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const size_t est = q.SizeEstimate();
+    ASSERT_LE(est, static_cast<size_t>(kTokens));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(q.SizeEstimate(), q.Size());
+  EXPECT_EQ(q.Size(), static_cast<size_t>(kTokens));
+}
+
+}  // namespace
+}  // namespace nomad

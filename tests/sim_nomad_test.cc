@@ -143,6 +143,46 @@ TEST(SimNomadTest, LeastLoadedRoutingHelpsUnderStraggler) {
   EXPECT_GE(b.train.total_updates, u.train.total_updates * 0.9);
 }
 
+TEST(SimNomadTest, AdaptiveWorkerBatchConvergesAndReportsStats) {
+  // The simulator mirrors token_batch_mode=auto: each virtual worker runs
+  // the same BatchController. Convergence must match the fixed path and
+  // the run must stay fully deterministic (virtual time, seeded RNG).
+  const Dataset ds = MakeItemRichDataset();
+  SimNomadSolver solver;
+  SimOptions fixed = SmallSimOptions(2, 2, 5);
+  SimOptions adaptive = fixed;
+  adaptive.worker_batch_auto = true;
+  adaptive.worker_max_batch = 32;
+  auto f = solver.Train(ds, fixed);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  auto a = solver.Train(ds, adaptive);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_NEAR(a.value().train.trace.FinalRmse(),
+              f.value().train.trace.FinalRmse(), 0.05);
+  EXPECT_TRUE(f.value().worker_batch.empty());
+  ASSERT_EQ(a.value().worker_batch.size(), 4u);  // 2 machines x 2 cores
+  for (const WorkerBatchStats& s : a.value().worker_batch) {
+    EXPECT_GE(s.min_batch_seen, 1);
+    EXPECT_LE(s.max_batch_seen, 32);
+    EXPECT_GT(s.rounds, 0);
+  }
+  // Determinism is preserved under adaptation: same options, same result.
+  auto a2 = solver.Train(ds, adaptive);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a.value().train.trace.FinalRmse(),
+            a2.value().train.trace.FinalRmse());
+  EXPECT_EQ(a.value().train.total_updates, a2.value().train.total_updates);
+}
+
+TEST(SimNomadTest, AdaptiveWorkerBatchRejectsBadCeiling) {
+  const Dataset ds = MakeTestDataset(50, 10, 300, 47);
+  SimNomadSolver solver;
+  SimOptions options = SmallSimOptions();
+  options.worker_batch_auto = true;
+  options.worker_max_batch = 0;
+  EXPECT_FALSE(solver.Train(ds, options).ok());
+}
+
 TEST(SimNomadTest, DegenerateEmptyDataset) {
   Dataset ds;
   ds.name = "empty";

@@ -4,6 +4,7 @@
 Usage:
   tools/check_bench_json.py kernels BENCH_kernels.json
   tools/check_bench_json.py numa BENCH_numa.json
+  tools/check_bench_json.py autotune BENCH_autotune.json
 
 Exits non-zero (listing the problems) when a required field is missing or
 has the wrong shape. Values are not range-checked — CI runners are noisy;
@@ -100,13 +101,70 @@ def check_numa(doc):
     return problems
 
 
+def check_autotune(doc):
+    problems = []
+    require(problems, doc, "workers", (int,), "root")
+    require(problems, doc, "max_batch", (int,), "root")
+    require(problems, doc, "hardware_threads", (int,), "root")
+
+    # Both sections must carry the full fixed sweep plus exactly one auto
+    # row, so the auto-vs-fixed comparison is always well-defined.
+    def check_rows(name, rate_field, extra_fields=()):
+        rows = require(problems, doc, name, (list,), "root")
+        if rows is None:
+            return
+        if not rows:
+            problems.append(f"{name}: must be non-empty")
+            return
+        fixed_batches = set()
+        auto_rows = 0
+        for i, row in enumerate(rows):
+            ctx = f"{name}[{i}]"
+            mode = require(problems, row, "mode", (str,), ctx)
+            batch = require(problems, row, "batch", (int,), ctx)
+            require(problems, row, rate_field, (int, float), ctx)
+            require(problems, row, "final_batch_mean", (int, float), ctx)
+            for field in extra_fields:
+                require(problems, row, field, (int, float), ctx)
+            if mode == "auto":
+                auto_rows += 1
+            elif mode == "fixed":
+                if batch is not None:
+                    fixed_batches.add(batch)
+            elif mode is not None:
+                problems.append(f"{ctx}: mode must be 'fixed' or 'auto'")
+        for required in (1, 4, 8, 32):
+            if required not in fixed_batches:
+                problems.append(f"{name}: missing fixed batch {required}")
+        if auto_rows != 1:
+            problems.append(f"{name}: expected exactly one auto row")
+
+    check_rows("handoff", "tokens_per_sec")
+    check_rows("train", "updates_per_sec", extra_fields=("final_rmse",))
+
+    summary = require(problems, doc, "auto_summary", (dict,), "root")
+    if summary is not None:
+        for field in (
+            "tokens_per_sec",
+            "best_fixed_tokens_per_sec",
+            "worst_fixed_tokens_per_sec",
+            "vs_best_fixed",
+            "vs_worst_fixed",
+        ):
+            require(problems, summary, field, (int, float), "auto_summary")
+    return problems
+
+
+CHECKERS = {"kernels": check_kernels, "numa": check_numa, "autotune": check_autotune}
+
+
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("kernels", "numa"):
+    if len(sys.argv) != 3 or sys.argv[1] not in CHECKERS:
         print(__doc__, file=sys.stderr)
         return 2
     with open(sys.argv[2]) as f:
         doc = json.load(f)
-    problems = check_kernels(doc) if sys.argv[1] == "kernels" else check_numa(doc)
+    problems = CHECKERS[sys.argv[1]](doc)
     if problems:
         fail(problems)
     print(f"{sys.argv[2]}: ok")

@@ -31,7 +31,10 @@ def heading_anchors(path):
                 m = re.match(r"#+\s+(.*)", line)
                 if not m:
                     continue
-                text = re.sub(r"[`*_]", "", m.group(1).strip()).lower()
+                # GitHub's slugger keeps underscores (they are word
+                # characters); only the markdown emphasis/code markers are
+                # stripped before punctuation removal.
+                text = re.sub(r"[`*]", "", m.group(1).strip()).lower()
                 text = re.sub(r"[^\w\- ]", "", text)
                 anchors.add(text.replace(" ", "-"))
     except OSError:

@@ -64,7 +64,19 @@ Result<TrainOptions> OptionsFromFlags(const Flags& flags) {
   o.beta = flags.GetDouble("beta", 0.01);
   o.loss = flags.GetString("loss", "squared");
   o.num_workers = static_cast<int>(flags.GetInt("workers", 4));
-  o.token_batch_size = static_cast<int>(flags.GetInt("token-batch", 8));
+  // --token-batch takes a number (fixed batch) or "auto" (per-worker
+  // runtime autotuning, nomad/batch_controller.h); --max-token-batch caps
+  // what auto mode may grow to.
+  const std::string token_batch = flags.GetString("token-batch", "8");
+  if (!token_batch.empty() &&
+      token_batch.find_first_not_of("0123456789") == std::string::npos) {
+    o.token_batch_size = static_cast<int>(flags.GetInt("token-batch", 8));
+  } else {
+    auto mode = ParseTokenBatchMode(token_batch);
+    if (!mode.ok()) return mode.status();
+    o.token_batch_mode = mode.value();
+  }
+  o.max_token_batch = static_cast<int>(flags.GetInt("max-token-batch", 32));
   o.max_epochs = static_cast<int>(flags.GetInt("epochs", 10));
   o.max_seconds = flags.GetDouble("max-seconds", -1.0);
   o.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
@@ -107,6 +119,17 @@ int CmdTrain(const Flags& flags) {
   for (const TracePoint& p : result.value().trace.points()) {
     std::printf("  %.2fs  %12lld updates  test RMSE %.4f\n", p.seconds,
                 static_cast<long long>(p.updates), p.test_rmse);
+  }
+  if (options.value().token_batch_mode == TokenBatchMode::kAuto) {
+    for (const WorkerBatchStats& s : result.value().worker_batch) {
+      std::printf(
+          "  worker %d: token batch %d final (mean %.1f, range [%d, %d], "
+          "%lld grows / %lld shrinks over %lld rounds)\n",
+          s.worker, s.final_batch, s.mean_batch, s.min_batch_seen,
+          s.max_batch_seen, static_cast<long long>(s.grows),
+          static_cast<long long>(s.shrinks),
+          static_cast<long long>(s.rounds));
+    }
   }
   const std::string model_path = flags.GetString("model");
   if (!model_path.empty()) {
