@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "data/loader.h"
+#include "data/splitter.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -22,6 +24,23 @@ Dataset GetDataset(const std::string& name, double scale) {
   auto ds = GenerateSynthetic(config);
   NOMAD_CHECK(ds.ok()) << ds.status().ToString();
   return std::move(ds).value();
+}
+
+Result<Dataset> LoadDatasetFromFlags(const Flags& flags) {
+  const std::string input = flags.GetString("input");
+  const std::string preset = flags.GetString("preset");
+  if (!input.empty()) {
+    auto matrix = LoadRatingsFile(input, flags.GetBool("one-based", false));
+    if (!matrix.ok()) return matrix.status();
+    return SplitTrainTest(matrix.value(),
+                          flags.GetDouble("test-fraction", 0.1),
+                          static_cast<uint64_t>(flags.GetInt("seed", 1)),
+                          input);
+  }
+  if (!preset.empty()) {
+    return GetDataset(preset, flags.GetDouble("scale", 0.25));
+  }
+  return Status::InvalidArgument("pass --input <file> or --preset <name>");
 }
 
 MiniParams GetMiniParams(const std::string& name) {

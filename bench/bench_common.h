@@ -32,6 +32,14 @@ struct MiniParams {
 /// "hugewiki") at the given scale and generates it. Aborts on bad name.
 Dataset GetDataset(const std::string& name, double scale);
 
+/// The dataset-flag contract shared by the CLIs (nomad_cli,
+/// dist_nomad_cli): `--input <ratings file>` (honoring `--one-based`,
+/// `--test-fraction`, `--seed` for the split) or `--preset <name>`
+/// (honoring `--scale`). One implementation, so both CLIs always load
+/// identical train/test splits from identical flags — the dist workflow
+/// evaluates dist-trained models with nomad_cli and relies on that.
+Result<Dataset> LoadDatasetFromFlags(const Flags& flags);
+
 /// Tuned step/regularization parameters per mini dataset.
 MiniParams GetMiniParams(const std::string& name);
 

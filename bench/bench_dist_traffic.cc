@@ -1,0 +1,246 @@
+// Distributed-transport benchmark: tokens/sec and RMSE-vs-wallclock for
+// multi-rank NOMAD over the two net/ backends.
+//
+// Runs, in order:
+//   - loopback worlds {1, 2, 4}: rank-per-thread in this process,
+//   - tcp world 2: the process fork()s a rank-1 child and both ranks train
+//     over 127.0.0.1 sockets — a real two-process run.
+//
+// Each run reports end-to-end updates/sec, cross-rank tokens/sec, bytes
+// per circulated token, the final test RMSE, and the RMSE-vs-wallclock
+// trace. A `parity` block compares the world-4 loopback run's final RMSE
+// against a single-rank shared-memory NomadSolver run with the identical
+// budget — the acceptance metric of the distributed layer (the strict
+// 1e-3 assertion lives in tests/dist_nomad_test.cc with a convergence-
+// grade budget; the bench records whatever its budget reaches).
+//
+// Output: BENCH_dist.json (override with --out=<path>); the schema is
+// validated in CI by tools/check_bench_json.py (mode `dist`). Flags:
+// --scale (dataset scale, default 0.05), --epochs (default 6),
+// --workers (per rank, default 2), --port-base (TCP ports, default 19620),
+// --out.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/dist_nomad.h"
+#include "net/loopback_transport.h"
+#include "net/tcp_transport.h"
+#include "nomad/nomad_solver.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace nomad {
+namespace {
+
+using net::DistNomadOptions;
+using net::DistNomadSolver;
+using net::MakeLoopbackFabric;
+using net::TcpPeer;
+using net::TcpTransport;
+using net::Transport;
+
+struct RunRow {
+  std::string backend;  // "loopback" or "tcp"
+  int world = 0;
+  int workers_per_rank = 0;
+  double updates_per_sec = 0.0;
+  double remote_tokens_per_sec = 0.0;
+  double bytes_per_remote_token = 0.0;
+  double final_rmse = 0.0;
+  std::vector<TracePoint> trace;
+};
+
+TrainOptions BenchTrainOptions(const bench::MiniParams& mp, int workers,
+                               int epochs) {
+  TrainOptions o;
+  o.rank = 16;
+  o.lambda = mp.lambda;
+  o.alpha = mp.alpha;
+  o.beta = mp.beta;
+  o.num_workers = workers;
+  o.max_epochs = epochs;
+  o.seed = 17;
+  return o;
+}
+
+RunRow RowFromResult(const std::string& backend, int world, int workers,
+                     const TrainResult& r) {
+  RunRow row;
+  row.backend = backend;
+  row.world = world;
+  row.workers_per_rank = workers;
+  row.final_rmse = r.trace.FinalRmse();
+  row.trace = r.trace.points();
+  row.updates_per_sec =
+      r.total_seconds > 0
+          ? static_cast<double>(r.total_updates) / r.total_seconds
+          : 0.0;
+  int64_t remote_tokens = 0;
+  int64_t bytes = 0;
+  for (const RankTrafficStats& t : r.rank_traffic) {
+    remote_tokens += t.tokens_sent;
+    bytes += t.bytes_sent;
+  }
+  row.remote_tokens_per_sec =
+      r.total_seconds > 0
+          ? static_cast<double>(remote_tokens) / r.total_seconds
+          : 0.0;
+  row.bytes_per_remote_token =
+      remote_tokens > 0
+          ? static_cast<double>(bytes) / static_cast<double>(remote_tokens)
+          : 0.0;
+  return row;
+}
+
+RunRow RunLoopback(const Dataset& ds, const TrainOptions& topt, int world) {
+  DistNomadOptions options;
+  options.train = topt;
+  auto results = TrainLoopbackWorld(ds, options, world);
+  for (int r = 0; r < world; ++r) {
+    NOMAD_CHECK(results[static_cast<size_t>(r)].ok())
+        << "rank " << r << ": "
+        << results[static_cast<size_t>(r)].status().ToString();
+  }
+  return RowFromResult("loopback", world, topt.num_workers,
+                       results[0].value());
+}
+
+Result<TrainResult> RunTcpRank(const Dataset& ds, const TrainOptions& topt,
+                               int rank, const std::vector<TcpPeer>& peers) {
+  net::TcpOptions tcp_options;
+  tcp_options.hello_k = topt.rank;
+  auto transport = TcpTransport::Listen(
+      rank, static_cast<int>(peers.size()),
+      peers[static_cast<size_t>(rank)].port, tcp_options);
+  if (!transport.ok()) return transport.status();
+  NOMAD_RETURN_IF_ERROR(transport.value()->Establish(peers));
+  DistNomadOptions options;
+  options.train = topt;
+  DistNomadSolver solver;
+  auto result = solver.Train(ds, options, transport.value().get());
+  if (!result.ok()) return result.status();
+  NOMAD_RETURN_IF_ERROR(transport.value()->Close());
+  return result;
+}
+
+// Forks a rank-1 child; both processes train over 127.0.0.1. The child
+// exits without returning (so only the parent writes the JSON).
+RunRow RunTcpTwoProcess(const Dataset& ds, const TrainOptions& topt,
+                        int port_base) {
+  const std::vector<TcpPeer> peers = {{"127.0.0.1", port_base},
+                                      {"127.0.0.1", port_base + 1}};
+  const pid_t child = fork();
+  NOMAD_CHECK(child >= 0) << "fork failed";
+  if (child == 0) {
+    auto result = RunTcpRank(ds, topt, /*rank=*/1, peers);
+    // The child's result stays in the child; rank 0 carries the global
+    // trace and per-rank traffic table.
+    std::_Exit(result.ok() ? 0 : 3);
+  }
+  auto result = RunTcpRank(ds, topt, /*rank=*/0, peers);
+  int wstatus = 0;
+  NOMAD_CHECK(waitpid(child, &wstatus, 0) == child);
+  NOMAD_CHECK(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
+      << "tcp child rank failed";
+  NOMAD_CHECK(result.ok()) << result.status().ToString();
+  return RowFromResult("tcp", 2, topt.num_workers, result.value());
+}
+
+void WriteJson(const std::string& path, int workers,
+               const std::vector<RunRow>& runs, double single_rank_rmse) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  NOMAD_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workers_per_rank\": %d,\n", workers);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"runs\": [\n");
+  double loopback4_rmse = 0.0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunRow& r = runs[i];
+    if (r.backend == "loopback" && r.world == 4) loopback4_rmse = r.final_rmse;
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"world\": %d, "
+                 "\"workers_per_rank\": %d, \"updates_per_sec\": %.3e, "
+                 "\"remote_tokens_per_sec\": %.3e, "
+                 "\"bytes_per_remote_token\": %.1f, \"final_rmse\": %.4f, "
+                 "\"trace\": [",
+                 r.backend.c_str(), r.world, r.workers_per_rank,
+                 r.updates_per_sec, r.remote_tokens_per_sec,
+                 r.bytes_per_remote_token, r.final_rmse);
+    for (size_t t = 0; t < r.trace.size(); ++t) {
+      std::fprintf(f, "{\"seconds\": %.4f, \"rmse\": %.4f}%s",
+                   r.trace[t].seconds, r.trace[t].test_rmse,
+                   t + 1 < r.trace.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"parity\": {\n");
+  std::fprintf(f, "    \"single_rank_rmse\": %.6f,\n", single_rank_rmse);
+  std::fprintf(f, "    \"loopback4_rmse\": %.6f,\n", loopback4_rmse);
+  std::fprintf(f, "    \"abs_diff\": %.6f\n",
+               std::abs(loopback4_rmse - single_rank_rmse));
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());
+  const double scale = flags.GetDouble("scale", 0.05);
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 6));
+  const int workers = static_cast<int>(flags.GetInt("workers", 2));
+  const int port_base = static_cast<int>(flags.GetInt("port-base", 19620));
+  const std::string out = flags.GetString("out", "BENCH_dist.json");
+
+  const Dataset ds = bench::GetDataset("netflix", scale);
+  const TrainOptions topt =
+      BenchTrainOptions(bench::GetMiniParams("netflix"), workers, epochs);
+
+  std::printf("== distributed NOMAD traffic (%s, %d epochs, %d workers/rank) ==\n",
+              ds.name.c_str(), epochs, workers);
+
+  // The TCP fork must happen while this process is still single-threaded;
+  // every loopback run spawns (and joins) rank threads, but fork() only
+  // clones the calling thread, so do the two-process run first.
+  std::vector<RunRow> runs;
+  runs.push_back(RunTcpTwoProcess(ds, topt, port_base));
+  std::printf("tcp      world 2: %.3e updates/s, %.3e remote tokens/s, rmse %.4f\n",
+              runs.back().updates_per_sec, runs.back().remote_tokens_per_sec,
+              runs.back().final_rmse);
+
+  for (int world : {1, 2, 4}) {
+    runs.push_back(RunLoopback(ds, topt, world));
+    std::printf(
+        "loopback world %d: %.3e updates/s, %.3e remote tokens/s, rmse %.4f\n",
+        world, runs.back().updates_per_sec,
+        runs.back().remote_tokens_per_sec, runs.back().final_rmse);
+  }
+
+  NomadSolver single;
+  auto single_result = single.Train(ds, topt);
+  NOMAD_CHECK(single_result.ok()) << single_result.status().ToString();
+  const double single_rmse = single_result.value().trace.FinalRmse();
+  std::printf("single-rank NomadSolver rmse %.4f\n", single_rmse);
+
+  WriteJson(out, workers, runs, single_rmse);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) { return nomad::Run(argc, argv); }

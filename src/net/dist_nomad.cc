@@ -1,0 +1,929 @@
+#include "net/dist_nomad.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/shard.h"
+#include "eval/metrics.h"
+#include "net/loopback_transport.h"
+#include "net/wire_format.h"
+#include "nomad/batch_controller.h"
+#include "nomad/pause_gate.h"
+#include "nomad/token_router.h"
+#include "queue/mpmc_queue.h"
+#include "sched/schedule.h"
+#include "solver/sgd_kernel.h"
+#include "util/logging.h"
+#include "util/numa_topology.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+namespace net {
+
+namespace {
+
+/// One rank's training run for one storage precision. The worker pool is
+/// the NomadSolver hot path (batched MpmcQueue drains, TokenRouter,
+/// optional BatchController and NUMA placement); what is new is the driver,
+/// which pumps the transport and coordinates the cross-rank barrier
+/// protocol of docs/ARCHITECTURE.md ("Distributed layer").
+template <typename Real>
+class RankRun {
+ public:
+  RankRun(const Dataset& ds, const DistNomadOptions& options,
+          Transport* transport, const UpdateKernelT<Real>& kernel)
+      : ds_(ds),
+        o_(options),
+        opt_(options.train),
+        transport_(transport),
+        world_(transport->world()),
+        rank_(transport->rank()),
+        p_(options.train.num_workers),
+        k_(options.train.rank),
+        kernel_(kernel),
+        counts_(ds.train.nnz()),
+        gate_(options.train.num_workers),
+        driver_rng_(options.train.seed ^ 0xD157D157ULL),
+        version_(static_cast<size_t>(ds.cols), 0),
+        owner_(static_cast<size_t>(ds.cols)) {}
+
+  Result<TrainResult> Run() {
+    Setup();
+    StartWorkers();
+    const Status driver = DriveToCompletion();
+    stop_.store(true, std::memory_order_relaxed);
+    gate_.Resume();
+    for (auto& t : workers_) t.join();
+    NOMAD_RETURN_IF_ERROR(driver);
+
+    TrainResult result;
+    result.solver_name = "dist_nomad";
+    result.precision = opt_.precision;
+    result.trace = std::move(trace_);
+    result.total_updates = global_updates_;
+    result.total_seconds = global_seconds_;
+    result.worker_batch = std::move(batch_stats_);
+    result.rank_traffic = std::move(rank_traffic_);
+    StoreTrainedFactors(std::move(w_), std::move(h_), &result);
+    return result;
+  }
+
+ private:
+  // ---- setup ----
+
+  void Setup() {
+    InitFactorsT<Real>(ds_, opt_, &w_, &h_);
+    const int global_workers = world_ * p_;
+    partition_ = opt_.partition_by_ratings
+                     ? UserPartition::ByRatings(ds_.train, global_workers)
+                     : UserPartition::ByRows(ds_.rows, global_workers);
+    shards_ = ColumnShards::Build(ds_.train, partition_);
+    row_begin_ = partition_.Begin(rank_ * p_);
+    row_end_ = partition_.End(rank_ * p_ + p_ - 1);
+
+    remote_prob_ = o_.remote_token_fraction;
+    if (remote_prob_ < 0) {
+      remote_prob_ = static_cast<double>(world_ - 1) /
+                     static_cast<double>(world_);
+    }
+    if (world_ == 1) remote_prob_ = 0.0;
+
+    // NUMA placement of this rank's workers and factor slices — the same
+    // policy block as the shared-memory solver, scoped to the rank's rows.
+    const NumaTopology topo = opt_.numa_policy == NumaPolicy::kOff
+                                  ? NumaTopology::SingleNode()
+                                  : NumaTopology::Detect();
+    numa_place_ = opt_.numa_policy != NumaPolicy::kOff && topo.multi_node();
+    if (numa_place_) {
+      const std::vector<int> worker_node = topo.AssignWorkers(p_);
+      worker_cpus_.resize(static_cast<size_t>(p_));
+      std::vector<int> node_ids;
+      for (const NumaNode& n : topo.nodes()) node_ids.push_back(n.id);
+      for (int q = 0; q < p_; ++q) {
+        worker_cpus_[static_cast<size_t>(q)] =
+            topo.node(worker_node[static_cast<size_t>(q)]).cpus;
+      }
+      const size_t h_bytes = static_cast<size_t>(ds_.cols) *
+                             static_cast<size_t>(h_.stride()) * sizeof(Real);
+      if (opt_.numa_policy == NumaPolicy::kAuto) {
+        for (int q = 0; q < p_; ++q) {
+          const int32_t begin = partition_.Begin(rank_ * p_ + q);
+          const int32_t end = partition_.End(rank_ * p_ + q);
+          if (end <= begin) continue;
+          BindMemoryToNode(
+              w_.Row(begin),
+              static_cast<size_t>(end - begin) *
+                  static_cast<size_t>(w_.stride()) * sizeof(Real),
+              topo.node(worker_node[static_cast<size_t>(q)]).id);
+        }
+        InterleaveMemory(h_.Row(0), h_bytes, node_ids);
+      } else {  // NumaPolicy::kInterleave
+        InterleaveMemory(w_.Row(0),
+                         static_cast<size_t>(ds_.rows) *
+                             static_cast<size_t>(w_.stride()) * sizeof(Real),
+                         node_ids);
+        InterleaveMemory(h_.Row(0), h_bytes, node_ids);
+      }
+      router_ = std::make_unique<TokenRouter>(opt_.routing, p_);
+      router_->MakeNumaAware(worker_node);
+    } else {
+      router_ = std::make_unique<TokenRouter>(opt_.routing, p_);
+    }
+
+    queues_.reserve(static_cast<size_t>(p_));
+    for (int q = 0; q < p_; ++q) {
+      queues_.push_back(std::make_unique<MpmcQueue<int32_t>>());
+    }
+    // Deterministic global scatter: every rank draws the same sequence and
+    // keeps only the tokens that land on its own workers, so the initial
+    // distribution matches the single-process solver's scatter exactly.
+    Rng scatter(opt_.seed ^ 0xA5A5A5A5ULL);
+    for (int32_t j = 0; j < ds_.cols; ++j) {
+      const int g =
+          static_cast<int>(scatter.NextBelow(static_cast<uint64_t>(
+              world_ * p_)));
+      if (g / p_ == rank_) {
+        queues_[static_cast<size_t>(g % p_)]->Push(j);
+      }
+    }
+    for (auto& o : owner_) o.store(-1, std::memory_order_relaxed);
+
+    local_epoch_updates_ = 0;
+    for (int q = 0; q < p_; ++q) {
+      local_epoch_updates_ += shards_.WorkerNnz(rank_ * p_ + q);
+    }
+    local_epoch_updates_ = std::max<int64_t>(local_epoch_updates_, 1);
+    next_threshold_ = local_epoch_updates_;
+
+    // Sized up front: a fast peer's h-row broadcast can land while this
+    // rank is still in the conservation phase of the same barrier, so Pump
+    // must be able to count it at any time.
+    hrow_received_.assign(static_cast<size_t>(world_), 0);
+    wrow_received_.assign(static_cast<size_t>(world_), 0);
+  }
+
+  // ---- the worker pool (the NomadSolver hot path + remote hand-off) ----
+
+  void StartWorkers() {
+    const bool auto_batch = opt_.token_batch_mode == TokenBatchMode::kAuto;
+    const int fixed_batch =
+        EffectiveMaxBatch(ds_.cols, world_ * p_, opt_.token_batch_size);
+    const int max_batch =
+        auto_batch
+            ? EffectiveMaxBatch(ds_.cols, world_ * p_, opt_.max_token_batch)
+            : fixed_batch;
+    BatchControllerConfig controller_config;
+    controller_config.max_batch = max_batch;
+    controller_config.initial_batch = std::min(fixed_batch, max_batch);
+    batch_stats_.resize(static_cast<size_t>(p_));
+
+    auto worker_fn = [this, auto_batch, fixed_batch, max_batch,
+                      controller_config](int q) {
+      if (numa_place_) {
+        PinCurrentThreadToCpus(worker_cpus_[static_cast<size_t>(q)]);
+      }
+      // Seed by *global* worker id so no two workers of the job share a
+      // stream.
+      Rng rng(opt_.seed +
+              7919ULL * static_cast<uint64_t>(rank_ * p_ + q + 1));
+      BatchController controller(controller_config);
+      std::vector<int32_t> tokens(static_cast<size_t>(max_batch));
+      std::vector<int> dests(static_cast<size_t>(max_batch));
+      std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p_));
+      for (auto& buf : outbound) buf.reserve(static_cast<size_t>(max_batch));
+      std::vector<uint8_t> frame;
+      const TokenRouter::SizeProbe probe = [this](int d) {
+        return queues_[static_cast<size_t>(d)]->SizeEstimate();
+      };
+      int idle_streak = 0;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        gate_.CheckIn();
+        if (stop_.load(std::memory_order_relaxed)) break;
+        const int want = auto_batch ? controller.batch() : fixed_batch;
+        const size_t got = queues_[static_cast<size_t>(q)]->TryPopBatch(
+            tokens.data(), static_cast<size_t>(want));
+        if (got == 0) {
+          if (idle_streak < 4) {
+            std::this_thread::yield();
+          } else {
+            if (auto_batch && idle_streak == 4) controller.NoteIdleBackoff();
+            const int shift = std::min(idle_streak - 4, 7);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(1 << shift));
+          }
+          ++idle_streak;
+          continue;
+        }
+        idle_streak = 0;
+        if (auto_batch) {
+          controller.Observe(static_cast<size_t>(want), got,
+                             queues_[static_cast<size_t>(q)]->SizeEstimate());
+        }
+        size_t local_n = 0;  // tokens staying on this rank, compacted
+        for (size_t b = 0; b < got; ++b) {
+          const int32_t j = tokens[b];
+          int expected = -1;
+          const bool acquired =
+              owner_[static_cast<size_t>(j)].compare_exchange_strong(
+                  expected, q, std::memory_order_acquire);
+          NOMAD_CHECK(acquired) << "item " << j << " already owned by worker "
+                                << expected << " on rank " << rank_;
+          int32_t n = 0;
+          const ColumnShards::Entry* entries =
+              shards_.ColEntries(rank_ * p_ + q, j, &n);
+          Real* hj = h_.Row(j);
+          for (int32_t t = 0; t < n; ++t) {
+            const ColumnShards::Entry& e = entries[t];
+            kernel_.Apply(e.value, &counts_, e.csc_pos, w_.Row(e.row), hj);
+          }
+          if (n > 0) {
+            total_updates_.fetch_add(n, std::memory_order_relaxed);
+          }
+          const bool remote =
+              world_ > 1 && rng.NextDouble() < remote_prob_;
+          if (remote) {
+            // Serialize h_j while still owning the token: the frame is the
+            // hand-off, and nobody may touch the row mid-encode.
+            const uint32_t v = ++version_[static_cast<size_t>(j)];
+            EncodeFactorRow<Real>(MsgType::kToken, j, v, h_.Row(j), k_,
+                                  &frame);
+            owner_[static_cast<size_t>(j)].store(-1,
+                                                 std::memory_order_release);
+            int dest = static_cast<int>(
+                rng.NextBelow(static_cast<uint64_t>(world_ - 1)));
+            if (dest >= rank_) ++dest;
+            // A failed send would un-conserve the token and wedge the next
+            // barrier; a dead transport mid-run is fatal by design (fault
+            // tolerance is future work, see ROADMAP.md).
+            const Status sent = transport_->Send(dest, std::move(frame));
+            NOMAD_CHECK(sent.ok())
+                << "rank " << rank_ << ": " << sent.ToString();
+            tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            owner_[static_cast<size_t>(j)].store(-1,
+                                                 std::memory_order_release);
+            tokens[local_n++] = j;
+          }
+        }
+        if (local_n > 0) {
+          router_->PickBatch(q, &rng, probe, static_cast<int>(local_n),
+                             dests.data());
+          for (size_t b = 0; b < local_n; ++b) {
+            outbound[static_cast<size_t>(dests[b])].push_back(tokens[b]);
+          }
+          for (int d = 0; d < p_; ++d) {
+            auto& buf = outbound[static_cast<size_t>(d)];
+            if (buf.empty()) continue;
+            queues_[static_cast<size_t>(d)]->PushBatch(buf.data(),
+                                                       buf.size());
+            buf.clear();
+          }
+        }
+      }
+      if (auto_batch) {
+        batch_stats_[static_cast<size_t>(q)] = controller.Stats(q);
+      } else {
+        WorkerBatchStats& s = batch_stats_[static_cast<size_t>(q)];
+        s.worker = q;
+        s.final_batch = s.min_batch_seen = s.max_batch_seen = fixed_batch;
+        s.mean_batch = static_cast<double>(fixed_batch);
+        s.trajectory.emplace_back(0, fixed_batch);
+      }
+    };
+    workers_.reserve(static_cast<size_t>(p_));
+    wall_.Restart();
+    for (int q = 0; q < p_; ++q) workers_.emplace_back(worker_fn, q);
+  }
+
+  // ---- transport pump ----
+
+  /// Drains every pending frame: tokens land in the local queues (or the
+  /// barrier-held list), h/w rows are applied, control frames queue up for
+  /// the protocol code. Returns an error on an undecodable frame.
+  Status Pump() {
+    std::vector<uint8_t> frame;
+    int src = -1;
+    while (transport_->TryReceive(&frame, &src)) {
+      auto type = PeekType(frame.data(), frame.size());
+      if (!type.ok()) return type.status();
+      switch (type.value()) {
+        case MsgType::kToken:
+        case MsgType::kHRow: {
+          auto view = DecodeFactorRow<Real>(frame.data(), frame.size());
+          if (!view.ok()) return view.status();
+          const FactorRowView<Real>& row = view.value();
+          if (row.k != k_ || row.id >= ds_.cols) {
+            return Status::InvalidArgument(
+                "factor row shape mismatch from rank " + std::to_string(src));
+          }
+          const size_t j = static_cast<size_t>(row.id);
+          if (type.value() == MsgType::kToken) {
+            // Exclusive ownership makes the hop counter strictly monotone;
+            // a replayed or reordered token is a protocol bug.
+            NOMAD_CHECK(row.version > version_[j])
+                << "token " << row.id << " arrived with stale version";
+            version_[j] = row.version;
+            std::copy(row.values, row.values + k_, h_.Row(row.id));
+            tokens_received_.fetch_add(1, std::memory_order_relaxed);
+            if (in_barrier_) {
+              held_.push_back(row.id);
+            } else {
+              queues_[driver_rng_.NextBelow(static_cast<uint64_t>(p_))]
+                  ->Push(row.id);
+            }
+          } else {
+            // State broadcast, not a hand-off: the holder's copy is
+            // canonical, and its version can equal ours (the token may not
+            // have moved since the last barrier).
+            NOMAD_CHECK(row.version >= version_[j])
+                << "h-row " << row.id << " arrived with stale version";
+            version_[j] = row.version;
+            std::copy(row.values, row.values + k_, h_.Row(row.id));
+            ++hrow_received_[static_cast<size_t>(src)];
+          }
+          break;
+        }
+        case MsgType::kWRow: {
+          auto view = DecodeFactorRow<Real>(frame.data(), frame.size());
+          if (!view.ok()) return view.status();
+          const FactorRowView<Real>& row = view.value();
+          if (row.k != k_ || row.id >= ds_.rows || rank_ != 0) {
+            return Status::InvalidArgument(
+                "unexpected w-row from rank " + std::to_string(src));
+          }
+          std::copy(row.values, row.values + k_, w_.Row(row.id));
+          ++wrow_received_[static_cast<size_t>(src)];
+          break;
+        }
+        case MsgType::kControl: {
+          auto ctrl = DecodeControl(frame.data(), frame.size());
+          if (!ctrl.ok()) return ctrl.status();
+          // The wire codec cannot know the world size, so the rank field is
+          // bounds-checked here — every barrier phase indexes world-sized
+          // tables with it, and a desynced or hostile peer must produce a
+          // clean error, not an out-of-bounds write.
+          if (ctrl.value().rank < 0 || ctrl.value().rank >= world_) {
+            return Status::InvalidArgument(
+                "control frame claims rank " +
+                std::to_string(ctrl.value().rank) + " outside world " +
+                std::to_string(world_));
+          }
+          ctrl_q_.push_back(ctrl.value());
+          break;
+        }
+        case MsgType::kHello:
+          return Status::InvalidArgument("unexpected hello mid-run");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pops the first queued control frame of `kind`; other kinds stay put
+  /// (e.g. an early next-epoch BarrierRequest waits for the outer loop).
+  bool TakeCtrl(ControlKind kind, ControlFrame* out) {
+    for (auto it = ctrl_q_.begin(); it != ctrl_q_.end(); ++it) {
+      if (it->kind == kind) {
+        *out = *it;
+        ctrl_q_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status SendCtrl(int dest, const ControlFrame& frame) {
+    std::vector<uint8_t> buf;
+    EncodeControl(frame, &buf);
+    return transport_->Send(dest, std::move(buf));
+  }
+
+  Status BroadcastCtrl(const ControlFrame& frame) {
+    std::vector<uint8_t> buf;
+    EncodeControl(frame, &buf);
+    return transport_->Broadcast(buf);
+  }
+
+  static void Nap() {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  // ---- the driver ----
+
+  Status DriveToCompletion() {
+    bool finished = false;
+    while (!finished) {
+      NOMAD_RETURN_IF_ERROR(Pump());
+      const int64_t done = total_updates_.load(std::memory_order_relaxed);
+      const bool out_of_time =
+          opt_.max_seconds > 0 &&
+          train_seconds_ + wall_.ElapsedSeconds() >= opt_.max_seconds;
+      if (rank_ == 0) {
+        bool requested = done >= next_threshold_ || out_of_time;
+        ControlFrame req;
+        while (TakeCtrl(ControlKind::kBarrierRequest, &req)) {
+          if (req.epoch >= epoch_) requested = true;  // stale ones drop
+        }
+        if (requested) {
+          ControlFrame enter;
+          enter.kind = ControlKind::kBarrierEnter;
+          enter.rank = 0;
+          enter.epoch = epoch_;
+          NOMAD_RETURN_IF_ERROR(BroadcastCtrl(enter));
+          NOMAD_RETURN_IF_ERROR(RunBarrier(&finished));
+        }
+      } else {
+        if ((done >= next_threshold_ || out_of_time) && !request_sent_) {
+          ControlFrame req;
+          req.kind = ControlKind::kBarrierRequest;
+          req.rank = rank_;
+          req.epoch = epoch_;
+          NOMAD_RETURN_IF_ERROR(SendCtrl(0, req));
+          request_sent_ = true;
+        }
+        ControlFrame enter;
+        if (TakeCtrl(ControlKind::kBarrierEnter, &enter)) {
+          NOMAD_CHECK(enter.epoch == epoch_)
+              << "barrier epoch skew: got " << enter.epoch << ", at "
+              << epoch_;
+          NOMAD_RETURN_IF_ERROR(RunBarrier(&finished));
+        }
+      }
+      if (!finished) Nap();
+    }
+    return Status::OK();
+  }
+
+  /// One coordinated trace barrier; sets *finished when training is over
+  /// (and the final gather has completed). See docs/ARCHITECTURE.md for
+  /// the message flow.
+  Status RunBarrier(bool* finished) {
+    gate_.Pause();
+    train_seconds_ += wall_.ElapsedSeconds();
+    in_barrier_ = true;
+    for (int q = 0; q < p_; ++q) {
+      while (auto token = queues_[static_cast<size_t>(q)]->TryPop()) {
+        held_.push_back(*token);
+      }
+    }
+
+    // Phase 1 — conservation: rank 0 waits until every circulating token
+    // is parked somewhere (sum of held counts == n ⇔ nothing in flight).
+    NOMAD_RETURN_IF_ERROR(AwaitConservation());
+
+    // Phase 2 — h-row exchange: every rank broadcasts the rows it holds,
+    // so every rank evaluates against the full current H.
+    NOMAD_RETURN_IF_ERROR(ExchangeHeldRows());
+
+    // Phase 3 — evaluation + trace point. Rank 0 aggregates the partial
+    // sums and tells everyone whether to continue.
+    bool stop = false;
+    NOMAD_RETURN_IF_ERROR(EvaluateAndDecide(&stop));
+
+    if (!stop) {
+      Rng rescatter(opt_.seed ^ (0xBEEF0000ULL + static_cast<uint64_t>(
+                                                     epoch_)));
+      for (int32_t j : held_) {
+        queues_[rescatter.NextBelow(static_cast<uint64_t>(p_))]->Push(j);
+      }
+      held_.clear();
+      in_barrier_ = false;
+      request_sent_ = false;
+      ++epoch_;
+      next_threshold_ =
+          total_updates_.load(std::memory_order_relaxed) +
+          local_epoch_updates_;
+      wall_.Restart();
+      gate_.Resume();
+      *finished = false;
+      return Status::OK();
+    }
+
+    // Phase 4 — final gather: w-row partitions converge on rank 0, which
+    // then releases everyone.
+    NOMAD_RETURN_IF_ERROR(GatherFinalModel());
+    *finished = true;
+    return Status::OK();
+  }
+
+  Status AwaitConservation() {
+    const int32_t n = ds_.cols;
+    if (rank_ == 0) {
+      std::vector<int64_t> rank_held(static_cast<size_t>(world_), -1);
+      for (;;) {
+        NOMAD_RETURN_IF_ERROR(Pump());
+        ControlFrame sync;
+        while (TakeCtrl(ControlKind::kTraceSync, &sync)) {
+          rank_held[static_cast<size_t>(sync.rank)] = sync.held;
+        }
+        rank_held[0] = static_cast<int64_t>(held_.size());
+        int64_t sum = 0;
+        bool all = true;
+        for (int64_t c : rank_held) {
+          if (c < 0) {
+            all = false;
+            break;
+          }
+          sum += c;
+        }
+        if (all && sum == n) break;
+        NOMAD_CHECK(sum <= n) << "token duplication: " << sum << " held of "
+                              << n;
+        Nap();
+      }
+      ControlFrame go;
+      go.kind = ControlKind::kEvalStart;
+      go.rank = 0;
+      go.epoch = epoch_;
+      return BroadcastCtrl(go);
+    }
+    int64_t reported = -1;
+    for (;;) {
+      NOMAD_RETURN_IF_ERROR(Pump());
+      if (static_cast<int64_t>(held_.size()) != reported) {
+        reported = static_cast<int64_t>(held_.size());
+        ControlFrame sync;
+        sync.kind = ControlKind::kTraceSync;
+        sync.rank = rank_;
+        sync.epoch = epoch_;
+        sync.held = reported;
+        NOMAD_RETURN_IF_ERROR(SendCtrl(0, sync));
+      }
+      ControlFrame go;
+      if (TakeCtrl(ControlKind::kEvalStart, &go)) return Status::OK();
+      Nap();
+    }
+  }
+
+  Status ExchangeHeldRows() {
+    if (world_ == 1) return Status::OK();
+    std::vector<uint8_t> frame;
+    for (int32_t j : held_) {
+      EncodeFactorRow<Real>(MsgType::kHRow, j,
+                            version_[static_cast<size_t>(j)], h_.Row(j), k_,
+                            &frame);
+      NOMAD_RETURN_IF_ERROR(transport_->Broadcast(frame));
+    }
+    ControlFrame done;
+    done.kind = ControlKind::kHRowDone;
+    done.rank = rank_;
+    done.epoch = epoch_;
+    done.count = static_cast<int64_t>(held_.size());
+    NOMAD_RETURN_IF_ERROR(BroadcastCtrl(done));
+    std::vector<int64_t> expected(static_cast<size_t>(world_), -1);
+    expected[static_cast<size_t>(rank_)] = 0;
+    for (;;) {
+      NOMAD_RETURN_IF_ERROR(Pump());
+      ControlFrame f;
+      while (TakeCtrl(ControlKind::kHRowDone, &f)) {
+        expected[static_cast<size_t>(f.rank)] = f.count;
+      }
+      bool complete = true;
+      for (int r = 0; r < world_; ++r) {
+        if (expected[static_cast<size_t>(r)] < 0 ||
+            hrow_received_[static_cast<size_t>(r)] <
+                expected[static_cast<size_t>(r)]) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        // This barrier's rows are all accounted for; reset for the next.
+        hrow_received_.assign(static_cast<size_t>(world_), 0);
+        return Status::OK();
+      }
+      Nap();
+    }
+  }
+
+  Status EvaluateAndDecide(bool* stop) {
+    double sq = 0.0;
+    int64_t cnt = 0;
+    for (int32_t i = row_begin_; i < row_end_; ++i) {
+      const int32_t nnz = ds_.test.RowNnz(i);
+      const int32_t* cols = ds_.test.RowCols(i);
+      const float* vals = ds_.test.RowVals(i);
+      const Real* wi = w_.Row(i);
+      for (int32_t t = 0; t < nnz; ++t) {
+        const Real* hj = h_.Row(cols[t]);
+        double pred = 0.0;
+        for (int d = 0; d < k_; ++d) {
+          pred += static_cast<double>(wi[d]) * static_cast<double>(hj[d]);
+        }
+        const double err = pred - static_cast<double>(vals[t]);
+        sq += err * err;
+        ++cnt;
+      }
+    }
+    const TransportStats tstats = transport_->stats();
+    ControlFrame mine;
+    mine.kind = ControlKind::kPartialEval;
+    mine.rank = rank_;
+    mine.epoch = epoch_;
+    mine.sq_err = sq;
+    mine.count = cnt;
+    mine.updates = total_updates_.load(std::memory_order_relaxed);
+    mine.seconds = train_seconds_;
+    mine.tokens_sent = tokens_sent_.load(std::memory_order_relaxed);
+    mine.tokens_received = tokens_received_.load(std::memory_order_relaxed);
+    mine.bytes_sent = tstats.bytes_sent;
+    mine.bytes_received = tstats.bytes_received;
+
+    if (rank_ == 0) {
+      std::vector<ControlFrame> evals(static_cast<size_t>(world_));
+      std::vector<bool> have(static_cast<size_t>(world_), false);
+      evals[0] = mine;
+      have[0] = true;
+      int missing = world_ - 1;
+      while (missing > 0) {
+        NOMAD_RETURN_IF_ERROR(Pump());
+        ControlFrame f;
+        while (TakeCtrl(ControlKind::kPartialEval, &f)) {
+          if (!have[static_cast<size_t>(f.rank)]) {
+            have[static_cast<size_t>(f.rank)] = true;
+            --missing;
+          }
+          evals[static_cast<size_t>(f.rank)] = f;
+        }
+        if (missing > 0) Nap();
+      }
+      double sq_total = 0.0;
+      int64_t cnt_total = 0;
+      int64_t updates_total = 0;
+      rank_traffic_.clear();
+      for (const ControlFrame& f : evals) {
+        sq_total += f.sq_err;
+        cnt_total += f.count;
+        updates_total += f.updates;
+        RankTrafficStats t;
+        t.rank = f.rank;
+        t.tokens_sent = f.tokens_sent;
+        t.tokens_received = f.tokens_received;
+        t.bytes_sent = f.bytes_sent;
+        t.bytes_received = f.bytes_received;
+        rank_traffic_.push_back(t);
+      }
+      const double rmse =
+          cnt_total > 0 ? std::sqrt(sq_total / static_cast<double>(cnt_total))
+                        : 0.0;
+      global_updates_ = updates_total;
+      global_seconds_ = train_seconds_;
+      TracePoint pt;
+      pt.seconds = train_seconds_;
+      pt.updates = updates_total;
+      pt.test_rmse = rmse;
+      trace_.Add(pt);
+      const int64_t max_updates =
+          opt_.max_updates > 0
+              ? opt_.max_updates
+              : (opt_.max_epochs > 0
+                     ? opt_.max_epochs * std::max<int64_t>(
+                                             ds_.train.nnz(), 1)
+                     : -1);
+      *stop = (max_updates > 0 && updates_total >= max_updates) ||
+              (opt_.max_seconds > 0 && train_seconds_ >= opt_.max_seconds);
+      ControlFrame resume;
+      resume.kind = ControlKind::kResume;
+      resume.rank = 0;
+      resume.epoch = epoch_;
+      resume.flag = *stop ? 1 : 0;
+      resume.updates = updates_total;
+      resume.sq_err = rmse;
+      resume.seconds = train_seconds_;
+      return BroadcastCtrl(resume);
+    }
+
+    NOMAD_RETURN_IF_ERROR(SendCtrl(0, mine));
+    // Own traffic row, so non-zero ranks still report themselves.
+    rank_traffic_.clear();
+    RankTrafficStats t;
+    t.rank = rank_;
+    t.tokens_sent = mine.tokens_sent;
+    t.tokens_received = mine.tokens_received;
+    t.bytes_sent = mine.bytes_sent;
+    t.bytes_received = mine.bytes_received;
+    rank_traffic_.push_back(t);
+    for (;;) {
+      NOMAD_RETURN_IF_ERROR(Pump());
+      ControlFrame f;
+      if (TakeCtrl(ControlKind::kResume, &f)) {
+        TracePoint pt;
+        pt.seconds = f.seconds;
+        pt.updates = f.updates;
+        pt.test_rmse = f.sq_err;
+        trace_.Add(pt);
+        global_updates_ = f.updates;
+        global_seconds_ = f.seconds;
+        *stop = f.flag != 0;
+        return Status::OK();
+      }
+      Nap();
+    }
+  }
+
+  Status GatherFinalModel() {
+    if (world_ == 1) return Status::OK();
+    if (rank_ == 0) {
+      std::vector<int64_t> expected(static_cast<size_t>(world_), -1);
+      expected[0] = 0;
+      for (;;) {
+        NOMAD_RETURN_IF_ERROR(Pump());
+        ControlFrame f;
+        while (TakeCtrl(ControlKind::kWDone, &f)) {
+          expected[static_cast<size_t>(f.rank)] = f.count;
+        }
+        bool complete = true;
+        for (int r = 0; r < world_; ++r) {
+          if (expected[static_cast<size_t>(r)] < 0 ||
+              wrow_received_[static_cast<size_t>(r)] <
+                  expected[static_cast<size_t>(r)]) {
+            complete = false;
+            break;
+          }
+        }
+        if (complete) break;
+        Nap();
+      }
+      ControlFrame bye;
+      bye.kind = ControlKind::kShutdown;
+      bye.rank = 0;
+      bye.epoch = epoch_;
+      return BroadcastCtrl(bye);
+    }
+    std::vector<uint8_t> frame;
+    for (int32_t i = row_begin_; i < row_end_; ++i) {
+      EncodeFactorRow<Real>(MsgType::kWRow, i, 0u, w_.Row(i), k_, &frame);
+      NOMAD_RETURN_IF_ERROR(transport_->Send(0, std::move(frame)));
+    }
+    ControlFrame done;
+    done.kind = ControlKind::kWDone;
+    done.rank = rank_;
+    done.epoch = epoch_;
+    done.count = row_end_ - row_begin_;
+    NOMAD_RETURN_IF_ERROR(SendCtrl(0, done));
+    for (;;) {
+      NOMAD_RETURN_IF_ERROR(Pump());
+      ControlFrame f;
+      if (TakeCtrl(ControlKind::kShutdown, &f)) return Status::OK();
+      Nap();
+    }
+  }
+
+  // ---- immutable run parameters ----
+  const Dataset& ds_;
+  const DistNomadOptions& o_;
+  const TrainOptions& opt_;
+  Transport* transport_;
+  const int world_;
+  const int rank_;
+  const int p_;
+  const int k_;
+  const UpdateKernelT<Real>& kernel_;
+
+  // ---- model + data layout ----
+  FactorMatrixT<Real> w_;
+  FactorMatrixT<Real> h_;
+  UserPartition partition_;
+  ColumnShards shards_;
+  StepCounts counts_;
+  int32_t row_begin_ = 0;
+  int32_t row_end_ = 0;
+  double remote_prob_ = 0.0;
+  int64_t local_epoch_updates_ = 1;
+
+  // ---- rank-local concurrency (the NomadSolver machinery) ----
+  std::vector<std::unique_ptr<MpmcQueue<int32_t>>> queues_;
+  std::unique_ptr<TokenRouter> router_;
+  PauseGate gate_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> total_updates_{0};
+  std::atomic<int64_t> tokens_sent_{0};
+  std::atomic<int64_t> tokens_received_{0};
+  std::vector<std::thread> workers_;
+  std::vector<WorkerBatchStats> batch_stats_;
+  bool numa_place_ = false;
+  std::vector<std::vector<int>> worker_cpus_;
+
+  // ---- driver/protocol state (driver thread only) ----
+  Rng driver_rng_;
+  std::vector<uint32_t> version_;
+  std::vector<std::atomic<int>> owner_;
+  std::deque<ControlFrame> ctrl_q_;
+  std::vector<int32_t> held_;
+  std::vector<int64_t> hrow_received_;
+  std::vector<int64_t> wrow_received_;
+  bool in_barrier_ = false;
+  bool request_sent_ = false;
+  int epoch_ = 0;
+  int64_t next_threshold_ = 0;
+  Stopwatch wall_;
+  double train_seconds_ = 0.0;
+  Trace trace_;
+  int64_t global_updates_ = 0;
+  double global_seconds_ = 0.0;
+  std::vector<RankTrafficStats> rank_traffic_;
+};
+
+template <typename Real>
+Result<TrainResult> TrainImpl(const Dataset& ds,
+                              const DistNomadOptions& options,
+                              Transport* transport) {
+  auto schedule = MakeSchedule(options.train.schedule, options.train.alpha,
+                               options.train.beta);
+  if (!schedule.ok()) return schedule.status();
+  auto loss = ResolveLoss(options.train.loss);
+  if (!loss.ok()) return loss.status();
+
+  // Degenerate problems have no tokens to circulate; evaluate the starting
+  // point locally (every rank holds the full dataset) and skip the
+  // protocol entirely — all ranks take this branch consistently.
+  if (ds.train.nnz() == 0 || ds.cols == 0) {
+    TrainResult result;
+    result.solver_name = "dist_nomad";
+    result.precision = options.train.precision;
+    FactorMatrixT<Real> w;
+    FactorMatrixT<Real> h;
+    InitFactorsT<Real>(ds, options.train, &w, &h);
+    TracePoint pt;
+    pt.test_rmse = Rmse(ds.test, w, h);
+    result.trace.Add(pt);
+    StoreTrainedFactors(std::move(w), std::move(h), &result);
+    return result;
+  }
+
+  const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
+                                   options.train.lambda, options.train.rank);
+  RankRun<Real> run(ds, options, transport, kernel);
+  return run.Run();
+}
+
+}  // namespace
+
+Result<TrainResult> DistNomadSolver::Train(const Dataset& ds,
+                                           const DistNomadOptions& options,
+                                           Transport* transport) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("transport must not be null");
+  }
+  NOMAD_RETURN_IF_ERROR(ValidateCommonOptions(options.train));
+  if (options.train.rank > kMaxWireK) {
+    // Enforced here rather than at the first remote hand-off, where the
+    // frame encoder would abort the whole job mid-training.
+    return Status::InvalidArgument(
+        "rank " + std::to_string(options.train.rank) +
+        " exceeds the wire-format ceiling of " + std::to_string(kMaxWireK));
+  }
+  if (options.remote_token_fraction > 1.0) {
+    return Status::InvalidArgument("remote_token_fraction must be <= 1");
+  }
+  if (options.train.record_objective) {
+    return Status::InvalidArgument(
+        "record_objective is not supported by dist_nomad yet");
+  }
+  if (options.train.nomadic_rows) {
+    // Footnote 2, same trick as the shared-memory solver: every rank
+    // transposes consistently and swaps the factors back.
+    const Dataset transposed = Transpose(ds);
+    DistNomadOptions inner = options;
+    inner.train.nomadic_rows = false;
+    auto result = Train(transposed, inner, transport);
+    if (!result.ok()) return result.status();
+    TrainResult swapped = std::move(result).value();
+    std::swap(swapped.w, swapped.h);
+    return swapped;
+  }
+  return DispatchPrecision(options.train.precision, [&](auto zero) {
+    return TrainImpl<decltype(zero)>(ds, options, transport);
+  });
+}
+
+std::vector<Result<TrainResult>> TrainLoopbackWorld(
+    const Dataset& ds, const DistNomadOptions& options, int world) {
+  auto fabric = MakeLoopbackFabric(world);
+  std::vector<Result<TrainResult>> results(
+      static_cast<size_t>(world), Status::Internal("rank did not run"));
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      DistNomadSolver solver;
+      results[static_cast<size_t>(r)] =
+          solver.Train(ds, options, fabric[static_cast<size_t>(r)].get());
+    });
+  }
+  for (auto& t : ranks) t.join();
+  return results;
+}
+
+}  // namespace net
+}  // namespace nomad

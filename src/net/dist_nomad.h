@@ -1,0 +1,72 @@
+#ifndef NOMAD_NET_DIST_NOMAD_H_
+#define NOMAD_NET_DIST_NOMAD_H_
+
+#include <vector>
+
+#include "net/transport.h"
+#include "solver/solver.h"
+
+namespace nomad {
+namespace net {
+
+/// Options of a distributed NOMAD rank. Every rank of a job must be
+/// constructed with identical values (same dataset, same TrainOptions,
+/// same remote fraction) — the protocol validates k/precision via the
+/// transport hello but trusts the rest, exactly like an MPI job trusts its
+/// launch script.
+struct DistNomadOptions {
+  /// The per-rank training configuration: `num_workers` worker threads per
+  /// rank, and all the usual NOMAD knobs (routing, token batching, NUMA
+  /// placement, precision) apply *within* the rank unchanged.
+  /// `record_objective` is not yet supported distributed.
+  TrainOptions train;
+  /// Probability that a processed token leaves for a uniformly random
+  /// remote rank instead of re-entering the local router. Negative (the
+  /// default) selects (world-1)/world — the paper's Algorithm 2 behavior
+  /// of a uniformly random worker across the whole cluster, which keeps
+  /// the stationary token distribution identical to the single-process
+  /// solver. Smaller values trade global mixing for less network traffic.
+  double remote_token_fraction = -1.0;
+};
+
+/// Multi-process NOMAD (paper Sec. 2.2, Algorithm 2): users are partitioned
+/// across ranks (and across each rank's workers), item tokens circulate
+/// both within a rank — through the unchanged MpmcQueue + TokenRouter hot
+/// path — and between ranks through a net::Transport carrying the token's
+/// h_j row on the wire.
+///
+/// Each rank runs the familiar worker pool; a driver thread additionally
+/// pumps the transport: inbound tokens are written into the local H and
+/// enqueued, and trace points are coordinated barriers (rank 0 collects
+/// held-token counts until every circulating token is accounted for, all
+/// ranks exchange current h rows, each evaluates its own user range, and
+/// rank 0 aggregates the global RMSE — so every rank returns the same
+/// trace). At the final barrier rank 0 additionally gathers the w-row
+/// partitions, so its TrainResult holds the complete model; every rank's
+/// result holds the full (current) H. docs/ARCHITECTURE.md, "Distributed
+/// layer", walks through the protocol.
+class DistNomadSolver {
+ public:
+  /// Trains rank `transport->rank()`'s share of the factorization, using
+  /// `transport` (already established, world = transport->world()) for
+  /// cross-rank token hand-offs and barriers. Blocks until the whole job
+  /// finishes. A world of 1 degenerates to single-process NOMAD with
+  /// barrier-paced trace points. The transport is left open; the caller
+  /// owns Close(). Returns InvalidArgument for malformed options.
+  Result<TrainResult> Train(const Dataset& ds, const DistNomadOptions& options,
+                            Transport* transport);
+};
+
+/// Convenience harness shared by the CLI, the bench, and the tests: runs a
+/// `world`-rank job rank-per-thread over a fresh loopback fabric and
+/// returns one Result per rank (index = rank). Blocks until every rank
+/// finishes; a failing rank's error is returned in its slot, so callers
+/// only differ in how they report a bad Result. Rank 0's result carries
+/// the gathered model and the full traffic table.
+std::vector<Result<TrainResult>> TrainLoopbackWorld(
+    const Dataset& ds, const DistNomadOptions& options, int world);
+
+}  // namespace net
+}  // namespace nomad
+
+#endif  // NOMAD_NET_DIST_NOMAD_H_

@@ -1,0 +1,109 @@
+#include "net/loopback_transport.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/aligned.h"
+
+namespace nomad {
+namespace net {
+
+namespace {
+
+// Per-rank inbox, padded to its own cache lines like the token queues so
+// adjacent ranks' mailboxes do not false-share.
+struct alignas(kCacheLineBytes) Inbox {
+  std::mutex mu;
+  std::deque<std::pair<int, std::vector<uint8_t>>> frames;  // (src, payload)
+};
+
+// State shared by all endpoints of one fabric; kept alive by shared_ptr so
+// endpoints may be destroyed in any order.
+struct Fabric {
+  explicit Fabric(int world) : inboxes(static_cast<size_t>(world)) {}
+  std::vector<Inbox> inboxes;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<Fabric> fabric, int rank, int world)
+      : fabric_(std::move(fabric)), rank_(rank), world_(world) {}
+
+  int rank() const override { return rank_; }
+  int world() const override { return world_; }
+
+  Status Send(int dest, std::vector<uint8_t> frame) override {
+    if (dest < 0 || dest >= world_ || dest == rank_) {
+      return Status::InvalidArgument("loopback: bad destination rank " +
+                                     std::to_string(dest));
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("loopback: endpoint closed");
+    }
+    const int64_t bytes = static_cast<int64_t>(frame.size());
+    {
+      Inbox& inbox = fabric_->inboxes[static_cast<size_t>(dest)];
+      std::lock_guard<std::mutex> lock(inbox.mu);
+      inbox.frames.emplace_back(rank_, std::move(frame));
+    }
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  bool TryReceive(std::vector<uint8_t>* frame, int* src) override {
+    Inbox& inbox = fabric_->inboxes[static_cast<size_t>(rank_)];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    if (inbox.frames.empty()) return false;
+    *src = inbox.frames.front().first;
+    *frame = std::move(inbox.frames.front().second);
+    inbox.frames.pop_front();
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(static_cast<int64_t>(frame->size()),
+                              std::memory_order_relaxed);
+    return true;
+  }
+
+  TransportStats stats() const override {
+    TransportStats s;
+    s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    s.messages_received = messages_received_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  Status Close() override {
+    closed_.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<Fabric> fabric_;
+  const int rank_;
+  const int world_;
+  std::atomic<bool> closed_{false};
+  std::atomic<int64_t> messages_sent_{0};
+  std::atomic<int64_t> messages_received_{0};
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> bytes_received_{0};
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Transport>> MakeLoopbackFabric(int world) {
+  auto fabric = std::make_shared<Fabric>(world);
+  std::vector<std::unique_ptr<Transport>> endpoints;
+  endpoints.reserve(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    endpoints.push_back(
+        std::make_unique<LoopbackTransport>(fabric, r, world));
+  }
+  return endpoints;
+}
+
+}  // namespace net
+}  // namespace nomad

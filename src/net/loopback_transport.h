@@ -1,0 +1,27 @@
+#ifndef NOMAD_NET_LOOPBACK_TRANSPORT_H_
+#define NOMAD_NET_LOOPBACK_TRANSPORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace nomad {
+namespace net {
+
+/// Creates `world` in-process Transport endpoints wired to each other —
+/// rank-per-thread distributed runs for tests, benchmarks, and single-host
+/// CI. Frames still cross the full encode/decode path (Send moves the
+/// encoded bytes, nothing is shared by reference), so a loopback run
+/// exercises the same wire contract as TCP minus the sockets.
+///
+/// Endpoint i is the transport for rank i. Each endpoint keeps the shared
+/// fabric alive, so the vector's elements may outlive each other and be
+/// handed to different threads; all endpoint methods are thread-safe per
+/// the Transport contract.
+std::vector<std::unique_ptr<Transport>> MakeLoopbackFabric(int world);
+
+}  // namespace net
+}  // namespace nomad
+
+#endif  // NOMAD_NET_LOOPBACK_TRANSPORT_H_

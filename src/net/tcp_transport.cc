@@ -1,0 +1,664 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "net/wire_format.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+namespace net {
+
+namespace {
+
+constexpr size_t kLengthPrefixBytes = 4;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Token frames are small and latency-sensitive; Nagle would batch them
+  // behind ACKs. Best-effort: a failure only costs latency.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Blocking exact-size read with a deadline, used only during the
+// handshake (the communicator thread never blocks).
+Status ReadExact(int fd, uint8_t* buf, size_t n, double timeout_seconds) {
+  Stopwatch watch;
+  size_t got = 0;
+  while (got < n) {
+    const double left = timeout_seconds - watch.ElapsedSeconds();
+    if (left <= 0) return Status::IOError("handshake read timed out");
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, std::max(1, static_cast<int>(left * 1e3)));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (pr == 0) continue;
+    const ssize_t r = recv(fd, buf + got, n - got, 0);
+    if (r == 0) return Status::IOError("peer closed during handshake");
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteExact(int fd, const uint8_t* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// One framed buffer: [u32 length][payload]. Only the (cold) handshake
+// copies the payload behind a prefix; the hot send path keeps the prefix
+// beside the moved-in payload instead (see Framed).
+std::vector<uint8_t> FrameUp(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> framed;
+  framed.reserve(kLengthPrefixBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  framed.resize(kLengthPrefixBytes);
+  std::memcpy(framed.data(), &len, kLengthPrefixBytes);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  return framed;
+}
+
+// One queued outbound frame: the 4-byte length prefix lives beside the
+// payload (moved in from Send(), never copied); `offset` tracks write
+// progress across the virtual [prefix][payload] concatenation.
+struct Framed {
+  explicit Framed(std::vector<uint8_t> p) : payload(std::move(p)) {
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::memcpy(prefix, &len, kLengthPrefixBytes);
+  }
+  size_t total() const { return kLengthPrefixBytes + payload.size(); }
+  const uint8_t* At(size_t offset, size_t* contiguous) const {
+    if (offset < kLengthPrefixBytes) {
+      *contiguous = kLengthPrefixBytes - offset;
+      return prefix + offset;
+    }
+    *contiguous = total() - offset;
+    return payload.data() + (offset - kLengthPrefixBytes);
+  }
+  uint8_t prefix[kLengthPrefixBytes];
+  std::vector<uint8_t> payload;
+};
+
+struct Conn {
+  int fd = -1;
+  // Outbound frames, drained by the communicator thread; guarded by
+  // Impl::send_mu together with fd (the thread marks dead peers there).
+  std::deque<Framed> outbox;
+  size_t out_offset = 0;  // progress within outbox.front()
+  std::vector<uint8_t> inbuf;
+  size_t in_consumed = 0;  // parsed prefix of inbuf
+};
+
+}  // namespace
+
+struct TcpTransport::Impl {
+  int rank = -1;
+  int world = 0;
+  TcpOptions options;
+  int listen_fd = -1;
+  int listen_port = 0;
+  std::vector<Conn> conns;  // indexed by peer rank; [rank] unused
+  std::mutex send_mu;
+  int wake_pipe[2] = {-1, -1};
+  std::thread comm;
+  std::atomic<bool> established{false};
+  std::atomic<bool> closing{false};
+  bool closed = false;  // guarded by close_mu; Close() is idempotent
+  std::mutex close_mu;
+  std::mutex recv_mu;
+  std::deque<std::pair<int, std::vector<uint8_t>>> recv_q;
+  std::atomic<int64_t> messages_sent{0};
+  std::atomic<int64_t> messages_received{0};
+  std::atomic<int64_t> bytes_sent{0};
+  std::atomic<int64_t> bytes_received{0};
+
+  HelloFrame MyHello() const {
+    HelloFrame hello;
+    hello.rank = rank;
+    hello.world = world;
+    hello.k = options.hello_k;
+    hello.precision =
+        options.hello_f32 ? WirePrecision::kF32 : WirePrecision::kF64;
+    return hello;
+  }
+
+  Status ValidatePeerHello(const HelloFrame& hello, int expected_rank) const {
+    if (hello.world != world) {
+      return Status::FailedPrecondition(
+          "peer world " + std::to_string(hello.world) + " != " +
+          std::to_string(world));
+    }
+    if (expected_rank >= 0 && hello.rank != expected_rank) {
+      return Status::FailedPrecondition(
+          "peer claims rank " + std::to_string(hello.rank) + ", expected " +
+          std::to_string(expected_rank));
+    }
+    if (options.hello_k != 0 && hello.k != 0 && hello.k != options.hello_k) {
+      return Status::FailedPrecondition(
+          "peer k " + std::to_string(hello.k) + " != " +
+          std::to_string(options.hello_k));
+    }
+    const WirePrecision mine =
+        options.hello_f32 ? WirePrecision::kF32 : WirePrecision::kF64;
+    if (hello.precision != mine) {
+      return Status::FailedPrecondition(
+          "peer factor precision differs from ours");
+    }
+    return Status::OK();
+  }
+
+  // Sends our framed hello and reads/validates the peer's framed hello.
+  Status Handshake(int fd, int expected_rank, double timeout,
+                   int* peer_rank) {
+    std::vector<uint8_t> hello_payload;
+    EncodeHello(MyHello(), &hello_payload);
+    NOMAD_RETURN_IF_ERROR(WriteExact(fd, FrameUp(hello_payload).data(),
+                                     kLengthPrefixBytes +
+                                         hello_payload.size()));
+    uint8_t len_buf[kLengthPrefixBytes];
+    NOMAD_RETURN_IF_ERROR(ReadExact(fd, len_buf, kLengthPrefixBytes, timeout));
+    uint32_t len = 0;
+    std::memcpy(&len, len_buf, kLengthPrefixBytes);
+    if (len == 0 || len > 64) {
+      return Status::IOError("handshake frame has implausible length " +
+                             std::to_string(len));
+    }
+    std::vector<uint8_t> payload(len);
+    NOMAD_RETURN_IF_ERROR(ReadExact(fd, payload.data(), len, timeout));
+    auto hello = DecodeHello(payload.data(), payload.size());
+    if (!hello.ok()) return hello.status();
+    NOMAD_RETURN_IF_ERROR(ValidatePeerHello(hello.value(), expected_rank));
+    *peer_rank = hello.value().rank;
+    return Status::OK();
+  }
+
+  // Parses complete frames out of a connection's input buffer into the
+  // receive queue. Returns false (and records nothing more) on a frame
+  // that exceeds max_frame_bytes — the connection is poisoned.
+  bool ExtractFrames(int src, Conn* conn) {
+    while (conn->inbuf.size() - conn->in_consumed >= kLengthPrefixBytes) {
+      uint32_t len = 0;
+      std::memcpy(&len, conn->inbuf.data() + conn->in_consumed,
+                  kLengthPrefixBytes);
+      if (len == 0 || len > options.max_frame_bytes) {
+        NOMAD_LOG(kWarning) << "tcp transport: dropping rank-" << src
+                            << " connection after " << len
+                            << "-byte frame length";
+        return false;
+      }
+      if (conn->inbuf.size() - conn->in_consumed <
+          kLengthPrefixBytes + len) {
+        break;
+      }
+      const uint8_t* payload =
+          conn->inbuf.data() + conn->in_consumed + kLengthPrefixBytes;
+      std::vector<uint8_t> frame(payload, payload + len);
+      {
+        std::lock_guard<std::mutex> lock(recv_mu);
+        recv_q.emplace_back(src, std::move(frame));
+      }
+      messages_received.fetch_add(1, std::memory_order_relaxed);
+      bytes_received.fetch_add(
+          static_cast<int64_t>(kLengthPrefixBytes + len),
+          std::memory_order_relaxed);
+      conn->in_consumed += kLengthPrefixBytes + len;
+    }
+    if (conn->in_consumed > 0) {
+      conn->inbuf.erase(conn->inbuf.begin(),
+                        conn->inbuf.begin() +
+                            static_cast<ptrdiff_t>(conn->in_consumed));
+      conn->in_consumed = 0;
+    }
+    return true;
+  }
+
+  void MarkDead(int peer) {
+    std::lock_guard<std::mutex> lock(send_mu);
+    Conn& conn = conns[static_cast<size_t>(peer)];
+    if (conn.fd >= 0) {
+      close(conn.fd);
+      conn.fd = -1;
+    }
+    conn.outbox.clear();
+    conn.out_offset = 0;
+  }
+
+  void CommLoop() {
+    std::vector<struct pollfd> pfds;
+    std::vector<int> pfd_rank;
+    Stopwatch closing_watch;
+    bool closing_seen = false;
+    for (;;) {
+      pfds.clear();
+      pfd_rank.clear();
+      pfds.push_back({wake_pipe[0], POLLIN, 0});
+      pfd_rank.push_back(-1);
+      bool any_outbound = false;
+      {
+        std::lock_guard<std::mutex> lock(send_mu);
+        for (int r = 0; r < world; ++r) {
+          Conn& conn = conns[static_cast<size_t>(r)];
+          if (conn.fd < 0) continue;
+          short events = POLLIN;
+          if (!conn.outbox.empty()) {
+            events |= POLLOUT;
+            any_outbound = true;
+          }
+          pfds.push_back({conn.fd, events, 0});
+          pfd_rank.push_back(r);
+        }
+      }
+      if (closing.load(std::memory_order_acquire)) {
+        if (!closing_seen) {
+          closing_seen = true;
+          closing_watch.Restart();
+        }
+        // Exit once every queued frame is on the wire (or the flush
+        // deadline passes — a vanished peer must not wedge Close()).
+        if (!any_outbound ||
+            closing_watch.ElapsedSeconds() > options.connect_timeout_seconds) {
+          return;
+        }
+      }
+      const int pr =
+          poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+      if (pr < 0 && errno != EINTR) return;
+      for (size_t i = 0; i < pfds.size(); ++i) {
+        const int peer = pfd_rank[i];
+        if (peer < 0) {
+          if (pfds[i].revents & POLLIN) {
+            uint8_t drain[256];
+            while (read(wake_pipe[0], drain, sizeof(drain)) > 0) {
+            }
+          }
+          continue;
+        }
+        Conn& conn = conns[static_cast<size_t>(peer)];
+        if (conn.fd < 0) continue;
+        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          bool dead = false;
+          for (;;) {
+            uint8_t buf[65536];
+            const ssize_t r = recv(conn.fd, buf, sizeof(buf), 0);
+            if (r > 0) {
+              conn.inbuf.insert(conn.inbuf.end(), buf, buf + r);
+              if (!ExtractFrames(peer, &conn)) {
+                dead = true;
+                break;
+              }
+              continue;
+            }
+            if (r == 0) {
+              // Orderly peer close: normal during shutdown, a dead peer
+              // otherwise. Either way this direction is done.
+              dead = true;
+              break;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            dead = true;
+            break;
+          }
+          if (dead) {
+            MarkDead(peer);
+            continue;
+          }
+        }
+        if (pfds[i].revents & POLLOUT) {
+          std::lock_guard<std::mutex> lock(send_mu);
+          bool dead = false;
+          while (!conn.outbox.empty()) {
+            const Framed& front = conn.outbox.front();
+            // One sendmsg per attempt covers both the (remaining) length
+            // prefix and the payload — no extra syscall for the 4 bytes, no
+            // copy to make them contiguous, and MSG_NOSIGNAL still applies
+            // (writev would SIGPIPE on a closed peer).
+            struct iovec iov[2];
+            int iov_n = 0;
+            size_t contiguous = 0;
+            const uint8_t* at = front.At(conn.out_offset, &contiguous);
+            iov[iov_n].iov_base = const_cast<uint8_t*>(at);
+            iov[iov_n].iov_len = contiguous;
+            ++iov_n;
+            if (conn.out_offset < kLengthPrefixBytes &&
+                !front.payload.empty()) {
+              iov[iov_n].iov_base =
+                  const_cast<uint8_t*>(front.payload.data());
+              iov[iov_n].iov_len = front.payload.size();
+              ++iov_n;
+            }
+            struct msghdr msg = {};
+            msg.msg_iov = iov;
+            msg.msg_iovlen = static_cast<size_t>(iov_n);
+            const ssize_t r = sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+            if (r < 0) {
+              if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+              if (errno == EINTR) continue;
+              dead = true;
+              break;
+            }
+            conn.out_offset += static_cast<size_t>(r);
+            if (conn.out_offset == front.total()) {
+              conn.outbox.pop_front();
+              conn.out_offset = 0;
+            }
+          }
+          if (dead) {
+            if (conn.fd >= 0) {
+              close(conn.fd);
+              conn.fd = -1;
+            }
+            conn.outbox.clear();
+            conn.out_offset = 0;
+          }
+        }
+      }
+    }
+  }
+};
+
+Result<TcpPeer> ParseTcpPeer(const std::string& spec) {
+  TcpPeer peer;
+  const size_t colon = spec.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    port_str = spec;
+  } else {
+    peer.host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  if (peer.host.empty() || port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad peer spec '" + spec +
+                                   "' (expected host:port)");
+  }
+  peer.port = std::atoi(port_str.c_str());
+  if (peer.port <= 0 || peer.port > 65535) {
+    return Status::InvalidArgument("bad peer port in '" + spec + "'");
+  }
+  return peer;
+}
+
+TcpTransport::TcpTransport(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+TcpTransport::~TcpTransport() { Close(); }
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Listen(
+    int rank, int world, int port, TcpOptions options) {
+  if (world < 1 || rank < 0 || rank >= world) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) +
+                                   " outside world " + std::to_string(world));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->rank = rank;
+  impl->world = world;
+  impl->options = options;
+  impl->conns.resize(static_cast<size_t>(world));
+
+  impl->listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (impl->listen_fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(impl->listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    const Status s = Errno("bind port " + std::to_string(port));
+    close(impl->listen_fd);
+    return s;
+  }
+  if (listen(impl->listen_fd, world + 4) < 0) {
+    const Status s = Errno("listen");
+    close(impl->listen_fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(impl->listen_fd,
+                  reinterpret_cast<struct sockaddr*>(&addr), &addr_len) < 0) {
+    const Status s = Errno("getsockname");
+    close(impl->listen_fd);
+    return s;
+  }
+  impl->listen_port = ntohs(addr.sin_port);
+  const Status nonblocking = SetNonBlocking(impl->listen_fd);
+  if (!nonblocking.ok()) {
+    close(impl->listen_fd);
+    return nonblocking;
+  }
+  return std::unique_ptr<TcpTransport>(new TcpTransport(std::move(impl)));
+}
+
+int TcpTransport::listen_port() const { return impl_->listen_port; }
+int TcpTransport::rank() const { return impl_->rank; }
+int TcpTransport::world() const { return impl_->world; }
+
+Status TcpTransport::Establish(const std::vector<TcpPeer>& peers) {
+  Impl& im = *impl_;
+  if (static_cast<int>(peers.size()) != im.world) {
+    return Status::InvalidArgument(
+        "peer list has " + std::to_string(peers.size()) + " entries for world " +
+        std::to_string(im.world));
+  }
+  if (im.established.load()) {
+    return Status::FailedPrecondition("transport already established");
+  }
+  const double timeout = im.options.connect_timeout_seconds;
+  Stopwatch watch;
+  int pending_accepts = im.world - 1 - im.rank;
+  std::vector<bool> connected(static_cast<size_t>(im.world), false);
+  connected[static_cast<size_t>(im.rank)] = true;
+  int pending_connects = im.rank;
+
+  while (pending_accepts > 0 || pending_connects > 0) {
+    if (watch.ElapsedSeconds() > timeout) {
+      return Status::IOError(
+          "mesh not established within " + std::to_string(timeout) +
+          "s (still waiting for " + std::to_string(pending_accepts) +
+          " accepts, " + std::to_string(pending_connects) + " connects)");
+    }
+    // Accept side: ranks above us dial in and identify via hello.
+    for (;;) {
+      const int fd = accept(im.listen_fd, nullptr, nullptr);
+      if (fd < 0) break;
+      int peer_rank = -1;
+      const Status s = im.Handshake(fd, /*expected_rank=*/-1,
+                                    timeout - watch.ElapsedSeconds(),
+                                    &peer_rank);
+      if (!s.ok() || peer_rank <= im.rank ||
+          connected[static_cast<size_t>(peer_rank)]) {
+        NOMAD_LOG(kWarning) << "tcp transport: rejecting inbound peer: "
+                            << (s.ok() ? "bad or duplicate rank" : s.ToString());
+        close(fd);
+        continue;
+      }
+      im.conns[static_cast<size_t>(peer_rank)].fd = fd;
+      connected[static_cast<size_t>(peer_rank)] = true;
+      --pending_accepts;
+    }
+    // Connect side: we dial every rank below us, retrying while they boot.
+    for (int r = 0; r < im.rank; ++r) {
+      if (connected[static_cast<size_t>(r)]) continue;
+      struct addrinfo hints = {};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      struct addrinfo* res = nullptr;
+      const std::string port_str = std::to_string(peers[static_cast<size_t>(r)].port);
+      if (getaddrinfo(peers[static_cast<size_t>(r)].host.c_str(),
+                      port_str.c_str(), &hints, &res) != 0 ||
+          res == nullptr) {
+        continue;  // DNS hiccup: retry next round
+      }
+      const int fd = socket(res->ai_family, res->ai_socktype, 0);
+      if (fd < 0) {
+        freeaddrinfo(res);
+        continue;
+      }
+      const int cr = connect(fd, res->ai_addr, res->ai_addrlen);
+      freeaddrinfo(res);
+      if (cr < 0) {
+        close(fd);  // peer not listening yet; retry next round
+        continue;
+      }
+      int peer_rank = -1;
+      const Status s = im.Handshake(fd, /*expected_rank=*/r,
+                                    timeout - watch.ElapsedSeconds(),
+                                    &peer_rank);
+      if (!s.ok()) {
+        close(fd);
+        return s;  // a live but incompatible peer is a config error
+      }
+      im.conns[static_cast<size_t>(r)].fd = fd;
+      connected[static_cast<size_t>(r)] = true;
+      --pending_connects;
+    }
+    if (pending_accepts > 0 || pending_connects > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  for (int r = 0; r < im.world; ++r) {
+    const int fd = im.conns[static_cast<size_t>(r)].fd;
+    if (fd < 0) continue;
+    NOMAD_RETURN_IF_ERROR(SetNonBlocking(fd));
+    SetNoDelay(fd);
+  }
+  if (pipe(im.wake_pipe) < 0) return Errno("pipe");
+  NOMAD_RETURN_IF_ERROR(SetNonBlocking(im.wake_pipe[0]));
+  NOMAD_RETURN_IF_ERROR(SetNonBlocking(im.wake_pipe[1]));
+  im.established.store(true, std::memory_order_release);
+  im.comm = std::thread([&im] { im.CommLoop(); });
+  return Status::OK();
+}
+
+Status TcpTransport::Send(int dest, std::vector<uint8_t> frame) {
+  Impl& im = *impl_;
+  if (dest < 0 || dest >= im.world || dest == im.rank) {
+    return Status::InvalidArgument("tcp: bad destination rank " +
+                                   std::to_string(dest));
+  }
+  if (!im.established.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("tcp: transport not established");
+  }
+  if (im.closing.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("tcp: transport closed");
+  }
+  const int64_t wire_bytes =
+      static_cast<int64_t>(kLengthPrefixBytes + frame.size());
+  {
+    std::lock_guard<std::mutex> lock(im.send_mu);
+    Conn& conn = im.conns[static_cast<size_t>(dest)];
+    if (conn.fd < 0) {
+      return Status::FailedPrecondition("tcp: rank " + std::to_string(dest) +
+                                        " is disconnected");
+    }
+    conn.outbox.emplace_back(std::move(frame));  // payload moved, not copied
+  }
+  im.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  im.bytes_sent.fetch_add(wire_bytes, std::memory_order_relaxed);
+  const uint8_t wake = 1;
+  // A full pipe means wakeups are already pending; dropping this one is fine.
+  [[maybe_unused]] const ssize_t r = write(im.wake_pipe[1], &wake, 1);
+  return Status::OK();
+}
+
+bool TcpTransport::TryReceive(std::vector<uint8_t>* frame, int* src) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.recv_mu);
+  if (im.recv_q.empty()) return false;
+  *src = im.recv_q.front().first;
+  *frame = std::move(im.recv_q.front().second);
+  im.recv_q.pop_front();
+  return true;
+}
+
+TransportStats TcpTransport::stats() const {
+  const Impl& im = *impl_;
+  TransportStats s;
+  s.messages_sent = im.messages_sent.load(std::memory_order_relaxed);
+  s.messages_received = im.messages_received.load(std::memory_order_relaxed);
+  s.bytes_sent = im.bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = im.bytes_received.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status TcpTransport::Close() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.close_mu);
+    if (im.closed) return Status::OK();
+    im.closed = true;
+  }
+  im.closing.store(true, std::memory_order_release);
+  if (im.comm.joinable()) {
+    const uint8_t wake = 1;
+    [[maybe_unused]] const ssize_t r = write(im.wake_pipe[1], &wake, 1);
+    im.comm.join();
+  }
+  for (Conn& conn : im.conns) {
+    if (conn.fd >= 0) {
+      shutdown(conn.fd, SHUT_RDWR);
+      close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  if (im.listen_fd >= 0) {
+    close(im.listen_fd);
+    im.listen_fd = -1;
+  }
+  for (int& fd : im.wake_pipe) {
+    if (fd >= 0) {
+      close(fd);
+      fd = -1;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace nomad

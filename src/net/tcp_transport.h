@@ -1,0 +1,101 @@
+#ifndef NOMAD_NET_TCP_TRANSPORT_H_
+#define NOMAD_NET_TCP_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace nomad {
+namespace net {
+
+/// Address of one rank in a TCP job: where its listener accepts peers.
+struct TcpPeer {
+  std::string host = "127.0.0.1";  ///< Hostname or dotted IPv4 address.
+  int port = 0;                    ///< Listening port (0 = ephemeral, only
+                                   ///< meaningful for the local rank).
+};
+
+/// Parses "host:port" into a TcpPeer; a bare "port" means 127.0.0.1.
+Result<TcpPeer> ParseTcpPeer(const std::string& spec);
+
+/// Tuning knobs for a TCP endpoint.
+struct TcpOptions {
+  /// How long Establish() keeps retrying connects/accepts before giving up
+  /// — ranks of one job start at different times.
+  double connect_timeout_seconds = 20.0;
+  /// Hard ceiling on one frame's payload; an inbound length prefix above
+  /// this kills the connection instead of allocating unbounded memory.
+  size_t max_frame_bytes = static_cast<size_t>(1) << 22;
+  /// Latent dimensionality advertised in the handshake hello; peers with
+  /// differing nonzero values refuse to connect. 0 = don't check.
+  int hello_k = 0;
+  /// True to advertise f32 factor payloads in the handshake hello.
+  bool hello_f32 = false;
+};
+
+/// Transport between processes (or machines) over nonblocking TCP sockets.
+///
+/// Topology: full mesh, one socket per unordered rank pair, both directions
+/// multiplexed over it. Rank i initiates the connections to all j < i and
+/// accepts from all j > i; a handshake hello (net/wire_format.h) identifies
+/// and validates each peer before any frame moves.
+///
+/// Framing: every payload crosses the wire as [u32 length][payload bytes].
+/// A communicator thread owns all sockets after Establish(): it drains the
+/// per-peer send queues Send() fills (woken through a pipe, so an idle
+/// endpoint burns no CPU) and reassembles inbound frames into the receive
+/// queue TryReceive() pops. Send() never blocks on the network.
+///
+/// Lifecycle: Listen() binds the local listener (port 0 picks an ephemeral
+/// port, see listen_port()); Establish() blocks until the full mesh is
+/// connected; Close() flushes queued sends and disconnects. The destructor
+/// calls Close().
+class TcpTransport final : public Transport {
+ public:
+  /// Binds and listens on `port` for rank `rank` of `world`. No peer
+  /// connections are made yet — call Establish() next. Returns IOError
+  /// when the port cannot be bound.
+  static Result<std::unique_ptr<TcpTransport>> Listen(
+      int rank, int world, int port, TcpOptions options = TcpOptions());
+
+  /// Closes the endpoint (flushing pending sends) if still open.
+  ~TcpTransport() override;
+
+  /// The locally bound listening port (the requested one, or the
+  /// kernel-assigned port when Listen() was given 0).
+  int listen_port() const;
+
+  /// Connects the full mesh: `peers[r]` is where rank r listens
+  /// (peers[rank()] is ignored — this endpoint is already bound). Blocks
+  /// until every peer is connected and validated or the connect timeout
+  /// expires; starts the communicator thread on success.
+  Status Establish(const std::vector<TcpPeer>& peers);
+
+  int rank() const override;   ///< This endpoint's rank.
+  int world() const override;  ///< Ranks in the job.
+
+  /// Queues one frame for `dest`; the communicator thread writes it out.
+  Status Send(int dest, std::vector<uint8_t> frame) override;
+
+  /// Pops the oldest fully-reassembled inbound frame, if any.
+  bool TryReceive(std::vector<uint8_t>* frame, int* src) override;
+
+  /// Traffic counters; bytes include the 4-byte length prefixes.
+  TransportStats stats() const override;
+
+  /// Flushes pending sends onto the sockets (bounded by the connect
+  /// timeout), stops the communicator thread, and closes all sockets.
+  Status Close() override;
+
+ private:
+  struct Impl;
+  explicit TcpTransport(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net
+}  // namespace nomad
+
+#endif  // NOMAD_NET_TCP_TRANSPORT_H_

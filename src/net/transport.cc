@@ -1,0 +1,15 @@
+#include "net/transport.h"
+
+namespace nomad {
+namespace net {
+
+Status Transport::Broadcast(const std::vector<uint8_t>& frame) {
+  for (int r = 0; r < world(); ++r) {
+    if (r == rank()) continue;
+    NOMAD_RETURN_IF_ERROR(Send(r, frame));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace nomad

@@ -12,6 +12,7 @@
 #include "data/shard.h"
 #include "eval/metrics.h"
 #include "nomad/batch_controller.h"
+#include "nomad/pause_gate.h"
 #include "nomad/token_router.h"
 #include "queue/mpmc_queue.h"
 #include "solver/sgd_kernel.h"
@@ -23,48 +24,6 @@
 namespace nomad {
 
 namespace {
-
-/// Cooperative pause barrier: the driver quiesces all workers, evaluates,
-/// and resumes them. Training time excludes evaluation pauses.
-class PauseGate {
- public:
-  explicit PauseGate(int workers) : workers_(workers) {}
-
-  /// Worker side: called between tokens; blocks while a pause is active.
-  void CheckIn() {
-    if (!pause_requested_.load(std::memory_order_acquire)) return;
-    std::unique_lock<std::mutex> lock(mu_);
-    ++paused_;
-    all_paused_.notify_all();
-    resumed_.wait(lock, [this] {
-      return !pause_requested_.load(std::memory_order_acquire);
-    });
-    --paused_;
-  }
-
-  /// Driver side: returns once every worker is parked.
-  void Pause() {
-    pause_requested_.store(true, std::memory_order_release);
-    std::unique_lock<std::mutex> lock(mu_);
-    all_paused_.wait(lock, [this] { return paused_ == workers_; });
-  }
-
-  void Resume() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      pause_requested_.store(false, std::memory_order_release);
-    }
-    resumed_.notify_all();
-  }
-
- private:
-  const int workers_;
-  std::atomic<bool> pause_requested_{false};
-  std::mutex mu_;
-  std::condition_variable all_paused_;
-  std::condition_variable resumed_;
-  int paused_ = 0;
-};
 
 /// The training run for one storage precision. Everything the workers
 /// touch per rating — the circulated h_j rows, the owned w_i rows, and the

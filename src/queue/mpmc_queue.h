@@ -84,10 +84,14 @@ class alignas(kCacheLineBytes) MpmcQueue {
 
   /// Approximate size without taking the lock: the value written by the
   /// last completed mutation. May lag concurrent pushes/pops by a batch,
-  /// and that is fine for its two consumers — the least-loaded routing
-  /// probe and the BatchController's queue-depth signal, both of which the
-  /// paper already treats as advisory (Sec. 3.3). Once the queue is
-  /// quiescent, SizeEstimate() == Size() exactly.
+  /// which is fine for every consumer — the least-loaded routing probe,
+  /// the BatchController's queue-depth signal, and the distributed
+  /// solver's worker loops all treat queue sizes as advisory, exactly as
+  /// the paper treats the piggybacked sizes of its dynamic load balancing
+  /// (Sec. 3.3). Callers that need the exact count (e.g. the distributed
+  /// barrier draining queues for its held-token tally) must quiesce the
+  /// producers and consumers first; once the queue is quiescent,
+  /// SizeEstimate() == Size() exactly.
   size_t SizeEstimate() const {
     return approx_size_.load(std::memory_order_relaxed);
   }

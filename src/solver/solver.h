@@ -195,6 +195,19 @@ struct WorkerBatchStats {
   std::vector<std::pair<int64_t, int>> trajectory;
 };
 
+/// What one rank of a distributed NOMAD run moved over the transport (see
+/// net/dist_nomad.h). Mirrors the WorkerBatchStats pattern: rank 0's
+/// TrainResult carries one entry per rank (gathered at the final barrier),
+/// every other rank's carries its own entry only, and shared-memory solvers
+/// leave the vector empty.
+struct RankTrafficStats {
+  int rank = -1;                ///< Rank the row belongs to.
+  int64_t tokens_sent = 0;      ///< Item tokens handed to remote ranks.
+  int64_t tokens_received = 0;  ///< Item tokens received from remote ranks.
+  int64_t bytes_sent = 0;       ///< Transport bytes out (tokens + control).
+  int64_t bytes_received = 0;   ///< Transport bytes in (tokens + control).
+};
+
 /// Everything a training run produces. The factors are always returned in
 /// double (a float-precision run widens its result), so model persistence
 /// and downstream evaluation are precision-agnostic; `precision` records
@@ -210,6 +223,9 @@ struct TrainResult {
   /// Per-worker token-batch adaptation stats (NOMAD only; empty for the
   /// baselines). One entry per worker, indexed by worker id.
   std::vector<WorkerBatchStats> worker_batch;
+  /// Per-rank transport traffic of a distributed run (empty for the
+  /// shared-memory solvers; see RankTrafficStats for who carries what).
+  std::vector<RankTrafficStats> rank_traffic;
 };
 
 /// Interface implemented by NOMAD and by every baseline. Implementations

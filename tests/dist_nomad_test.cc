@@ -1,0 +1,276 @@
+#include "net/dist_nomad.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/loopback_transport.h"
+#include "net/tcp_transport.h"
+#include "net/wire_format.h"
+#include "nomad/nomad_solver.h"
+#include "test_util.h"
+
+namespace nomad {
+namespace net {
+namespace {
+
+/// Runs one rank per thread over the given transports and returns all
+/// ranks' results (index = rank). Any rank's error fails the test.
+std::vector<TrainResult> RunWorld(const Dataset& ds,
+                                  const DistNomadOptions& options,
+                                  std::vector<Transport*> transports) {
+  const int world = static_cast<int>(transports.size());
+  std::vector<TrainResult> results(static_cast<size_t>(world));
+  std::vector<std::thread> ranks;
+  std::atomic<bool> ok{true};
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      DistNomadSolver solver;
+      auto result =
+          solver.Train(ds, options, transports[static_cast<size_t>(r)]);
+      if (!result.ok()) {
+        ok.store(false);
+        ADD_FAILURE() << "rank " << r << ": " << result.status().ToString();
+        return;
+      }
+      results[static_cast<size_t>(r)] = std::move(result).value();
+    });
+  }
+  for (auto& t : ranks) t.join();
+  EXPECT_TRUE(ok.load());
+  return results;
+}
+
+/// Loopback worlds go through the shared library harness (the same one the
+/// CLI and bench use); any rank's error fails the test.
+std::vector<TrainResult> RunLoopbackWorld(const Dataset& ds,
+                                          const DistNomadOptions& options,
+                                          int world) {
+  auto results = TrainLoopbackWorld(ds, options, world);
+  std::vector<TrainResult> ok;
+  for (int r = 0; r < world; ++r) {
+    EXPECT_TRUE(results[static_cast<size_t>(r)].ok())
+        << "rank " << r << ": "
+        << results[static_cast<size_t>(r)].status().ToString();
+    if (!results[static_cast<size_t>(r)].ok()) return {};
+    ok.push_back(std::move(results[static_cast<size_t>(r)]).value());
+  }
+  return ok;
+}
+
+DistNomadOptions DistOptions(int epochs = 15, int workers = 2) {
+  DistNomadOptions o;
+  o.train = FastTrainOptions(epochs, workers);
+  return o;
+}
+
+TEST(DistNomadTest, SingleRankMatchesSharedMemoryBehavior) {
+  const Dataset ds = MakeItemRichDataset();
+  auto results = RunLoopbackWorld(ds, DistOptions(), 1);
+  ASSERT_EQ(results.size(), 1u);
+  const TrainResult& r = results[0];
+  EXPECT_EQ(r.solver_name, "dist_nomad");
+  EXPECT_GT(r.total_updates, 0);
+  EXPECT_LT(r.trace.FinalRmse(), 0.45);
+  // No peers: nothing may cross the transport.
+  ASSERT_EQ(r.rank_traffic.size(), 1u);
+  EXPECT_EQ(r.rank_traffic[0].tokens_sent, 0);
+  EXPECT_EQ(r.rank_traffic[0].bytes_sent, 0);
+}
+
+// The acceptance bar of the distributed layer: a 4-rank loopback run must
+// land within 1e-3 test RMSE of the single-rank shared-memory solver.
+//
+// 1e-3 is far below the seed-to-seed spread of a fast test run (different
+// SGD paths on a non-convex problem land ~1e-2 apart when the schedule
+// freezes before convergence), so this configuration is chosen to anneal
+// both executions into the same noise ball: a well-specified model (rank =
+// planted rank), a denser planted dataset, and a slow-then-deep schedule
+// (alpha 0.15, beta 2e-3, 400 epochs — final per-rating step ~9e-3). At
+// that point the remaining RMSE (~0.126) is a property of the data, and
+// measured single-vs-dist gaps stay under ~5e-4 across repeated trials.
+TEST(DistNomadTest, FourRankLoopbackReachesSingleRankRmseParity) {
+  SyntheticConfig config;
+  config.name = "parity-planted";
+  config.rows = 600;
+  config.cols = 300;
+  config.nnz = 24000;
+  config.true_rank = 4;
+  config.noise_std = 0.1;
+  config.test_fraction = 0.15;
+  config.seed = 90;
+  auto generated = GenerateSynthetic(config);
+  ASSERT_TRUE(generated.ok());
+  const Dataset ds = std::move(generated).value();
+
+  TrainOptions opt = FastTrainOptions(/*epochs=*/400, /*workers=*/2);
+  opt.rank = 4;
+  opt.lambda = 0.02;
+  opt.alpha = 0.15;
+  opt.beta = 0.002;
+
+  NomadSolver single;
+  auto single_result = single.Train(ds, opt);
+  ASSERT_TRUE(single_result.ok()) << single_result.status().ToString();
+  const double single_rmse = single_result.value().trace.FinalRmse();
+
+  DistNomadOptions dist_opt;
+  dist_opt.train = opt;
+  auto results = RunLoopbackWorld(ds, dist_opt, 4);
+  ASSERT_EQ(results.size(), 4u);
+  const double dist_rmse = results[0].trace.FinalRmse();
+
+  EXPECT_LT(single_rmse, 0.14);
+  EXPECT_LT(dist_rmse, 0.14);
+  EXPECT_NEAR(dist_rmse, single_rmse, 1e-3);
+}
+
+TEST(DistNomadTest, EveryRankReportsTheSameTrace) {
+  const Dataset ds = MakeItemRichDataset();
+  auto results = RunLoopbackWorld(ds, DistOptions(/*epochs=*/5), 3);
+  ASSERT_EQ(results.size(), 3u);
+  const auto& pts0 = results[0].trace.points();
+  ASSERT_FALSE(pts0.empty());
+  for (int r = 1; r < 3; ++r) {
+    const auto& pts = results[static_cast<size_t>(r)].trace.points();
+    ASSERT_EQ(pts.size(), pts0.size()) << "rank " << r;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(pts[i].test_rmse, pts0[i].test_rmse) << "rank " << r;
+      EXPECT_EQ(pts[i].updates, pts0[i].updates) << "rank " << r;
+    }
+  }
+}
+
+TEST(DistNomadTest, TokenConservationAcrossRanks) {
+  const Dataset ds = MakeItemRichDataset();
+  auto results = RunLoopbackWorld(ds, DistOptions(/*epochs=*/6), 4);
+  ASSERT_EQ(results.size(), 4u);
+  // Rank 0 gathers every rank's traffic row at the final barrier. Tokens
+  // are conserved: every token one rank sent, another received.
+  ASSERT_EQ(results[0].rank_traffic.size(), 4u);
+  int64_t sent = 0;
+  int64_t received = 0;
+  for (const RankTrafficStats& t : results[0].rank_traffic) {
+    sent += t.tokens_sent;
+    received += t.tokens_received;
+    EXPECT_GT(t.tokens_sent, 0) << "rank " << t.rank << " never sent";
+    EXPECT_GT(t.bytes_sent, 0);
+  }
+  EXPECT_EQ(sent, received);
+  // Non-zero ranks report (at least) themselves.
+  for (int r = 1; r < 4; ++r) {
+    ASSERT_EQ(results[static_cast<size_t>(r)].rank_traffic.size(), 1u);
+    EXPECT_EQ(results[static_cast<size_t>(r)].rank_traffic[0].rank, r);
+  }
+}
+
+TEST(DistNomadTest, RankZeroGathersTheFullModel) {
+  const Dataset ds = MakeItemRichDataset();
+  auto results = RunLoopbackWorld(ds, DistOptions(/*epochs=*/8), 2);
+  ASSERT_EQ(results.size(), 2u);
+  const TrainResult& r0 = results[0];
+  ASSERT_EQ(r0.w.rows(), ds.rows);
+  ASSERT_EQ(r0.h.rows(), ds.cols);
+  // The gathered model must actually predict: recompute RMSE from the
+  // returned factors and compare with the final trace point every rank
+  // agreed on.
+  const double recomputed = Rmse(ds.test, r0.w, r0.h);
+  EXPECT_NEAR(recomputed, r0.trace.FinalRmse(), 1e-9);
+}
+
+TEST(DistNomadTest, F32PrecisionTrainsToParity) {
+  const Dataset ds = MakeItemRichDataset();
+  DistNomadOptions o = DistOptions(/*epochs=*/20);
+  o.train.precision = Precision::kF32;
+  auto results = RunLoopbackWorld(ds, o, 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].precision, Precision::kF32);
+  EXPECT_LT(results[0].trace.FinalRmse(), 0.45);
+}
+
+TEST(DistNomadTest, ExplicitRemoteFractionAndAutoBatchingWork) {
+  const Dataset ds = MakeItemRichDataset();
+  DistNomadOptions o = DistOptions(/*epochs=*/10);
+  o.remote_token_fraction = 0.1;  // mostly-local circulation
+  o.train.token_batch_mode = TokenBatchMode::kAuto;
+  auto results = RunLoopbackWorld(ds, o, 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[0].trace.FinalRmse(), 0.6);
+  ASSERT_EQ(results[0].worker_batch.size(), 2u);
+  EXPECT_GT(results[0].worker_batch[0].rounds, 0);
+}
+
+TEST(DistNomadTest, RejectsBadOptions) {
+  const Dataset ds = MakeTestDataset();
+  auto fabric = MakeLoopbackFabric(1);
+  DistNomadSolver solver;
+  DistNomadOptions o = DistOptions();
+  EXPECT_EQ(solver.Train(ds, o, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  o.remote_token_fraction = 1.5;
+  EXPECT_EQ(solver.Train(ds, o, fabric[0].get()).status().code(),
+            StatusCode::kInvalidArgument);
+  o = DistOptions();
+  o.train.record_objective = true;
+  EXPECT_EQ(solver.Train(ds, o, fabric[0].get()).status().code(),
+            StatusCode::kInvalidArgument);
+  o = DistOptions();
+  o.train.rank = -1;
+  EXPECT_EQ(solver.Train(ds, o, fabric[0].get()).status().code(),
+            StatusCode::kInvalidArgument);
+  // Above the wire-format ceiling: must be rejected up front, not abort at
+  // the first remote hand-off's frame encoder.
+  o = DistOptions();
+  o.train.rank = kMaxWireK + 1;
+  EXPECT_EQ(solver.Train(ds, o, fabric[0].get()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DistNomadTest, EmptyTrainingSetEvaluatesAndReturns) {
+  Dataset ds = MakeTestDataset();
+  ds.train = SparseMatrix::Build(ds.rows, ds.cols, {}).value();
+  auto results = RunLoopbackWorld(ds, DistOptions(), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].total_updates, 0);
+  ASSERT_EQ(results[0].trace.size(), 1u);
+}
+
+// End-to-end over real sockets: 2 ranks on 127.0.0.1, each in its own
+// thread with its own TcpTransport — the same wiring dist_nomad_cli uses
+// across processes.
+TEST(DistNomadTest, TwoRankTcpTrainsEndToEnd) {
+  const Dataset ds = MakeItemRichDataset();
+  std::vector<std::unique_ptr<TcpTransport>> mesh;
+  std::vector<TcpPeer> peers(2);
+  for (int r = 0; r < 2; ++r) {
+    TcpOptions topts;
+    topts.hello_k = 8;
+    auto t = TcpTransport::Listen(r, 2, /*port=*/0, topts);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    peers[static_cast<size_t>(r)] = {"127.0.0.1", t.value()->listen_port()};
+    mesh.push_back(std::move(t).value());
+  }
+  std::vector<std::thread> establishers;
+  for (int r = 0; r < 2; ++r) {
+    establishers.emplace_back([&, r] {
+      const Status s = mesh[static_cast<size_t>(r)]->Establish(peers);
+      EXPECT_TRUE(s.ok()) << "rank " << r << ": " << s.ToString();
+    });
+  }
+  for (auto& t : establishers) t.join();
+
+  auto results = RunWorld(ds, DistOptions(/*epochs=*/10),
+                          {mesh[0].get(), mesh[1].get()});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[0].trace.FinalRmse(), 0.45);
+  ASSERT_EQ(results[0].rank_traffic.size(), 2u);
+  EXPECT_GT(results[0].rank_traffic[1].tokens_sent, 0);
+  for (auto& t : mesh) EXPECT_TRUE(t->Close().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nomad

@@ -124,10 +124,13 @@ TEST(NomadicRowsTest, ConvergesAndKeepsFactorOrientation) {
   EXPECT_EQ(result.value().w.rows(), ds.rows);
   EXPECT_EQ(result.value().h.rows(), ds.cols);
   EXPECT_LT(result.value().trace.FinalRmse(), 0.45);
-  // Trace RMSE of the transposed problem equals RMSE of the original.
-  EXPECT_DOUBLE_EQ(
-      result.value().trace.FinalRmse(),
-      Rmse(ds.test, result.value().w, result.value().h));
+  // Trace RMSE of the transposed problem equals RMSE of the original up to
+  // summation order: the trace point sums the (identical) squared errors in
+  // transposed shard order, the recompute in original serial order, and the
+  // factors differ per run (NOMAD interleaving), so the two roundings
+  // coincide only by luck — exact equality here flaked ~7% of runs.
+  EXPECT_NEAR(result.value().trace.FinalRmse(),
+              Rmse(ds.test, result.value().w, result.value().h), 1e-9);
 }
 
 TEST(NomadicRowsTest, Footnote2MoreTrafficWhenUsersOutnumberItems) {

@@ -5,6 +5,7 @@ Usage:
   tools/check_bench_json.py kernels BENCH_kernels.json
   tools/check_bench_json.py numa BENCH_numa.json
   tools/check_bench_json.py autotune BENCH_autotune.json
+  tools/check_bench_json.py dist BENCH_dist.json
 
 Exits non-zero (listing the problems) when a required field is missing or
 has the wrong shape. Values are not range-checked — CI runners are noisy;
@@ -155,13 +156,66 @@ def check_autotune(doc):
     return problems
 
 
-CHECKERS = {"kernels": check_kernels, "numa": check_numa, "autotune": check_autotune}
+def check_dist(doc):
+    problems = []
+    require(problems, doc, "workers_per_rank", (int,), "root")
+    require(problems, doc, "hardware_threads", (int,), "root")
+    runs = require(problems, doc, "runs", (list,), "root")
+    if runs is not None and not runs:
+        problems.append("runs: must be non-empty")
+    combos = set()
+    for i, run in enumerate(runs or []):
+        ctx = f"runs[{i}]"
+        backend = require(problems, run, "backend", (str,), ctx)
+        world = require(problems, run, "world", (int,), ctx)
+        if backend is not None and backend not in ("loopback", "tcp"):
+            problems.append(f"{ctx}: backend must be 'loopback' or 'tcp'")
+        combos.add((backend, world))
+        require(problems, run, "workers_per_rank", (int,), ctx)
+        require(problems, run, "updates_per_sec", (int, float), ctx)
+        require(problems, run, "remote_tokens_per_sec", (int, float), ctx)
+        require(problems, run, "bytes_per_remote_token", (int, float), ctx)
+        require(problems, run, "final_rmse", (int, float), ctx)
+        trace = require(problems, run, "trace", (list,), ctx)
+        if trace is not None and not trace:
+            problems.append(f"{ctx}: trace must be non-empty")
+        for t, point in enumerate(trace or []):
+            require(problems, point, "seconds", (int, float), f"{ctx}.trace[{t}]")
+            require(problems, point, "rmse", (int, float), f"{ctx}.trace[{t}]")
+    # The fixed sweep of the bench: loopback worlds {1, 2, 4} plus the
+    # two-process TCP run.
+    for backend, world in (("loopback", 1), ("loopback", 2), ("loopback", 4), ("tcp", 2)):
+        if runs is not None and (backend, world) not in combos:
+            problems.append(f"runs: missing {backend} world={world}")
+    parity = require(problems, doc, "parity", (dict,), "root")
+    if parity is not None:
+        for field in ("single_rank_rmse", "loopback4_rmse", "abs_diff"):
+            require(problems, parity, field, (int, float), "parity")
+    return problems
+
+
+CHECKERS = {
+    "kernels": check_kernels,
+    "numa": check_numa,
+    "autotune": check_autotune,
+    "dist": check_dist,
+}
 
 
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in CHECKERS:
+    if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
+    if sys.argv[1] not in CHECKERS:
+        # An explicit error (not just usage text): a CI job that passes a
+        # misspelled or not-yet-implemented mode must fail loudly rather
+        # than look like a skipped check.
+        print(
+            f"error: unknown mode '{sys.argv[1]}'"
+            f" (known: {', '.join(sorted(CHECKERS))})",
+            file=sys.stderr,
+        )
+        return 1
     with open(sys.argv[2]) as f:
         doc = json.load(f)
     problems = CHECKERS[sys.argv[1]](doc)

@@ -1,0 +1,214 @@
+// dist_nomad_cli — launcher for multi-process distributed NOMAD.
+//
+// Two modes:
+//
+//   Loopback (one process, rank-per-thread; tests/CI/single host):
+//     dist_nomad_cli --world=4 --preset netflix --scale 0.1 --epochs 10
+//
+//   TCP (one process per rank; --peers lists every rank's host:port in
+//   rank order, and every process must be given the same dataset flags):
+//     dist_nomad_cli --rank=0 --world=2 --peers=127.0.0.1:9600,127.0.0.1:9601 \
+//                    --preset netflix --scale 0.1
+//     dist_nomad_cli --rank=1 --world=2 --peers=127.0.0.1:9600,127.0.0.1:9601 \
+//                    --preset netflix --scale 0.1
+//
+// NOTE: --rank is the *process rank*; the latent dimensionality flag is
+// --k here (unlike nomad_cli's --rank), since both meanings collide.
+//
+// Other flags: --input/--preset/--scale/--test-fraction (dataset, as in
+// nomad_cli), --k, --lambda, --alpha, --beta, --workers (per rank),
+// --epochs, --max-seconds, --seed, --precision, --token-batch,
+// --max-token-batch, --numa, --remote-fraction (cross-rank hand-off
+// probability, default uniform-global), --model (rank 0 saves the gathered
+// model there).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/dist_nomad.h"
+#include "net/loopback_transport.h"
+#include "net/tcp_transport.h"
+#include "solver/model.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nomad {
+namespace {
+
+using net::DistNomadOptions;
+using net::DistNomadSolver;
+using net::TcpPeer;
+using net::TcpTransport;
+using net::Transport;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// Same dataset flags as nomad_cli, via the shared bench_common helper —
+// a dist-trained model must be evaluable by nomad_cli on the same split.
+Result<Dataset> LoadInput(const Flags& flags) {
+  return bench::LoadDatasetFromFlags(flags);
+}
+
+Result<DistNomadOptions> OptionsFromFlags(const Flags& flags) {
+  DistNomadOptions o;
+  TrainOptions& t = o.train;
+  t.rank = static_cast<int>(flags.GetInt("k", 16));
+  t.lambda = flags.GetDouble("lambda", 0.05);
+  t.alpha = flags.GetDouble("alpha", 0.05);
+  t.beta = flags.GetDouble("beta", 0.01);
+  t.loss = flags.GetString("loss", "squared");
+  t.num_workers = static_cast<int>(flags.GetInt("workers", 2));
+  const std::string token_batch = flags.GetString("token-batch", "8");
+  if (!token_batch.empty() &&
+      token_batch.find_first_not_of("0123456789") == std::string::npos) {
+    t.token_batch_size = static_cast<int>(flags.GetInt("token-batch", 8));
+  } else {
+    auto mode = ParseTokenBatchMode(token_batch);
+    if (!mode.ok()) return mode.status();
+    t.token_batch_mode = mode.value();
+  }
+  t.max_token_batch = static_cast<int>(flags.GetInt("max-token-batch", 32));
+  t.max_epochs = static_cast<int>(flags.GetInt("epochs", 10));
+  t.max_seconds = flags.GetDouble("max-seconds", -1.0);
+  t.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  auto precision = ParsePrecision(flags.GetString("precision", "f64"));
+  if (!precision.ok()) return precision.status();
+  t.precision = precision.value();
+  auto numa = ParseNumaPolicy(flags.GetString("numa", "auto"));
+  if (!numa.ok()) return numa.status();
+  t.numa_policy = numa.value();
+  o.remote_token_fraction = flags.GetDouble("remote-fraction", -1.0);
+  return o;
+}
+
+void PrintResult(const TrainResult& r, int rank) {
+  if (rank != 0) return;  // one report per job; rank 0 has the global view
+  for (const TracePoint& p : r.trace.points()) {
+    std::printf("  %.2fs  %12lld updates  test RMSE %.4f\n", p.seconds,
+                static_cast<long long>(p.updates), p.test_rmse);
+  }
+}
+
+/// The satellite traffic table: one row per rank (all ranks at rank 0,
+/// just itself elsewhere), mirroring the worker-batch printout.
+void PrintTrafficTable(const TrainResult& r) {
+  if (r.rank_traffic.empty()) return;
+  std::printf("rank   tokens_sent   tokens_recv     bytes_sent     bytes_recv\n");
+  for (const RankTrafficStats& t : r.rank_traffic) {
+    std::printf("%4d  %12lld  %12lld  %13s  %13s\n", t.rank,
+                static_cast<long long>(t.tokens_sent),
+                static_cast<long long>(t.tokens_received),
+                HumanBytes(static_cast<uint64_t>(t.bytes_sent)).c_str(),
+                HumanBytes(static_cast<uint64_t>(t.bytes_received)).c_str());
+  }
+}
+
+int FinishRankZero(const Flags& flags, TrainResult result) {
+  PrintTrafficTable(result);
+  const std::string model_path = flags.GetString("model");
+  if (!model_path.empty()) {
+    Model model{std::move(result.w), std::move(result.h)};
+    const Status s = SaveModel(model, model_path);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("model saved to %s\n", model_path.c_str());
+  }
+  return 0;
+}
+
+int RunLoopback(const Flags& flags, const Dataset& ds,
+                const DistNomadOptions& options, int world) {
+  std::printf("loopback world=%d (%d workers/rank) on %s\n", world,
+              options.train.num_workers, ds.name.c_str());
+  auto results = net::TrainLoopbackWorld(ds, options, world);
+  for (int r = 0; r < world; ++r) {
+    if (!results[static_cast<size_t>(r)].ok()) {
+      return Fail("rank " + std::to_string(r) + ": " +
+                  results[static_cast<size_t>(r)].status().ToString());
+    }
+  }
+  PrintResult(results[0].value(), 0);
+  return FinishRankZero(flags, std::move(results[0]).value());
+}
+
+int RunTcp(const Flags& flags, const Dataset& ds,
+           const DistNomadOptions& options, int rank, int world) {
+  const std::string peers_flag = flags.GetString("peers");
+  const std::vector<std::string_view> specs = SplitFields(peers_flag, ",");
+  if (static_cast<int>(specs.size()) != world) {
+    return Fail("--peers must list exactly world=" + std::to_string(world) +
+                " host:port entries");
+  }
+  std::vector<TcpPeer> peers;
+  for (const std::string_view spec : specs) {
+    auto peer = net::ParseTcpPeer(std::string(spec));
+    if (!peer.ok()) return Fail(peer.status().ToString());
+    peers.push_back(peer.value());
+  }
+  net::TcpOptions topts;
+  topts.hello_k = options.train.rank;
+  topts.hello_f32 = options.train.precision == Precision::kF32;
+  topts.connect_timeout_seconds =
+      flags.GetDouble("connect-timeout", 30.0);
+  auto transport = TcpTransport::Listen(
+      rank, world, peers[static_cast<size_t>(rank)].port, topts);
+  if (!transport.ok()) return Fail(transport.status().ToString());
+  std::printf("rank %d/%d listening on port %d, connecting mesh...\n", rank,
+              world, transport.value()->listen_port());
+  const Status established = transport.value()->Establish(peers);
+  if (!established.ok()) return Fail(established.ToString());
+  std::printf("mesh up; training %s (%d workers/rank)\n", ds.name.c_str(),
+              options.train.num_workers);
+  DistNomadSolver solver;
+  auto result = solver.Train(ds, options, transport.value().get());
+  if (!result.ok()) return Fail(result.status().ToString());
+  PrintResult(result.value(), rank);
+  const Status closed = transport.value()->Close();
+  if (!closed.ok()) return Fail(closed.ToString());
+  if (rank == 0) return FinishRankZero(flags, std::move(result).value());
+  PrintTrafficTable(result.value());  // non-zero ranks report themselves
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: dist_nomad_cli --world=N [--rank=R --peers=h:p,...] "
+      "(--input <file> | --preset <name>) [flags]\n"
+      "see the header of tools/dist_nomad_cli.cc for the full flag list\n");
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());  // Parse skips argv[0] itself
+  const int world = static_cast<int>(flags.GetInt("world", 0));
+  if (world < 1) return Usage();
+  auto ds = LoadInput(flags);
+  if (!ds.ok()) return Fail(ds.status().ToString());
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status().ToString());
+  if (!flags.Has("rank")) {
+    return RunLoopback(flags, ds.value(), options.value(), world);
+  }
+  const int rank = static_cast<int>(flags.GetInt("rank", -1));
+  if (rank < 0 || rank >= world) {
+    return Fail("--rank must be in [0, world)");
+  }
+  return RunTcp(flags, ds.value(), options.value(), rank, world);
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  if (argc < 2) return Usage();
+  return Run(argc, argv);
+}

@@ -20,8 +20,6 @@
 #include <string>
 
 #include "bench_common.h"
-#include "data/loader.h"
-#include "data/splitter.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "sim/cluster.h"
@@ -39,21 +37,11 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Dataset flags are shared with dist_nomad_cli through bench_common so
+// both CLIs always produce identical train/test splits from identical
+// flags.
 Result<Dataset> LoadInput(const Flags& flags) {
-  const std::string input = flags.GetString("input");
-  const std::string preset = flags.GetString("preset");
-  const double test_fraction = flags.GetDouble("test-fraction", 0.1);
-  if (!input.empty()) {
-    auto matrix = LoadRatingsFile(input, flags.GetBool("one-based", false));
-    if (!matrix.ok()) return matrix.status();
-    return SplitTrainTest(matrix.value(), test_fraction,
-                          static_cast<uint64_t>(flags.GetInt("seed", 1)),
-                          input);
-  }
-  if (!preset.empty()) {
-    return bench::GetDataset(preset, flags.GetDouble("scale", 0.25));
-  }
-  return Status::InvalidArgument("pass --input <file> or --preset <name>");
+  return bench::LoadDatasetFromFlags(flags);
 }
 
 Result<TrainOptions> OptionsFromFlags(const Flags& flags) {
