@@ -1,0 +1,223 @@
+// Fault-tolerance benchmark: what a rank death costs distributed NOMAD.
+//
+// Three 4-rank loopback scenarios over the same dataset and budget:
+//   - fault_free:  baseline (heartbeats on, no faults injected),
+//   - rank_killed: rank 2 is killed at ~50% of its send budget; the
+//     survivors detect the death, re-own the lost tokens, adopt the dead
+//     rank's users, and finish degraded,
+//   - lossy:       every rank drops 5% of its sends (plus some duplicated
+//     and re-ordered token frames); retry/backoff absorbs all of it.
+//
+// Each run reports updates/sec, the final test RMSE, the RMSE-vs-wallclock
+// trace (the rank_killed trace shows the recovery dip), the set of dead
+// ranks, and the injected-fault counters. A `recovery` block compares the
+// killed run's final RMSE against the fault-free baseline — the
+// paper-level claim that NOMAD's ownership model makes failure recovery
+// cheap (the strict 2e-3 assertion lives in tests/dist_nomad_test.cc).
+//
+// Output: BENCH_faults.json (override with --out=<path>); validated in CI
+// by tools/check_bench_json.py (mode `faults`). Flags: --scale (dataset
+// scale, default 0.05), --epochs (default 8), --workers (per rank,
+// default 2), --out.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/dist_nomad.h"
+#include "net/fault_transport.h"
+#include "net/loopback_transport.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace nomad {
+namespace {
+
+using net::DistNomadOptions;
+using net::FaultInjectingTransport;
+using net::FaultPlan;
+using net::HeartbeatOptions;
+using net::Transport;
+
+constexpr int kWorld = 4;
+constexpr int kVictim = 2;
+
+struct ScenarioRow {
+  std::string scenario;
+  double updates_per_sec = 0.0;
+  double final_rmse = 0.0;
+  std::vector<int> dead_ranks;
+  int64_t tokens_sent = 0;  // summed over the surviving ranks
+  int64_t drops = 0;        // injected-fault counters, all ranks
+  int64_t duplicates = 0;
+  int64_t delays = 0;
+  std::vector<TracePoint> trace;
+};
+
+HeartbeatOptions BenchHeartbeat() {
+  HeartbeatOptions hb;
+  hb.interval_seconds = 0.02;
+  hb.timeout_seconds = 0.25;
+  return hb;
+}
+
+/// Runs one 4-rank loopback scenario; `plan` may be null (fault-free).
+/// Ranks the plan kills are expected to fail; any other failure aborts.
+ScenarioRow RunScenario(const std::string& name, const Dataset& ds,
+                        const DistNomadOptions& options,
+                        const FaultPlan* plan) {
+  auto fabric = net::MakeLoopbackFabric(kWorld, BenchHeartbeat());
+  if (plan != nullptr) net::ApplyFaultPlan(&fabric, *plan);
+  std::vector<const FaultInjectingTransport*> faulty;
+  for (const auto& t : fabric) {
+    if (plan != nullptr &&
+        (plan->target_rank < 0 || plan->target_rank == t->rank())) {
+      faulty.push_back(static_cast<const FaultInjectingTransport*>(t.get()));
+    }
+  }
+  auto results = net::TrainWorld(ds, options, &fabric);
+  ScenarioRow row;
+  row.scenario = name;
+  for (int r = 0; r < kWorld; ++r) {
+    if (results[static_cast<size_t>(r)].ok()) continue;
+    const bool planned_death = plan != nullptr && plan->kills() &&
+                               (plan->target_rank < 0 ||
+                                plan->target_rank == r);
+    NOMAD_CHECK(planned_death)
+        << "rank " << r << ": "
+        << results[static_cast<size_t>(r)].status().ToString();
+  }
+  const TrainResult& r0 = results[0].value();
+  row.final_rmse = r0.trace.FinalRmse();
+  row.trace = r0.trace.points();
+  row.dead_ranks = r0.dead_ranks;
+  row.updates_per_sec =
+      r0.total_seconds > 0
+          ? static_cast<double>(r0.total_updates) / r0.total_seconds
+          : 0.0;
+  for (const RankTrafficStats& t : r0.rank_traffic) {
+    row.tokens_sent += t.tokens_sent;
+  }
+  for (const FaultInjectingTransport* t : faulty) {
+    const auto stats = t->fault_stats();
+    row.drops += stats.drops;
+    row.duplicates += stats.duplicates;
+    row.delays += stats.delays;
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, int workers,
+               const std::vector<ScenarioRow>& runs) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  NOMAD_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workers_per_rank\": %d,\n", workers);
+  std::fprintf(f, "  \"world\": %d,\n", kWorld);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"runs\": [\n");
+  double fault_free_rmse = 0.0;
+  double rank_killed_rmse = 0.0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ScenarioRow& r = runs[i];
+    if (r.scenario == "fault_free") fault_free_rmse = r.final_rmse;
+    if (r.scenario == "rank_killed") rank_killed_rmse = r.final_rmse;
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"updates_per_sec\": %.3e, "
+                 "\"final_rmse\": %.4f, \"tokens_sent\": %lld, "
+                 "\"drops\": %lld, \"duplicates\": %lld, \"delays\": %lld, "
+                 "\"dead_ranks\": [",
+                 r.scenario.c_str(), r.updates_per_sec, r.final_rmse,
+                 static_cast<long long>(r.tokens_sent),
+                 static_cast<long long>(r.drops),
+                 static_cast<long long>(r.duplicates),
+                 static_cast<long long>(r.delays));
+    for (size_t d = 0; d < r.dead_ranks.size(); ++d) {
+      std::fprintf(f, "%d%s", r.dead_ranks[d],
+                   d + 1 < r.dead_ranks.size() ? ", " : "");
+    }
+    std::fprintf(f, "], \"trace\": [");
+    for (size_t t = 0; t < r.trace.size(); ++t) {
+      std::fprintf(f, "{\"seconds\": %.4f, \"rmse\": %.4f}%s",
+                   r.trace[t].seconds, r.trace[t].test_rmse,
+                   t + 1 < r.trace.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"recovery\": {\n");
+  std::fprintf(f, "    \"fault_free_rmse\": %.6f,\n", fault_free_rmse);
+  std::fprintf(f, "    \"rank_killed_rmse\": %.6f,\n", rank_killed_rmse);
+  std::fprintf(f, "    \"abs_diff\": %.6f\n",
+               std::abs(rank_killed_rmse - fault_free_rmse));
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());
+  const double scale = flags.GetDouble("scale", 0.05);
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  const int workers = static_cast<int>(flags.GetInt("workers", 2));
+  const std::string out = flags.GetString("out", "BENCH_faults.json");
+
+  const Dataset ds = bench::GetDataset("netflix", scale);
+  const bench::MiniParams mp = bench::GetMiniParams("netflix");
+  DistNomadOptions options;
+  options.train.rank = 16;
+  options.train.lambda = mp.lambda;
+  options.train.alpha = mp.alpha;
+  options.train.beta = mp.beta;
+  options.train.num_workers = workers;
+  options.train.max_epochs = epochs;
+  options.train.seed = 17;
+
+  std::printf("== distributed NOMAD under faults (%s, %d epochs, "
+              "%d workers/rank) ==\n",
+              ds.name.c_str(), epochs, workers);
+
+  std::vector<ScenarioRow> runs;
+  runs.push_back(RunScenario("fault_free", ds, options, nullptr));
+  std::printf("fault_free : rmse %.4f, %.3e updates/s\n",
+              runs.back().final_rmse, runs.back().updates_per_sec);
+
+  // Kill rank 2 halfway through its fault-free send budget — the
+  // deterministic stand-in for "a machine died mid-run".
+  FaultPlan kill;
+  kill.target_rank = kVictim;
+  kill.kill_after_sends = runs[0].tokens_sent / kWorld / 2;
+  runs.push_back(RunScenario("rank_killed", ds, options, &kill));
+  NOMAD_CHECK(runs.back().dead_ranks == std::vector<int>{kVictim})
+      << "the victim was not declared dead";
+  std::printf("rank_killed: rmse %.4f (baseline %.4f), rank %d recovered\n",
+              runs.back().final_rmse, runs[0].final_rmse, kVictim);
+
+  FaultPlan lossy;
+  lossy.seed = 7;
+  lossy.drop_rate = 0.05;
+  lossy.duplicate_rate = 0.01;
+  lossy.delay_rate = 0.01;
+  lossy.target_rank = -1;
+  runs.push_back(RunScenario("lossy", ds, options, &lossy));
+  NOMAD_CHECK(runs.back().dead_ranks.empty())
+      << "transient drops must not kill anyone";
+  std::printf("lossy      : rmse %.4f, %lld drops absorbed\n",
+              runs.back().final_rmse,
+              static_cast<long long>(runs.back().drops));
+
+  WriteJson(out, workers, runs);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) { return nomad::Run(argc, argv); }

@@ -17,8 +17,8 @@
 // Output: BENCH_dist.json (override with --out=<path>); the schema is
 // validated in CI by tools/check_bench_json.py (mode `dist`). Flags:
 // --scale (dataset scale, default 0.05), --epochs (default 6),
-// --workers (per rank, default 2), --port-base (TCP ports, default 19620),
-// --out.
+// --workers (per rank, default 2), --out. TCP ports are kernel-assigned
+// (no flag needed; parallel jobs cannot collide).
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -117,43 +117,61 @@ RunRow RunLoopback(const Dataset& ds, const TrainOptions& topt, int world) {
 }
 
 Result<TrainResult> RunTcpRank(const Dataset& ds, const TrainOptions& topt,
-                               int rank, const std::vector<TcpPeer>& peers) {
-  net::TcpOptions tcp_options;
-  tcp_options.hello_k = topt.rank;
-  auto transport = TcpTransport::Listen(
-      rank, static_cast<int>(peers.size()),
-      peers[static_cast<size_t>(rank)].port, tcp_options);
-  if (!transport.ok()) return transport.status();
-  NOMAD_RETURN_IF_ERROR(transport.value()->Establish(peers));
+                               std::unique_ptr<TcpTransport> transport,
+                               const std::vector<TcpPeer>& peers) {
+  NOMAD_RETURN_IF_ERROR(transport->Establish(peers));
   DistNomadOptions options;
   options.train = topt;
   DistNomadSolver solver;
-  auto result = solver.Train(ds, options, transport.value().get());
+  auto result = solver.Train(ds, options, transport.get());
   if (!result.ok()) return result.status();
-  NOMAD_RETURN_IF_ERROR(transport.value()->Close());
+  NOMAD_RETURN_IF_ERROR(transport->Close());
   return result;
 }
 
 // Forks a rank-1 child; both processes train over 127.0.0.1. The child
 // exits without returning (so only the parent writes the JSON).
-RunRow RunTcpTwoProcess(const Dataset& ds, const TrainOptions& topt,
-                        int port_base) {
-  const std::vector<TcpPeer> peers = {{"127.0.0.1", port_base},
-                                      {"127.0.0.1", port_base + 1}};
+//
+// Ports are kernel-assigned (Listen on port 0), so parallel CI jobs and
+// leftover TIME_WAIT sockets cannot collide: rank 0 listens *before* the
+// fork and its real port travels to the child in the peer list, while
+// rank 1's port is never dialed (in this mesh the higher rank connects to
+// the lower) and stays ephemeral.
+RunRow RunTcpTwoProcess(const Dataset& ds, const TrainOptions& topt) {
+  net::TcpOptions tcp_options;
+  tcp_options.hello_k = topt.rank;
+  auto rank0 = TcpTransport::Listen(/*rank=*/0, /*world=*/2, /*port=*/0,
+                                    tcp_options);
+  NOMAD_CHECK(rank0.ok()) << rank0.status().ToString();
+  const std::vector<TcpPeer> peers = {
+      {"127.0.0.1", rank0.value()->listen_port()}, {"127.0.0.1", 0}};
   const pid_t child = fork();
   NOMAD_CHECK(child >= 0) << "fork failed";
   if (child == 0) {
-    auto result = RunTcpRank(ds, topt, /*rank=*/1, peers);
+    rank0.value().reset();  // drop the inherited rank-0 listener
+    auto rank1 = TcpTransport::Listen(/*rank=*/1, /*world=*/2, /*port=*/0,
+                                      tcp_options);
+    if (!rank1.ok()) {
+      std::fprintf(stderr, "tcp child listen: %s\n",
+                   rank1.status().ToString().c_str());
+      std::_Exit(3);
+    }
+    auto result =
+        RunTcpRank(ds, topt, std::move(rank1).value(), peers);
+    if (!result.ok()) {
+      std::fprintf(stderr, "tcp child rank 1: %s\n",
+                   result.status().ToString().c_str());
+    }
     // The child's result stays in the child; rank 0 carries the global
     // trace and per-rank traffic table.
     std::_Exit(result.ok() ? 0 : 3);
   }
-  auto result = RunTcpRank(ds, topt, /*rank=*/0, peers);
+  auto result = RunTcpRank(ds, topt, std::move(rank0).value(), peers);
   int wstatus = 0;
   NOMAD_CHECK(waitpid(child, &wstatus, 0) == child);
+  NOMAD_CHECK(result.ok()) << "tcp rank 0: " << result.status().ToString();
   NOMAD_CHECK(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
       << "tcp child rank failed";
-  NOMAD_CHECK(result.ok()) << result.status().ToString();
   return RowFromResult("tcp", 2, topt.num_workers, result.value());
 }
 
@@ -202,7 +220,6 @@ int Run(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 0.05);
   const int epochs = static_cast<int>(flags.GetInt("epochs", 6));
   const int workers = static_cast<int>(flags.GetInt("workers", 2));
-  const int port_base = static_cast<int>(flags.GetInt("port-base", 19620));
   const std::string out = flags.GetString("out", "BENCH_dist.json");
 
   const Dataset ds = bench::GetDataset("netflix", scale);
@@ -216,7 +233,7 @@ int Run(int argc, char** argv) {
   // every loopback run spawns (and joins) rank threads, but fork() only
   // clones the calling thread, so do the two-process run first.
   std::vector<RunRow> runs;
-  runs.push_back(RunTcpTwoProcess(ds, topt, port_base));
+  runs.push_back(RunTcpTwoProcess(ds, topt));
   std::printf("tcp      world 2: %.3e updates/s, %.3e remote tokens/s, rmse %.4f\n",
               runs.back().updates_per_sec, runs.back().remote_tokens_per_sec,
               runs.back().final_rmse);

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +35,14 @@ namespace net {
 
 namespace {
 
+/// Version headroom added when a lost token is re-granted: the dead rank
+/// may have advanced the token's hop counter past what any survivor saw,
+/// and the re-granted version must dominate every counter that could still
+/// be in flight. Tokens hop a handful of times per epoch, so a million is
+/// unreachable headroom for any real run (and the wire-level regrant flag
+/// makes receivers accept the reset unconditionally anyway).
+constexpr uint32_t kRegrantVersionBump = 1u << 20;
+
 /// One rank's training run for one storage precision. The worker pool is
 /// the NomadSolver hot path (batched MpmcQueue drains, TokenRouter,
 /// optional BatchController and NUMA placement); what is new is the driver,
@@ -55,7 +65,7 @@ class RankRun {
         counts_(ds.train.nnz()),
         gate_(options.train.num_workers),
         driver_rng_(options.train.seed ^ 0xD157D157ULL),
-        version_(static_cast<size_t>(ds.cols), 0),
+        version_(static_cast<size_t>(ds.cols)),
         owner_(static_cast<size_t>(ds.cols)) {}
 
   Result<TrainResult> Run() {
@@ -75,6 +85,9 @@ class RankRun {
     result.total_seconds = global_seconds_;
     result.worker_batch = std::move(batch_stats_);
     result.rank_traffic = std::move(rank_traffic_);
+    for (int r = 0; r < world_; ++r) {
+      if (!IsLive(r)) result.dead_ranks.push_back(r);
+    }
     StoreTrainedFactors(std::move(w_), std::move(h_), &result);
     return result;
   }
@@ -91,6 +104,29 @@ class RankRun {
     shards_ = ColumnShards::Build(ds_.train, partition_);
     row_begin_ = partition_.Begin(rank_ * p_);
     row_end_ = partition_.End(rank_ * p_ + p_ - 1);
+
+    // Global-worker ownership starts at the static partition and grows when
+    // this rank adopts a dead rank's workers during recovery. worker q
+    // processes worker_globals_[q]'s shard entries; evaluation and the
+    // final gather walk every owned global's user range.
+    dead_.assign(static_cast<size_t>(world_), 0);
+    seen_hrow_ids_.assign(static_cast<size_t>(world_), {});
+    worker_globals_.assign(static_cast<size_t>(p_), {});
+    my_globals_.clear();
+    for (int q = 0; q < p_; ++q) {
+      worker_globals_[static_cast<size_t>(q)].push_back(rank_ * p_ + q);
+      my_globals_.push_back(rank_ * p_ + q);
+    }
+
+    // Satellite budget lease: with a hard max_updates budget B, each rank
+    // starts with an equal share as its local cap; rank 0 re-leases the
+    // remainder at every barrier (kResume.held), so the job stops within a
+    // token batch of B instead of overshooting by up to an epoch.
+    if (opt_.max_updates > 0) {
+      const int64_t base = opt_.max_updates / world_;
+      const int64_t extra = rank_ < opt_.max_updates % world_ ? 1 : 0;
+      update_cap_.store(base + extra, std::memory_order_relaxed);
+    }
 
     remote_prob_ = o_.remote_token_fraction;
     if (remote_prob_ < 0) {
@@ -188,8 +224,9 @@ class RankRun {
     controller_config.initial_batch = std::min(fixed_batch, max_batch);
     batch_stats_.resize(static_cast<size_t>(p_));
 
+    const int retry_limit = std::max(0, o_.send_retry_limit);
     auto worker_fn = [this, auto_batch, fixed_batch, max_batch,
-                      controller_config](int q) {
+                      controller_config, retry_limit](int q) {
       if (numa_place_) {
         PinCurrentThreadToCpus(worker_cpus_[static_cast<size_t>(q)]);
       }
@@ -239,37 +276,77 @@ class RankRun {
                   expected, q, std::memory_order_acquire);
           NOMAD_CHECK(acquired) << "item " << j << " already owned by worker "
                                 << expected << " on rank " << rank_;
-          int32_t n = 0;
-          const ColumnShards::Entry* entries =
-              shards_.ColEntries(rank_ * p_ + q, j, &n);
-          Real* hj = h_.Row(j);
-          for (int32_t t = 0; t < n; ++t) {
-            const ColumnShards::Entry& e = entries[t];
-            kernel_.Apply(e.value, &counts_, e.csc_pos, w_.Row(e.row), hj);
-          }
-          if (n > 0) {
-            total_updates_.fetch_add(n, std::memory_order_relaxed);
+          // Past the leased update budget the token only hops (conservation
+          // must hold for the barrier) without being processed; the driver
+          // is already requesting the barrier that re-leases or stops.
+          const bool in_budget =
+              total_updates_.load(std::memory_order_relaxed) <
+              update_cap_.load(std::memory_order_relaxed);
+          if (in_budget) {
+            Real* hj = h_.Row(j);
+            int32_t applied = 0;
+            for (int g : worker_globals_[static_cast<size_t>(q)]) {
+              int32_t n = 0;
+              const ColumnShards::Entry* entries = shards_.ColEntries(g, j, &n);
+              for (int32_t t = 0; t < n; ++t) {
+                const ColumnShards::Entry& e = entries[t];
+                kernel_.Apply(e.value, &counts_, e.csc_pos, w_.Row(e.row), hj);
+              }
+              applied += n;
+            }
+            if (applied > 0) {
+              total_updates_.fetch_add(applied, std::memory_order_relaxed);
+            }
           }
           const bool remote =
               world_ > 1 && rng.NextDouble() < remote_prob_;
+          int dest = -1;
           if (remote) {
+            dest = static_cast<int>(
+                rng.NextBelow(static_cast<uint64_t>(world_ - 1)));
+            if (dest >= rank_) ++dest;
+            // Route around latched-dead ranks. The mask is advisory (a
+            // stale read only costs a retried send), and redrawing keeps
+            // the pick uniform over the survivors.
+            if (world_ <= 64) {
+              const uint64_t mask = dead_mask_.load(std::memory_order_relaxed);
+              for (int tries = 0; tries < 4 && ((mask >> dest) & 1); ++tries) {
+                dest = static_cast<int>(
+                    rng.NextBelow(static_cast<uint64_t>(world_ - 1)));
+                if (dest >= rank_) ++dest;
+              }
+              if ((mask >> dest) & 1) dest = -1;  // no live remote drawn
+            }
+          }
+          if (dest >= 0) {
             // Serialize h_j while still owning the token: the frame is the
             // hand-off, and nobody may touch the row mid-encode.
-            const uint32_t v = ++version_[static_cast<size_t>(j)];
+            const uint32_t v = version_[static_cast<size_t>(j)].fetch_add(
+                                   1u, std::memory_order_relaxed) +
+                               1u;
             EncodeFactorRow<Real>(MsgType::kToken, j, v, h_.Row(j), k_,
                                   &frame);
             owner_[static_cast<size_t>(j)].store(-1,
                                                  std::memory_order_release);
-            int dest = static_cast<int>(
-                rng.NextBelow(static_cast<uint64_t>(world_ - 1)));
-            if (dest >= rank_) ++dest;
-            // A failed send would un-conserve the token and wedge the next
-            // barrier; a dead transport mid-run is fatal by design (fault
-            // tolerance is future work, see ROADMAP.md).
-            const Status sent = transport_->Send(dest, std::move(frame));
-            NOMAD_CHECK(sent.ok())
-                << "rank " << rank_ << ": " << sent.ToString();
-            tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+            // A lost frame would un-conserve the token and wedge the next
+            // barrier, so sends retry transient (Unavailable) failures with
+            // backoff; a peer that stays unreachable is the recovery
+            // layer's problem and the token stays local meanwhile.
+            Status sent;
+            for (int attempt = 0;; ++attempt) {
+              sent = transport_->Send(dest, frame);  // copy: retries reuse it
+              if (sent.ok() || attempt >= retry_limit ||
+                  sent.code() != StatusCode::kUnavailable) {
+                break;
+              }
+              std::this_thread::sleep_for(std::chrono::microseconds(
+                  50u << (attempt < 6 ? attempt : 6)));
+            }
+            if (sent.ok()) {
+              tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              tokens[local_n++] = j;
+            }
           } else {
             owner_[static_cast<size_t>(j)].store(-1,
                                                  std::memory_order_release);
@@ -315,6 +392,13 @@ class RankRun {
     std::vector<uint8_t> frame;
     int src = -1;
     while (transport_->TryReceive(&frame, &src)) {
+      if (src >= 0 && src < world_ && dead_[static_cast<size_t>(src)]) {
+        // Leftovers of a latched-dead rank (loopback inboxes outlive the
+        // death; TCP can hand over buffered frames). They must not
+        // resurrect tokens the recovery already re-granted.
+        ++dead_frames_;
+        continue;
+      }
       auto type = PeekType(frame.data(), frame.size());
       if (!type.ok()) return type.status();
       switch (type.value()) {
@@ -329,11 +413,22 @@ class RankRun {
           }
           const size_t j = static_cast<size_t>(row.id);
           if (type.value() == MsgType::kToken) {
-            // Exclusive ownership makes the hop counter strictly monotone;
-            // a replayed or reordered token is a protocol bug.
-            NOMAD_CHECK(row.version > version_[j])
-                << "token " << row.id << " arrived with stale version";
-            version_[j] = row.version;
+            const bool regrant = (row.flags & kFactorRowFlagRegrant) != 0;
+            if (regrant) {
+              // Authoritative re-materialization of a token lost with a
+              // dead rank: accept unconditionally, version reset included.
+              ++regrant_received_;
+            } else if (row.version <=
+                       version_[j].load(std::memory_order_relaxed)) {
+              // Exclusive ownership makes the hop counter strictly
+              // monotone, so a version that does not advance is a replayed
+              // or duplicated frame (an injected fault, or a retried send
+              // whose first copy did arrive). The live token is elsewhere;
+              // discard this copy.
+              ++stale_tokens_;
+              break;
+            }
+            version_[j].store(row.version, std::memory_order_relaxed);
             std::copy(row.values, row.values + k_, h_.Row(row.id));
             tokens_received_.fetch_add(1, std::memory_order_relaxed);
             if (in_barrier_) {
@@ -345,12 +440,17 @@ class RankRun {
           } else {
             // State broadcast, not a hand-off: the holder's copy is
             // canonical, and its version can equal ours (the token may not
-            // have moved since the last barrier).
-            NOMAD_CHECK(row.version >= version_[j])
-                << "h-row " << row.id << " arrived with stale version";
-            version_[j] = row.version;
-            std::copy(row.values, row.values + k_, h_.Row(row.id));
+            // have moved since the last barrier). A *stale* broadcast — a
+            // replay from a barrier a death aborted — is skipped but still
+            // counted, since the sender's kHRowDone count includes it.
+            if (row.version >= version_[j].load(std::memory_order_relaxed)) {
+              version_[j].store(row.version, std::memory_order_relaxed);
+              std::copy(row.values, row.values + k_, h_.Row(row.id));
+            }
             ++hrow_received_[static_cast<size_t>(src)];
+            if (record_hrow_ids_) {
+              seen_hrow_ids_[static_cast<size_t>(src)].push_back(row.id);
+            }
           }
           break;
         }
@@ -379,6 +479,24 @@ class RankRun {
                 std::to_string(ctrl.value().rank) + " outside world " +
                 std::to_string(world_));
           }
+          if (ctrl.value().kind == ControlKind::kLeaseSync) {
+            // Recovery flush marker: per-channel FIFO makes it the exact
+            // boundary between the sender's pre-death traffic and its
+            // census re-broadcast, so the sender's h-row bookkeeping resets
+            // *here* — not in a later phase, which would also wipe census
+            // frames that arrived in the same drain as the marker.
+            hrow_received_[static_cast<size_t>(src)] = 0;
+            if (record_hrow_ids_) {
+              seen_hrow_ids_[static_cast<size_t>(src)].clear();
+            }
+            for (auto it = ctrl_q_.begin(); it != ctrl_q_.end();) {
+              if (it->kind == ControlKind::kHRowDone && it->rank == src) {
+                it = ctrl_q_.erase(it);  // predates the marker: stale
+              } else {
+                ++it;
+              }
+            }
+          }
           ctrl_q_.push_back(ctrl.value());
           break;
         }
@@ -402,16 +520,191 @@ class RankRun {
     return false;
   }
 
+  // ---- liveness bookkeeping + fault-aware sends ----
+
+  bool IsLive(int r) const { return dead_[static_cast<size_t>(r)] == 0; }
+
+  int LiveCount() const {
+    int live = 0;
+    for (int r = 0; r < world_; ++r) live += IsLive(r) ? 1 : 0;
+    return live;
+  }
+
+  std::vector<int> LiveRanks() const {
+    std::vector<int> live;
+    for (int r = 0; r < world_; ++r) {
+      if (IsLive(r)) live.push_back(r);
+    }
+    return live;
+  }
+
+  void LatchDead(int r) {
+    if (r < 0 || r >= world_ || r == rank_ || !IsLive(r)) return;
+    dead_[static_cast<size_t>(r)] = 1;
+    if (world_ <= 64) {
+      dead_mask_.fetch_or(1ull << r, std::memory_order_relaxed);
+    }
+    NOMAD_LOG(kWarning) << "dist_nomad rank " << rank_ << ": rank " << r
+                        << " latched dead";
+  }
+
+  /// Sends with bounded retry + exponential backoff on transient
+  /// (Unavailable) failures; any other error — and exhausted retries —
+  /// surfaces to the caller.
+  Status SendWithRetry(int dest, const std::vector<uint8_t>& buf) {
+    const int limit = std::max(0, o_.send_retry_limit);
+    Status s;
+    for (int attempt = 0;; ++attempt) {
+      s = transport_->Send(dest, buf);  // copy: retries reuse the bytes
+      if (s.ok() || attempt >= limit ||
+          s.code() != StatusCode::kUnavailable) {
+        return s;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(100u << (attempt < 6 ? attempt : 6)));
+    }
+  }
+
   Status SendCtrl(int dest, const ControlFrame& frame) {
     std::vector<uint8_t> buf;
     EncodeControl(frame, &buf);
-    return transport_->Send(dest, std::move(buf));
+    return SendWithRetry(dest, buf);
+  }
+
+  /// Broadcast to the live ranks only. A peer that stays Unavailable
+  /// through all retries is presumed dying: rank 0 latches it dead on the
+  /// spot (the heartbeat verdict confirms shortly) and reports Unavailable
+  /// so the caller escalates to recovery; other ranks skip it and leave
+  /// the declaration to rank 0 — unless the unreachable peer is rank 0
+  /// itself, which is unrecoverable.
+  Status BroadcastLive(const std::vector<uint8_t>& buf) {
+    Status escalate = Status::OK();
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_ || !IsLive(r)) continue;
+      Status s = SendWithRetry(r, buf);
+      if (s.ok()) continue;
+      if (s.code() != StatusCode::kUnavailable) return s;
+      if (rank_ == 0) {
+        LatchDead(r);
+        death_pending_ = true;
+        escalate = s;
+      } else if (r == 0) {
+        return Status::IOError(
+            "rank " + std::to_string(rank_) +
+            ": rank 0 is unreachable — unrecoverable, aborting");
+      }
+    }
+    return escalate;
   }
 
   Status BroadcastCtrl(const ControlFrame& frame) {
     std::vector<uint8_t> buf;
     EncodeControl(frame, &buf);
-    return transport_->Broadcast(buf);
+    return BroadcastLive(buf);
+  }
+
+  /// The driver's death watch, polled in every wait loop. Rank 0 reads the
+  /// transport's liveness verdicts and is the only authority that declares
+  /// a death; everyone else learns through its kDeathNotice frames. While
+  /// a death is pending recovery this keeps returning Unavailable, which
+  /// unwinds whatever protocol phase is running back to DriveToCompletion.
+  Status CheckDeaths() {
+    if (world_ == 1) return Status::OK();
+    if (rank_ == 0) {
+      for (int r = 1; r < world_; ++r) {
+        if (IsLive(r) && transport_->peer_status(r) == PeerStatus::kDead) {
+          LatchDead(r);
+          death_pending_ = true;
+        }
+      }
+    } else {
+      if (transport_->peer_status(0) == PeerStatus::kDead) {
+        return Status::IOError(
+            "rank " + std::to_string(rank_) +
+            ": rank 0 is unreachable — unrecoverable, aborting");
+      }
+      ControlFrame notice;
+      while (TakeCtrl(ControlKind::kDeathNotice, &notice)) {
+        LatchDead(static_cast<int>(notice.count));
+        notice_gen_ = std::max(notice_gen_, static_cast<int>(notice.epoch));
+        notice_epoch_ = std::max<int64_t>(notice_epoch_, notice.held);
+        death_pending_ = true;
+      }
+    }
+    if (death_pending_) {
+      return Status::Unavailable("rank death pending recovery");
+    }
+    return Status::OK();
+  }
+
+  /// Recovery-phase variant of the death watch: a death that generation
+  /// `gen` does not cover restarts the recovery with the larger dead set,
+  /// again via Unavailable.
+  Status CheckRecoveryInterrupt(int gen) {
+    if (rank_ == 0) {
+      bool fresh = false;
+      for (int r = 1; r < world_; ++r) {
+        if (IsLive(r) && transport_->peer_status(r) == PeerStatus::kDead) {
+          LatchDead(r);
+          fresh = true;
+        }
+      }
+      return fresh ? Status::Unavailable("death during recovery")
+                   : Status::OK();
+    }
+    if (transport_->peer_status(0) == PeerStatus::kDead) {
+      return Status::IOError(
+          "rank " + std::to_string(rank_) +
+          ": rank 0 is unreachable — unrecoverable, aborting");
+    }
+    bool newer = false;
+    ControlFrame notice;
+    while (TakeCtrl(ControlKind::kDeathNotice, &notice)) {
+      LatchDead(static_cast<int>(notice.count));
+      notice_epoch_ = std::max<int64_t>(notice_epoch_, notice.held);
+      if (notice.epoch > notice_gen_) notice_gen_ = notice.epoch;
+      if (notice.epoch > gen) newer = true;
+    }
+    return newer ? Status::Unavailable("newer recovery generation")
+                 : Status::OK();
+  }
+
+  /// Drops every queued control frame of a protocol phase a death aborted;
+  /// only recovery-plane kinds survive. Runs after the flush barrier, when
+  /// everything the purged frames were part of has provably arrived.
+  void PurgeStaleCtrl() {
+    std::deque<ControlFrame> keep;
+    for (const ControlFrame& f : ctrl_q_) {
+      // kHRowDone survives too: a survivor that raced through the flush
+      // barrier may already have finished its census re-broadcast, and its
+      // done-frame must not be lost (pre-marker ones were erased when the
+      // marker was pumped).
+      if (f.kind == ControlKind::kDeathNotice ||
+          f.kind == ControlKind::kLeaseSync ||
+          f.kind == ControlKind::kTokenRegrant ||
+          f.kind == ControlKind::kHRowDone) {
+        keep.push_back(f);
+      }
+    }
+    ctrl_q_.swap(keep);
+  }
+
+  /// The contiguous user-row ranges this rank owns: its static partition
+  /// slice plus everything adopted from dead ranks. Evaluation and the
+  /// final gather walk these instead of [row_begin_, row_end_).
+  std::vector<std::pair<int32_t, int32_t>> OwnedRowRanges() const {
+    std::vector<std::pair<int32_t, int32_t>> ranges;
+    for (int g : my_globals_) {
+      const int32_t b = partition_.Begin(g);
+      const int32_t e = partition_.End(g);
+      if (e <= b) continue;
+      if (!ranges.empty() && ranges.back().second == b) {
+        ranges.back().second = e;
+      } else {
+        ranges.emplace_back(b, e);
+      }
+    }
+    return ranges;
   }
 
   static void Nap() {
@@ -423,43 +716,67 @@ class RankRun {
   Status DriveToCompletion() {
     bool finished = false;
     while (!finished) {
-      NOMAD_RETURN_IF_ERROR(Pump());
-      const int64_t done = total_updates_.load(std::memory_order_relaxed);
-      const bool out_of_time =
-          opt_.max_seconds > 0 &&
-          train_seconds_ + wall_.ElapsedSeconds() >= opt_.max_seconds;
-      if (rank_ == 0) {
-        bool requested = done >= next_threshold_ || out_of_time;
-        ControlFrame req;
-        while (TakeCtrl(ControlKind::kBarrierRequest, &req)) {
-          if (req.epoch >= epoch_) requested = true;  // stale ones drop
+      const Status step = DriveStep(&finished);
+      if (!step.ok()) {
+        // A detected death unwinds whatever phase was running as
+        // Unavailable; recovery re-establishes the invariants and the loop
+        // goes on degraded. Every other error is fatal for this rank.
+        if (death_pending_ && step.code() == StatusCode::kUnavailable &&
+            world_ > 1) {
+          NOMAD_RETURN_IF_ERROR(RunRecovery());
+          continue;
         }
-        if (requested) {
-          ControlFrame enter;
-          enter.kind = ControlKind::kBarrierEnter;
-          enter.rank = 0;
-          enter.epoch = epoch_;
-          NOMAD_RETURN_IF_ERROR(BroadcastCtrl(enter));
-          NOMAD_RETURN_IF_ERROR(RunBarrier(&finished));
-        }
-      } else {
-        if ((done >= next_threshold_ || out_of_time) && !request_sent_) {
-          ControlFrame req;
-          req.kind = ControlKind::kBarrierRequest;
-          req.rank = rank_;
-          req.epoch = epoch_;
-          NOMAD_RETURN_IF_ERROR(SendCtrl(0, req));
-          request_sent_ = true;
-        }
-        ControlFrame enter;
-        if (TakeCtrl(ControlKind::kBarrierEnter, &enter)) {
-          NOMAD_CHECK(enter.epoch == epoch_)
-              << "barrier epoch skew: got " << enter.epoch << ", at "
-              << epoch_;
-          NOMAD_RETURN_IF_ERROR(RunBarrier(&finished));
-        }
+        return step;
       }
       if (!finished) Nap();
+    }
+    return Status::OK();
+  }
+
+  Status DriveStep(bool* finished) {
+    NOMAD_RETURN_IF_ERROR(Pump());
+    NOMAD_RETURN_IF_ERROR(CheckDeaths());
+    const int64_t done = total_updates_.load(std::memory_order_relaxed);
+    const bool out_of_time =
+        opt_.max_seconds > 0 &&
+        train_seconds_ + wall_.ElapsedSeconds() >= opt_.max_seconds;
+    const bool out_of_budget =
+        opt_.max_updates > 0 &&
+        done >= update_cap_.load(std::memory_order_relaxed);
+    if (rank_ == 0) {
+      bool requested = done >= next_threshold_ || out_of_time ||
+                       out_of_budget || barrier_after_recovery_;
+      ControlFrame req;
+      while (TakeCtrl(ControlKind::kBarrierRequest, &req)) {
+        if (req.epoch >= epoch_) requested = true;  // stale ones drop
+      }
+      if (requested) {
+        barrier_after_recovery_ = false;
+        ControlFrame enter;
+        enter.kind = ControlKind::kBarrierEnter;
+        enter.rank = 0;
+        enter.epoch = epoch_;
+        NOMAD_RETURN_IF_ERROR(BroadcastCtrl(enter));
+        NOMAD_RETURN_IF_ERROR(RunBarrier(finished));
+      }
+    } else {
+      if ((done >= next_threshold_ || out_of_time || out_of_budget) &&
+          !request_sent_) {
+        ControlFrame req;
+        req.kind = ControlKind::kBarrierRequest;
+        req.rank = rank_;
+        req.epoch = epoch_;
+        NOMAD_RETURN_IF_ERROR(SendCtrl(0, req));
+        request_sent_ = true;
+      }
+      ControlFrame enter;
+      if (TakeCtrl(ControlKind::kBarrierEnter, &enter)) {
+        // Rank 0's epoch is authoritative: a recovery can leave survivors
+        // an epoch apart (some saw the aborted barrier's kResume, some had
+        // it purged), so adopt rather than assert.
+        epoch_ = enter.epoch;
+        NOMAD_RETURN_IF_ERROR(RunBarrier(finished));
+      }
     }
     return Status::OK();
   }
@@ -468,14 +785,7 @@ class RankRun {
   /// (and the final gather has completed). See docs/ARCHITECTURE.md for
   /// the message flow.
   Status RunBarrier(bool* finished) {
-    gate_.Pause();
-    train_seconds_ += wall_.ElapsedSeconds();
-    in_barrier_ = true;
-    for (int q = 0; q < p_; ++q) {
-      while (auto token = queues_[static_cast<size_t>(q)]->TryPop()) {
-        held_.push_back(*token);
-      }
-    }
+    Quiesce();
 
     // Phase 1 — conservation: rank 0 waits until every circulating token
     // is parked somewhere (sum of held counts == n ⇔ nothing in flight).
@@ -516,12 +826,27 @@ class RankRun {
     return Status::OK();
   }
 
+  /// Parks the workers and herds every local token into held_; idempotent,
+  /// so an aborted barrier and the recovery that follows it compose.
+  void Quiesce() {
+    if (in_barrier_) return;
+    gate_.Pause();
+    train_seconds_ += wall_.ElapsedSeconds();
+    in_barrier_ = true;
+    for (int q = 0; q < p_; ++q) {
+      while (auto token = queues_[static_cast<size_t>(q)]->TryPop()) {
+        held_.push_back(*token);
+      }
+    }
+  }
+
   Status AwaitConservation() {
     const int32_t n = ds_.cols;
     if (rank_ == 0) {
       std::vector<int64_t> rank_held(static_cast<size_t>(world_), -1);
       for (;;) {
         NOMAD_RETURN_IF_ERROR(Pump());
+        NOMAD_RETURN_IF_ERROR(CheckDeaths());
         ControlFrame sync;
         while (TakeCtrl(ControlKind::kTraceSync, &sync)) {
           rank_held[static_cast<size_t>(sync.rank)] = sync.held;
@@ -529,7 +854,9 @@ class RankRun {
         rank_held[0] = static_cast<int64_t>(held_.size());
         int64_t sum = 0;
         bool all = true;
-        for (int64_t c : rank_held) {
+        for (int r = 0; r < world_; ++r) {
+          if (!IsLive(r)) continue;  // a dead rank's tokens were re-granted
+          const int64_t c = rank_held[static_cast<size_t>(r)];
           if (c < 0) {
             all = false;
             break;
@@ -550,6 +877,7 @@ class RankRun {
     int64_t reported = -1;
     for (;;) {
       NOMAD_RETURN_IF_ERROR(Pump());
+      NOMAD_RETURN_IF_ERROR(CheckDeaths());
       if (static_cast<int64_t>(held_.size()) != reported) {
         reported = static_cast<int64_t>(held_.size());
         ControlFrame sync;
@@ -565,14 +893,19 @@ class RankRun {
     }
   }
 
-  Status ExchangeHeldRows() {
+  /// Broadcasts this rank's held h-rows to the live ranks and waits for
+  /// everyone else's. `recovery_gen` < 0 is the normal barrier phase;
+  /// >= 0 runs it as the recovery's re-own census (generation-aware
+  /// interrupt checks, and rank 0 records the ids it sees).
+  Status ExchangeHeldRows(int recovery_gen = -1) {
     if (world_ == 1) return Status::OK();
     std::vector<uint8_t> frame;
     for (int32_t j : held_) {
-      EncodeFactorRow<Real>(MsgType::kHRow, j,
-                            version_[static_cast<size_t>(j)], h_.Row(j), k_,
-                            &frame);
-      NOMAD_RETURN_IF_ERROR(transport_->Broadcast(frame));
+      EncodeFactorRow<Real>(
+          MsgType::kHRow, j,
+          version_[static_cast<size_t>(j)].load(std::memory_order_relaxed),
+          h_.Row(j), k_, &frame);
+      NOMAD_RETURN_IF_ERROR(BroadcastLive(frame));
     }
     ControlFrame done;
     done.kind = ControlKind::kHRowDone;
@@ -584,12 +917,16 @@ class RankRun {
     expected[static_cast<size_t>(rank_)] = 0;
     for (;;) {
       NOMAD_RETURN_IF_ERROR(Pump());
+      NOMAD_RETURN_IF_ERROR(recovery_gen >= 0
+                                ? CheckRecoveryInterrupt(recovery_gen)
+                                : CheckDeaths());
       ControlFrame f;
       while (TakeCtrl(ControlKind::kHRowDone, &f)) {
         expected[static_cast<size_t>(f.rank)] = f.count;
       }
       bool complete = true;
       for (int r = 0; r < world_; ++r) {
+        if (!IsLive(r)) continue;  // nothing will come from a dead rank
         if (expected[static_cast<size_t>(r)] < 0 ||
             hrow_received_[static_cast<size_t>(r)] <
                 expected[static_cast<size_t>(r)]) {
@@ -598,7 +935,7 @@ class RankRun {
         }
       }
       if (complete) {
-        // This barrier's rows are all accounted for; reset for the next.
+        // This exchange's rows are all accounted for; reset for the next.
         hrow_received_.assign(static_cast<size_t>(world_), 0);
         return Status::OK();
       }
@@ -609,20 +946,22 @@ class RankRun {
   Status EvaluateAndDecide(bool* stop) {
     double sq = 0.0;
     int64_t cnt = 0;
-    for (int32_t i = row_begin_; i < row_end_; ++i) {
-      const int32_t nnz = ds_.test.RowNnz(i);
-      const int32_t* cols = ds_.test.RowCols(i);
-      const float* vals = ds_.test.RowVals(i);
-      const Real* wi = w_.Row(i);
-      for (int32_t t = 0; t < nnz; ++t) {
-        const Real* hj = h_.Row(cols[t]);
-        double pred = 0.0;
-        for (int d = 0; d < k_; ++d) {
-          pred += static_cast<double>(wi[d]) * static_cast<double>(hj[d]);
+    for (const auto& range : OwnedRowRanges()) {
+      for (int32_t i = range.first; i < range.second; ++i) {
+        const int32_t nnz = ds_.test.RowNnz(i);
+        const int32_t* cols = ds_.test.RowCols(i);
+        const float* vals = ds_.test.RowVals(i);
+        const Real* wi = w_.Row(i);
+        for (int32_t t = 0; t < nnz; ++t) {
+          const Real* hj = h_.Row(cols[t]);
+          double pred = 0.0;
+          for (int d = 0; d < k_; ++d) {
+            pred += static_cast<double>(wi[d]) * static_cast<double>(hj[d]);
+          }
+          const double err = pred - static_cast<double>(vals[t]);
+          sq += err * err;
+          ++cnt;
         }
-        const double err = pred - static_cast<double>(vals[t]);
-        sq += err * err;
-        ++cnt;
       }
     }
     const TransportStats tstats = transport_->stats();
@@ -644,9 +983,10 @@ class RankRun {
       std::vector<bool> have(static_cast<size_t>(world_), false);
       evals[0] = mine;
       have[0] = true;
-      int missing = world_ - 1;
+      int missing = LiveCount() - 1;
       while (missing > 0) {
         NOMAD_RETURN_IF_ERROR(Pump());
+        NOMAD_RETURN_IF_ERROR(CheckDeaths());
         ControlFrame f;
         while (TakeCtrl(ControlKind::kPartialEval, &f)) {
           if (!have[static_cast<size_t>(f.rank)]) {
@@ -661,7 +1001,9 @@ class RankRun {
       int64_t cnt_total = 0;
       int64_t updates_total = 0;
       rank_traffic_.clear();
-      for (const ControlFrame& f : evals) {
+      for (int r = 0; r < world_; ++r) {
+        if (!have[static_cast<size_t>(r)]) continue;  // dead rank: no report
+        const ControlFrame& f = evals[static_cast<size_t>(r)];
         sq_total += f.sq_err;
         cnt_total += f.count;
         updates_total += f.updates;
@@ -700,7 +1042,34 @@ class RankRun {
       resume.updates = updates_total;
       resume.sq_err = rmse;
       resume.seconds = train_seconds_;
-      return BroadcastCtrl(resume);
+      // With a hard max_updates budget, re-lease what remains of it across
+      // the live ranks as absolute per-rank caps (kResume.held): each
+      // rank's workers stop at their cap and request the next barrier, so
+      // the job lands within a token batch of the budget instead of
+      // overshooting by up to an epoch.
+      const bool lease = opt_.max_updates > 0 && !*stop;
+      const std::vector<int> live = LiveRanks();
+      const int64_t remaining =
+          lease ? std::max<int64_t>(opt_.max_updates - updates_total, 0) : 0;
+      const int64_t nlive = static_cast<int64_t>(live.size());
+      int64_t share_index = 0;
+      for (int r : live) {
+        resume.held = -1;
+        if (lease) {
+          const int64_t share =
+              remaining / nlive + (share_index < remaining % nlive ? 1 : 0);
+          resume.held = evals[static_cast<size_t>(r)].updates + share;
+          ++share_index;
+        }
+        if (r == 0) {
+          if (resume.held >= 0) {
+            update_cap_.store(resume.held, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        NOMAD_RETURN_IF_ERROR(SendCtrl(r, resume));
+      }
+      return Status::OK();
     }
 
     NOMAD_RETURN_IF_ERROR(SendCtrl(0, mine));
@@ -715,6 +1084,7 @@ class RankRun {
     rank_traffic_.push_back(t);
     for (;;) {
       NOMAD_RETURN_IF_ERROR(Pump());
+      NOMAD_RETURN_IF_ERROR(CheckDeaths());
       ControlFrame f;
       if (TakeCtrl(ControlKind::kResume, &f)) {
         TracePoint pt;
@@ -724,6 +1094,9 @@ class RankRun {
         trace_.Add(pt);
         global_updates_ = f.updates;
         global_seconds_ = f.seconds;
+        if (f.held >= 0) {
+          update_cap_.store(f.held, std::memory_order_relaxed);
+        }
         *stop = f.flag != 0;
         return Status::OK();
       }
@@ -738,12 +1111,21 @@ class RankRun {
       expected[0] = 0;
       for (;;) {
         NOMAD_RETURN_IF_ERROR(Pump());
+        // Training is over, so a rank dying here gets no recovery: latch
+        // it, keep whatever w rows it managed to send (this rank's W holds
+        // deterministic initial values for the rest), and move on.
+        for (int r = 1; r < world_; ++r) {
+          if (IsLive(r) && transport_->peer_status(r) == PeerStatus::kDead) {
+            LatchDead(r);
+          }
+        }
         ControlFrame f;
         while (TakeCtrl(ControlKind::kWDone, &f)) {
           expected[static_cast<size_t>(f.rank)] = f.count;
         }
         bool complete = true;
         for (int r = 0; r < world_; ++r) {
+          if (!IsLive(r)) continue;
           if (expected[static_cast<size_t>(r)] < 0 ||
               wrow_received_[static_cast<size_t>(r)] <
                   expected[static_cast<size_t>(r)]) {
@@ -761,22 +1143,269 @@ class RankRun {
       return BroadcastCtrl(bye);
     }
     std::vector<uint8_t> frame;
-    for (int32_t i = row_begin_; i < row_end_; ++i) {
-      EncodeFactorRow<Real>(MsgType::kWRow, i, 0u, w_.Row(i), k_, &frame);
-      NOMAD_RETURN_IF_ERROR(transport_->Send(0, std::move(frame)));
+    int64_t rows_sent = 0;
+    for (const auto& range : OwnedRowRanges()) {
+      for (int32_t i = range.first; i < range.second; ++i) {
+        EncodeFactorRow<Real>(MsgType::kWRow, i, 0u, w_.Row(i), k_, &frame);
+        NOMAD_RETURN_IF_ERROR(SendWithRetry(0, frame));
+        ++rows_sent;
+      }
     }
     ControlFrame done;
     done.kind = ControlKind::kWDone;
     done.rank = rank_;
     done.epoch = epoch_;
-    done.count = row_end_ - row_begin_;
+    done.count = rows_sent;
     NOMAD_RETURN_IF_ERROR(SendCtrl(0, done));
     for (;;) {
       NOMAD_RETURN_IF_ERROR(Pump());
+      // Check for the shutdown frame BEFORE the liveness verdict: rank 0
+      // closes its transport right after broadcasting kShutdown, so the
+      // frame and the connection teardown race — TCP delivers the frame
+      // first, but one Pump() can surface both at once.
       ControlFrame f;
       if (TakeCtrl(ControlKind::kShutdown, &f)) return Status::OK();
+      if (transport_->peer_status(0) == PeerStatus::kDead) {
+        return Status::IOError(
+            "rank " + std::to_string(rank_) +
+            ": rank 0 is unreachable — unrecoverable, aborting");
+      }
       Nap();
     }
+  }
+
+  // ---- failure recovery ----
+
+  /// Recovers from the latched deaths: detection → notice → channel flush
+  /// → token re-own census → re-grant → partition adoption → resume
+  /// (docs/ARCHITECTURE.md, "Failure model"). If another rank dies while
+  /// recovery is running, the attempt unwinds (Unavailable) and restarts
+  /// with the larger dead set — every step re-derives its state from a
+  /// fresh census, so a half-finished attempt leaves nothing to undo.
+  Status RunRecovery() {
+    for (;;) {
+      const Status attempt = RunRecoveryOnce();
+      if (attempt.ok()) {
+        death_pending_ = false;
+        return Status::OK();
+      }
+      if (attempt.code() != StatusCode::kUnavailable) return attempt;
+    }
+  }
+
+  Status RunRecoveryOnce() {
+    // 0. Quiesce. Inbound tokens herd into held_ from here on; a barrier a
+    //    death aborted mid-phase left the workers parked already.
+    Quiesce();
+
+    // 1. Announce. Rank 0 (the only death authority) broadcasts the full
+    //    dead set under a fresh generation; re-announcing earlier deaths
+    //    is idempotent (latching is) and makes restarts self-contained.
+    //    The notice carries rank 0's barrier epoch — survivors whose
+    //    kResume was lost with the abort re-sync from it.
+    int gen = 0;
+    if (rank_ == 0) {
+      gen = ++recovery_gen_;
+      ControlFrame notice;
+      notice.kind = ControlKind::kDeathNotice;
+      notice.rank = 0;
+      notice.epoch = gen;
+      notice.held = epoch_;
+      for (int d = 0; d < world_; ++d) {
+        if (IsLive(d)) continue;
+        notice.count = d;
+        NOMAD_RETURN_IF_ERROR(BroadcastCtrl(notice));
+      }
+    } else {
+      gen = notice_gen_;
+    }
+    NOMAD_LOG(kWarning) << "dist_nomad rank " << rank_
+                        << ": recovery generation " << gen << " ("
+                        << (world_ - LiveCount()) << " dead, "
+                        << LiveCount() << " live)";
+
+    // 2. Flush. Every survivor broadcasts a kLeaseSync marker and waits
+    //    for every live peer's marker of this generation. Frames are FIFO
+    //    per (sender, receiver) channel, so once a peer's marker is here,
+    //    everything it sent before pausing is too — the held-token census
+    //    below is exact, with no acknowledgement protocol. Pump() resets a
+    //    sender's h-row bookkeeping the moment its marker is processed, so
+    //    census traffic from survivors racing ahead of this rank is
+    //    counted, while pre-death leftovers are not. Recording starts
+    //    before the marker goes out: a racing peer's census rows can
+    //    arrive in the same drain as its marker.
+    if (rank_ == 0) {
+      record_hrow_ids_ = true;
+      for (auto& ids : seen_hrow_ids_) ids.clear();
+    }
+    {
+      ControlFrame marker;
+      marker.kind = ControlKind::kLeaseSync;
+      marker.rank = rank_;
+      marker.epoch = gen;
+      marker.held = static_cast<int64_t>(held_.size());
+      NOMAD_RETURN_IF_ERROR(BroadcastCtrl(marker));
+      std::vector<char> marked(static_cast<size_t>(world_), 0);
+      marked[static_cast<size_t>(rank_)] = 1;
+      for (;;) {
+        NOMAD_RETURN_IF_ERROR(Pump());
+        NOMAD_RETURN_IF_ERROR(CheckRecoveryInterrupt(gen));
+        ControlFrame f;
+        while (TakeCtrl(ControlKind::kLeaseSync, &f)) {
+          if (f.epoch == gen) marked[static_cast<size_t>(f.rank)] = 1;
+          // markers of older generations are leftovers of a superseded
+          // attempt; drop them
+        }
+        bool all = true;
+        for (int r = 0; r < world_; ++r) {
+          if (IsLive(r) && !marked[static_cast<size_t>(r)]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) break;
+        Nap();
+      }
+    }
+
+    // 3. Reset the aborted protocol: everything those purged frames were
+    //    part of has provably arrived. The h-row counters were already
+    //    reset per sender by its marker — a wholesale reset here would
+    //    wipe census traffic from survivors that raced ahead.
+    PurgeStaleCtrl();
+    request_sent_ = false;
+
+    // 4. Re-own census: survivors re-broadcast their held h-rows (which
+    //    also re-syncs H everywhere); rank 0 records the ids, so the set
+    //    of tokens that died with the dead ranks — held there, or in
+    //    flight to or from them — is exactly the complement.
+    {
+      const Status census = ExchangeHeldRows(gen);
+      if (!census.ok()) {
+        record_hrow_ids_ = false;
+        return census;
+      }
+      record_hrow_ids_ = false;
+    }
+
+    // 5. Re-grant. Rank 0 re-materializes each missing token from its own
+    //    (census-fresh) h-row copy, with a version reset far above any
+    //    counter the dead rank could have produced and the wire-level
+    //    regrant flag that makes receivers accept the reset. Distribution
+    //    is round-robin over the live ranks; the per-channel FIFO makes
+    //    the kTokenRegrant notice that follows the tokens double as their
+    //    delivery receipt. A restart after a partial re-grant is safe: the
+    //    next census sees the re-granted tokens as held and only fills
+    //    what is still missing.
+    if (rank_ == 0) {
+      std::vector<char> seen(static_cast<size_t>(ds_.cols), 0);
+      for (const auto& ids : seen_hrow_ids_) {
+        for (int32_t id : ids) seen[static_cast<size_t>(id)] = 1;
+      }
+      for (int32_t j : held_) seen[static_cast<size_t>(j)] = 1;
+      const std::vector<int> live = LiveRanks();
+      std::vector<int64_t> granted(static_cast<size_t>(world_), 0);
+      std::vector<uint8_t> fbuf;
+      int64_t missing = 0;
+      size_t slot = 0;
+      for (int32_t j = 0; j < ds_.cols; ++j) {
+        if (seen[static_cast<size_t>(j)]) continue;
+        ++missing;
+        const uint32_t v =
+            version_[static_cast<size_t>(j)].load(std::memory_order_relaxed) +
+            kRegrantVersionBump;
+        version_[static_cast<size_t>(j)].store(v, std::memory_order_relaxed);
+        const int dest = live[slot++ % live.size()];
+        if (dest == rank_) {
+          held_.push_back(j);
+        } else {
+          EncodeFactorRow<Real>(MsgType::kToken, j, v, h_.Row(j), k_, &fbuf,
+                                kFactorRowFlagRegrant);
+          NOMAD_RETURN_IF_ERROR(SendWithRetry(dest, fbuf));
+        }
+        ++granted[static_cast<size_t>(dest)];
+      }
+      NOMAD_LOG(kWarning) << "dist_nomad rank 0: re-granted " << missing
+                          << " lost tokens across " << live.size()
+                          << " survivors";
+      ControlFrame receipt;
+      receipt.kind = ControlKind::kTokenRegrant;
+      receipt.rank = 0;
+      receipt.epoch = gen;
+      receipt.updates = missing;
+      for (int r : live) {
+        if (r == rank_) continue;
+        receipt.count = granted[static_cast<size_t>(r)];
+        NOMAD_RETURN_IF_ERROR(SendCtrl(r, receipt));
+      }
+    } else {
+      for (;;) {
+        NOMAD_RETURN_IF_ERROR(Pump());
+        NOMAD_RETURN_IF_ERROR(CheckRecoveryInterrupt(gen));
+        ControlFrame f;
+        bool receipted = false;
+        while (TakeCtrl(ControlKind::kTokenRegrant, &f)) {
+          if (f.epoch == gen) receipted = true;
+        }
+        if (receipted) break;
+        Nap();
+      }
+      epoch_ = static_cast<int>(std::max<int64_t>(epoch_, notice_epoch_));
+    }
+
+    // 6. Rebalance: adopt the dead ranks' global workers (deterministic,
+    //    message-free — every rank computes the same assignment from the
+    //    shared dead set) and re-derive the epoch pacing.
+    RecomputeOwnership();
+
+    // 7. Resume degraded. Tokens re-scatter deterministically; rank 0
+    //    schedules an immediate barrier so the post-recovery RMSE lands in
+    //    the trace (the visible recovery dip).
+    Rng rescatter(opt_.seed ^ (0xFEED0000ULL + static_cast<uint64_t>(gen)));
+    for (int32_t j : held_) {
+      queues_[rescatter.NextBelow(static_cast<uint64_t>(p_))]->Push(j);
+    }
+    held_.clear();
+    in_barrier_ = false;
+    request_sent_ = false;
+    next_threshold_ = total_updates_.load(std::memory_order_relaxed) +
+                      local_epoch_updates_;
+    if (rank_ == 0) barrier_after_recovery_ = true;
+    wall_.Restart();
+    gate_.Resume();
+    return Status::OK();
+  }
+
+  /// Redistributes every dead rank's global workers over the survivors:
+  /// global worker g of a dead rank goes to the (slot mod live)-th live
+  /// rank, spread round-robin over that rank's local workers. Pure
+  /// function of the shared dead set, so all ranks agree without a
+  /// message. Workers must be parked (they read worker_globals_).
+  void RecomputeOwnership() {
+    for (int q = 0; q < p_; ++q) {
+      worker_globals_[static_cast<size_t>(q)].assign(1, rank_ * p_ + q);
+    }
+    my_globals_.clear();
+    for (int q = 0; q < p_; ++q) my_globals_.push_back(rank_ * p_ + q);
+    const std::vector<int> live = LiveRanks();
+    size_t slot = 0;
+    for (int r = 0; r < world_; ++r) {
+      if (IsLive(r)) continue;
+      for (int q = 0; q < p_; ++q) {
+        const int g = r * p_ + q;
+        const int adopter = live[slot % live.size()];
+        const int local_worker =
+            static_cast<int>((slot / live.size()) % static_cast<size_t>(p_));
+        ++slot;
+        if (adopter != rank_) continue;
+        worker_globals_[static_cast<size_t>(local_worker)].push_back(g);
+        my_globals_.push_back(g);
+      }
+    }
+    std::sort(my_globals_.begin(), my_globals_.end());
+    local_epoch_updates_ = 0;
+    for (int g : my_globals_) local_epoch_updates_ += shards_.WorkerNnz(g);
+    local_epoch_updates_ = std::max<int64_t>(local_epoch_updates_, 1);
   }
 
   // ---- immutable run parameters ----
@@ -813,10 +1442,28 @@ class RankRun {
   std::vector<WorkerBatchStats> batch_stats_;
   bool numa_place_ = false;
   std::vector<std::vector<int>> worker_cpus_;
+  /// Latched-dead ranks as a bit mask for the workers' remote routing
+  /// (advisory; a world over 64 ranks falls back to retry-only). Written
+  /// by the driver, read by workers.
+  std::atomic<uint64_t> dead_mask_{0};
+  /// Absolute local update cap of the current budget lease (INT64_MAX
+  /// when max_updates is unset). Written by the driver, read by workers.
+  std::atomic<int64_t> update_cap_{std::numeric_limits<int64_t>::max()};
+  /// worker_globals_[q]: the global workers whose shard entries local
+  /// worker q processes — its own, plus any adopted from dead ranks.
+  /// Mutated only while the workers are parked in the gate.
+  std::vector<std::vector<int>> worker_globals_;
 
   // ---- driver/protocol state (driver thread only) ----
   Rng driver_rng_;
-  std::vector<uint32_t> version_;
+  // Hop versions are atomic for one reason: an injected duplicate/delayed
+  // frame for token j can reach the driver's stale-discard check while a
+  // local worker (the current owner) is bumping version_[j] for its own
+  // hand-off. All accesses are relaxed — the counter only grows, and the
+  // discard check only needs "≥ the value this rank already accepted",
+  // which the driver itself wrote; ownership hand-offs synchronize
+  // through the queues and the transport.
+  std::vector<std::atomic<uint32_t>> version_;
   std::vector<std::atomic<int>> owner_;
   std::deque<ControlFrame> ctrl_q_;
   std::vector<int32_t> held_;
@@ -826,6 +1473,18 @@ class RankRun {
   bool request_sent_ = false;
   int epoch_ = 0;
   int64_t next_threshold_ = 0;
+  std::vector<char> dead_;        ///< Latched death verdicts, by rank.
+  bool death_pending_ = false;    ///< A latched death awaits recovery.
+  int recovery_gen_ = 0;          ///< Rank 0: recovery generations issued.
+  int notice_gen_ = 0;            ///< Others: newest kDeathNotice generation.
+  int64_t notice_epoch_ = 0;      ///< Others: rank 0's epoch off the notice.
+  int64_t regrant_received_ = 0;  ///< Re-granted tokens accepted.
+  int64_t stale_tokens_ = 0;      ///< Replayed/duplicate tokens discarded.
+  int64_t dead_frames_ = 0;       ///< Frames from latched-dead ranks dropped.
+  bool record_hrow_ids_ = false;  ///< Rank 0 census: Pump logs h-row ids.
+  std::vector<std::vector<int32_t>> seen_hrow_ids_;  ///< indexed by sender
+  std::vector<int> my_globals_;   ///< Global workers this rank owns.
+  bool barrier_after_recovery_ = false;
   Stopwatch wall_;
   double train_seconds_ = 0.0;
   Trace trace_;
@@ -907,9 +1566,10 @@ Result<TrainResult> DistNomadSolver::Train(const Dataset& ds,
   });
 }
 
-std::vector<Result<TrainResult>> TrainLoopbackWorld(
-    const Dataset& ds, const DistNomadOptions& options, int world) {
-  auto fabric = MakeLoopbackFabric(world);
+std::vector<Result<TrainResult>> TrainWorld(
+    const Dataset& ds, const DistNomadOptions& options,
+    std::vector<std::unique_ptr<Transport>>* endpoints) {
+  const int world = static_cast<int>(endpoints->size());
   std::vector<Result<TrainResult>> results(
       static_cast<size_t>(world), Status::Internal("rank did not run"));
   std::vector<std::thread> ranks;
@@ -917,12 +1577,18 @@ std::vector<Result<TrainResult>> TrainLoopbackWorld(
   for (int r = 0; r < world; ++r) {
     ranks.emplace_back([&, r] {
       DistNomadSolver solver;
-      results[static_cast<size_t>(r)] =
-          solver.Train(ds, options, fabric[static_cast<size_t>(r)].get());
+      results[static_cast<size_t>(r)] = solver.Train(
+          ds, options, (*endpoints)[static_cast<size_t>(r)].get());
     });
   }
   for (auto& t : ranks) t.join();
   return results;
+}
+
+std::vector<Result<TrainResult>> TrainLoopbackWorld(
+    const Dataset& ds, const DistNomadOptions& options, int world) {
+  auto fabric = MakeLoopbackFabric(world);
+  return TrainWorld(ds, options, &fabric);
 }
 
 }  // namespace net

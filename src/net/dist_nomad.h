@@ -1,6 +1,7 @@
 #ifndef NOMAD_NET_DIST_NOMAD_H_
 #define NOMAD_NET_DIST_NOMAD_H_
 
+#include <memory>
 #include <vector>
 
 #include "net/transport.h"
@@ -27,8 +28,22 @@ struct DistNomadOptions {
   /// the stationary token distribution identical to the single-process
   /// solver. Smaller values trade global mixing for less network traffic.
   double remote_token_fraction = -1.0;
+  /// How many times a failed (Unavailable) send is retried — with
+  /// exponential backoff — before the sender gives up: a worker keeps the
+  /// token local, the driver escalates. Absorbs transient transport drops
+  /// (see net/fault_transport.h) without any acknowledgement protocol.
+  int send_retry_limit = 5;
 };
 
+/// Multi-process NOMAD with failure recovery (docs/ARCHITECTURE.md,
+/// "Failure model"): when the transport detects a dead peer — heartbeat
+/// timeout or TCP connection loss — rank 0 declares the death, survivors
+/// quiesce and flush their channels, the tokens lost with the dead rank
+/// are re-materialized from the freshest surviving h-row copies and
+/// redistributed, the dead rank's user partition is adopted by the
+/// survivors, and training resumes degraded. Rank 0's death is fatal
+/// (non-goal), as is a world reduced to nothing.
+///
 /// Multi-process NOMAD (paper Sec. 2.2, Algorithm 2): users are partitioned
 /// across ranks (and across each rank's workers), item tokens circulate
 /// both within a rank — through the unchanged MpmcQueue + TokenRouter hot
@@ -65,6 +80,15 @@ class DistNomadSolver {
 /// the gathered model and the full traffic table.
 std::vector<Result<TrainResult>> TrainLoopbackWorld(
     const Dataset& ds, const DistNomadOptions& options, int world);
+
+/// Like TrainLoopbackWorld, but over caller-provided endpoints (one per
+/// rank, already wired to each other) — the seam that lets tests, the CLI,
+/// and the fault bench hand in a heartbeat-enabled loopback fabric with
+/// some endpoints wrapped in a FaultInjectingTransport. Blocks until every
+/// rank finishes; endpoints stay open (the caller owns Close()).
+std::vector<Result<TrainResult>> TrainWorld(
+    const Dataset& ds, const DistNomadOptions& options,
+    std::vector<std::unique_ptr<Transport>>* endpoints);
 
 }  // namespace net
 }  // namespace nomad

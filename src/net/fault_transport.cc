@@ -1,0 +1,274 @@
+#include "net/fault_transport.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <utility>
+
+#include "net/wire_format.h"
+
+namespace nomad {
+namespace net {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsTokenFrame(const std::vector<uint8_t>& payload) {
+  return !payload.empty() &&
+         payload[0] == static_cast<uint8_t>(MsgType::kToken);
+}
+
+// Returns the ControlKind byte of a control frame, or -1 otherwise.
+int ControlKindOf(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 2 ||
+      payload[0] != static_cast<uint8_t>(MsgType::kControl)) {
+    return -1;
+  }
+  return static_cast<int>(payload[1]);
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan: expected key=value, got '" +
+                                     item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double num = std::strtod(val.c_str(), &parse_end);
+    if (parse_end == val.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("fault plan: bad number '" + val +
+                                     "' for key '" + key + "'");
+    }
+    if (key == "seed") {
+      plan.seed = static_cast<uint64_t>(num);
+    } else if (key == "drop") {
+      plan.drop_rate = num;
+    } else if (key == "dup") {
+      plan.duplicate_rate = num;
+    } else if (key == "delay") {
+      plan.delay_rate = num;
+    } else if (key == "delay-ops") {
+      plan.delay_ops = static_cast<int>(num);
+    } else if (key == "kill-after-sends") {
+      plan.kill_after_sends = static_cast<int64_t>(num);
+    } else if (key == "kill-after-seconds") {
+      plan.kill_after_seconds = num;
+    } else if (key == "kill-on-kind") {
+      plan.kill_on_kind = static_cast<int>(num);
+    } else if (key == "kill-on-count") {
+      plan.kill_on_kind_count = static_cast<int>(num);
+    } else if (key == "rank") {
+      plan.target_rank = static_cast<int>(num);
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key '" + key + "'");
+    }
+  }
+  for (double rate : {plan.drop_rate, plan.duplicate_rate, plan.delay_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument(
+          "fault plan: rates must lie in [0, 1]");
+    }
+  }
+  if (plan.delay_ops < 1) {
+    return Status::InvalidArgument("fault plan: delay-ops must be >= 1");
+  }
+  if (plan.kill_on_kind_count < 1) {
+    return Status::InvalidArgument("fault plan: kill-on-count must be >= 1");
+  }
+  return plan;
+}
+
+struct FaultInjectingTransport::Impl {
+  Impl(std::unique_ptr<Transport> b, FaultPlan p)
+      : base(std::move(b)),
+        plan(p),
+        rng(p.seed),
+        start_seconds(NowSeconds()) {}
+
+  std::unique_ptr<Transport> base;
+  const FaultPlan plan;
+
+  std::mutex mu;
+  std::mt19937_64 rng;                 // guarded by mu
+  std::uniform_real_distribution<double> uniform{0.0, 1.0};
+  int64_t ops = 0;                     // Send()+TryReceive() calls, for delays
+  int64_t sends_accepted = 0;          // non-dropped Send() calls
+  int64_t kind_hits = 0;               // kill_on_kind occurrences so far
+  FaultStats faults;
+  /// Token frames held back: released onto the base transport once `ops`
+  /// passes release_op, so they arrive out of order relative to frames
+  /// sent after them.
+  struct Delayed {
+    int64_t release_op;
+    int dest;
+    std::vector<uint8_t> frame;
+  };
+  std::deque<Delayed> delayed;
+
+  const double start_seconds;
+  std::atomic<bool> dead{false};
+
+  /// Simulates the rank's process dying: the base transport closes (TCP
+  /// peers see the connection drop; loopback peers see the heartbeats
+  /// stop), and this endpoint refuses all further traffic. Call with mu
+  /// held.
+  void Die() {
+    if (dead.exchange(true, std::memory_order_acq_rel)) return;
+    base->Close();
+  }
+
+  /// Applies the wall-clock kill trigger; returns true when dead (already
+  /// or newly). Call with mu held.
+  bool CheckClockKill() {
+    if (dead.load(std::memory_order_acquire)) return true;
+    if (plan.kill_after_seconds >= 0.0 &&
+        NowSeconds() - start_seconds >= plan.kill_after_seconds) {
+      Die();
+      return true;
+    }
+    return false;
+  }
+
+  /// Releases every delayed frame whose hold expired. Call with mu held.
+  void FlushDelayed() {
+    while (!delayed.empty() && delayed.front().release_op <= ops) {
+      Delayed d = std::move(delayed.front());
+      delayed.pop_front();
+      // A failed release is indistinguishable from a drop of the delayed
+      // frame; the solver's retry already covers lost tokens.
+      base->Send(d.dest, std::move(d.frame));
+    }
+  }
+};
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> base, FaultPlan plan)
+    : impl_(std::make_unique<Impl>(std::move(base), plan)) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() = default;
+
+int FaultInjectingTransport::rank() const { return impl_->base->rank(); }
+int FaultInjectingTransport::world() const { return impl_->base->world(); }
+
+Status FaultInjectingTransport::Send(int dest, std::vector<uint8_t> frame) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  ++im.ops;
+  if (im.CheckClockKill()) {
+    return Status::Unavailable("fault: this rank was killed by its plan");
+  }
+  im.FlushDelayed();
+
+  if (im.plan.drop_rate > 0.0 && im.uniform(im.rng) < im.plan.drop_rate) {
+    ++im.faults.drops;
+    return Status::Unavailable("fault: injected drop");
+  }
+
+  const bool token = IsTokenFrame(frame);
+  if (token && im.plan.delay_rate > 0.0 &&
+      im.uniform(im.rng) < im.plan.delay_rate) {
+    ++im.faults.delays;
+    im.delayed.push_back(
+        Impl::Delayed{im.ops + im.plan.delay_ops, dest, std::move(frame)});
+    ++im.sends_accepted;
+    return Status::OK();
+  }
+
+  const bool duplicate = token && im.plan.duplicate_rate > 0.0 &&
+                         im.uniform(im.rng) < im.plan.duplicate_rate;
+  if (duplicate) {
+    ++im.faults.duplicates;
+    im.base->Send(dest, frame);  // copy; the "real" send below moves
+  }
+
+  const int kind = ControlKindOf(frame);
+  Status sent = im.base->Send(dest, std::move(frame));
+  if (!sent.ok()) return sent;
+  ++im.sends_accepted;
+
+  // Kill triggers fire after the triggering frame is forwarded, so e.g.
+  // kill-on-kind=<kTraceSync> dies with the trace-sync frame already on
+  // the wire — mid-barrier, the hardest point for recovery.
+  if (im.plan.kill_after_sends >= 0 &&
+      im.sends_accepted >= im.plan.kill_after_sends) {
+    im.Die();
+  }
+  if (im.plan.kill_on_kind != 0 && kind == im.plan.kill_on_kind &&
+      ++im.kind_hits >= im.plan.kill_on_kind_count) {
+    im.Die();
+  }
+  return Status::OK();
+}
+
+bool FaultInjectingTransport::TryReceive(std::vector<uint8_t>* frame,
+                                         int* src) {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    ++im.ops;
+    if (im.CheckClockKill()) return false;
+    im.FlushDelayed();
+  }
+  return im.base->TryReceive(frame, src);
+}
+
+TransportStats FaultInjectingTransport::stats() const {
+  return impl_->base->stats();
+}
+
+PeerStatus FaultInjectingTransport::peer_status(int peer) const {
+  // A killed endpoint is cut off from everyone: reporting every peer dead
+  // lets the killed rank notice rank 0 is unreachable and error out of its
+  // wait loops instead of hanging on a closed transport.
+  if (impl_->dead.load(std::memory_order_acquire)) return PeerStatus::kDead;
+  return impl_->base->peer_status(peer);
+}
+
+Status FaultInjectingTransport::Close() { return impl_->base->Close(); }
+
+bool FaultInjectingTransport::killed() const {
+  return impl_->dead.load(std::memory_order_acquire);
+}
+
+const FaultPlan& FaultInjectingTransport::plan() const { return impl_->plan; }
+
+FaultInjectingTransport::FaultStats FaultInjectingTransport::fault_stats()
+    const {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.faults;
+}
+
+void ApplyFaultPlan(std::vector<std::unique_ptr<Transport>>* endpoints,
+                    const FaultPlan& plan) {
+  for (size_t r = 0; r < endpoints->size(); ++r) {
+    if (plan.target_rank >= 0 && static_cast<int>(r) != plan.target_rank) {
+      continue;
+    }
+    (*endpoints)[r] = std::make_unique<FaultInjectingTransport>(
+        std::move((*endpoints)[r]), plan);
+  }
+}
+
+}  // namespace net
+}  // namespace nomad

@@ -1,0 +1,148 @@
+#ifndef NOMAD_NET_FAULT_TRANSPORT_H_
+#define NOMAD_NET_FAULT_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace nomad {
+namespace net {
+
+/// A deterministic, seeded schedule of injected faults for one rank's
+/// transport endpoint. All probabilities are per-frame and drawn from one
+/// seeded stream, so a given (plan, call sequence) always injects the same
+/// faults — recovery paths become reproducible in-process CI tests instead
+/// of flaky network lore.
+struct FaultPlan {
+  uint64_t seed = 1;  ///< Seed of the fault decision stream.
+
+  /// Probability that a Send() is dropped: the frame is discarded and the
+  /// caller sees StatusCode::kUnavailable — the transport-level shape of a
+  /// transient EPIPE/ECONNRESET, which retry/backoff should absorb.
+  double drop_rate = 0.0;
+  /// Probability that a token frame is delivered twice. Applied to kToken
+  /// frames only: the solver discards replayed tokens by their hop
+  /// version, while duplicating barrier control traffic would violate the
+  /// protocol's at-most-once bookkeeping (real transports are TCP-backed
+  /// and never duplicate).
+  double duplicate_rate = 0.0;
+  /// Probability that a token frame is held back and released only after
+  /// `delay_ops` further transport calls — an out-of-order delivery the
+  /// solver must tolerate via its version counters. kToken frames only.
+  double delay_rate = 0.0;
+  /// How many later Send()/TryReceive() calls release a delayed frame.
+  int delay_ops = 32;
+
+  /// Rank death by send count: after this many accepted Send() calls the
+  /// endpoint goes dead (< 0 disables). The trigger count is deterministic
+  /// even though wall-clock is not.
+  int64_t kill_after_sends = -1;
+  /// Rank death by wall-clock: the endpoint goes dead once this many
+  /// seconds elapsed since construction (< 0 disables). Checked on every
+  /// transport call, so even an idle rank dies on time.
+  double kill_after_seconds = -1.0;
+  /// Rank death at a protocol point: die immediately after sending the
+  /// `kill_on_kind_count`-th control frame of this ControlKind value
+  /// (0 disables). E.g. kind 3 (kTraceSync), count 1 kills the rank in the
+  /// middle of its first trace barrier — between kBarrierEnter and
+  /// kResume.
+  int kill_on_kind = 0;
+  int kill_on_kind_count = 1;  ///< Which occurrence of kill_on_kind fires.
+
+  /// Which rank this plan applies to (harness-level: ApplyFaultPlan and
+  /// the CLI wrap only this rank's endpoint; < 0 = every rank, which only
+  /// makes sense for kill-free plans).
+  int target_rank = -1;
+
+  /// True when any kill trigger is armed — such a plan needs heartbeats
+  /// enabled, or the survivors will never detect the death.
+  bool kills() const {
+    return kill_after_sends >= 0 || kill_after_seconds >= 0.0 ||
+           kill_on_kind != 0;
+  }
+};
+
+/// Parses a comma-separated "key=value" fault-plan spec, e.g.
+/// "seed=7,drop=0.05,dup=0.01,rank=2,kill-after-seconds=1.5" or
+/// "rank=1,kill-on-kind=3". Keys: seed, drop, dup, delay, delay-ops,
+/// kill-after-sends, kill-after-seconds, kill-on-kind, kill-on-count,
+/// rank. Unknown keys and out-of-range rates are InvalidArgument.
+Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+/// Decorates a Transport with the deterministic fault schedule of `plan`.
+///
+/// Semantics:
+///  - Dropped frames are never delivered and the Send() reports
+///    kUnavailable, so no frame is ever lost silently (there is no e2e ack
+///    protocol to recover a silently-vanished frame; a visible failed send
+///    is the honest injectable fault).
+///  - A killed endpoint simulates process death: the base transport is
+///    Close()d, every later Send() returns kUnavailable, TryReceive()
+///    returns nothing, and — because the dead rank stops pumping — its
+///    heartbeats cease, so peers' peer_status() turns kDead within the
+///    heartbeat timeout.
+///  - peer_status() forwards to the base transport until the endpoint is
+///    killed, after which every peer reads kDead — the killed rank is cut
+///    off from the world, so its driver errors out instead of hanging.
+///  - stats()/rank()/world() forward to the base transport.
+class FaultInjectingTransport final : public Transport {
+ public:
+  /// Takes ownership of `base`; the plan applies to this endpoint
+  /// regardless of plan.target_rank (the caller picks the target).
+  FaultInjectingTransport(std::unique_ptr<Transport> base, FaultPlan plan);
+  ~FaultInjectingTransport() override;
+
+  int rank() const override;   ///< Forwards to the base transport.
+  int world() const override;  ///< Forwards to the base transport.
+
+  /// Forwards to the base transport after rolling the fault dice: the
+  /// frame may be dropped (kUnavailable), duplicated, or delayed per the
+  /// plan, and an armed kill trigger may fire (after forwarding the
+  /// triggering frame — death is observed by the *next* operation).
+  Status Send(int dest, std::vector<uint8_t> frame) override;
+
+  /// Forwards to the base transport; a killed endpoint receives nothing.
+  /// Also one of the "later transport calls" that release delayed frames.
+  bool TryReceive(std::vector<uint8_t>* frame, int* src) override;
+
+  TransportStats stats() const override;  ///< Forwards to the base.
+
+  /// Forwards to the base transport until the endpoint is killed, after
+  /// which every peer reads kDead (see the class comment).
+  PeerStatus peer_status(int peer) const override;
+
+  Status Close() override;  ///< Closes the base transport.
+
+  /// True once a kill trigger fired (for tests and the bench harness).
+  bool killed() const;
+
+  /// The plan this endpoint was constructed with.
+  const FaultPlan& plan() const;
+
+  /// Counters of the faults injected so far (thread-safe snapshot).
+  struct FaultStats {
+    int64_t drops = 0;       ///< Sends failed with injected kUnavailable.
+    int64_t duplicates = 0;  ///< Token frames delivered twice.
+    int64_t delays = 0;      ///< Token frames held back and re-ordered.
+  };
+  /// Snapshot of the counters above.
+  FaultStats fault_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Wraps the endpoints `plan` targets (plan.target_rank, or every rank
+/// when < 0) in FaultInjectingTransport decorators, in place. The helper
+/// for loopback worlds: `ApplyFaultPlan(&endpoints, plan)` after
+/// MakeLoopbackFabric().
+void ApplyFaultPlan(std::vector<std::unique_ptr<Transport>>* endpoints,
+                    const FaultPlan& plan);
+
+}  // namespace net
+}  // namespace nomad
+
+#endif  // NOMAD_NET_FAULT_TRANSPORT_H_

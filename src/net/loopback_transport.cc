@@ -1,17 +1,31 @@
 #include "net/loopback_transport.h"
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
 
+#include "net/wire_format.h"
 #include "util/aligned.h"
 
 namespace nomad {
 namespace net {
 
 namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsHeartbeatFrame(const std::vector<uint8_t>& payload) {
+  return payload.size() >= 2 &&
+         payload[0] == static_cast<uint8_t>(MsgType::kControl) &&
+         payload[1] == static_cast<uint8_t>(ControlKind::kHeartbeat);
+}
 
 // Per-rank inbox, padded to its own cache lines like the token queues so
 // adjacent ranks' mailboxes do not false-share.
@@ -23,14 +37,23 @@ struct alignas(kCacheLineBytes) Inbox {
 // State shared by all endpoints of one fabric; kept alive by shared_ptr so
 // endpoints may be destroyed in any order.
 struct Fabric {
-  explicit Fabric(int world) : inboxes(static_cast<size_t>(world)) {}
+  Fabric(int world, const HeartbeatOptions& hb)
+      : inboxes(static_cast<size_t>(world)), heartbeat(hb) {}
   std::vector<Inbox> inboxes;
+  const HeartbeatOptions heartbeat;
 };
 
 class LoopbackTransport final : public Transport {
  public:
   LoopbackTransport(std::shared_ptr<Fabric> fabric, int rank, int world)
-      : fabric_(std::move(fabric)), rank_(rank), world_(world) {}
+      : fabric_(std::move(fabric)),
+        rank_(rank),
+        world_(world),
+        last_heard_(static_cast<size_t>(world)) {
+    const int64_t now = NowNs();
+    last_beat_.store(now, std::memory_order_relaxed);
+    for (auto& t : last_heard_) t.store(now, std::memory_order_relaxed);
+  }
 
   int rank() const override { return rank_; }
   int world() const override { return world_; }
@@ -43,28 +66,31 @@ class LoopbackTransport final : public Transport {
     if (closed_.load(std::memory_order_acquire)) {
       return Status::FailedPrecondition("loopback: endpoint closed");
     }
-    const int64_t bytes = static_cast<int64_t>(frame.size());
-    {
-      Inbox& inbox = fabric_->inboxes[static_cast<size_t>(dest)];
-      std::lock_guard<std::mutex> lock(inbox.mu);
-      inbox.frames.emplace_back(rank_, std::move(frame));
-    }
-    messages_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    MaybeBeat();
+    Deliver(dest, std::move(frame));
     return Status::OK();
   }
 
   bool TryReceive(std::vector<uint8_t>* frame, int* src) override {
+    MaybeBeat();
     Inbox& inbox = fabric_->inboxes[static_cast<size_t>(rank_)];
-    std::lock_guard<std::mutex> lock(inbox.mu);
-    if (inbox.frames.empty()) return false;
-    *src = inbox.frames.front().first;
-    *frame = std::move(inbox.frames.front().second);
-    inbox.frames.pop_front();
-    messages_received_.fetch_add(1, std::memory_order_relaxed);
-    bytes_received_.fetch_add(static_cast<int64_t>(frame->size()),
-                              std::memory_order_relaxed);
-    return true;
+    // Beacons are transport-internal: record the liveness signal and keep
+    // popping until a real frame (or an empty inbox) surfaces.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(inbox.mu);
+        if (inbox.frames.empty()) return false;
+        *src = inbox.frames.front().first;
+        *frame = std::move(inbox.frames.front().second);
+        inbox.frames.pop_front();
+      }
+      messages_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(static_cast<int64_t>(frame->size()),
+                                std::memory_order_relaxed);
+      last_heard_[static_cast<size_t>(*src)].store(NowNs(),
+                                                   std::memory_order_relaxed);
+      if (!IsHeartbeatFrame(*frame)) return true;
+    }
   }
 
   TransportStats stats() const override {
@@ -76,12 +102,69 @@ class LoopbackTransport final : public Transport {
     return s;
   }
 
+  PeerStatus peer_status(int peer) const override {
+    if (peer == rank_ || peer < 0 || peer >= world_ ||
+        !fabric_->heartbeat.enabled()) {
+      return PeerStatus::kAlive;
+    }
+    const double silent_seconds =
+        static_cast<double>(
+            NowNs() -
+            last_heard_[static_cast<size_t>(peer)].load(
+                std::memory_order_relaxed)) *
+        1e-9;
+    return silent_seconds > fabric_->heartbeat.effective_timeout()
+               ? PeerStatus::kDead
+               : PeerStatus::kAlive;
+  }
+
   Status Close() override {
     closed_.store(true, std::memory_order_release);
     return Status::OK();
   }
 
  private:
+  void Deliver(int dest, std::vector<uint8_t> frame) {
+    const int64_t bytes = static_cast<int64_t>(frame.size());
+    {
+      Inbox& inbox = fabric_->inboxes[static_cast<size_t>(dest)];
+      std::lock_guard<std::mutex> lock(inbox.mu);
+      inbox.frames.emplace_back(rank_, std::move(frame));
+    }
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Emits one heartbeat beacon to every peer when the interval elapsed.
+  /// Piggybacked on Send()/TryReceive() — the distributed driver pumps the
+  /// endpoint far more often than any sane interval, so beacons stay
+  /// timely without a dedicated thread.
+  void MaybeBeat() {
+    const HeartbeatOptions& hb = fabric_->heartbeat;
+    if (!hb.enabled() || world_ < 2 ||
+        closed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    const int64_t now = NowNs();
+    const int64_t interval_ns =
+        static_cast<int64_t>(hb.interval_seconds * 1e9);
+    int64_t last = last_beat_.load(std::memory_order_relaxed);
+    if (now - last < interval_ns) return;
+    if (!last_beat_.compare_exchange_strong(last, now,
+                                            std::memory_order_relaxed)) {
+      return;  // another thread of this endpoint just beat
+    }
+    ControlFrame beat;
+    beat.kind = ControlKind::kHeartbeat;
+    beat.rank = rank_;
+    std::vector<uint8_t> payload;
+    EncodeControl(beat, &payload);
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_) continue;
+      Deliver(r, payload);  // copies: each inbox owns its frame
+    }
+  }
+
   std::shared_ptr<Fabric> fabric_;
   const int rank_;
   const int world_;
@@ -90,12 +173,20 @@ class LoopbackTransport final : public Transport {
   std::atomic<int64_t> messages_received_{0};
   std::atomic<int64_t> bytes_sent_{0};
   std::atomic<int64_t> bytes_received_{0};
+  std::atomic<int64_t> last_beat_{0};
+  /// Last time anything (beacon or data) arrived from each peer.
+  std::vector<std::atomic<int64_t>> last_heard_;
 };
 
 }  // namespace
 
 std::vector<std::unique_ptr<Transport>> MakeLoopbackFabric(int world) {
-  auto fabric = std::make_shared<Fabric>(world);
+  return MakeLoopbackFabric(world, HeartbeatOptions());
+}
+
+std::vector<std::unique_ptr<Transport>> MakeLoopbackFabric(
+    int world, const HeartbeatOptions& heartbeat) {
+  auto fabric = std::make_shared<Fabric>(world, heartbeat);
   std::vector<std::unique_ptr<Transport>> endpoints;
   endpoints.reserve(static_cast<size_t>(world));
   for (int r = 0; r < world; ++r) {

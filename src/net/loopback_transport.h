@@ -21,6 +21,17 @@ namespace net {
 /// the Transport contract.
 std::vector<std::unique_ptr<Transport>> MakeLoopbackFabric(int world);
 
+/// Like MakeLoopbackFabric(world), with liveness detection: when
+/// `heartbeat.enabled()`, every endpoint emits kHeartbeat control beacons
+/// to its peers (piggybacked on Send()/TryReceive() calls — the solver's
+/// driver pumps the transport continuously, so no extra thread is needed),
+/// swallows inbound beacons before they reach the caller, and reports a
+/// silent peer kDead through peer_status() after the heartbeat timeout. A
+/// rank that stops pumping — killed by a FaultInjectingTransport plan,
+/// wedged, or Close()d — goes dead in its peers' eyes within the timeout.
+std::vector<std::unique_ptr<Transport>> MakeLoopbackFabric(
+    int world, const HeartbeatOptions& heartbeat);
+
 }  // namespace net
 }  // namespace nomad
 

@@ -30,6 +30,12 @@ namespace {
 
 constexpr size_t kLengthPrefixBytes = 4;
 
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
@@ -154,6 +160,10 @@ struct TcpTransport::Impl {
   std::atomic<int64_t> messages_received{0};
   std::atomic<int64_t> bytes_sent{0};
   std::atomic<int64_t> bytes_received{0};
+  // Liveness bookkeeping: last time any bytes arrived from each peer
+  // (heartbeat or data), and the communicator thread's last beacon time.
+  std::vector<std::atomic<int64_t>> last_heard_ns;
+  int64_t last_beat_ns = 0;  // comm thread only
 
   HelloFrame MyHello() const {
     HelloFrame hello;
@@ -235,8 +245,13 @@ struct TcpTransport::Impl {
       }
       const uint8_t* payload =
           conn->inbuf.data() + conn->in_consumed + kLengthPrefixBytes;
-      std::vector<uint8_t> frame(payload, payload + len);
-      {
+      // Heartbeat beacons are transport-internal: their arrival already
+      // refreshed last_heard_ns, so they are counted but never surfaced.
+      const bool beacon =
+          len >= 2 && payload[0] == static_cast<uint8_t>(MsgType::kControl) &&
+          payload[1] == static_cast<uint8_t>(ControlKind::kHeartbeat);
+      if (!beacon) {
+        std::vector<uint8_t> frame(payload, payload + len);
         std::lock_guard<std::mutex> lock(recv_mu);
         recv_q.emplace_back(src, std::move(frame));
       }
@@ -266,12 +281,48 @@ struct TcpTransport::Impl {
     conn.out_offset = 0;
   }
 
+  /// Appends one heartbeat beacon to every live peer's outbox once the
+  /// interval elapsed. Runs on the communicator thread, so its poll
+  /// timeout bounds the beacon jitter.
+  void MaybeBeat() {
+    if (!options.heartbeat.enabled()) return;
+    const int64_t now = NowNs();
+    const int64_t interval_ns =
+        static_cast<int64_t>(options.heartbeat.interval_seconds * 1e9);
+    if (now - last_beat_ns < interval_ns) return;
+    last_beat_ns = now;
+    ControlFrame beat;
+    beat.kind = ControlKind::kHeartbeat;
+    beat.rank = rank;
+    std::vector<uint8_t> payload;
+    EncodeControl(beat, &payload);
+    const int64_t wire_bytes =
+        static_cast<int64_t>(kLengthPrefixBytes + payload.size());
+    std::lock_guard<std::mutex> lock(send_mu);
+    for (int r = 0; r < world; ++r) {
+      Conn& conn = conns[static_cast<size_t>(r)];
+      if (r == rank || conn.fd < 0) continue;
+      conn.outbox.emplace_back(payload);  // each peer's Framed owns a copy
+      messages_sent.fetch_add(1, std::memory_order_relaxed);
+      bytes_sent.fetch_add(wire_bytes, std::memory_order_relaxed);
+    }
+  }
+
   void CommLoop() {
     std::vector<struct pollfd> pfds;
     std::vector<int> pfd_rank;
     Stopwatch closing_watch;
     bool closing_seen = false;
+    // With heartbeats on, wake often enough to beat on time.
+    const int poll_ms =
+        options.heartbeat.enabled()
+            ? std::max(1, std::min(200, static_cast<int>(
+                                            options.heartbeat
+                                                .interval_seconds *
+                                            1e3 / 4)))
+            : 200;
     for (;;) {
+      MaybeBeat();
       pfds.clear();
       pfd_rank.clear();
       pfds.push_back({wake_pipe[0], POLLIN, 0});
@@ -304,7 +355,7 @@ struct TcpTransport::Impl {
         }
       }
       const int pr =
-          poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+          poll(pfds.data(), static_cast<nfds_t>(pfds.size()), poll_ms);
       if (pr < 0 && errno != EINTR) return;
       for (size_t i = 0; i < pfds.size(); ++i) {
         const int peer = pfd_rank[i];
@@ -324,6 +375,8 @@ struct TcpTransport::Impl {
             uint8_t buf[65536];
             const ssize_t r = recv(conn.fd, buf, sizeof(buf), 0);
             if (r > 0) {
+              last_heard_ns[static_cast<size_t>(peer)].store(
+                  NowNs(), std::memory_order_relaxed);
               conn.inbuf.insert(conn.inbuf.end(), buf, buf + r);
               if (!ExtractFrames(peer, &conn)) {
                 dead = true;
@@ -416,7 +469,9 @@ Result<TcpPeer> ParseTcpPeer(const std::string& spec) {
                                    "' (expected host:port)");
   }
   peer.port = std::atoi(port_str.c_str());
-  if (peer.port <= 0 || peer.port > 65535) {
+  // Port 0 is legal: "this rank listens ephemeral and is never dialed"
+  // (in the mesh only lower ranks are dialed, see Establish()).
+  if (peer.port < 0 || peer.port > 65535) {
     return Status::InvalidArgument("bad peer port in '" + spec + "'");
   }
   return peer;
@@ -438,6 +493,8 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Listen(
   impl->world = world;
   impl->options = options;
   impl->conns.resize(static_cast<size_t>(world));
+  impl->last_heard_ns =
+      std::vector<std::atomic<int64_t>>(static_cast<size_t>(world));
 
   impl->listen_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (impl->listen_fd < 0) return Errno("socket");
@@ -487,6 +544,16 @@ Status TcpTransport::Establish(const std::vector<TcpPeer>& peers) {
   }
   if (im.established.load()) {
     return Status::FailedPrecondition("transport already established");
+  }
+  // Only the ranks below us are ever dialed; their ports must be real.
+  // Higher ranks dial in, so their peer entries may carry port 0
+  // ("ephemeral, never dialed") — that is how a mesh avoids fixed ports.
+  for (int r = 0; r < im.rank; ++r) {
+    if (peers[static_cast<size_t>(r)].port == 0) {
+      return Status::InvalidArgument(
+          "peer rank " + std::to_string(r) + " has port 0 but rank " +
+          std::to_string(im.rank) + " must dial it");
+    }
   }
   const double timeout = im.options.connect_timeout_seconds;
   Stopwatch watch;
@@ -571,6 +638,8 @@ Status TcpTransport::Establish(const std::vector<TcpPeer>& peers) {
   if (pipe(im.wake_pipe) < 0) return Errno("pipe");
   NOMAD_RETURN_IF_ERROR(SetNonBlocking(im.wake_pipe[0]));
   NOMAD_RETURN_IF_ERROR(SetNonBlocking(im.wake_pipe[1]));
+  const int64_t now = NowNs();
+  for (auto& t : im.last_heard_ns) t.store(now, std::memory_order_relaxed);
   im.established.store(true, std::memory_order_release);
   im.comm = std::thread([&im] { im.CommLoop(); });
   return Status::OK();
@@ -594,8 +663,10 @@ Status TcpTransport::Send(int dest, std::vector<uint8_t> frame) {
     std::lock_guard<std::mutex> lock(im.send_mu);
     Conn& conn = im.conns[static_cast<size_t>(dest)];
     if (conn.fd < 0) {
-      return Status::FailedPrecondition("tcp: rank " + std::to_string(dest) +
-                                        " is disconnected");
+      // The connection died (EPIPE/ECONNRESET/EOF, observed by the
+      // communicator thread) — a liveness condition, not a usage error.
+      return Status::Unavailable("tcp: rank " + std::to_string(dest) +
+                                 " is unreachable (connection lost)");
     }
     conn.outbox.emplace_back(std::move(frame));  // payload moved, not copied
   }
@@ -615,6 +686,29 @@ bool TcpTransport::TryReceive(std::vector<uint8_t>* frame, int* src) {
   *frame = std::move(im.recv_q.front().second);
   im.recv_q.pop_front();
   return true;
+}
+
+PeerStatus TcpTransport::peer_status(int peer) const {
+  Impl& im = *impl_;
+  if (peer < 0 || peer >= im.world || peer == im.rank ||
+      !im.established.load(std::memory_order_acquire)) {
+    return PeerStatus::kAlive;
+  }
+  {
+    std::lock_guard<std::mutex> lock(im.send_mu);
+    if (im.conns[static_cast<size_t>(peer)].fd < 0) return PeerStatus::kDead;
+  }
+  if (im.options.heartbeat.enabled()) {
+    const double silent_seconds =
+        static_cast<double>(
+            NowNs() - im.last_heard_ns[static_cast<size_t>(peer)].load(
+                          std::memory_order_relaxed)) *
+        1e-9;
+    if (silent_seconds > im.options.heartbeat.effective_timeout()) {
+      return PeerStatus::kDead;
+    }
+  }
+  return PeerStatus::kAlive;
 }
 
 TransportStats TcpTransport::stats() const {
@@ -640,11 +734,15 @@ Status TcpTransport::Close() {
     [[maybe_unused]] const ssize_t r = write(im.wake_pipe[1], &wake, 1);
     im.comm.join();
   }
-  for (Conn& conn : im.conns) {
-    if (conn.fd >= 0) {
-      shutdown(conn.fd, SHUT_RDWR);
-      close(conn.fd);
-      conn.fd = -1;
+  {
+    // send_mu also covers concurrent peer_status() readers of conn.fd.
+    std::lock_guard<std::mutex> lock(im.send_mu);
+    for (Conn& conn : im.conns) {
+      if (conn.fd >= 0) {
+        shutdown(conn.fd, SHUT_RDWR);
+        close(conn.fd);
+        conn.fd = -1;
+      }
     }
   }
   if (im.listen_fd >= 0) {

@@ -18,6 +18,9 @@ struct TcpPeer {
 };
 
 /// Parses "host:port" into a TcpPeer; a bare "port" means 127.0.0.1.
+/// Port 0 is accepted and means "listens ephemeral, never dialed" —
+/// valid for any rank that only receives connections (in the mesh, every
+/// rank above the dialer; see Establish()).
 Result<TcpPeer> ParseTcpPeer(const std::string& spec);
 
 /// Tuning knobs for a TCP endpoint.
@@ -33,6 +36,12 @@ struct TcpOptions {
   int hello_k = 0;
   /// True to advertise f32 factor payloads in the handshake hello.
   bool hello_f32 = false;
+  /// Liveness detection (off by default). When enabled, the communicator
+  /// thread emits kHeartbeat control beacons every interval, swallows
+  /// inbound ones, and peer_status() reports a peer kDead after the
+  /// timeout of silence — in addition to the always-on connection-loss
+  /// detection.
+  HeartbeatOptions heartbeat;
 };
 
 /// Transport between processes (or machines) over nonblocking TCP sockets.
@@ -84,6 +93,11 @@ class TcpTransport final : public Transport {
 
   /// Traffic counters; bytes include the 4-byte length prefixes.
   TransportStats stats() const override;
+
+  /// kDead once the peer's connection is gone (socket error, EOF, its
+  /// Close()) or — with heartbeats enabled — after the heartbeat timeout
+  /// of silence. Always kAlive before Establish() and for this rank.
+  PeerStatus peer_status(int peer) const override;
 
   /// Flushes pending sends onto the sockets (bounded by the connect
   /// timeout), stops the communicator thread, and closes all sockets.

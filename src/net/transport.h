@@ -21,6 +21,38 @@ struct TransportStats {
   int64_t bytes_received = 0;     ///< Encoded bytes in (framing included).
 };
 
+/// Liveness verdict for one peer, as seen by this endpoint. Backends
+/// without heartbeats (the default) report every peer kAlive; with
+/// heartbeats enabled a peer turns kDead once nothing — beacon or data —
+/// has been heard from it for the configured timeout, or (TCP) once its
+/// connection is gone. The verdict is computed, not latched: callers that
+/// need a permanent death declaration (the distributed solver) latch it
+/// themselves.
+enum class PeerStatus {
+  kAlive = 0,  ///< Heard from recently (or liveness tracking is off).
+  kDead = 1,   ///< Heartbeat timeout expired or the connection is lost.
+};
+
+/// Liveness-detection knobs shared by the transport backends. Disabled by
+/// default: interval_seconds <= 0 means no beacons are sent and
+/// peer_status() never reports kDead from silence alone.
+struct HeartbeatOptions {
+  /// How often this endpoint emits a kHeartbeat control frame to every
+  /// peer. <= 0 disables liveness tracking entirely.
+  double interval_seconds = 0.0;
+  /// Silence longer than this declares a peer dead. Should be several
+  /// intervals so one delayed beacon does not kill a healthy peer; <= 0
+  /// picks 4 x interval.
+  double timeout_seconds = 0.0;
+
+  /// True when liveness tracking is on.
+  bool enabled() const { return interval_seconds > 0.0; }
+  /// The effective timeout (the explicit one, or 4 x interval).
+  double effective_timeout() const {
+    return timeout_seconds > 0.0 ? timeout_seconds : 4.0 * interval_seconds;
+  }
+};
+
 /// Point-to-point message transport between `world` ranks — the seam that
 /// lets the distributed NOMAD solver run unchanged over threads
 /// (LoopbackTransport) or processes/machines (TcpTransport).
@@ -46,8 +78,10 @@ class Transport {
   virtual int world() const = 0;
 
   /// Queues one encoded frame for delivery to `dest` (which must not be
-  /// this rank). Returns InvalidArgument for a bad destination and
-  /// FailedPrecondition after Close() or a dead peer connection.
+  /// this rank). Returns InvalidArgument for a bad destination,
+  /// FailedPrecondition after Close(), and Unavailable when the peer is
+  /// unreachable (dead connection, fault-injected drop) — an Unavailable
+  /// send may be retried; the frame it carried was not delivered.
   virtual Status Send(int dest, std::vector<uint8_t> frame) = 0;
 
   /// Pops the oldest pending inbound frame into `*frame` (and its sender
@@ -56,6 +90,14 @@ class Transport {
 
   /// Snapshot of this endpoint's traffic counters (thread-safe).
   virtual TransportStats stats() const = 0;
+
+  /// Liveness verdict for `peer` (thread-safe; this rank itself is always
+  /// kAlive). The default implementation reports every peer kAlive —
+  /// backends opt into real detection via HeartbeatOptions.
+  virtual PeerStatus peer_status(int peer) const {
+    (void)peer;
+    return PeerStatus::kAlive;
+  }
 
   /// Flushes queued sends (TCP: drains the per-peer send queues onto the
   /// sockets) and tears the endpoint down; Send() fails afterwards while

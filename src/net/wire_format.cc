@@ -49,10 +49,12 @@ Result<MsgType> PeekType(const uint8_t* data, size_t size) {
 
 template <typename Real>
 void EncodeFactorRow(MsgType type, int32_t id, uint32_t version,
-                     const Real* values, int k, std::vector<uint8_t>* out) {
+                     const Real* values, int k, std::vector<uint8_t>* out,
+                     uint32_t flags) {
   NOMAD_CHECK(IsFactorRowType(type));
   NOMAD_CHECK(k >= 1 && k <= kMaxWireK) << "k=" << k;
   NOMAD_CHECK(id >= 0) << "id=" << id;
+  NOMAD_CHECK((flags & ~kFactorRowKnownFlags) == 0) << "flags=" << flags;
   out->clear();
   out->reserve(kFactorRowHeaderBytes + static_cast<size_t>(k) * sizeof(Real));
   Append<uint8_t>(out, static_cast<uint8_t>(type));
@@ -60,7 +62,7 @@ void EncodeFactorRow(MsgType type, int32_t id, uint32_t version,
   Append<uint16_t>(out, static_cast<uint16_t>(k));
   Append<int32_t>(out, id);
   Append<uint32_t>(out, version);
-  Append<uint32_t>(out, 0);  // reserved padding, keeps the payload aligned
+  Append<uint32_t>(out, flags);  // flags word doubles as alignment padding
   const size_t at = out->size();
   out->resize(at + static_cast<size_t>(k) * sizeof(Real));
   std::memcpy(out->data() + at, values, static_cast<size_t>(k) * sizeof(Real));
@@ -117,8 +119,14 @@ Result<FactorRowView<Real>> DecodeFactorRow(const uint8_t* data, size_t size) {
                                    std::to_string(view.id));
   }
   view.version = ReadAt<uint32_t>(data, 8);
-  if (ReadAt<uint32_t>(data, 12) != 0) {
-    return Status::InvalidArgument("factor-row reserved bytes must be zero");
+  view.flags = ReadAt<uint32_t>(data, 12);
+  if ((view.flags & ~kFactorRowKnownFlags) != 0) {
+    return Status::InvalidArgument("factor-row frame carries unknown flags " +
+                                   std::to_string(view.flags));
+  }
+  if (view.flags != 0 && type != MsgType::kToken) {
+    return Status::InvalidArgument(
+        "factor-row flags are only defined for token frames");
   }
   view.k = k;
   view.values = reinterpret_cast<const Real*>(data + kFactorRowHeaderBytes);
@@ -126,10 +134,10 @@ Result<FactorRowView<Real>> DecodeFactorRow(const uint8_t* data, size_t size) {
 }
 
 template void EncodeFactorRow<float>(MsgType, int32_t, uint32_t, const float*,
-                                     int, std::vector<uint8_t>*);
+                                     int, std::vector<uint8_t>*, uint32_t);
 template void EncodeFactorRow<double>(MsgType, int32_t, uint32_t,
                                       const double*, int,
-                                      std::vector<uint8_t>*);
+                                      std::vector<uint8_t>*, uint32_t);
 template Result<FactorRowView<float>> DecodeFactorRow<float>(const uint8_t*,
                                                              size_t);
 template Result<FactorRowView<double>> DecodeFactorRow<double>(const uint8_t*,
@@ -207,7 +215,7 @@ Result<ControlFrame> DecodeControl(const uint8_t* data, size_t size) {
   }
   const uint8_t kind = data[1];
   if (kind < static_cast<uint8_t>(ControlKind::kBarrierRequest) ||
-      kind > static_cast<uint8_t>(ControlKind::kShutdown)) {
+      kind > static_cast<uint8_t>(ControlKind::kLeaseSync)) {
     return Status::InvalidArgument("unknown control kind " +
                                    std::to_string(static_cast<int>(kind)));
   }

@@ -65,6 +65,19 @@ constexpr int kMaxWireK = 4096;
 /// of copying.
 constexpr size_t kFactorRowHeaderBytes = 16;
 
+/// Flag bits carried in a factor-row frame's flags word (formerly the
+/// all-zero reserved word, so old frames decode unchanged).
+enum FactorRowFlags : uint32_t {
+  /// kToken only: the frame is an authoritative re-grant of a token lost
+  /// with a dead rank. The receiver must accept it and reset its version
+  /// counter to the frame's even if a (stale) higher local version exists.
+  kFactorRowFlagRegrant = 1u << 0,
+};
+
+/// Every flag bit a decoder understands; frames with unknown bits set are
+/// rejected, keeping the word extensible without silent misinterpretation.
+constexpr uint32_t kFactorRowKnownFlags = kFactorRowFlagRegrant;
+
 /// Decoded view of a factor-row frame (kToken / kHRow / kWRow). `values`
 /// points into the caller's payload buffer and is valid only while that
 /// buffer lives.
@@ -75,6 +88,7 @@ struct FactorRowView {
                          ///< (kWRow).
   uint32_t version = 0;  ///< Monotonic per-column hop counter; receivers
                          ///< check it only ever advances (kToken/kHRow).
+  uint32_t flags = 0;    ///< FactorRowFlags bits (0 for normal traffic).
   int k = 0;             ///< Latent dimensionality of `values`.
   const Real* values = nullptr;  ///< The k factor entries, borrowed from
                                  ///< the payload buffer. Naturally aligned
@@ -83,11 +97,13 @@ struct FactorRowView {
 };
 
 /// Encodes a factor-row frame into `out` (cleared first). Layout:
-/// [type u8][precision u8][k u16][id i32][version u32][reserved u32 = 0]
-/// [k × Real]. `type` must be kToken, kHRow, or kWRow; k in [1, kMaxWireK].
+/// [type u8][precision u8][k u16][id i32][version u32][flags u32]
+/// [k × Real]. `type` must be kToken, kHRow, or kWRow; k in [1, kMaxWireK];
+/// `flags` must only use kFactorRowKnownFlags bits.
 template <typename Real>
 void EncodeFactorRow(MsgType type, int32_t id, uint32_t version,
-                     const Real* values, int k, std::vector<uint8_t>* out);
+                     const Real* values, int k, std::vector<uint8_t>* out,
+                     uint32_t flags = 0);
 
 /// Decodes a factor-row frame, validating shape before trusting any field:
 /// truncated or oversized payloads, k outside [1, kMaxWireK], negative ids,
@@ -131,6 +147,17 @@ enum class ControlKind : uint8_t {
   kResume = 7,          ///< 0 → all: trace point done; resume or stop.
   kWDone = 8,           ///< rank → 0: sent all my w rows (`count`).
   kShutdown = 9,        ///< 0 → all: final state gathered; disconnect.
+  kHeartbeat = 10,      ///< transport-level liveness beacon; swallowed by
+                        ///< the receiving endpoint, never surfaced to the
+                        ///< solver.
+  kDeathNotice = 11,    ///< 0 → all: rank `count` was declared dead; latch
+                        ///< it, quiesce, and enter the recovery barrier.
+  kTokenRegrant = 12,   ///< 0 → all: `count` lost tokens of dead rank
+                        ///< `held` were re-materialized and redistributed.
+  kLeaseSync = 13,      ///< survivor → all survivors: recovery channel
+                        ///< flush marker carrying the sender's held-token
+                        ///< count; per-pair FIFO makes everything sent
+                        ///< before it visible once it arrives.
 };
 
 /// One decoded control message. The integer/real fields are a superset:

@@ -226,6 +226,9 @@ struct TrainResult {
   /// Per-rank transport traffic of a distributed run (empty for the
   /// shared-memory solvers; see RankTrafficStats for who carries what).
   std::vector<RankTrafficStats> rank_traffic;
+  /// Ranks declared dead and recovered from during a distributed run
+  /// (always empty for shared-memory solvers and fault-free jobs).
+  std::vector<int> dead_ranks;
 };
 
 /// Interface implemented by NOMAD and by every baseline. Implementations

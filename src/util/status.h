@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument",
@@ -55,6 +56,13 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// A transient or terminal loss of a required peer/resource: dead TCP
+  /// connection, a rank killed by a fault plan. Callers may retry (the
+  /// condition can heal) or escalate to recovery, unlike the programming
+  /// errors the other codes report.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

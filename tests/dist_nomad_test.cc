@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/fault_transport.h"
 #include "net/loopback_transport.h"
 #include "net/tcp_transport.h"
 #include "net/wire_format.h"
@@ -236,6 +237,175 @@ TEST(DistNomadTest, EmptyTrainingSetEvaluatesAndReturns) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].total_updates, 0);
   ASSERT_EQ(results[0].trace.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------------
+
+/// Heartbeat knobs fast enough for tests: detection well under a second,
+/// but several intervals of slack so a scheduler hiccup cannot kill a
+/// healthy rank.
+HeartbeatOptions TestHeartbeat() {
+  HeartbeatOptions hb;
+  hb.interval_seconds = 0.02;
+  hb.timeout_seconds = 0.25;
+  return hb;
+}
+
+/// Runs a `world`-rank loopback job with liveness detection on and `plan`
+/// applied to its target rank(s). Per-rank Results — errors allowed (a
+/// killed rank is *supposed* to fail).
+std::vector<Result<TrainResult>> RunFaultyWorld(const Dataset& ds,
+                                                const DistNomadOptions& o,
+                                                int world,
+                                                const FaultPlan& plan) {
+  auto fabric = MakeLoopbackFabric(world, TestHeartbeat());
+  ApplyFaultPlan(&fabric, plan);
+  return TrainWorld(ds, o, &fabric);
+}
+
+// The tentpole acceptance test: 4 ranks, rank 2 is killed at ~50% of its
+// send budget, and the surviving 3 ranks must recover — re-own the lost
+// tokens, adopt rank 2's users — and still land within 2e-3 test RMSE of
+// the fault-free run. Uses the annealed parity configuration (see above):
+// fault-free seed-to-seed spread there is well under 1e-3, so 2e-3 only
+// passes if recovery actually preserves the optimization.
+TEST(DistNomadFaultTest, KilledRankIsRecoveredToFaultFreeRmse) {
+  SyntheticConfig config;
+  config.name = "faults-planted";
+  config.rows = 600;
+  config.cols = 300;
+  config.nnz = 24000;
+  config.true_rank = 4;
+  config.noise_std = 0.1;
+  config.test_fraction = 0.15;
+  config.seed = 90;
+  auto generated = GenerateSynthetic(config);
+  ASSERT_TRUE(generated.ok());
+  const Dataset ds = std::move(generated).value();
+
+  DistNomadOptions o;
+  o.train = FastTrainOptions(/*epochs=*/400, /*workers=*/2);
+  o.train.rank = 4;
+  o.train.lambda = 0.02;
+  o.train.alpha = 0.15;
+  o.train.beta = 0.002;
+
+  auto clean = RunLoopbackWorld(ds, o, 4);
+  ASSERT_EQ(clean.size(), 4u);
+  const double clean_rmse = clean[0].trace.FinalRmse();
+  EXPECT_TRUE(clean[0].dead_ranks.empty());
+  ASSERT_EQ(clean[0].rank_traffic.size(), 4u);
+
+  FaultPlan plan;
+  plan.target_rank = 2;
+  // Token sends dominate a rank's send count, so half the fault-free token
+  // tally kills rank 2 at roughly 50% progress — deterministically, unlike
+  // a wall-clock trigger.
+  plan.kill_after_sends = clean[0].rank_traffic[2].tokens_sent / 2;
+  auto faulted = RunFaultyWorld(ds, o, 4, plan);
+  ASSERT_EQ(faulted.size(), 4u);
+
+  // The killed rank fails; every survivor succeeds and reports the death.
+  EXPECT_FALSE(faulted[2].ok());
+  for (int r : {0, 1, 3}) {
+    ASSERT_TRUE(faulted[static_cast<size_t>(r)].ok())
+        << "rank " << r << ": "
+        << faulted[static_cast<size_t>(r)].status().ToString();
+    EXPECT_EQ(faulted[static_cast<size_t>(r)].value().dead_ranks,
+              std::vector<int>{2})
+        << "rank " << r;
+  }
+  const double faulted_rmse = faulted[0].value().trace.FinalRmse();
+  EXPECT_LT(clean_rmse, 0.14);
+  EXPECT_NEAR(faulted_rmse, clean_rmse, 2e-3);
+}
+
+// Death at the nastiest protocol point: rank 1 dies right after sending
+// its first kTraceSync — inside a barrier, between kBarrierEnter and
+// kResume, with rank 0 waiting on its held-token report. Recovery must
+// abort the barrier and continue with the survivors.
+TEST(DistNomadFaultTest, DeathDuringTraceBarrierIsRecovered) {
+  const Dataset ds = MakeItemRichDataset();
+  FaultPlan plan;
+  plan.target_rank = 1;
+  plan.kill_on_kind = static_cast<int>(ControlKind::kTraceSync);
+  plan.kill_on_kind_count = 1;
+  auto results = RunFaultyWorld(ds, DistOptions(/*epochs=*/10), 3, plan);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[1].ok());
+  for (int r : {0, 2}) {
+    ASSERT_TRUE(results[static_cast<size_t>(r)].ok())
+        << "rank " << r << ": "
+        << results[static_cast<size_t>(r)].status().ToString();
+    EXPECT_EQ(results[static_cast<size_t>(r)].value().dead_ranks,
+              std::vector<int>{1});
+  }
+  EXPECT_LT(results[0].value().trace.FinalRmse(), 0.6);
+}
+
+// Transient faults below the death threshold: 5% of every rank's sends
+// fail with kUnavailable, and token frames are sporadically duplicated and
+// re-ordered. Retry/backoff plus the version counters must absorb all of
+// it — every rank finishes, nobody is declared dead, and training still
+// converges.
+TEST(DistNomadFaultTest, SeededDropsDupsAndDelaysAreAbsorbed) {
+  const Dataset ds = MakeItemRichDataset();
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.02;
+  plan.delay_rate = 0.02;
+  plan.target_rank = -1;  // every rank misbehaves
+
+  auto fabric = MakeLoopbackFabric(4, TestHeartbeat());
+  ApplyFaultPlan(&fabric, plan);
+  std::vector<const FaultInjectingTransport*> faulty;
+  for (const auto& t : fabric) {
+    faulty.push_back(static_cast<const FaultInjectingTransport*>(t.get()));
+  }
+  auto results = TrainWorld(ds, DistOptions(/*epochs=*/10), &fabric);
+  ASSERT_EQ(results.size(), 4u);
+  int64_t drops = 0;
+  for (const auto* t : faulty) drops += t->fault_stats().drops;
+  EXPECT_GT(drops, 0) << "plan injected nothing; the test is vacuous";
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(results[static_cast<size_t>(r)].ok())
+        << "rank " << r << ": "
+        << results[static_cast<size_t>(r)].status().ToString();
+    EXPECT_TRUE(results[static_cast<size_t>(r)].value().dead_ranks.empty());
+  }
+  EXPECT_LT(results[0].value().trace.FinalRmse(), 0.6);
+}
+
+// Satellite 1: the distributed update budget must stop like the
+// shared-memory solver stops — close to max_updates, not overshooting by
+// an epoch. Rank 0 leases per-rank quotas at every barrier, so the global
+// tally lands in the same window as the single-process run.
+TEST(DistNomadFaultTest, UpdateBudgetLeaseMatchesSharedMemorySemantics) {
+  const Dataset ds = MakeItemRichDataset();
+  const int64_t budget = 2 * ds.train.nnz();  // stop mid-run, ~2 epochs in
+
+  TrainOptions single_opt = FastTrainOptions(/*epochs=*/50, /*workers=*/2);
+  single_opt.max_updates = budget;
+  NomadSolver single;
+  auto single_result = single.Train(ds, single_opt);
+  ASSERT_TRUE(single_result.ok()) << single_result.status().ToString();
+
+  DistNomadOptions o;
+  o.train = single_opt;
+  auto results = RunLoopbackWorld(ds, o, 3);
+  ASSERT_EQ(results.size(), 3u);
+
+  // Both runs must reach the budget and neither may overshoot it by more
+  // than a small fraction of an epoch (the per-worker race window).
+  const int64_t slack = ds.train.nnz() / 4;
+  EXPECT_GE(single_result.value().total_updates, budget);
+  EXPECT_LT(single_result.value().total_updates, budget + slack);
+  EXPECT_GE(results[0].total_updates, budget);
+  EXPECT_LT(results[0].total_updates, budget + slack)
+      << "distributed run overshot the update budget";
 }
 
 // End-to-end over real sockets: 2 ranks on 127.0.0.1, each in its own

@@ -1,0 +1,208 @@
+#include "net/fault_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/loopback_transport.h"
+#include "net/wire_format.h"
+
+namespace nomad {
+namespace net {
+namespace {
+
+std::vector<uint8_t> TokenFrame(int id, uint32_t version = 1u) {
+  const std::vector<double> row(8, 0.5);
+  std::vector<uint8_t> buf;
+  EncodeFactorRow<double>(MsgType::kToken, id, version, row.data(), 8, &buf);
+  return buf;
+}
+
+std::vector<uint8_t> CtrlFrame(ControlKind kind) {
+  ControlFrame frame;
+  frame.kind = kind;
+  frame.rank = 0;
+  std::vector<uint8_t> buf;
+  EncodeControl(frame, &buf);
+  return buf;
+}
+
+/// A 2-rank loopback world with rank 0 wrapped in `plan`; returns
+/// (decorator view of rank 0, endpoints).
+std::pair<FaultInjectingTransport*, std::vector<std::unique_ptr<Transport>>>
+FaultyPair(const FaultPlan& plan) {
+  auto fabric = MakeLoopbackFabric(2);
+  FaultPlan targeted = plan;
+  targeted.target_rank = 0;
+  ApplyFaultPlan(&fabric, targeted);
+  auto* faulty = static_cast<FaultInjectingTransport*>(fabric[0].get());
+  return {faulty, std::move(fabric)};
+}
+
+int DrainCount(Transport* t) {
+  int n = 0;
+  std::vector<uint8_t> frame;
+  int src = -1;
+  while (t->TryReceive(&frame, &src)) ++n;
+  return n;
+}
+
+TEST(FaultPlanTest, ParsesEveryKey) {
+  auto plan = ParseFaultPlan(
+      "seed=9,drop=0.25,dup=0.5,delay=0.125,delay-ops=7,kill-after-sends=40,"
+      "kill-after-seconds=1.5,kill-on-kind=3,kill-on-count=2,rank=1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const FaultPlan& p = plan.value();
+  EXPECT_EQ(p.seed, 9u);
+  EXPECT_EQ(p.drop_rate, 0.25);
+  EXPECT_EQ(p.duplicate_rate, 0.5);
+  EXPECT_EQ(p.delay_rate, 0.125);
+  EXPECT_EQ(p.delay_ops, 7);
+  EXPECT_EQ(p.kill_after_sends, 40);
+  EXPECT_EQ(p.kill_after_seconds, 1.5);
+  EXPECT_EQ(p.kill_on_kind, 3);
+  EXPECT_EQ(p.kill_on_kind_count, 2);
+  EXPECT_EQ(p.target_rank, 1);
+  EXPECT_TRUE(p.kills());
+  EXPECT_FALSE(ParseFaultPlan("drop=0.1").value().kills());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultPlan("drop").ok());           // no '='
+  EXPECT_FALSE(ParseFaultPlan("drop=zero").ok());      // not a number
+  EXPECT_FALSE(ParseFaultPlan("drop=1.5").ok());       // rate out of range
+  EXPECT_FALSE(ParseFaultPlan("flood=1").ok());        // unknown key
+  EXPECT_FALSE(ParseFaultPlan("delay-ops=0").ok());    // must be >= 1
+  EXPECT_FALSE(ParseFaultPlan("kill-on-count=0").ok());
+}
+
+TEST(FaultTransportTest, DropsAreVisibleAndNotDelivered) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_rate = 0.5;
+  auto [faulty, fabric] = FaultyPair(plan);
+  int delivered = 0;
+  int dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Status s = faulty->Send(1, TokenFrame(i));
+    if (s.ok()) {
+      ++delivered;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+      ++dropped;
+    }
+  }
+  EXPECT_GT(dropped, 50);   // ~100 expected at 50%
+  EXPECT_LT(dropped, 150);
+  EXPECT_EQ(faulty->fault_stats().drops, dropped);
+  // Exactly the accepted frames arrive — nothing vanishes silently.
+  EXPECT_EQ(DrainCount(fabric[1].get()), delivered);
+}
+
+TEST(FaultTransportTest, SameSeedInjectsTheSameFaults) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_rate = 0.2;
+  plan.duplicate_rate = 0.2;
+  plan.delay_rate = 0.2;
+  std::vector<int> first_failures;
+  for (int round = 0; round < 2; ++round) {
+    auto [faulty, fabric] = FaultyPair(plan);
+    std::vector<int> failures;
+    for (int i = 0; i < 100; ++i) {
+      if (!faulty->Send(1, TokenFrame(i)).ok()) failures.push_back(i);
+    }
+    if (round == 0) {
+      first_failures = failures;
+      EXPECT_FALSE(failures.empty());
+    } else {
+      EXPECT_EQ(failures, first_failures)
+          << "the same plan must inject the same schedule";
+    }
+  }
+}
+
+TEST(FaultTransportTest, DuplicatesAndDelaysApplyToTokensOnly) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.duplicate_rate = 1.0;  // every token doubled
+  auto [faulty, fabric] = FaultyPair(plan);
+  ASSERT_TRUE(faulty->Send(1, TokenFrame(1)).ok());
+  EXPECT_EQ(DrainCount(fabric[1].get()), 2);
+  EXPECT_EQ(faulty->fault_stats().duplicates, 1);
+  // Control traffic is never duplicated (the barrier protocol counts
+  // at-most-once frames).
+  ASSERT_TRUE(faulty->Send(1, CtrlFrame(ControlKind::kTraceSync)).ok());
+  EXPECT_EQ(DrainCount(fabric[1].get()), 1);
+
+  FaultPlan delay_plan;
+  delay_plan.seed = 5;
+  delay_plan.delay_rate = 1.0;
+  delay_plan.delay_ops = 3;
+  auto [delayer, fabric2] = FaultyPair(delay_plan);
+  ASSERT_TRUE(delayer->Send(1, TokenFrame(7)).ok());
+  EXPECT_EQ(DrainCount(fabric2[1].get()), 0) << "frame should be held back";
+  // Further transport activity releases it.
+  for (int i = 0; i < 4; ++i) {
+    std::vector<uint8_t> frame;
+    int src = -1;
+    delayer->TryReceive(&frame, &src);
+  }
+  EXPECT_EQ(DrainCount(fabric2[1].get()), 1);
+  EXPECT_EQ(delayer->fault_stats().delays, 1);
+}
+
+TEST(FaultTransportTest, KillAfterSendsSimulatesProcessDeath) {
+  FaultPlan plan;
+  plan.kill_after_sends = 3;
+  auto [faulty, fabric] = FaultyPair(plan);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(faulty->Send(1, TokenFrame(i)).ok()) << "send " << i;
+  }
+  EXPECT_TRUE(faulty->killed());
+  // The triggering frame itself was forwarded; everything after fails.
+  EXPECT_EQ(DrainCount(fabric[1].get()), 3);
+  EXPECT_EQ(faulty->Send(1, TokenFrame(9)).code(),
+            StatusCode::kUnavailable);
+  std::vector<uint8_t> frame;
+  int src = -1;
+  EXPECT_FALSE(faulty->TryReceive(&frame, &src));
+  // A killed rank is cut off from the whole world: its own liveness view
+  // reports every peer dead, so its driver errors out instead of hanging.
+  EXPECT_EQ(faulty->peer_status(1), PeerStatus::kDead);
+}
+
+TEST(FaultTransportTest, KillOnKindFiresAtTheProtocolPoint) {
+  FaultPlan plan;
+  plan.kill_on_kind = static_cast<int>(ControlKind::kTraceSync);
+  plan.kill_on_kind_count = 2;
+  auto [faulty, fabric] = FaultyPair(plan);
+  ASSERT_TRUE(faulty->Send(1, CtrlFrame(ControlKind::kTraceSync)).ok());
+  EXPECT_FALSE(faulty->killed()) << "first occurrence must not fire";
+  ASSERT_TRUE(faulty->Send(1, TokenFrame(1)).ok());
+  ASSERT_TRUE(faulty->Send(1, CtrlFrame(ControlKind::kTraceSync)).ok());
+  EXPECT_TRUE(faulty->killed());
+  EXPECT_EQ(DrainCount(fabric[1].get()), 3)
+      << "the triggering frame still goes out";
+}
+
+TEST(FaultTransportTest, ApplyFaultPlanWrapsOnlyTheTarget) {
+  auto fabric = MakeLoopbackFabric(3);
+  FaultPlan plan;
+  plan.target_rank = 1;
+  plan.kill_after_sends = 1;  // dead after the first send
+  ApplyFaultPlan(&fabric, plan);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(fabric[0]->Send(2, TokenFrame(i)).ok());
+    EXPECT_TRUE(fabric[2]->Send(0, TokenFrame(i)).ok());
+  }
+  ASSERT_TRUE(fabric[1]->Send(2, TokenFrame(1)).ok());  // forwarded, then dies
+  EXPECT_EQ(fabric[1]->Send(2, TokenFrame(2)).code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nomad

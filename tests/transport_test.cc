@@ -264,6 +264,133 @@ TEST(TcpTransportTest, MismatchedHelloRefusesToConnect) {
   accept_side.join();
 }
 
+// ---------------------------------------------------------------------------
+// Liveness detection
+// ---------------------------------------------------------------------------
+
+HeartbeatOptions FastHeartbeat() {
+  HeartbeatOptions hb;
+  hb.interval_seconds = 0.01;
+  hb.timeout_seconds = 0.1;
+  return hb;
+}
+
+/// Polls `t` (which also drives its piggybacked heartbeats) until `peer`
+/// reads `want`, up to ~2s.
+bool StatusWithin(Transport* t, int peer, PeerStatus want) {
+  for (int spin = 0; spin < 20000; ++spin) {
+    std::vector<uint8_t> frame;
+    int src = -1;
+    while (t->TryReceive(&frame, &src)) {
+    }
+    if (t->peer_status(peer) == want) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return false;
+}
+
+TEST(LoopbackTransportTest, HeartbeatDetectsASilentPeer) {
+  auto fabric = MakeLoopbackFabric(3, FastHeartbeat());
+  // Everyone starts alive, and peers that keep pumping stay alive: spin
+  // well past the timeout before going quiet.
+  for (int spin = 0; spin < 50; ++spin) {
+    for (auto& t : fabric) {
+      std::vector<uint8_t> frame;
+      int src = -1;
+      while (t->TryReceive(&frame, &src)) {
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fabric[0]->peer_status(1), PeerStatus::kAlive);
+  EXPECT_EQ(fabric[0]->peer_status(2), PeerStatus::kAlive);
+  // Rank 2 stops pumping (its process "hangs"): its beacons cease and the
+  // others declare it dead within the timeout, while still seeing each
+  // other alive — both keep beating through their own polls, so they must
+  // be pumped together (beacons piggyback on transport calls).
+  bool both_dead = false;
+  for (int spin = 0; spin < 20000 && !both_dead; ++spin) {
+    for (int r = 0; r < 2; ++r) {
+      std::vector<uint8_t> frame;
+      int src = -1;
+      while (fabric[static_cast<size_t>(r)]->TryReceive(&frame, &src)) {
+      }
+    }
+    both_dead = fabric[0]->peer_status(2) == PeerStatus::kDead &&
+                fabric[1]->peer_status(2) == PeerStatus::kDead;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(both_dead);
+  EXPECT_EQ(fabric[0]->peer_status(1), PeerStatus::kAlive);
+  EXPECT_EQ(fabric[1]->peer_status(0), PeerStatus::kAlive);
+}
+
+TEST(LoopbackTransportTest, WithoutHeartbeatsSilenceIsNotDeath) {
+  auto fabric = MakeLoopbackFabric(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(fabric[0]->peer_status(1), PeerStatus::kAlive);
+}
+
+std::vector<std::unique_ptr<TcpTransport>> EstablishTcpPair(
+    const TcpOptions& topts) {
+  std::vector<std::unique_ptr<TcpTransport>> mesh;
+  std::vector<TcpPeer> peers(2);
+  for (int r = 0; r < 2; ++r) {
+    auto t = TcpTransport::Listen(r, 2, /*port=*/0, topts);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (!t.ok()) return {};
+    peers[static_cast<size_t>(r)] = {"127.0.0.1", t.value()->listen_port()};
+    mesh.push_back(std::move(t).value());
+  }
+  std::vector<std::thread> establishers;
+  for (int r = 0; r < 2; ++r) {
+    establishers.emplace_back([&, r] {
+      const Status s = mesh[static_cast<size_t>(r)]->Establish(peers);
+      EXPECT_TRUE(s.ok()) << "rank " << r << ": " << s.ToString();
+    });
+  }
+  for (auto& t : establishers) t.join();
+  return mesh;
+}
+
+TEST(TcpTransportTest, HeartbeatDetectsAClosedPeer) {
+  TcpOptions topts;
+  topts.heartbeat = FastHeartbeat();
+  auto mesh = EstablishTcpPair(topts);
+  ASSERT_EQ(mesh.size(), 2u);
+  EXPECT_EQ(mesh[0]->peer_status(1), PeerStatus::kAlive);
+  // Rank 1 goes away entirely; rank 0's comm thread sees the connection
+  // drop (or the beacons stop) and flips its verdict.
+  EXPECT_TRUE(mesh[1]->Close().ok());
+  EXPECT_TRUE(StatusWithin(mesh[0].get(), 1, PeerStatus::kDead));
+  EXPECT_TRUE(mesh[0]->Close().ok());
+}
+
+// TSan target: the heartbeat timeout evaluation must not race Close() —
+// one thread hammers peer_status()/TryReceive() while the other tears the
+// endpoint down.
+TEST(TcpTransportTest, HeartbeatTimeoutRacesCloseSafely) {
+  TcpOptions topts;
+  topts.heartbeat = FastHeartbeat();
+  auto mesh = EstablishTcpPair(topts);
+  ASSERT_EQ(mesh.size(), 2u);
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load()) {
+      std::vector<uint8_t> frame;
+      int src = -1;
+      mesh[0]->TryReceive(&frame, &src);
+      (void)mesh[0]->peer_status(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(mesh[1]->Close().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(mesh[0]->Close().ok());
+  done.store(true);
+  poller.join();
+}
+
 TEST(TcpTransportTest, ParseTcpPeerHandlesHostPortAndBarePort) {
   auto full = ParseTcpPeer("10.1.2.3:9000");
   ASSERT_TRUE(full.ok());
@@ -273,6 +400,11 @@ TEST(TcpTransportTest, ParseTcpPeerHandlesHostPortAndBarePort) {
   ASSERT_TRUE(bare.ok());
   EXPECT_EQ(bare.value().host, "127.0.0.1");
   EXPECT_EQ(bare.value().port, 9001);
+  // Port 0 = "listens ephemeral, never dialed" — how meshes avoid fixed
+  // ports for the accept-only ranks.
+  auto ephemeral = ParseTcpPeer("127.0.0.1:0");
+  ASSERT_TRUE(ephemeral.ok());
+  EXPECT_EQ(ephemeral.value().port, 0);
   EXPECT_FALSE(ParseTcpPeer("").ok());
   EXPECT_FALSE(ParseTcpPeer("host:").ok());
   EXPECT_FALSE(ParseTcpPeer("host:notaport").ok());

@@ -129,15 +129,31 @@ TEST(WireFormatTest, CorruptHeaderFieldsAreRejected) {
   std::memcpy(bad_id.data() + 4, &negative, sizeof(negative));
   EXPECT_FALSE(DecodeFactorRow<double>(bad_id.data(), bad_id.size()).ok());
 
-  std::vector<uint8_t> bad_reserved = buf;
-  bad_reserved[12] = 1;
+  std::vector<uint8_t> bad_flags = buf;
+  bad_flags[13] = 1;  // flags bit 8 — beyond kFactorRowKnownFlags
   EXPECT_FALSE(
-      DecodeFactorRow<double>(bad_reserved.data(), bad_reserved.size()).ok());
+      DecodeFactorRow<double>(bad_flags.data(), bad_flags.size()).ok());
 
   std::vector<uint8_t> not_a_row = buf;
   not_a_row[0] = static_cast<uint8_t>(MsgType::kControl);
   EXPECT_FALSE(
       DecodeFactorRow<double>(not_a_row.data(), not_a_row.size()).ok());
+}
+
+TEST(WireFormatTest, RegrantFlagRoundTripsOnTokens) {
+  const std::vector<double> row = MakeRow<double>(8);
+  std::vector<uint8_t> buf;
+  EncodeFactorRow<double>(MsgType::kToken, 3, 7u, row.data(), 8, &buf,
+                          kFactorRowFlagRegrant);
+  auto view = DecodeFactorRow<double>(buf.data(), buf.size());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view.value().flags, kFactorRowFlagRegrant);
+
+  // The flag is only meaningful on token frames; a flagged kHRow is a
+  // protocol violation and must not decode.
+  std::vector<uint8_t> hrow = buf;
+  hrow[0] = static_cast<uint8_t>(MsgType::kHRow);
+  EXPECT_FALSE(DecodeFactorRow<double>(hrow.data(), hrow.size()).ok());
 }
 
 TEST(WireFormatTest, PeekTypeRejectsGarbage) {
@@ -186,7 +202,7 @@ TEST(WireFormatTest, HelloRejectsBadMagicLengthAndRank) {
 
 TEST(WireFormatTest, ControlRoundTripsEveryKind) {
   for (uint8_t raw = static_cast<uint8_t>(ControlKind::kBarrierRequest);
-       raw <= static_cast<uint8_t>(ControlKind::kShutdown); ++raw) {
+       raw <= static_cast<uint8_t>(ControlKind::kLeaseSync); ++raw) {
     ControlFrame frame;
     frame.kind = static_cast<ControlKind>(raw);
     frame.flag = 1;

@@ -6,6 +6,7 @@ Usage:
   tools/check_bench_json.py numa BENCH_numa.json
   tools/check_bench_json.py autotune BENCH_autotune.json
   tools/check_bench_json.py dist BENCH_dist.json
+  tools/check_bench_json.py faults BENCH_faults.json
 
 Exits non-zero (listing the problems) when a required field is missing or
 has the wrong shape. Values are not range-checked — CI runners are noisy;
@@ -194,11 +195,60 @@ def check_dist(doc):
     return problems
 
 
+def check_faults(doc):
+    problems = []
+    require(problems, doc, "workers_per_rank", (int,), "root")
+    require(problems, doc, "world", (int,), "root")
+    require(problems, doc, "hardware_threads", (int,), "root")
+    runs = require(problems, doc, "runs", (list,), "root")
+    if runs is not None and not runs:
+        problems.append("runs: must be non-empty")
+    scenarios = {}
+    for i, run in enumerate(runs or []):
+        ctx = f"runs[{i}]"
+        scenario = require(problems, run, "scenario", (str,), ctx)
+        scenarios[scenario] = run
+        for field in ("updates_per_sec", "final_rmse"):
+            require(problems, run, field, (int, float), ctx)
+        for field in ("tokens_sent", "drops", "duplicates", "delays"):
+            require(problems, run, field, (int,), ctx)
+        require(problems, run, "dead_ranks", (list,), ctx)
+        trace = require(problems, run, "trace", (list,), ctx)
+        if trace is not None and not trace:
+            problems.append(f"{ctx}: trace must be non-empty")
+        for t, point in enumerate(trace or []):
+            require(problems, point, "seconds", (int, float), f"{ctx}.trace[{t}]")
+            require(problems, point, "rmse", (int, float), f"{ctx}.trace[{t}]")
+    for required in ("fault_free", "rank_killed", "lossy"):
+        if runs is not None and required not in scenarios:
+            problems.append(f"runs: missing scenario '{required}'")
+    # The fault scenarios must actually have exercised faults: the killed
+    # run declares its victim dead, the lossy run injects drops yet kills
+    # no one. These are semantic guarantees of the bench (deterministic
+    # seeded plans), not perf numbers, so range-checking them is fair.
+    killed = scenarios.get("rank_killed")
+    if killed is not None and not killed.get("dead_ranks"):
+        problems.append("rank_killed: dead_ranks must be non-empty")
+    lossy = scenarios.get("lossy")
+    if lossy is not None:
+        if lossy.get("dead_ranks"):
+            problems.append("lossy: dead_ranks must be empty (drops are transient)")
+        drops = lossy.get("drops")
+        if isinstance(drops, int) and drops <= 0:
+            problems.append("lossy: expected injected drops > 0")
+    recovery = require(problems, doc, "recovery", (dict,), "root")
+    if recovery is not None:
+        for field in ("fault_free_rmse", "rank_killed_rmse", "abs_diff"):
+            require(problems, recovery, field, (int, float), "recovery")
+    return problems
+
+
 CHECKERS = {
     "kernels": check_kernels,
     "numa": check_numa,
     "autotune": check_autotune,
     "dist": check_dist,
+    "faults": check_faults,
 }
 
 

@@ -21,6 +21,17 @@
 // --max-token-batch, --numa, --remote-fraction (cross-rank hand-off
 // probability, default uniform-global), --model (rank 0 saves the gathered
 // model there).
+//
+// Fault tolerance: --heartbeat-interval / --heartbeat-timeout (seconds)
+// turn on liveness detection, which lets the job survive rank deaths (the
+// survivors re-own the dead rank's tokens and users and continue
+// degraded). --fault-plan injects a deterministic fault schedule (see
+// net/fault_transport.h), e.g.
+//   --fault-plan=rank=2,kill-after-seconds=1.5      kill rank 2 mid-run
+//   --fault-plan=drop=0.05,seed=7                   5% send drops, all ranks
+// In loopback mode the plan targets the in-process endpoint(s); in TCP
+// mode it applies when this process's --rank matches (or always, if the
+// plan names no rank).
 
 #include <cstdio>
 #include <memory>
@@ -30,6 +41,7 @@
 
 #include "bench_common.h"
 #include "net/dist_nomad.h"
+#include "net/fault_transport.h"
 #include "net/loopback_transport.h"
 #include "net/tcp_transport.h"
 #include "solver/model.h"
@@ -42,6 +54,8 @@ namespace {
 
 using net::DistNomadOptions;
 using net::DistNomadSolver;
+using net::FaultPlan;
+using net::HeartbeatOptions;
 using net::TcpPeer;
 using net::TcpTransport;
 using net::Transport;
@@ -123,23 +137,51 @@ int FinishRankZero(const Flags& flags, TrainResult result) {
   return 0;
 }
 
+/// Heartbeat flags; off by default, and --fault-plan with a kill schedule
+/// requires them (a killed rank is only survivable when peers can detect
+/// the death).
+HeartbeatOptions HeartbeatFromFlags(const Flags& flags) {
+  HeartbeatOptions hb;
+  hb.interval_seconds = flags.GetDouble("heartbeat-interval", 0.0);
+  hb.timeout_seconds = flags.GetDouble("heartbeat-timeout", 0.0);
+  return hb;
+}
+
 int RunLoopback(const Flags& flags, const Dataset& ds,
-                const DistNomadOptions& options, int world) {
+                const DistNomadOptions& options, int world,
+                const FaultPlan* plan) {
   std::printf("loopback world=%d (%d workers/rank) on %s\n", world,
               options.train.num_workers, ds.name.c_str());
-  auto results = net::TrainLoopbackWorld(ds, options, world);
+  const HeartbeatOptions hb = HeartbeatFromFlags(flags);
+  auto fabric = hb.enabled() ? net::MakeLoopbackFabric(world, hb)
+                             : net::MakeLoopbackFabric(world);
+  if (plan != nullptr) net::ApplyFaultPlan(&fabric, *plan);
+  auto results = net::TrainWorld(ds, options, &fabric);
   for (int r = 0; r < world; ++r) {
-    if (!results[static_cast<size_t>(r)].ok()) {
+    if (results[static_cast<size_t>(r)].ok()) continue;
+    // A rank the fault plan killed is *supposed* to fail; the job result
+    // is the survivors'. Any other rank error is a real failure.
+    const bool planned_death =
+        plan != nullptr && plan->kills() &&
+        (plan->target_rank < 0 || plan->target_rank == r) && r != 0;
+    if (!planned_death) {
       return Fail("rank " + std::to_string(r) + ": " +
                   results[static_cast<size_t>(r)].status().ToString());
     }
+    std::printf("rank %d died by fault plan: %s\n", r,
+                results[static_cast<size_t>(r)].status().message().c_str());
+  }
+  if (!results[0].ok()) return Fail(results[0].status().ToString());
+  for (int r : results[0].value().dead_ranks) {
+    std::printf("rank %d was declared dead and recovered from\n", r);
   }
   PrintResult(results[0].value(), 0);
   return FinishRankZero(flags, std::move(results[0]).value());
 }
 
 int RunTcp(const Flags& flags, const Dataset& ds,
-           const DistNomadOptions& options, int rank, int world) {
+           const DistNomadOptions& options, int rank, int world,
+           const FaultPlan* plan) {
   const std::string peers_flag = flags.GetString("peers");
   const std::vector<std::string_view> specs = SplitFields(peers_flag, ",");
   if (static_cast<int>(specs.size()) != world) {
@@ -157,20 +199,30 @@ int RunTcp(const Flags& flags, const Dataset& ds,
   topts.hello_f32 = options.train.precision == Precision::kF32;
   topts.connect_timeout_seconds =
       flags.GetDouble("connect-timeout", 30.0);
-  auto transport = TcpTransport::Listen(
+  topts.heartbeat = HeartbeatFromFlags(flags);
+  auto listened = TcpTransport::Listen(
       rank, world, peers[static_cast<size_t>(rank)].port, topts);
-  if (!transport.ok()) return Fail(transport.status().ToString());
+  if (!listened.ok()) return Fail(listened.status().ToString());
   std::printf("rank %d/%d listening on port %d, connecting mesh...\n", rank,
-              world, transport.value()->listen_port());
-  const Status established = transport.value()->Establish(peers);
+              world, listened.value()->listen_port());
+  const Status established = listened.value()->Establish(peers);
   if (!established.ok()) return Fail(established.ToString());
+  std::unique_ptr<Transport> transport = std::move(listened).value();
+  if (plan != nullptr && (plan->target_rank < 0 || plan->target_rank == rank)) {
+    std::printf("rank %d runs under fault plan\n", rank);
+    transport = std::make_unique<net::FaultInjectingTransport>(
+        std::move(transport), *plan);
+  }
   std::printf("mesh up; training %s (%d workers/rank)\n", ds.name.c_str(),
               options.train.num_workers);
   DistNomadSolver solver;
-  auto result = solver.Train(ds, options, transport.value().get());
+  auto result = solver.Train(ds, options, transport.get());
   if (!result.ok()) return Fail(result.status().ToString());
+  for (int r : result.value().dead_ranks) {
+    std::printf("rank %d was declared dead and recovered from\n", r);
+  }
   PrintResult(result.value(), rank);
-  const Status closed = transport.value()->Close();
+  const Status closed = transport->Close();
   if (!closed.ok()) return Fail(closed.ToString());
   if (rank == 0) return FinishRankZero(flags, std::move(result).value());
   PrintTrafficTable(result.value());  // non-zero ranks report themselves
@@ -194,14 +246,30 @@ int Run(int argc, char** argv) {
   if (!ds.ok()) return Fail(ds.status().ToString());
   auto options = OptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status().ToString());
+  FaultPlan plan;
+  bool have_plan = false;
+  const std::string plan_spec = flags.GetString("fault-plan");
+  if (!plan_spec.empty()) {
+    auto parsed = net::ParseFaultPlan(plan_spec);
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    plan = parsed.value();
+    have_plan = true;
+    if (plan.kills() && !HeartbeatFromFlags(flags).enabled()) {
+      return Fail(
+          "a killing --fault-plan needs --heartbeat-interval: without "
+          "liveness detection the survivors would hang, not recover");
+    }
+  }
   if (!flags.Has("rank")) {
-    return RunLoopback(flags, ds.value(), options.value(), world);
+    return RunLoopback(flags, ds.value(), options.value(), world,
+                       have_plan ? &plan : nullptr);
   }
   const int rank = static_cast<int>(flags.GetInt("rank", -1));
   if (rank < 0 || rank >= world) {
     return Fail("--rank must be in [0, world)");
   }
-  return RunTcp(flags, ds.value(), options.value(), rank, world);
+  return RunTcp(flags, ds.value(), options.value(), rank, world,
+                have_plan ? &plan : nullptr);
 }
 
 }  // namespace
