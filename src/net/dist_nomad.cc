@@ -22,6 +22,8 @@
 #include "nomad/batch_controller.h"
 #include "nomad/pause_gate.h"
 #include "nomad/token_router.h"
+#include "obs/metrics.h"
+#include "obs/solver_metrics.h"
 #include "queue/mpmc_queue.h"
 #include "sched/schedule.h"
 #include "solver/sgd_kernel.h"
@@ -207,6 +209,62 @@ class RankRun {
     // must be able to count it at any time.
     hrow_received_.assign(static_cast<size_t>(world_), 0);
     wrow_received_.assign(static_cast<size_t>(world_), 0);
+
+    // Observability handles. Every series carries rank="r" so a loopback
+    // world sharing one process-wide registry keeps the ranks apart.
+    obs::MetricsRegistry* resolved = obs::ResolveRegistry(opt_.metrics);
+    registry_ = resolved->enabled() ? resolved : &fallback_registry_;
+    const obs::Labels rl = {{"rank", std::to_string(rank_)}};
+    tokens_sent_ = registry_->GetCounter("nomad_dist_tokens_sent_total", rl);
+    tokens_received_ =
+        registry_->GetCounter("nomad_dist_tokens_received_total", rl);
+    tokens_sent0_ = tokens_sent_.Value();
+    tokens_received0_ = tokens_received_.Value();
+    send_retries_ =
+        registry_->GetCounter("nomad_dist_send_retries_total", rl);
+    heartbeat_misses_ =
+        registry_->GetCounter("nomad_dist_heartbeat_misses_total", rl);
+    regrants_ = registry_->GetCounter("nomad_dist_regrants_total", rl);
+    stale_tokens_ =
+        registry_->GetCounter("nomad_dist_stale_tokens_total", rl);
+    dead_frames_ = registry_->GetCounter("nomad_dist_dead_frames_total", rl);
+    tx_frames_.resize(static_cast<size_t>(world_));
+    tx_bytes_.resize(static_cast<size_t>(world_));
+    rx_frames_.resize(static_cast<size_t>(world_));
+    rx_bytes_.resize(static_cast<size_t>(world_));
+    peer_alive_.resize(static_cast<size_t>(world_));
+    for (int r = 0; r < world_; ++r) {
+      if (r == rank_) continue;  // self slots stay null handles
+      obs::Labels pl = rl;
+      pl.emplace_back("peer", std::to_string(r));
+      tx_frames_[static_cast<size_t>(r)] =
+          registry_->GetCounter("nomad_dist_tx_frames_total", pl);
+      tx_bytes_[static_cast<size_t>(r)] =
+          registry_->GetCounter("nomad_dist_tx_bytes_total", pl);
+      rx_frames_[static_cast<size_t>(r)] =
+          registry_->GetCounter("nomad_dist_rx_frames_total", pl);
+      rx_bytes_[static_cast<size_t>(r)] =
+          registry_->GetCounter("nomad_dist_rx_bytes_total", pl);
+      peer_alive_[static_cast<size_t>(r)] =
+          registry_->GetGauge("nomad_dist_peer_alive", pl);
+      peer_alive_[static_cast<size_t>(r)].Set(1);
+    }
+    recovery_generation_ =
+        registry_->GetGauge("nomad_dist_recovery_generation", rl);
+    barrier_epoch_ = registry_->GetGauge("nomad_dist_barrier_epoch", rl);
+    updates_per_second_ =
+        registry_->GetGauge("nomad_dist_updates_per_second", rl);
+    transport_bytes_sent_ =
+        registry_->GetGauge("nomad_dist_transport_bytes_sent", rl);
+    transport_bytes_received_ =
+        registry_->GetGauge("nomad_dist_transport_bytes_received", rl);
+    transport_msgs_sent_ =
+        registry_->GetGauge("nomad_dist_transport_messages_sent", rl);
+    transport_msgs_received_ =
+        registry_->GetGauge("nomad_dist_transport_messages_received", rl);
+    router_->AttachMetrics(
+        registry_->GetCounter("nomad_router_local_picks_total", rl),
+        registry_->GetCounter("nomad_router_remote_picks_total", rl));
   }
 
   // ---- the worker pool (the NomadSolver hot path + remote hand-off) ----
@@ -235,6 +293,11 @@ class RankRun {
       Rng rng(opt_.seed +
               7919ULL * static_cast<uint64_t>(rank_ * p_ + q + 1));
       BatchController controller(controller_config);
+      // Single accumulation path behind the live scrape and this rank's
+      // WorkerBatchStats (Finish() views these same registry cells).
+      obs::WorkerObs wobs = obs::WorkerObs::Create(
+          registry_, rank_, q,
+          auto_batch ? controller.batch() : fixed_batch);
       std::vector<int32_t> tokens(static_cast<size_t>(max_batch));
       std::vector<int> dests(static_cast<size_t>(max_batch));
       std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p_));
@@ -254,7 +317,10 @@ class RankRun {
           if (idle_streak < 4) {
             std::this_thread::yield();
           } else {
-            if (auto_batch && idle_streak == 4) controller.NoteIdleBackoff();
+            if (idle_streak == 4) {
+              if (auto_batch) controller.NoteIdleBackoff();
+              wobs.NoteBackoff(auto_batch ? controller.batch() : fixed_batch);
+            }
             const int shift = std::min(idle_streak - 4, 7);
             std::this_thread::sleep_for(
                 std::chrono::microseconds(1 << shift));
@@ -263,9 +329,16 @@ class RankRun {
           continue;
         }
         idle_streak = 0;
-        if (auto_batch) {
-          controller.Observe(static_cast<size_t>(want), got,
-                             queues_[static_cast<size_t>(q)]->SizeEstimate());
+        {
+          const size_t depth = queues_[static_cast<size_t>(q)]->SizeEstimate();
+          if (auto_batch) {
+            controller.Observe(static_cast<size_t>(want), got, depth);
+          }
+          // Sampling the batch after every controller interaction catches
+          // each SetBatch transition, keeping the registry view
+          // bit-identical to controller.Stats().
+          wobs.ObserveRound(static_cast<size_t>(want), got, depth,
+                            auto_batch ? controller.batch() : fixed_batch);
         }
         size_t local_n = 0;  // tokens staying on this rank, compacted
         for (size_t b = 0; b < got; ++b) {
@@ -296,6 +369,7 @@ class RankRun {
             }
             if (applied > 0) {
               total_updates_.fetch_add(applied, std::memory_order_relaxed);
+              wobs.NoteUpdates(applied);
             }
           }
           const bool remote =
@@ -339,11 +413,15 @@ class RankRun {
                   sent.code() != StatusCode::kUnavailable) {
                 break;
               }
+              send_retries_.Inc();
               std::this_thread::sleep_for(std::chrono::microseconds(
                   50u << (attempt < 6 ? attempt : 6)));
             }
             if (sent.ok()) {
-              tokens_sent_.fetch_add(1, std::memory_order_relaxed);
+              tokens_sent_.Inc();
+              tx_frames_[static_cast<size_t>(dest)].Inc();
+              tx_bytes_[static_cast<size_t>(dest)].Inc(
+                  static_cast<int64_t>(frame.size()));
             } else {
               tokens[local_n++] = j;
             }
@@ -366,17 +444,11 @@ class RankRun {
                                                        buf.size());
             buf.clear();
           }
+          wobs.NotePushed(static_cast<int64_t>(local_n));
         }
       }
-      if (auto_batch) {
-        batch_stats_[static_cast<size_t>(q)] = controller.Stats(q);
-      } else {
-        WorkerBatchStats& s = batch_stats_[static_cast<size_t>(q)];
-        s.worker = q;
-        s.final_batch = s.min_batch_seen = s.max_batch_seen = fixed_batch;
-        s.mean_batch = static_cast<double>(fixed_batch);
-        s.trajectory.emplace_back(0, fixed_batch);
-      }
+      batch_stats_[static_cast<size_t>(q)] =
+          wobs.Finish(auto_batch ? &controller : nullptr, fixed_batch);
     };
     workers_.reserve(static_cast<size_t>(p_));
     wall_.Restart();
@@ -392,11 +464,16 @@ class RankRun {
     std::vector<uint8_t> frame;
     int src = -1;
     while (transport_->TryReceive(&frame, &src)) {
+      if (src >= 0 && src < world_) {
+        rx_frames_[static_cast<size_t>(src)].Inc();
+        rx_bytes_[static_cast<size_t>(src)].Inc(
+            static_cast<int64_t>(frame.size()));
+      }
       if (src >= 0 && src < world_ && dead_[static_cast<size_t>(src)]) {
         // Leftovers of a latched-dead rank (loopback inboxes outlive the
         // death; TCP can hand over buffered frames). They must not
         // resurrect tokens the recovery already re-granted.
-        ++dead_frames_;
+        dead_frames_.Inc();
         continue;
       }
       auto type = PeekType(frame.data(), frame.size());
@@ -417,7 +494,7 @@ class RankRun {
             if (regrant) {
               // Authoritative re-materialization of a token lost with a
               // dead rank: accept unconditionally, version reset included.
-              ++regrant_received_;
+              regrants_.Inc();
             } else if (row.version <=
                        version_[j].load(std::memory_order_relaxed)) {
               // Exclusive ownership makes the hop counter strictly
@@ -425,12 +502,12 @@ class RankRun {
               // or duplicated frame (an injected fault, or a retried send
               // whose first copy did arrive). The live token is elsewhere;
               // discard this copy.
-              ++stale_tokens_;
+              stale_tokens_.Inc();
               break;
             }
             version_[j].store(row.version, std::memory_order_relaxed);
             std::copy(row.values, row.values + k_, h_.Row(row.id));
-            tokens_received_.fetch_add(1, std::memory_order_relaxed);
+            tokens_received_.Inc();
             if (in_barrier_) {
               held_.push_back(row.id);
             } else {
@@ -541,11 +618,23 @@ class RankRun {
   void LatchDead(int r) {
     if (r < 0 || r >= world_ || r == rank_ || !IsLive(r)) return;
     dead_[static_cast<size_t>(r)] = 1;
+    peer_alive_[static_cast<size_t>(r)].Set(0);
     if (world_ <= 64) {
       dead_mask_.fetch_or(1ull << r, std::memory_order_relaxed);
     }
     NOMAD_LOG(kWarning) << "dist_nomad rank " << rank_ << ": rank " << r
                         << " latched dead";
+  }
+
+  /// Reads the transport's liveness verdict for `r`, counting each dead
+  /// verdict as a heartbeat miss — the scrapeable trail of the failure
+  /// detector's decisions. Call sites either sit behind IsLive (so a
+  /// latched death counts once, not once per poll) or abort the rank on
+  /// the spot (the rank-0-is-dead checks).
+  bool PeerDead(int r) {
+    if (transport_->peer_status(r) != PeerStatus::kDead) return false;
+    heartbeat_misses_.Inc();
+    return true;
   }
 
   /// Sends with bounded retry + exponential backoff on transient
@@ -556,10 +645,16 @@ class RankRun {
     Status s;
     for (int attempt = 0;; ++attempt) {
       s = transport_->Send(dest, buf);  // copy: retries reuse the bytes
+      if (s.ok()) {
+        tx_frames_[static_cast<size_t>(dest)].Inc();
+        tx_bytes_[static_cast<size_t>(dest)].Inc(
+            static_cast<int64_t>(buf.size()));
+      }
       if (s.ok() || attempt >= limit ||
           s.code() != StatusCode::kUnavailable) {
         return s;
       }
+      send_retries_.Inc();
       std::this_thread::sleep_for(
           std::chrono::microseconds(100u << (attempt < 6 ? attempt : 6)));
     }
@@ -612,13 +707,13 @@ class RankRun {
     if (world_ == 1) return Status::OK();
     if (rank_ == 0) {
       for (int r = 1; r < world_; ++r) {
-        if (IsLive(r) && transport_->peer_status(r) == PeerStatus::kDead) {
+        if (IsLive(r) && PeerDead(r)) {
           LatchDead(r);
           death_pending_ = true;
         }
       }
     } else {
-      if (transport_->peer_status(0) == PeerStatus::kDead) {
+      if (PeerDead(0)) {
         return Status::IOError(
             "rank " + std::to_string(rank_) +
             ": rank 0 is unreachable — unrecoverable, aborting");
@@ -644,7 +739,7 @@ class RankRun {
     if (rank_ == 0) {
       bool fresh = false;
       for (int r = 1; r < world_; ++r) {
-        if (IsLive(r) && transport_->peer_status(r) == PeerStatus::kDead) {
+        if (IsLive(r) && PeerDead(r)) {
           LatchDead(r);
           fresh = true;
         }
@@ -652,7 +747,7 @@ class RankRun {
       return fresh ? Status::Unavailable("death during recovery")
                    : Status::OK();
     }
-    if (transport_->peer_status(0) == PeerStatus::kDead) {
+    if (PeerDead(0)) {
       return Status::IOError(
           "rank " + std::to_string(rank_) +
           ": rank 0 is unreachable — unrecoverable, aborting");
@@ -786,6 +881,7 @@ class RankRun {
   /// the message flow.
   Status RunBarrier(bool* finished) {
     Quiesce();
+    barrier_epoch_.Set(epoch_);
 
     // Phase 1 — conservation: rank 0 waits until every circulating token
     // is parked somewhere (sum of held counts == n ⇔ nothing in flight).
@@ -965,6 +1061,15 @@ class RankRun {
       }
     }
     const TransportStats tstats = transport_->stats();
+    // The transport gauges are set ONLY here, from the same stats snapshot
+    // the kPartialEval frame carries — the final scraped values and
+    // rank_traffic's bytes are therefore bit-identical at every barrier.
+    transport_bytes_sent_.Set(static_cast<double>(tstats.bytes_sent));
+    transport_bytes_received_.Set(
+        static_cast<double>(tstats.bytes_received));
+    transport_msgs_sent_.Set(static_cast<double>(tstats.messages_sent));
+    transport_msgs_received_.Set(
+        static_cast<double>(tstats.messages_received));
     ControlFrame mine;
     mine.kind = ControlKind::kPartialEval;
     mine.rank = rank_;
@@ -973,8 +1078,10 @@ class RankRun {
     mine.count = cnt;
     mine.updates = total_updates_.load(std::memory_order_relaxed);
     mine.seconds = train_seconds_;
-    mine.tokens_sent = tokens_sent_.load(std::memory_order_relaxed);
-    mine.tokens_received = tokens_received_.load(std::memory_order_relaxed);
+    // Per-run registry deltas: rank_traffic is a view over the same
+    // counters the scrape endpoint serves.
+    mine.tokens_sent = tokens_sent_.Value() - tokens_sent0_;
+    mine.tokens_received = tokens_received_.Value() - tokens_received0_;
     mine.bytes_sent = tstats.bytes_sent;
     mine.bytes_received = tstats.bytes_received;
 
@@ -1020,6 +1127,10 @@ class RankRun {
                         : 0.0;
       global_updates_ = updates_total;
       global_seconds_ = train_seconds_;
+      updates_per_second_.Set(
+          global_seconds_ > 0.0
+              ? static_cast<double>(global_updates_) / global_seconds_
+              : 0.0);
       TracePoint pt;
       pt.seconds = train_seconds_;
       pt.updates = updates_total;
@@ -1094,6 +1205,10 @@ class RankRun {
         trace_.Add(pt);
         global_updates_ = f.updates;
         global_seconds_ = f.seconds;
+        updates_per_second_.Set(
+            global_seconds_ > 0.0
+                ? static_cast<double>(global_updates_) / global_seconds_
+                : 0.0);
         if (f.held >= 0) {
           update_cap_.store(f.held, std::memory_order_relaxed);
         }
@@ -1115,7 +1230,7 @@ class RankRun {
         // it, keep whatever w rows it managed to send (this rank's W holds
         // deterministic initial values for the rest), and move on.
         for (int r = 1; r < world_; ++r) {
-          if (IsLive(r) && transport_->peer_status(r) == PeerStatus::kDead) {
+          if (IsLive(r) && PeerDead(r)) {
             LatchDead(r);
           }
         }
@@ -1165,7 +1280,7 @@ class RankRun {
       // first, but one Pump() can surface both at once.
       ControlFrame f;
       if (TakeCtrl(ControlKind::kShutdown, &f)) return Status::OK();
-      if (transport_->peer_status(0) == PeerStatus::kDead) {
+      if (PeerDead(0)) {
         return Status::IOError(
             "rank " + std::to_string(rank_) +
             ": rank 0 is unreachable — unrecoverable, aborting");
@@ -1219,6 +1334,7 @@ class RankRun {
     } else {
       gen = notice_gen_;
     }
+    recovery_generation_.Set(gen);
     NOMAD_LOG(kWarning) << "dist_nomad rank " << rank_
                         << ": recovery generation " << gen << " ("
                         << (world_ - LiveCount()) << " dead, "
@@ -1436,8 +1552,6 @@ class RankRun {
   PauseGate gate_;
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> total_updates_{0};
-  std::atomic<int64_t> tokens_sent_{0};
-  std::atomic<int64_t> tokens_received_{0};
   std::vector<std::thread> workers_;
   std::vector<WorkerBatchStats> batch_stats_;
   bool numa_place_ = false;
@@ -1478,9 +1592,6 @@ class RankRun {
   int recovery_gen_ = 0;          ///< Rank 0: recovery generations issued.
   int notice_gen_ = 0;            ///< Others: newest kDeathNotice generation.
   int64_t notice_epoch_ = 0;      ///< Others: rank 0's epoch off the notice.
-  int64_t regrant_received_ = 0;  ///< Re-granted tokens accepted.
-  int64_t stale_tokens_ = 0;      ///< Replayed/duplicate tokens discarded.
-  int64_t dead_frames_ = 0;       ///< Frames from latched-dead ranks dropped.
   bool record_hrow_ids_ = false;  ///< Rank 0 census: Pump logs h-row ids.
   std::vector<std::vector<int32_t>> seen_hrow_ids_;  ///< indexed by sender
   std::vector<int> my_globals_;   ///< Global workers this rank owns.
@@ -1491,6 +1602,38 @@ class RankRun {
   int64_t global_updates_ = 0;
   double global_seconds_ = 0.0;
   std::vector<RankTrafficStats> rank_traffic_;
+
+  // ---- observability (obs/metrics.h; handles created in Setup) ----
+  // TrainResult::rank_traffic is a view over these cells (kPartialEval
+  // frames carry the per-run counter deltas), so the accounting must never
+  // degrade: when the resolved registry is disabled (NOMAD_METRICS=off),
+  // the run counts into this private registry instead — same cost as the
+  // plain atomics it replaced, just nothing scrapes it.
+  obs::MetricsRegistry fallback_registry_{true};
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter tokens_sent_;       ///< Tokens handed to remote ranks.
+  obs::Counter tokens_received_;   ///< Tokens accepted from remote ranks.
+  int64_t tokens_sent0_ = 0;       ///< Start values: the counters may be
+  int64_t tokens_received0_ = 0;   ///< warm from an earlier run.
+  obs::Counter send_retries_;      ///< Extra send attempts after Unavailable.
+  obs::Counter heartbeat_misses_;  ///< Dead verdicts read off the transport.
+  obs::Counter regrants_;          ///< Re-granted tokens accepted.
+  obs::Counter stale_tokens_;      ///< Replayed/duplicate tokens discarded.
+  obs::Counter dead_frames_;       ///< Frames from latched-dead ranks dropped.
+  // Per-peer solver-payload traffic (what this rank's protocol put on the
+  // wire, excluding transport framing and heartbeats), indexed by peer
+  // rank; the self slot stays a null handle.
+  std::vector<obs::Counter> tx_frames_, tx_bytes_, rx_frames_, rx_bytes_;
+  std::vector<obs::Gauge> peer_alive_;   ///< 1 live, 0 latched dead.
+  obs::Gauge recovery_generation_;       ///< Newest recovery generation run.
+  obs::Gauge barrier_epoch_;             ///< Epoch of the last barrier.
+  obs::Gauge updates_per_second_;        ///< Global rate at the last barrier.
+  // Whole-transport cumulative stats (framing and heartbeats included),
+  // snapshotted in EvaluateAndDecide from the same TransportStats read
+  // that fills the kPartialEval frame — which keeps the scraped values and
+  // rank_traffic's bytes bit-identical at every barrier.
+  obs::Gauge transport_bytes_sent_, transport_bytes_received_;
+  obs::Gauge transport_msgs_sent_, transport_msgs_received_;
 };
 
 template <typename Real>

@@ -14,6 +14,8 @@
 #include "nomad/batch_controller.h"
 #include "nomad/pause_gate.h"
 #include "nomad/token_router.h"
+#include "obs/metrics.h"
+#include "obs/solver_metrics.h"
 #include "queue/mpmc_queue.h"
 #include "solver/sgd_kernel.h"
 #include "util/logging.h"
@@ -126,12 +128,20 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
     queues[scatter_rng.NextBelow(static_cast<uint64_t>(p))]->Push(j);
   }
 
+  // Observability (obs/metrics.h): handles are null-safe no-ops when the
+  // resolved registry is disabled (NOMAD_METRICS=off), so the hot path
+  // below never branches on "metrics on?".
+  obs::MetricsRegistry* const registry = obs::ResolveRegistry(options.metrics);
+
   TokenRouter router(options.routing, p);
   // numa=auto biases hand-offs toward the sender's node (interleave keeps
   // routing topology-blind: its point is spreading bandwidth, not locality).
   if (numa_place && options.numa_policy == NumaPolicy::kAuto) {
     router.MakeNumaAware(worker_node);
   }
+  router.AttachMetrics(
+      registry->GetCounter("nomad_router_local_picks_total"),
+      registry->GetCounter("nomad_router_remote_picks_total"));
   // Queue sizes are advisory everywhere they are used (Sec. 3.3), so the
   // probe reads the lock-free estimate instead of taking the destination
   // queue's mutex — a least-loaded batch no longer locks the queues it
@@ -187,6 +197,12 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
     }
     Rng rng(options.seed + 7919ULL * static_cast<uint64_t>(q + 1));
     BatchController controller(controller_config);
+    // The single accumulation path behind both the live scrape and this
+    // run's WorkerBatchStats (built by Finish() as a view over the same
+    // registry cells).
+    obs::WorkerObs wobs = obs::WorkerObs::Create(
+        registry, /*rank=*/-1, q,
+        auto_batch ? controller.batch() : fixed_batch);
     std::vector<int32_t> tokens(static_cast<size_t>(max_batch));
     std::vector<int> dests(static_cast<size_t>(max_batch));
     // Per-destination hand-off buffers: tokens bound for the same queue
@@ -215,7 +231,10 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
           // re-enters circulation with a smaller bite. Neither the plain
           // empty polls nor the later sleeps are fed to the controller —
           // one scheduling gap is one starvation signal, not hundreds.
-          if (auto_batch && idle_streak == 4) controller.NoteIdleBackoff();
+          if (idle_streak == 4) {
+            if (auto_batch) controller.NoteIdleBackoff();
+            wobs.NoteBackoff(auto_batch ? controller.batch() : fixed_batch);
+          }
           const int shift = std::min(idle_streak - 4, 7);  // 1..128 µs
           std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
         }
@@ -224,9 +243,19 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
       }
       idle_streak = 0;
       if (auto_batch) {
-        controller.Observe(
+        const size_t depth = queues[static_cast<size_t>(q)]->SizeEstimate();
+        controller.Observe(static_cast<size_t>(want), got, depth);
+        // Sampling the batch after every controller interaction catches
+        // each SetBatch transition individually — what keeps the registry
+        // view bit-identical to controller.Stats().
+        wobs.ObserveRound(static_cast<size_t>(want), got, depth,
+                          controller.batch());
+      } else {
+        wobs.ObserveRound(
             static_cast<size_t>(want), got,
-            queues[static_cast<size_t>(q)]->SizeEstimate());
+            wobs.enabled() ? queues[static_cast<size_t>(q)]->SizeEstimate()
+                           : 0,
+            fixed_batch);
       }
       for (size_t b = 0; b < got; ++b) {
         const int32_t j = tokens[b];
@@ -251,7 +280,10 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
             const ColumnShards::Entry& e = entries[t];
             kernel.Apply(e.value, &counts, e.csc_pos, w.Row(e.row), hj);
           }
-          if (n > 0) total_updates.fetch_add(n, std::memory_order_relaxed);
+          if (n > 0) {
+            total_updates.fetch_add(n, std::memory_order_relaxed);
+            wobs.NoteUpdates(n);
+          }
         }
         owner[static_cast<size_t>(j)].store(-1, std::memory_order_release);
       }
@@ -265,18 +297,10 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         queues[static_cast<size_t>(d)]->PushBatch(buf.data(), buf.size());
         buf.clear();
       }
+      wobs.NotePushed(static_cast<int64_t>(got));
     }
-    if (auto_batch) {
-      batch_stats[static_cast<size_t>(q)] = controller.Stats(q);
-    } else {
-      // Fixed mode reports the same shape with a constant trajectory, so
-      // downstream tooling reads one format regardless of the mode.
-      WorkerBatchStats& s = batch_stats[static_cast<size_t>(q)];
-      s.worker = q;
-      s.final_batch = s.min_batch_seen = s.max_batch_seen = fixed_batch;
-      s.mean_batch = static_cast<double>(fixed_batch);
-      s.trajectory.emplace_back(0, fixed_batch);
-    }
+    batch_stats[static_cast<size_t>(q)] =
+        wobs.Finish(auto_batch ? &controller : nullptr, fixed_batch);
   };
 
   // Driver setup: stopping criteria and trace cadence (the update cap must
@@ -313,6 +337,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   // time to the next update threshold so batched workers cannot blow far
   // past an update budget while the driver sleeps.
   double est_rate = 0.0;  // updates per second, EWMA
+  const obs::Gauge rate_gauge = registry->GetGauge("nomad_updates_per_second");
   int64_t last_done = 0;
   Stopwatch tick;
   for (;;) {
@@ -323,6 +348,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         const double inst =
             static_cast<double>(done_now - last_done) / dt;
         est_rate = est_rate > 0.0 ? 0.5 * est_rate + 0.5 * inst : inst;
+        rate_gauge.Set(est_rate);
         last_done = done_now;
         tick.Restart();
       }

@@ -72,6 +72,7 @@ int TokenRouter::PickFrom(const std::vector<int>& candidates, Rng* rng,
 
 int TokenRouter::Pick(int self, Rng* rng, const SizeProbe& probe) const {
   if (!numa_aware()) {
+    CountPicks(1, 0);  // one node: every hand-off is node-local
     const int a = static_cast<int>(rng->NextBelow(
         static_cast<uint64_t>(num_workers_)));
     if (routing_ == Routing::kUniform || num_workers_ == 1) return a;
@@ -86,7 +87,9 @@ int TokenRouter::Pick(int self, Rng* rng, const SizeProbe& probe) const {
       !remote_workers_[node].empty();
   const std::vector<int>& candidates =
       go_remote ? remote_workers_[node] : node_workers_[node];
-  return PickFrom(candidates, rng, probe);
+  const int dst = PickFrom(candidates, rng, probe);
+  CountPicks(go_remote ? 0 : 1, go_remote ? 1 : 0);
+  return dst;
 }
 
 void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
@@ -98,6 +101,7 @@ void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
       out[t] = static_cast<int>(
           rng->NextBelow(static_cast<uint64_t>(num_workers_)));
     }
+    CountPicks(n, 0);
     return;
   }
   // Lazily filled size cache shared by the whole batch: each queue pays at
@@ -120,6 +124,7 @@ void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
   };
   if (numa_aware()) {
     const size_t node = static_cast<size_t>(NodeOf(self));
+    int n_remote = 0;
     for (int t = 0; t < n; ++t) {
       const bool go_remote = rng->Uniform(0.0, 1.0) < remote_prob_[node] &&
                              !remote_workers_[node].empty();
@@ -128,7 +133,9 @@ void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
       const int dst = PickFrom(candidates, rng, load);
       out[t] = dst;
       ++sizes[static_cast<size_t>(dst)];
+      n_remote += go_remote ? 1 : 0;
     }
+    CountPicks(n - n_remote, n_remote);
     return;
   }
   for (int t = 0; t < n; ++t) {
@@ -141,6 +148,7 @@ void TokenRouter::PickBatch(int self, Rng* rng, const SizeProbe& probe,
     out[t] = dst;
     ++sizes[static_cast<size_t>(dst)];
   }
+  CountPicks(n, 0);
 }
 
 }  // namespace nomad

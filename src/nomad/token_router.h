@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "solver/solver.h"
 #include "util/rng.h"
 
@@ -60,6 +61,17 @@ class TokenRouter {
   void MakeNumaAware(const std::vector<int>& worker_node,
                      double remote_fraction = kDefaultRemoteFraction);
 
+  /// Attaches pick counters (obs/metrics.h): every destination choice
+  /// increments `local_picks` when the token stays on the sender's NUMA
+  /// node and `remote_picks` when it crosses nodes. A topology-blind
+  /// router counts every pick local (there is only node 0). The default
+  /// null handles make the accounting a no-op; call before handing the
+  /// router to worker threads, like MakeNumaAware.
+  void AttachMetrics(obs::Counter local_picks, obs::Counter remote_picks) {
+    local_picks_ = local_picks;
+    remote_picks_ = remote_picks;
+  }
+
   /// Picks the destination worker. `self` is the sending worker (tokens may
   /// be routed back to the sender, as in the paper).
   int Pick(int self, Rng* rng, const SizeProbe& probe) const;
@@ -92,6 +104,13 @@ class TokenRouter {
   int PickFrom(const std::vector<int>& candidates, Rng* rng,
                const Load& load) const;
 
+  /// Batched pick accounting: one increment per counter per PickBatch, not
+  /// per token (counts of zero skip the atomic entirely).
+  void CountPicks(int64_t n_local, int64_t n_remote) const {
+    if (n_local > 0) local_picks_.Inc(n_local);
+    if (n_remote > 0) remote_picks_.Inc(n_remote);
+  }
+
   Routing routing_;
   int num_workers_;
   std::vector<int> worker_node_;               // worker -> node index
@@ -102,6 +121,11 @@ class TokenRouter {
   // Per-node remote probability remote_fraction × m_node / m_max (see the
   // class comment for why it scales with the remote-worker count).
   std::vector<double> remote_prob_;
+  // Null-safe pick counters (AttachMetrics); Counter::Inc is const and
+  // mutates only the registry cell, so counting inside const Pick paths is
+  // sound.
+  obs::Counter local_picks_;
+  obs::Counter remote_picks_;
 };
 
 }  // namespace nomad

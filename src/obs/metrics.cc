@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nomad {
+namespace obs {
+
+namespace {
+
+/// Canonical map key: name plus sorted labels, in a form no metric name or
+/// label can collide with ('\x1f' is not legal in either).
+std::string MapKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& kv : labels) {
+    key += '\x1f';
+    key += kv.first;
+    key += '\x1f';
+    key += kv.second;
+  }
+  return key;
+}
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Shortest %g rendering that keeps integral values integral-looking
+/// ("3" not "3.000000") — scrape output stays stable and diffable.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+bool SampleLess(const MetricSample& a, const MetricSample& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) const {
+  if (cell_ == nullptr) return;
+  size_t i = 0;
+  while (i < cell_->bounds.size() && v > cell_->bounds[i]) ++i;
+  cell_->buckets[i].fetch_add(1, std::memory_order_relaxed);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  double old = cell_->sum.load(std::memory_order_relaxed);
+  while (!cell_->sum.compare_exchange_weak(old, old + v,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = [] {
+    const char* env = std::getenv("NOMAD_METRICS");
+    const bool off = env != nullptr && (std::strcmp(env, "off") == 0 ||
+                                        std::strcmp(env, "0") == 0 ||
+                                        std::strcmp(env, "false") == 0);
+    return new MetricsRegistry(!off);
+  }();
+  return *instance;
+}
+
+bool MetricsRegistry::ClaimType(const std::string& name, MetricType type) {
+  auto [it, inserted] = types_.emplace(name, type);
+  return inserted || it->second == type;
+}
+
+Counter MetricsRegistry::GetCounter(const std::string& name,
+                                    const Labels& labels) {
+  if (!enabled_) return Counter();
+  const Labels sorted = SortedLabels(labels);
+  const std::string key = MapKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ClaimType(name, MetricType::kCounter)) return Counter();
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    CounterEntry entry;
+    entry.name = name;
+    entry.labels = sorted;
+    entry.cell = std::make_unique<CacheLinePadded<std::atomic<int64_t>>>();
+    entry.cell->value.store(0, std::memory_order_relaxed);
+    it = counters_.emplace(key, std::move(entry)).first;
+  }
+  return Counter(&it->second.cell->value);
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name,
+                                const Labels& labels) {
+  if (!enabled_) return Gauge();
+  const Labels sorted = SortedLabels(labels);
+  const std::string key = MapKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ClaimType(name, MetricType::kGauge)) return Gauge();
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    GaugeEntry entry;
+    entry.name = name;
+    entry.labels = sorted;
+    entry.cell = std::make_unique<CacheLinePadded<std::atomic<double>>>();
+    entry.cell->value.store(0.0, std::memory_order_relaxed);
+    it = gauges_.emplace(key, std::move(entry)).first;
+  }
+  return Gauge(&it->second.cell->value);
+}
+
+Histogram MetricsRegistry::GetHistogram(const std::string& name,
+                                        const std::vector<double>& bounds,
+                                        const Labels& labels) {
+  if (!enabled_) return Histogram();
+  if (bounds.empty()) return Histogram();
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) return Histogram();
+  }
+  const Labels sorted = SortedLabels(labels);
+  const std::string key = MapKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ClaimType(name, MetricType::kHistogram)) return Histogram();
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    HistogramEntry entry;
+    entry.name = name;
+    entry.labels = sorted;
+    entry.cell = std::make_unique<HistogramCell>();
+    entry.cell->bounds = bounds;
+    entry.cell->buckets =
+        std::make_unique<std::atomic<int64_t>[]>(bounds.size() + 1);
+    for (size_t i = 0; i <= bounds.size(); ++i) {
+      entry.cell->buckets[i].store(0, std::memory_order_relaxed);
+    }
+    it = histograms_.emplace(key, std::move(entry)).first;
+  }
+  return Histogram(it->second.cell.get());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples_.reserve(counters_.size() + gauges_.size() +
+                        histograms_.size());
+  for (const auto& [key, entry] : counters_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.type = MetricType::kCounter;
+    s.value = static_cast<double>(
+        entry.cell->value.load(std::memory_order_relaxed));
+    snap.samples_.push_back(std::move(s));
+  }
+  for (const auto& [key, entry] : gauges_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.type = MetricType::kGauge;
+    s.value = entry.cell->value.load(std::memory_order_relaxed);
+    snap.samples_.push_back(std::move(s));
+  }
+  for (const auto& [key, entry] : histograms_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.type = MetricType::kHistogram;
+    s.bounds = entry.cell->bounds;
+    s.buckets.resize(s.bounds.size() + 1);
+    for (size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.buckets[i] = entry.cell->buckets[i].load(std::memory_order_relaxed);
+    }
+    s.count = entry.cell->count.load(std::memory_order_relaxed);
+    s.sum = entry.cell->sum.load(std::memory_order_relaxed);
+    snap.samples_.push_back(std::move(s));
+  }
+  std::sort(snap.samples_.begin(), snap.samples_.end(), SampleLess);
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& s : snap.samples()) {
+    if (s.name != last_name) {
+      out += "# TYPE " + s.name + " " + TypeName(s.type) + "\n";
+      last_name = s.name;
+    }
+    if (s.type == MetricType::kHistogram) {
+      int64_t cumulative = 0;
+      for (size_t i = 0; i <= s.bounds.size(); ++i) {
+        cumulative += s.buckets[i];
+        Labels bucket_labels = s.labels;
+        bucket_labels.emplace_back(
+            "le", i < s.bounds.size() ? FormatValue(s.bounds[i]) : "+Inf");
+        out += s.name + "_bucket" + RenderLabels(bucket_labels) + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+      out += s.name + "_sum" + RenderLabels(s.labels) + " " +
+             FormatValue(s.sum) + "\n";
+      out += s.name + "_count" + RenderLabels(s.labels) + " " +
+             FormatValue(static_cast<double>(s.count)) + "\n";
+    } else {
+      out += s.name + RenderLabels(s.labels) + " " + FormatValue(s.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name,
+                                          const Labels& labels) const {
+  const Labels sorted = SortedLabels(labels);
+  for (const MetricSample& s : samples_) {
+    if (s.name == name && s.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                      const Labels& labels) const {
+  const MetricSample* s = Find(name, labels);
+  return s != nullptr ? static_cast<int64_t>(s->value) : 0;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name,
+                                   const Labels& labels) const {
+  const MetricSample* s = Find(name, labels);
+  return s != nullptr ? s->value : 0.0;
+}
+
+double MetricsSnapshot::SumByName(const std::string& name) const {
+  double total = 0.0;
+  for (const MetricSample& s : samples_) {
+    if (s.name == name && s.type != MetricType::kHistogram) total += s.value;
+  }
+  return total;
+}
+
+MetricsRegistry* ResolveRegistry(MetricsRegistry* opt) {
+  return opt != nullptr ? opt : &MetricsRegistry::Default();
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace nomad

@@ -1,0 +1,261 @@
+#ifndef NOMAD_OBS_METRICS_H_
+#define NOMAD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace nomad {
+
+/// Always-on observability: a lock-free metrics registry plus a text
+/// exporter (obs/metrics_server.h). The hot path — a worker bumping a
+/// counter per hand-off round — is one relaxed atomic add on a
+/// cache-line-padded cell it does not share with any other worker; the
+/// registry mutex is taken only at registration time and on scrape.
+namespace obs {
+
+/// Metric kinds the registry exports. The kind is fixed at first
+/// registration of a name; re-registering a name under another kind yields
+/// an invalid (no-op) handle instead of corrupting the exposition.
+enum class MetricType {
+  kCounter,    ///< Monotone int64 (resets only with its registry).
+  kGauge,      ///< Last-write-wins double.
+  kHistogram,  ///< Fixed cumulative (`le`) buckets + count + sum.
+};
+
+/// Label set attached to a metric, e.g. {{"rank","0"},{"worker","2"}}.
+/// Keys are sorted on registration, so {{a,1},{b,2}} and {{b,2},{a,1}}
+/// name the same time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Internal storage of one histogram series. Public only so the Histogram
+/// handle can be header-inlined; not part of the supported API surface.
+struct HistogramCell {
+  /// Cumulative upper bounds (`le` semantics), strictly increasing. The
+  /// implicit +Inf bucket is buckets[bounds.size()].
+  std::vector<double> bounds;
+  /// Per-bucket observation counts, bounds.size() + 1 entries.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets;
+  /// Total observations.
+  std::atomic<int64_t> count{0};
+  /// Sum of observed values (CAS-add; Observe is per-round, not per-token).
+  std::atomic<double> sum{0.0};
+};
+
+/// Handle to a monotone counter. Default-constructed (or registry-disabled)
+/// handles are *null*: every operation is a no-op and Value() is 0, so
+/// instrumented code needs no `if (metrics_on)` branches. Handles are
+/// trivially copyable and remain valid for the registry's lifetime.
+class Counter {
+ public:
+  /// Null handle; Inc() does nothing.
+  Counter() = default;
+
+  /// Adds `n` (relaxed; the padded cell is the handle owner's alone unless
+  /// two call sites registered the same name+labels on purpose).
+  void Inc(int64_t n = 1) const {
+    if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Current value (relaxed read; 0 for a null handle).
+  int64_t Value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// False for null handles (disabled registry or kind mismatch).
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<int64_t>* cell) : cell_(cell) {}
+  std::atomic<int64_t>* cell_ = nullptr;
+};
+
+/// Handle to a last-write-wins gauge. Null-handle semantics as Counter.
+class Gauge {
+ public:
+  /// Null handle; Set() does nothing.
+  Gauge() = default;
+
+  /// Stores `v` (relaxed).
+  void Set(double v) const {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+
+  /// Current value (relaxed read; 0.0 for a null handle).
+  double Value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0.0;
+  }
+
+  /// False for null handles.
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// Handle to a fixed-bucket histogram. Null-handle semantics as Counter.
+class Histogram {
+ public:
+  /// Null handle; Observe() does nothing.
+  Histogram() = default;
+
+  /// Records one observation: bumps the first bucket whose bound is
+  /// >= v (`le` semantics, +Inf fallback), the count, and the sum.
+  void Observe(double v) const;
+
+  /// Total observations (0 for a null handle).
+  int64_t Count() const {
+    return cell_ != nullptr ? cell_->count.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+  /// False for null handles.
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
+  HistogramCell* cell_ = nullptr;
+};
+
+/// One exported time series, as captured by MetricsRegistry::Snapshot().
+struct MetricSample {
+  std::string name;  ///< Metric name (e.g. "nomad_worker_rounds_total").
+  Labels labels;     ///< Sorted label set (possibly empty).
+  MetricType type = MetricType::kCounter;  ///< Kind of the series.
+  double value = 0.0;  ///< Counter (integral) or gauge value.
+  // Histogram-only fields:
+  std::vector<double> bounds;     ///< Bucket upper bounds.
+  std::vector<int64_t> buckets;   ///< Per-bucket counts (not cumulative),
+                                  ///< bounds.size() + 1 entries (+Inf last).
+  int64_t count = 0;              ///< Total observations.
+  double sum = 0.0;               ///< Sum of observations.
+};
+
+/// Point-in-time copy of a registry, for in-process consumers (tests,
+/// benches, the final TrainResult views) — nothing needs to parse HTTP.
+class MetricsSnapshot {
+ public:
+  /// All samples, sorted by (name, rendered labels).
+  const std::vector<MetricSample>& samples() const { return samples_; }
+
+  /// The sample with this exact name and label set, or nullptr.
+  const MetricSample* Find(const std::string& name,
+                           const Labels& labels = {}) const;
+
+  /// Counter value of (name, labels); 0 when absent.
+  int64_t CounterValue(const std::string& name,
+                       const Labels& labels = {}) const;
+
+  /// Gauge value of (name, labels); 0.0 when absent.
+  double GaugeValue(const std::string& name, const Labels& labels = {}) const;
+
+  /// Sum of every counter/gauge series of `name` across label sets.
+  double SumByName(const std::string& name) const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<MetricSample> samples_;
+};
+
+/// The registry: (name, labels) -> one separately allocated,
+/// cache-line-padded atomic cell. Per-worker series (a `worker="q"` label)
+/// therefore get per-worker slots — the same false-sharing discipline as
+/// FactorMatrixT rows — and a worker's increment never contends with its
+/// neighbors'. Registration (GetCounter/GetGauge/GetHistogram) takes a
+/// mutex and is meant for thread/run startup; the handles it returns are
+/// lock-free. Scrapes read the cells with relaxed atomics, so they never
+/// stall the workers.
+///
+/// A disabled registry (constructed with enabled=false, or Default() under
+/// NOMAD_METRICS=off) hands out null handles: the instrumented hot paths
+/// then pay one untaken branch per call and export nothing — the
+/// comparison bench_metrics_overhead.cc measures.
+class MetricsRegistry {
+ public:
+  /// An empty registry; disabled ones hand out null handles only.
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the CLIs scrape. Enabled unless the
+  /// NOMAD_METRICS environment variable is "off"/"0"/"false" at first use.
+  static MetricsRegistry& Default();
+
+  /// False when every handle this registry hands out is a no-op.
+  bool enabled() const { return enabled_; }
+
+  /// Registers (or finds) the counter (name, labels). Idempotent: the same
+  /// key always returns a handle to the same cell. Returns a null handle
+  /// when disabled or when `name` already exists as another kind.
+  Counter GetCounter(const std::string& name, const Labels& labels = {});
+
+  /// Gauge analogue of GetCounter.
+  Gauge GetGauge(const std::string& name, const Labels& labels = {});
+
+  /// Histogram analogue of GetCounter. `bounds` are cumulative (`le`)
+  /// upper bounds and must be strictly increasing and non-empty (else a
+  /// null handle); they are fixed by the first registration of the key.
+  Histogram GetHistogram(const std::string& name,
+                         const std::vector<double>& bounds,
+                         const Labels& labels = {});
+
+  /// Copies every series out (sorted by name, then labels).
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition of Snapshot(): `# TYPE` headers and
+  /// `name{label="v"} value` lines; histograms expand to _bucket/_sum/
+  /// _count. Deterministic ordering, so tests can golden-match it.
+  std::string RenderText() const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<CacheLinePadded<std::atomic<int64_t>>> cell;
+  };
+  struct GaugeEntry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<CacheLinePadded<std::atomic<double>>> cell;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<HistogramCell> cell;
+  };
+
+  /// Registers `name` as `type`; false on a kind conflict.
+  bool ClaimType(const std::string& name, MetricType type);
+
+  const bool enabled_;
+  mutable std::mutex mu_;  // registration + snapshot only, never hot
+  std::map<std::string, MetricType> types_;
+  std::map<std::string, CounterEntry> counters_;    // key: name + labels
+  std::map<std::string, GaugeEntry> gauges_;
+  std::map<std::string, HistogramEntry> histograms_;
+};
+
+/// `opt` when non-null, else the process Default() — how solvers resolve
+/// TrainOptions::metrics.
+MetricsRegistry* ResolveRegistry(MetricsRegistry* opt);
+
+/// Renders one label set as `{k="v",k2="v2"}` with Prometheus escaping
+/// (backslash, quote, newline); empty labels render as "".
+std::string RenderLabels(const Labels& labels);
+
+}  // namespace obs
+}  // namespace nomad
+
+#endif  // NOMAD_OBS_METRICS_H_

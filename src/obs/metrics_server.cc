@@ -1,0 +1,132 @@
+#include "obs/metrics_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace nomad {
+namespace obs {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer, retrying short writes; best-effort (a scraper
+/// that hangs up mid-response is its problem, not the trainer's).
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsServer>> MetricsServer::Start(
+    int port, const MetricsRegistry* registry) {
+  std::unique_ptr<MetricsServer> server(new MetricsServer());
+  server->registry_ =
+      registry != nullptr ? registry : &MetricsRegistry::Default();
+
+  server->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) return Errno("metrics socket");
+  int one = 1;
+  setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(server->listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("metrics bind port " + std::to_string(port));
+  }
+  if (listen(server->listen_fd_, 8) < 0) return Errno("metrics listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(server->listen_fd_,
+                  reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return Errno("metrics getsockname");
+  }
+  server->port_ = ntohs(addr.sin_port);
+  if (pipe(server->stop_pipe_) < 0) return Errno("metrics pipe");
+  server->thread_ = std::thread([s = server.get()] { s->Serve(); });
+  return server;
+}
+
+void MetricsServer::Serve() {
+  for (;;) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {stop_pipe_[0], POLLIN, 0}};
+    const int pr = poll(pfds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pfds[1].revents != 0) return;  // Stop() woke us
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Bound the whole exchange: a stalled client must not wedge the
+    // exporter (there is exactly one serving thread by design).
+    struct timeval tv = {2, 0};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // Drain the request line + headers (content ignored — every path gets
+    // the same exposition). HTTP/1.0 clients send the whole request before
+    // reading, so one read is normally enough; loop until the blank line
+    // or timeout for the pedantic ones.
+    char buf[1024];
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos &&
+           request.size() < 16 * 1024) {
+      const ssize_t n = read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+    const std::string body = registry_->RenderText();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    WriteAll(fd, response);
+    close(fd);
+  }
+}
+
+void MetricsServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 1;
+    ssize_t ignored = write(stop_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  listen_fd_ = -1;
+}
+
+MetricsServer::~MetricsServer() { Stop(); }
+
+}  // namespace obs
+}  // namespace nomad

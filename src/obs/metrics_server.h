@@ -1,0 +1,58 @@
+#ifndef NOMAD_OBS_METRICS_SERVER_H_
+#define NOMAD_OBS_METRICS_SERVER_H_
+
+#include <memory>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace nomad {
+namespace obs {
+
+/// A deliberately tiny blocking HTTP/1.0 text exporter for one
+/// MetricsRegistry: a dedicated accept-loop thread serves every request
+/// (any path, any method) a `200 OK` whose body is the registry's
+/// Prometheus text exposition, then closes the connection. One request at
+/// a time is plenty for a scraper, and the server never touches the
+/// training hot path — rendering reads the cells with relaxed atomics.
+///
+/// Ephemeral-port friendly like the TCP transport: Start(0) binds a
+/// kernel-assigned port, reported by port().
+class MetricsServer {
+ public:
+  /// Binds `port` (0 = ephemeral) on all interfaces and starts the serving
+  /// thread. `registry` must outlive the server; nullptr serves the
+  /// process Default() registry. Fails with IOError when the port cannot
+  /// be bound.
+  static Result<std::unique_ptr<MetricsServer>> Start(
+      int port, const MetricsRegistry* registry = nullptr);
+
+  /// Stops the serving thread and closes the socket (idempotent).
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound port (the kernel-assigned one when Start() was given 0).
+  int port() const { return port_; }
+
+  /// Stops serving; subsequent connections are refused. Idempotent.
+  void Stop();
+
+ private:
+  MetricsServer() = default;
+  void Serve();
+
+  const MetricsRegistry* registry_ = nullptr;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace nomad
+
+#endif  // NOMAD_OBS_METRICS_SERVER_H_

@@ -1,0 +1,125 @@
+#include "obs/solver_metrics.h"
+
+namespace nomad {
+namespace obs {
+
+const std::vector<double> kPopBatchBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+
+Labels WorkerLabels(int rank, int worker) {
+  Labels l;
+  if (rank >= 0) l.emplace_back("rank", std::to_string(rank));
+  l.emplace_back("worker", std::to_string(worker));
+  return l;
+}
+
+WorkerObs WorkerObs::Create(MetricsRegistry* registry, int rank, int worker,
+                            int initial_batch) {
+  WorkerObs w;
+  w.worker_ = worker;
+  w.prev_batch_ = w.min_batch_ = w.max_batch_ = initial_batch;
+  if (registry == nullptr || !registry->enabled()) return w;
+  const Labels l = WorkerLabels(rank, worker);
+  w.rounds_ = registry->GetCounter("nomad_worker_rounds_total", l);
+  w.tokens_popped_ =
+      registry->GetCounter("nomad_worker_tokens_popped_total", l);
+  w.tokens_pushed_ =
+      registry->GetCounter("nomad_worker_tokens_pushed_total", l);
+  w.updates_ = registry->GetCounter("nomad_worker_updates_total", l);
+  w.grows_ = registry->GetCounter("nomad_worker_batch_grows_total", l);
+  w.shrinks_ = registry->GetCounter("nomad_worker_batch_shrinks_total", l);
+  w.backoffs_ = registry->GetCounter("nomad_worker_batch_backoffs_total", l);
+  w.batch_round_sum_ =
+      registry->GetCounter("nomad_worker_batch_round_sum", l);
+  w.queue_depth_ = registry->GetGauge("nomad_worker_queue_depth", l);
+  w.batch_ = registry->GetGauge("nomad_worker_token_batch", l);
+  w.batch_min_ = registry->GetGauge("nomad_worker_batch_min", l);
+  w.batch_max_ = registry->GetGauge("nomad_worker_batch_max", l);
+  w.pop_batch_ =
+      registry->GetHistogram("nomad_worker_pop_batch", kPopBatchBounds, l);
+  w.rounds0_ = w.rounds_.Value();
+  w.popped0_ = w.tokens_popped_.Value();
+  w.pushed0_ = w.tokens_pushed_.Value();
+  w.updates0_ = w.updates_.Value();
+  w.grows0_ = w.grows_.Value();
+  w.shrinks0_ = w.shrinks_.Value();
+  w.backoffs0_ = w.backoffs_.Value();
+  w.batch_sum0_ = w.batch_round_sum_.Value();
+  w.batch_.Set(initial_batch);
+  w.batch_min_.Set(initial_batch);
+  w.batch_max_.Set(initial_batch);
+  w.queue_depth_.Set(0);
+  return w;
+}
+
+void WorkerObs::ObserveRound(size_t want, size_t got, size_t depth_after,
+                             int batch_after) {
+  rounds_.Inc();
+  tokens_popped_.Inc(static_cast<int64_t>(got));
+  batch_round_sum_.Inc(static_cast<int64_t>(want));
+  queue_depth_.Set(static_cast<double>(depth_after));
+  pop_batch_.Observe(static_cast<double>(got));
+  NoteBatch(batch_after);
+}
+
+void WorkerObs::NoteBackoff(int batch_after) {
+  backoffs_.Inc();
+  NoteBatch(batch_after);
+}
+
+void WorkerObs::NoteBatch(int batch) {
+  if (batch == prev_batch_) return;
+  if (batch > prev_batch_) {
+    grows_.Inc();
+  } else {
+    shrinks_.Inc();
+  }
+  prev_batch_ = batch;
+  batch_.Set(batch);
+  if (batch < min_batch_) {
+    min_batch_ = batch;
+    batch_min_.Set(batch);
+  }
+  if (batch > max_batch_) {
+    max_batch_ = batch;
+    batch_max_.Set(batch);
+  }
+}
+
+WorkerBatchStats WorkerObs::Finish(const BatchController* controller,
+                                   int fixed_batch) const {
+  if (!enabled()) {
+    // NOMAD_METRICS=off: no cells to view. The controller is still the
+    // source of truth in auto mode; fixed mode reports the historical
+    // constant shape.
+    if (controller != nullptr) return controller->Stats(worker_);
+    WorkerBatchStats s;
+    s.worker = worker_;
+    s.final_batch = s.min_batch_seen = s.max_batch_seen = fixed_batch;
+    s.mean_batch = static_cast<double>(fixed_batch);
+    s.trajectory.emplace_back(0, fixed_batch);
+    return s;
+  }
+  WorkerBatchStats s;
+  s.worker = worker_;
+  s.final_batch = prev_batch_;
+  s.min_batch_seen = min_batch_;
+  s.max_batch_seen = max_batch_;
+  s.rounds = rounds_.Value() - rounds0_;
+  s.grows = grows_.Value() - grows0_;
+  s.shrinks = shrinks_.Value() - shrinks0_;
+  s.backoffs = backoffs_.Value() - backoffs0_;
+  const int64_t batch_sum = batch_round_sum_.Value() - batch_sum0_;
+  s.mean_batch = s.rounds > 0
+                     ? static_cast<double>(batch_sum) /
+                           static_cast<double>(s.rounds)
+                     : static_cast<double>(prev_batch_);
+  if (controller != nullptr) {
+    s.trajectory = controller->Stats(worker_).trajectory;
+  } else {
+    s.trajectory.emplace_back(0, fixed_batch);
+  }
+  return s;
+}
+
+}  // namespace obs
+}  // namespace nomad

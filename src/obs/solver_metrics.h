@@ -1,0 +1,115 @@
+#ifndef NOMAD_OBS_SOLVER_METRICS_H_
+#define NOMAD_OBS_SOLVER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nomad/batch_controller.h"
+#include "obs/metrics.h"
+#include "solver/solver.h"
+
+namespace nomad {
+namespace obs {
+
+/// The `le` bounds of the per-worker pop-batch histogram
+/// (nomad_worker_pop_batch): powers of two spanning the EffectiveMaxBatch
+/// range any real configuration reaches.
+extern const std::vector<double> kPopBatchBounds;
+
+/// The label set of one worker's metric series: {worker="q"}, plus
+/// rank="r" for distributed runs (rank >= 0). Keys come out sorted, as the
+/// registry canonicalizes them.
+Labels WorkerLabels(int rank, int worker);
+
+/// One NOMAD worker's handle bundle — the single accumulation path behind
+/// both the live scrape and `TrainResult::worker_batch` (which Finish()
+/// builds as a *view over the registry*, per-run deltas of these very
+/// cells). Shared by NomadSolver and DistNomadSolver, which used to
+/// hand-roll the same stats structs separately.
+///
+/// Per-run semantics on a long-lived registry: counters are cumulative
+/// across runs (standard scrape semantics), so Create() records their
+/// start values and Finish() reports the deltas.
+///
+/// Exported series (all labeled per WorkerLabels):
+///   nomad_worker_rounds_total         counter  non-empty hand-off rounds
+///   nomad_worker_tokens_popped_total  counter  tokens drained from the queue
+///   nomad_worker_tokens_pushed_total  counter  tokens pushed to local queues
+///   nomad_worker_updates_total        counter  single-rating SGD updates
+///   nomad_worker_batch_grows_total    counter  batch increases applied
+///   nomad_worker_batch_shrinks_total  counter  batch decreases applied
+///   nomad_worker_batch_backoffs_total counter  idle-backoff signals
+///   nomad_worker_batch_round_sum      counter  sum of batch sizes requested
+///   nomad_worker_queue_depth          gauge    SizeEstimate after the pop
+///   nomad_worker_token_batch          gauge    current batch size
+///   nomad_worker_batch_min            gauge    smallest batch this run
+///   nomad_worker_batch_max            gauge    largest batch this run
+///   nomad_worker_pop_batch            histogram  tokens per non-empty pop
+class WorkerObs {
+ public:
+  /// Null bundle (all handles no-ops); Finish() then falls back to the
+  /// BatchController (or the fixed-mode constant shape).
+  WorkerObs() = default;
+
+  /// Registers this worker's series on `registry` (null or disabled ⇒ a
+  /// null bundle) and seeds the batch gauges with `initial_batch` — pass
+  /// the controller's post-clamp starting batch so the view and the
+  /// controller agree from round zero. `rank` is -1 for shared-memory
+  /// runs. Takes the registration mutex; call at worker-thread startup,
+  /// never in the loop.
+  static WorkerObs Create(MetricsRegistry* registry, int rank, int worker,
+                          int initial_batch);
+
+  /// Accounts one non-empty hand-off round: `want` tokens requested, `got`
+  /// popped, `depth_after` the queue's SizeEstimate after the pop, and
+  /// `batch_after` the controller's batch once it observed the round
+  /// (unchanged in fixed mode).
+  void ObserveRound(size_t want, size_t got, size_t depth_after,
+                    int batch_after);
+
+  /// Accounts one idle-backoff signal and the shrink it may have applied.
+  void NoteBackoff(int batch_after);
+
+  /// Accounts `n` tokens pushed to local queues.
+  void NotePushed(int64_t n) { tokens_pushed_.Inc(n); }
+
+  /// Accounts `n` applied single-rating updates.
+  void NoteUpdates(int64_t n) { updates_.Inc(n); }
+
+  /// True when Create() attached to an enabled registry.
+  bool enabled() const { return rounds_.valid(); }
+
+  /// Builds this run's WorkerBatchStats as a view over the registry (the
+  /// per-run counter deltas plus the tracked batch extrema); the
+  /// trajectory — a series no scalar registry can hold — comes from
+  /// `controller` (auto mode) or degenerates to [(0, fixed_batch)].
+  /// With a disabled registry the whole struct falls back to those same
+  /// sources, so NOMAD_METRICS=off never degrades TrainResult.
+  WorkerBatchStats Finish(const BatchController* controller,
+                          int fixed_batch) const;
+
+ private:
+  /// Applies a batch change: grow/shrink counters and the batch gauges.
+  /// Mirrors BatchController::SetBatch exactly (a clamped no-op is
+  /// neither), which is what makes the Finish() view bit-identical to the
+  /// controller's own stats.
+  void NoteBatch(int batch);
+
+  int worker_ = -1;
+  int prev_batch_ = 0;
+  int min_batch_ = 0;
+  int max_batch_ = 0;
+  Counter rounds_, tokens_popped_, tokens_pushed_, updates_;
+  Counter grows_, shrinks_, backoffs_, batch_round_sum_;
+  Gauge queue_depth_, batch_, batch_min_, batch_max_;
+  Histogram pop_batch_;
+  // Start-of-run counter values, so Finish() reports per-run deltas even
+  // on a registry that has already served earlier runs.
+  int64_t rounds0_ = 0, popped0_ = 0, pushed0_ = 0, updates0_ = 0;
+  int64_t grows0_ = 0, shrinks0_ = 0, backoffs0_ = 0, batch_sum0_ = 0;
+};
+
+}  // namespace obs
+}  // namespace nomad
+
+#endif  // NOMAD_OBS_SOLVER_METRICS_H_

@@ -16,6 +16,11 @@
 /// the concurrency/placement utilities beneath them.
 namespace nomad {
 
+namespace obs {
+class MetricsRegistry;  // obs/metrics.h; forward-declared to keep the
+                        // solver interface header dependency-light
+}  // namespace obs
+
 /// How NOMAD routes a token after processing it (paper Sec. 3.1 vs 3.3).
 enum class Routing {
   kUniform,      ///< Algorithm 1 line 22: uniform random worker.
@@ -133,6 +138,19 @@ struct TrainOptions {
   /// Storage precision of W and H while training (all SGD-family solvers,
   /// ALS, and CCD++ honor this; the cluster simulators are f64-only).
   Precision precision = Precision::kF64;
+
+  // -- Observability --
+
+  /// Metrics registry the run instruments itself through (obs/metrics.h):
+  /// per-worker token/update counters, queue-depth and batch gauges, and —
+  /// for distributed runs — per-rank traffic, retry, and recovery series.
+  /// nullptr uses the process-wide obs::MetricsRegistry::Default(), which
+  /// the CLIs expose over HTTP with --metrics-port; tests and benches pass
+  /// their own registry for isolation. NOMAD_METRICS=off disables the
+  /// default registry entirely (instrumentation becomes no-op branches).
+  /// Must outlive the Train call. NOMAD-family solvers honor this; the
+  /// baselines ignore it.
+  obs::MetricsRegistry* metrics = nullptr;
 
   // -- NOMAD-specific --
 

@@ -1,0 +1,341 @@
+#include "obs/metrics.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/dist_nomad.h"
+#include "nomad/nomad_solver.h"
+#include "obs/metrics_server.h"
+#include "obs/solver_metrics.h"
+
+#include "test_util.h"
+
+namespace nomad {
+namespace {
+
+using obs::Labels;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+TEST(MetricsRegistryTest, CounterRegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  obs::Counter a = reg.GetCounter("c_total", {{"w", "1"}});
+  obs::Counter b = reg.GetCounter("c_total", {{"w", "1"}});
+  ASSERT_TRUE(a.valid());
+  a.Inc(3);
+  b.Inc(4);
+  EXPECT_EQ(a.Value(), 7);  // same cell behind both handles
+  EXPECT_EQ(b.Value(), 7);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  obs::Counter a = reg.GetCounter("c_total", {{"a", "1"}, {"b", "2"}});
+  obs::Counter b = reg.GetCounter("c_total", {{"b", "2"}, {"a", "1"}});
+  a.Inc();
+  b.Inc();
+  EXPECT_EQ(a.Value(), 2);
+  EXPECT_EQ(reg.Snapshot().samples().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindConflictYieldsNullHandle) {
+  MetricsRegistry reg;
+  ASSERT_TRUE(reg.GetCounter("series").valid());
+  EXPECT_FALSE(reg.GetGauge("series").valid());
+  EXPECT_FALSE(reg.GetHistogram("series", {1.0}).valid());
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryHandsOutNoOps) {
+  MetricsRegistry reg(/*enabled=*/false);
+  obs::Counter c = reg.GetCounter("c_total");
+  obs::Gauge g = reg.GetGauge("g");
+  obs::Histogram h = reg.GetHistogram("h", {1.0, 2.0});
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  c.Inc(5);  // all no-ops, no crash
+  g.Set(1.0);
+  h.Observe(1.0);
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_TRUE(reg.Snapshot().samples().empty());
+  EXPECT_TRUE(reg.RenderText().empty());
+}
+
+TEST(MetricsRegistryTest, InvalidHistogramBoundsRejected) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.GetHistogram("h1", {}).valid());            // empty
+  EXPECT_FALSE(reg.GetHistogram("h2", {1.0, 1.0}).valid());    // not strict
+  EXPECT_FALSE(reg.GetHistogram("h3", {2.0, 1.0}).valid());    // decreasing
+  EXPECT_TRUE(reg.GetHistogram("h4", {1.0, 2.0}).valid());
+}
+
+// The tentpole's concurrency claim: per-worker padded cells under 8
+// threads of relaxed increments lose nothing (run under TSan in CI).
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  obs::Counter shared = reg.GetCounter("shared_total");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Registration from worker threads must also be safe.
+      obs::Counter mine =
+          reg.GetCounter("per_worker_total", {{"worker", std::to_string(t)}});
+      obs::Counter shared_again = reg.GetCounter("shared_total");
+      for (int i = 0; i < kPerThread; ++i) {
+        mine.Inc();
+        shared_again.Inc();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(shared.Value(), int64_t{kThreads} * kPerThread);
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.CounterValue("per_worker_total",
+                                {{"worker", std::to_string(t)}}),
+              kPerThread);
+  }
+  EXPECT_EQ(snap.SumByName("per_worker_total"),
+            static_cast<double>(int64_t{kThreads} * kPerThread));
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  obs::Histogram h = reg.GetHistogram("h", {1.0, 2.0, 4.0});
+  // `le` semantics: a value equal to a bound lands IN that bound's bucket.
+  h.Observe(0.5);  // le=1
+  h.Observe(1.0);  // le=1 (boundary)
+  h.Observe(1.5);  // le=2
+  h.Observe(2.0);  // le=2 (boundary)
+  h.Observe(4.0);  // le=4 (boundary)
+  h.Observe(9.0);  // +Inf
+  EXPECT_EQ(h.Count(), 6);
+  const MetricsSnapshot snap = reg.Snapshot();  // Find points into this
+  const obs::MetricSample* s = snap.Find("h");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->buckets.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(s->buckets[0], 2);
+  EXPECT_EQ(s->buckets[1], 2);
+  EXPECT_EQ(s->buckets[2], 1);
+  EXPECT_EQ(s->buckets[3], 1);
+  EXPECT_EQ(s->count, 6);
+  EXPECT_DOUBLE_EQ(s->sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+// RenderText is deterministic (sorted by name, then labels), so the whole
+// exposition can be golden-matched.
+TEST(MetricsRegistryTest, ScrapeFormatGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("app_requests_total", {{"code", "200"}}).Inc(3);
+  reg.GetCounter("app_requests_total", {{"code", "500"}}).Inc(1);
+  reg.GetGauge("app_temperature").Set(36.5);
+  obs::Histogram h = reg.GetHistogram("app_latency", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+  const std::string expected =
+      "# TYPE app_latency histogram\n"
+      "app_latency_bucket{le=\"1\"} 1\n"
+      "app_latency_bucket{le=\"2\"} 2\n"
+      "app_latency_bucket{le=\"+Inf\"} 3\n"
+      "app_latency_sum 11\n"
+      "app_latency_count 3\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total{code=\"200\"} 3\n"
+      "app_requests_total{code=\"500\"} 1\n"
+      "# TYPE app_temperature gauge\n"
+      "app_temperature 36.5\n";
+  EXPECT_EQ(reg.RenderText(), expected);
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(obs::RenderLabels({{"path", "a\\b\"c\nd"}}),
+            "{path=\"a\\\\b\\\"c\\nd\"}");
+  EXPECT_EQ(obs::RenderLabels({}), "");
+}
+
+/// Minimal scrape client: one blocking GET against 127.0.0.1:port.
+std::string HttpGet(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+TEST(MetricsServerTest, ServesScrapeOnEphemeralPort) {
+  MetricsRegistry reg;
+  reg.GetCounter("smoke_total").Inc(42);
+  auto server = obs::MetricsServer::Start(0, &reg);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_GT(server.value()->port(), 0);
+  const std::string response = HttpGet(server.value()->port());
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("smoke_total 42"), std::string::npos);
+  // Scrapes see live updates, and the server survives several requests.
+  reg.GetCounter("smoke_total").Inc(1);
+  EXPECT_NE(HttpGet(server.value()->port()).find("smoke_total 43"),
+            std::string::npos);
+  server.value()->Stop();  // idempotent with the destructor's Stop
+}
+
+// The rewiring claim of the tentpole: TrainResult::worker_batch is a view
+// over the registry, so the scraped aggregates and the returned stats must
+// agree EXACTLY — same cells, same arithmetic.
+TEST(ObsSolverTest, RegistryTotalsMatchTrainResultViews) {
+  const Dataset ds = MakeTestDataset();
+  MetricsRegistry reg;
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/6);
+  options.token_batch_mode = TokenBatchMode::kAuto;
+  options.metrics = &reg;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TrainResult& r = result.value();
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(r.worker_batch.size(), 4u);
+  int64_t updates_sum = 0;
+  int64_t pushed_sum = 0;
+  for (const WorkerBatchStats& s : r.worker_batch) {
+    const Labels l = obs::WorkerLabels(-1, s.worker);
+    EXPECT_EQ(snap.CounterValue("nomad_worker_rounds_total", l), s.rounds);
+    EXPECT_EQ(snap.CounterValue("nomad_worker_batch_grows_total", l),
+              s.grows);
+    EXPECT_EQ(snap.CounterValue("nomad_worker_batch_shrinks_total", l),
+              s.shrinks);
+    EXPECT_EQ(snap.CounterValue("nomad_worker_batch_backoffs_total", l),
+              s.backoffs);
+    EXPECT_EQ(snap.GaugeValue("nomad_worker_token_batch", l), s.final_batch);
+    EXPECT_EQ(snap.GaugeValue("nomad_worker_batch_min", l), s.min_batch_seen);
+    EXPECT_EQ(snap.GaugeValue("nomad_worker_batch_max", l), s.max_batch_seen);
+    // Bit-identical mean: same integer sum, same division.
+    ASSERT_GT(s.rounds, 0);
+    EXPECT_EQ(s.mean_batch,
+              static_cast<double>(snap.CounterValue(
+                  "nomad_worker_batch_round_sum", l)) /
+                  static_cast<double>(s.rounds));
+    updates_sum += snap.CounterValue("nomad_worker_updates_total", l);
+    pushed_sum += snap.CounterValue("nomad_worker_tokens_pushed_total", l);
+    // Every popped token is pushed back somewhere on this solver.
+    EXPECT_EQ(snap.CounterValue("nomad_worker_tokens_popped_total", l),
+              snap.CounterValue("nomad_worker_tokens_pushed_total", l));
+  }
+  EXPECT_EQ(updates_sum, r.total_updates);
+  EXPECT_GT(pushed_sum, 0);
+  // The router saw every hand-off; topology-blind means all-local.
+  EXPECT_EQ(snap.CounterValue("nomad_router_local_picks_total"), pushed_sum);
+  EXPECT_EQ(snap.CounterValue("nomad_router_remote_picks_total"), 0);
+}
+
+// Fixed mode reports through the same registry view (rounds now real
+// rather than zero; grows/shrinks stay zero by construction).
+TEST(ObsSolverTest, FixedModeViewsStayConstantShaped) {
+  const Dataset ds = MakeTestDataset();
+  MetricsRegistry reg;
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/4);
+  options.metrics = &reg;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (const WorkerBatchStats& s : result.value().worker_batch) {
+    EXPECT_EQ(s.grows, 0);
+    EXPECT_EQ(s.shrinks, 0);
+    EXPECT_EQ(s.final_batch, s.min_batch_seen);
+    EXPECT_EQ(s.final_batch, s.max_batch_seen);
+    EXPECT_GT(s.rounds, 0);  // the view now reports real rounds
+    EXPECT_EQ(snap.CounterValue("nomad_worker_rounds_total",
+                                obs::WorkerLabels(-1, s.worker)),
+              s.rounds);
+  }
+}
+
+// NOMAD_METRICS=off equivalent: a disabled registry must not degrade the
+// returned stats — Finish() falls back to the controller.
+TEST(ObsSolverTest, DisabledRegistryKeepsTrainResultIntact) {
+  const Dataset ds = MakeTestDataset();
+  MetricsRegistry reg(/*enabled=*/false);
+  NomadSolver solver;
+  TrainOptions options = FastTrainOptions(/*epochs=*/4);
+  options.token_batch_mode = TokenBatchMode::kAuto;
+  options.metrics = &reg;
+  auto result = solver.Train(ds, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const WorkerBatchStats& s : result.value().worker_batch) {
+    EXPECT_GT(s.rounds, 0);
+    EXPECT_GE(s.min_batch_seen, 1);
+    EXPECT_FALSE(s.trajectory.empty());
+  }
+  EXPECT_TRUE(reg.Snapshot().samples().empty());
+}
+
+// Distributed: rank_traffic is a view over the rank-labeled dist counters.
+TEST(ObsSolverTest, DistRankTrafficMatchesRegistry) {
+  const Dataset ds = MakeTestDataset(200, 40, 2000, 11);
+  MetricsRegistry reg;
+  net::DistNomadOptions options;
+  options.train = FastTrainOptions(/*epochs=*/3, /*workers=*/2);
+  options.train.metrics = &reg;
+  auto results = net::TrainLoopbackWorld(ds, options, /*world=*/2);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  const MetricsSnapshot snap = reg.Snapshot();
+  const std::vector<RankTrafficStats>& traffic =
+      results[0].value().rank_traffic;
+  ASSERT_EQ(traffic.size(), 2u);
+  int64_t sent_total = 0;
+  int64_t received_total = 0;
+  for (const RankTrafficStats& t : traffic) {
+    const Labels rl = {{"rank", std::to_string(t.rank)}};
+    EXPECT_EQ(snap.CounterValue("nomad_dist_tokens_sent_total", rl),
+              t.tokens_sent);
+    EXPECT_EQ(snap.CounterValue("nomad_dist_tokens_received_total", rl),
+              t.tokens_received);
+    sent_total += t.tokens_sent;
+    received_total += t.tokens_received;
+  }
+  EXPECT_GT(sent_total, 0);
+  // Loopback delivers everything: global conservation of remote hand-offs.
+  EXPECT_EQ(sent_total, received_total);
+  // Per-worker series carry both rank and worker labels.
+  EXPECT_GT(snap.CounterValue("nomad_worker_updates_total",
+                              obs::WorkerLabels(0, 0)),
+            0);
+  // No faults injected: the failure-plane series exist and sit at zero.
+  EXPECT_EQ(snap.CounterValue("nomad_dist_regrants_total",
+                              {{"rank", "0"}}),
+            0);
+  EXPECT_EQ(snap.GaugeValue("nomad_dist_peer_alive",
+                            {{"peer", "1"}, {"rank", "0"}}),
+            1.0);
+}
+
+}  // namespace
+}  // namespace nomad

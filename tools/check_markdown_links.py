@@ -10,6 +10,11 @@ External links (http/https/mailto) and pure in-page anchors (#…) are not
 fetched — CI must not depend on the network — but an anchor suffix on a
 relative link is checked against the target file's headings.
 
+When docs/OBSERVABILITY.md exists, additionally cross-checks the metric
+reference against the source: every `"nomad_…"` metric-name literal in
+src/ and the CLIs must appear in the doc, so the reference cannot silently
+fall behind an instrumentation change.
+
 Exits non-zero listing every broken link.
 """
 
@@ -20,6 +25,43 @@ import sys
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 SKIP_DIRS = {".git", "build", "node_modules", ".cache"}
 EXTERNAL = ("http://", "https://", "mailto:")
+
+# Metric names as they appear at registration sites (GetCounter/GetGauge/
+# GetHistogram string literals). The nomad_ prefix keeps bench-local and
+# test-local series (bench_micro_total, app_requests_total, …) out of the
+# documented contract.
+METRIC_LITERAL_RE = re.compile(r'"(nomad_[a-z0-9_]+)"')
+METRIC_SOURCE_DIRS = ("src", "tools")
+
+
+def check_metric_reference(root):
+    """Every nomad_* metric literal in the sources must be documented."""
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(doc_path):
+        return []
+    with open(doc_path, encoding="utf-8") as f:
+        doc = f.read()
+    problems = []
+    seen = set()
+    for subdir in METRIC_SOURCE_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, subdir)):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in filenames:
+                if not name.endswith((".cc", ".h")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as f:
+                    source = f.read()
+                for metric in METRIC_LITERAL_RE.findall(source):
+                    if metric in seen or metric in doc:
+                        seen.add(metric)
+                        continue
+                    seen.add(metric)
+                    problems.append(
+                        f"{os.path.relpath(path, root)}: metric '{metric}' "
+                        f"is not documented in docs/OBSERVABILITY.md"
+                    )
+    return problems
 
 
 def heading_anchors(path):
@@ -87,6 +129,7 @@ def main():
             if name.endswith(".md"):
                 checked += 1
                 problems.extend(check_file(os.path.join(dirpath, name), root))
+    problems.extend(check_metric_reference(root))
     for p in problems:
         print(f"error: {p}", file=sys.stderr)
     print(f"checked {checked} markdown files: "

@@ -22,6 +22,13 @@
 // probability, default uniform-global), --model (rank 0 saves the gathered
 // model there).
 //
+// Observability: --metrics-port N exports the process metrics registry
+// over HTTP while training (Prometheus text; N=0 binds an ephemeral port,
+// printed at startup). In loopback mode one endpoint serves every rank —
+// the rank="r" labels keep the series apart; in TCP mode each process
+// serves its own rank (give each a distinct port). See
+// docs/OBSERVABILITY.md for the metric reference.
+//
 // Fault tolerance: --heartbeat-interval / --heartbeat-timeout (seconds)
 // turn on liveness detection, which lets the job survive rank deaths (the
 // survivors re-own the dead rank's tokens and users and continue
@@ -44,6 +51,7 @@
 #include "net/fault_transport.h"
 #include "net/loopback_transport.h"
 #include "net/tcp_transport.h"
+#include "obs/metrics_server.h"
 #include "solver/model.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -147,11 +155,31 @@ HeartbeatOptions HeartbeatFromFlags(const Flags& flags) {
   return hb;
 }
 
+/// Starts the scrape endpoint when --metrics-port is given (0 = ephemeral,
+/// the bound port is printed). Serves the process Default() registry; the
+/// solvers label every series with rank="r", so one loopback endpoint
+/// cleanly serves the whole world.
+Result<std::unique_ptr<obs::MetricsServer>> MaybeServeMetrics(
+    const Flags& flags) {
+  if (!flags.Has("metrics-port")) {
+    return std::unique_ptr<obs::MetricsServer>();
+  }
+  auto server = obs::MetricsServer::Start(
+      static_cast<int>(flags.GetInt("metrics-port", 0)));
+  if (server.ok()) {
+    std::printf("metrics on http://127.0.0.1:%d/metrics\n",
+                server.value()->port());
+  }
+  return server;
+}
+
 int RunLoopback(const Flags& flags, const Dataset& ds,
                 const DistNomadOptions& options, int world,
                 const FaultPlan* plan) {
   std::printf("loopback world=%d (%d workers/rank) on %s\n", world,
               options.train.num_workers, ds.name.c_str());
+  auto metrics_server = MaybeServeMetrics(flags);
+  if (!metrics_server.ok()) return Fail(metrics_server.status().ToString());
   const HeartbeatOptions hb = HeartbeatFromFlags(flags);
   auto fabric = hb.enabled() ? net::MakeLoopbackFabric(world, hb)
                              : net::MakeLoopbackFabric(world);
@@ -215,6 +243,8 @@ int RunTcp(const Flags& flags, const Dataset& ds,
   }
   std::printf("mesh up; training %s (%d workers/rank)\n", ds.name.c_str(),
               options.train.num_workers);
+  auto metrics_server = MaybeServeMetrics(flags);
+  if (!metrics_server.ok()) return Fail(metrics_server.status().ToString());
   DistNomadSolver solver;
   auto result = solver.Train(ds, options, transport.get());
   if (!result.ok()) return Fail(result.status().ToString());

@@ -12,16 +12,24 @@
 //   nomad_cli train --input ratings.txt --model out.nomad --solver nomad \
 //             --rank 32 --epochs 15 --precision f32 --numa auto
 //   nomad_cli train --preset netflix --scale 0.1 --model out.nomad
+//   nomad_cli train --preset netflix --metrics-port 9090   # live scrape
 //   nomad_cli evaluate --input ratings.txt --model out.nomad
 //   nomad_cli topn --model out.nomad --user 42 --n 10
 //   nomad_cli simulate --preset yahoo --machines 32 --network commodity
+//
+// --metrics-port N exports the process metrics registry over HTTP during
+// training (Prometheus text format; N=0 binds an ephemeral port, printed
+// at startup). See docs/OBSERVABILITY.md for the metric reference.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "bench_common.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "obs/metrics_server.h"
 #include "sim/cluster.h"
 #include "solver/model.h"
 #include "solver/registry.h"
@@ -88,6 +96,24 @@ int CmdSolvers() {
   return 0;
 }
 
+/// Starts the scrape endpoint when --metrics-port is given (0 = ephemeral,
+/// the bound port is printed). Serves the process Default() registry — the
+/// one a solver instruments when TrainOptions::metrics is null — so under
+/// NOMAD_METRICS=off the exposition is empty by design.
+Result<std::unique_ptr<obs::MetricsServer>> MaybeServeMetrics(
+    const Flags& flags) {
+  if (!flags.Has("metrics-port")) {
+    return std::unique_ptr<obs::MetricsServer>();
+  }
+  auto server = obs::MetricsServer::Start(
+      static_cast<int>(flags.GetInt("metrics-port", 0)));
+  if (server.ok()) {
+    std::printf("metrics on http://127.0.0.1:%d/metrics\n",
+                server.value()->port());
+  }
+  return server;
+}
+
 int CmdTrain(const Flags& flags) {
   auto ds = LoadInput(flags);
   if (!ds.ok()) return Fail(ds.status().ToString());
@@ -96,6 +122,8 @@ int CmdTrain(const Flags& flags) {
   if (!solver.ok()) return Fail(solver.status().ToString());
   auto options = OptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status().ToString());
+  auto metrics_server = MaybeServeMetrics(flags);
+  if (!metrics_server.ok()) return Fail(metrics_server.status().ToString());
   std::printf("training %s (%s) on %s (%lld train / %lld test ratings)\n",
               solver_name.c_str(),
               PrecisionName(options.value().precision),
