@@ -17,6 +17,7 @@
 
 #include "data/shard.h"
 #include "eval/metrics.h"
+#include "net/codec.h"
 #include "net/loopback_transport.h"
 #include "net/wire_format.h"
 #include "nomad/batch_controller.h"
@@ -54,11 +55,13 @@ template <typename Real>
 class RankRun {
  public:
   RankRun(const Dataset& ds, const DistNomadOptions& options,
-          Transport* transport, const UpdateKernelT<Real>& kernel)
+          Transport* transport, const UpdateKernelT<Real>& kernel,
+          CodecTransport* codec = nullptr)
       : ds_(ds),
         o_(options),
         opt_(options.train),
         transport_(transport),
+        codec_(codec),
         world_(transport->world()),
         rank_(transport->rank()),
         p_(options.train.num_workers),
@@ -461,6 +464,14 @@ class RankRun {
   /// barrier-held list), h/w rows are applied, control frames queue up for
   /// the protocol code. Returns an error on an undecodable frame.
   Status Pump() {
+    if (codec_ != nullptr) {
+      // Push out (and keep retrying) any coalesced token batches: every
+      // wait loop of the protocol pumps, so buffered tokens never stall a
+      // barrier's conservation census. A flush that keeps failing is a
+      // peer-liveness problem — the death watch owns those, so the status
+      // is advisory here.
+      (void)codec_->FlushAll();
+    }
     std::vector<uint8_t> frame;
     int src = -1;
     while (transport_->TryReceive(&frame, &src)) {
@@ -577,6 +588,14 @@ class RankRun {
           ctrl_q_.push_back(ctrl.value());
           break;
         }
+        case MsgType::kBatch:
+          // Bundles are unwrapped inside a negotiated CodecTransport; one
+          // surfacing raw means the sender runs a batch codec and this
+          // rank does not. The TCP hello prevents that; loopback trusts
+          // the launch, so report the misconfiguration cleanly.
+          return Status::InvalidArgument(
+              "batch frame from rank " + std::to_string(src) +
+              " without a negotiated wire codec");
         case MsgType::kHello:
           return Status::InvalidArgument("unexpected hello mid-run");
       }
@@ -1529,6 +1548,9 @@ class RankRun {
   const DistNomadOptions& o_;
   const TrainOptions& opt_;
   Transport* transport_;
+  CodecTransport* codec_ = nullptr;  ///< Non-null iff wire_codec is on:
+                                     ///< transport_ viewed as its codec
+                                     ///< stack, for the driver's flushes.
   const int world_;
   const int rank_;
   const int p_;
@@ -1665,7 +1687,22 @@ Result<TrainResult> TrainImpl(const Dataset& ds,
 
   const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
                                    options.train.lambda, options.train.rank);
-  RankRun<Real> run(ds, options, transport, kernel);
+  // With a wire codec negotiated, the rank sees its transport through a
+  // CodecTransport stack — quantize/delta/batch on send, restore on
+  // receive — so the protocol code above runs unchanged. The decorator
+  // borrows the endpoint; Close() stays the caller's, as documented.
+  std::unique_ptr<CodecTransport> codec;
+  if (options.wire_codec.enabled()) {
+    CodecOptions copts;
+    copts.spec = options.wire_codec;
+    copts.native = WirePrecisionOf<Real>();
+    obs::MetricsRegistry* registry = obs::ResolveRegistry(options.train.metrics);
+    copts.registry = registry->enabled() ? registry : nullptr;
+    copts.metrics_rank = transport->rank();
+    codec = std::make_unique<CodecTransport>(transport, copts);
+  }
+  RankRun<Real> run(ds, options, codec ? codec.get() : transport, kernel,
+                    codec.get());
   return run.Run();
 }
 
@@ -1687,6 +1724,10 @@ Result<TrainResult> DistNomadSolver::Train(const Dataset& ds,
   }
   if (options.remote_token_fraction > 1.0) {
     return Status::InvalidArgument("remote_token_fraction must be <= 1");
+  }
+  if (options.wire_codec.bf16 && options.wire_codec.f16) {
+    return Status::InvalidArgument(
+        "wire_codec: bf16 and f16 quantization are mutually exclusive");
   }
   if (options.train.record_objective) {
     return Status::InvalidArgument(

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/codec.h"
 #include "net/transport.h"
 #include "solver/solver.h"
 
@@ -33,6 +34,12 @@ struct DistNomadOptions {
   /// token local, the driver escalates. Absorbs transient transport drops
   /// (see net/fault_transport.h) without any acknowledgement protocol.
   int send_retry_limit = 5;
+  /// Wire-codec stages (net/codec.h) stacked over the transport: bf16/f16
+  /// payload quantization, delta rows against the receiver's last-seen
+  /// copy, batch coalescing. Every rank of a job must run the same spec —
+  /// the TCP hello refuses mismatched peers; loopback trusts the launch,
+  /// like the rest of these options. Default: none (frames unchanged).
+  WireCodecSpec wire_codec;
 };
 
 /// Multi-process NOMAD with failure recovery (docs/ARCHITECTURE.md,

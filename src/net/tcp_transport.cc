@@ -172,6 +172,7 @@ struct TcpTransport::Impl {
     hello.k = options.hello_k;
     hello.precision =
         options.hello_f32 ? WirePrecision::kF32 : WirePrecision::kF64;
+    hello.codec = options.hello_codec;
     return hello;
   }
 
@@ -196,6 +197,12 @@ struct TcpTransport::Impl {
     if (hello.precision != mine) {
       return Status::FailedPrecondition(
           "peer factor precision differs from ours");
+    }
+    if (hello.codec != options.hello_codec) {
+      return Status::FailedPrecondition(
+          "wire codec mismatch: peer advertises codec byte " +
+          std::to_string(static_cast<int>(hello.codec)) + ", ours is " +
+          std::to_string(static_cast<int>(options.hello_codec)));
     }
     return Status::OK();
   }
@@ -650,6 +657,16 @@ Status TcpTransport::Send(int dest, std::vector<uint8_t> frame) {
   if (dest < 0 || dest >= im.world || dest == im.rank) {
     return Status::InvalidArgument("tcp: bad destination rank " +
                                    std::to_string(dest));
+  }
+  if (frame.size() > im.options.max_frame_bytes) {
+    // Reject here instead of letting the receiver poison the connection:
+    // its ExtractFrames() drops the whole link on an oversized length
+    // prefix. Senders that can legitimately exceed the limit (coalesced
+    // codec flushes) split before calling Send().
+    return Status::InvalidArgument(
+        "tcp: frame of " + std::to_string(frame.size()) +
+        " bytes exceeds max_frame_bytes " +
+        std::to_string(im.options.max_frame_bytes));
   }
   if (!im.established.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("tcp: transport not established");

@@ -36,6 +36,11 @@ struct TcpOptions {
   int hello_k = 0;
   /// True to advertise f32 factor payloads in the handshake hello.
   bool hello_f32 = false;
+  /// Wire-codec spec byte (WireCodecSpec::ToByte(), net/codec.h) advertised
+  /// in the handshake hello; peers with a different byte refuse to connect.
+  /// The transport itself never codes frames — the byte only guarantees
+  /// both ends stacked the same CodecTransport, like k and precision.
+  uint8_t hello_codec = 0;
   /// Liveness detection (off by default). When enabled, the communicator
   /// thread emits kHeartbeat control beacons every interval, swallows
   /// inbound ones, and peer_status() reports a peer kDead after the

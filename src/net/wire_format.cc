@@ -10,7 +10,7 @@ namespace net {
 namespace {
 
 constexpr uint32_t kHelloMagic = 0x314d4f4e;  // "NOM1" read as LE u32
-constexpr size_t kHelloBytes = 1 + 4 + 4 + 4 + 2 + 1;
+constexpr size_t kHelloBytes = 1 + 4 + 4 + 4 + 2 + 1 + 1;
 constexpr size_t kControlBytes = 1 + 1 + 1 + 4 + 4 + 7 * 8 + 2 * 8;
 
 // Append/read fixed-width scalars. The host is little-endian (asserted in
@@ -40,7 +40,7 @@ Result<MsgType> PeekType(const uint8_t* data, size_t size) {
   if (size == 0) return Status::InvalidArgument("empty payload");
   const uint8_t raw = data[0];
   if (raw < static_cast<uint8_t>(MsgType::kHello) ||
-      raw > static_cast<uint8_t>(MsgType::kControl)) {
+      raw > static_cast<uint8_t>(MsgType::kBatch)) {
     return Status::InvalidArgument("unknown message type byte " +
                                    std::to_string(static_cast<int>(raw)));
   }
@@ -54,7 +54,11 @@ void EncodeFactorRow(MsgType type, int32_t id, uint32_t version,
   NOMAD_CHECK(IsFactorRowType(type));
   NOMAD_CHECK(k >= 1 && k <= kMaxWireK) << "k=" << k;
   NOMAD_CHECK(id >= 0) << "id=" << id;
-  NOMAD_CHECK((flags & ~kFactorRowKnownFlags) == 0) << "flags=" << flags;
+  // Delta frames have their own payload layout and are built only inside
+  // net/codec.cc; this encoder emits full rows exclusively.
+  NOMAD_CHECK((flags & ~kFactorRowKnownFlags) == 0 &&
+              (flags & kFactorRowFlagDelta) == 0)
+      << "flags=" << flags;
   out->clear();
   out->reserve(kFactorRowHeaderBytes + static_cast<size_t>(k) * sizeof(Real));
   Append<uint8_t>(out, static_cast<uint8_t>(type));
@@ -81,7 +85,23 @@ Result<FactorRowView<Real>> DecodeFactorRow(const uint8_t* data, size_t size) {
                                    std::to_string(static_cast<int>(data[0])) +
                                    ")");
   }
+  // A delta-coded row only makes sense between a negotiated CodecTransport
+  // pair; reaching this decoder means no codec unwrapped it. Reject before
+  // the size checks — delta payloads are variable-length by design.
+  const uint32_t raw_flags = ReadAt<uint32_t>(data, 12);
+  if ((raw_flags & kFactorRowFlagDelta) != 0) {
+    return Status::InvalidArgument(
+        "delta-coded factor row without a negotiated wire codec");
+  }
   const uint8_t precision = data[1];
+  if (precision == static_cast<uint8_t>(WirePrecision::kBf16) ||
+      precision == static_cast<uint8_t>(WirePrecision::kF16)) {
+    return Status::InvalidArgument(
+        std::string("quantized (") +
+        (precision == static_cast<uint8_t>(WirePrecision::kBf16) ? "bf16"
+                                                                 : "f16") +
+        ") factor row without a negotiated wire codec");
+  }
   if (precision != static_cast<uint8_t>(WirePrecision::kF64) &&
       precision != static_cast<uint8_t>(WirePrecision::kF32)) {
     return Status::InvalidArgument("unknown precision byte " +
@@ -152,6 +172,7 @@ void EncodeHello(const HelloFrame& hello, std::vector<uint8_t>* out) {
   Append<int32_t>(out, hello.world);
   Append<uint16_t>(out, static_cast<uint16_t>(hello.k));
   Append<uint8_t>(out, static_cast<uint8_t>(hello.precision));
+  Append<uint8_t>(out, hello.codec);
 }
 
 Result<HelloFrame> DecodeHello(const uint8_t* data, size_t size) {
@@ -177,6 +198,7 @@ Result<HelloFrame> DecodeHello(const uint8_t* data, size_t size) {
                                    std::to_string(static_cast<int>(precision)));
   }
   hello.precision = static_cast<WirePrecision>(precision);
+  hello.codec = data[16];  // validated against the local spec by the caller
   if (hello.world < 1 || hello.rank < 0 || hello.rank >= hello.world) {
     return Status::InvalidArgument(
         "hello: rank " + std::to_string(hello.rank) + " outside world " +

@@ -31,6 +31,10 @@ enum class MsgType : uint8_t {
   kWRow = 4,     ///< w-row gather to rank 0 at the end of training — same
                  ///< codec as kToken, `id` is the user row index.
   kControl = 5,  ///< Protocol control message (ControlFrame).
+  kBatch = 6,    ///< Codec-coalesced bundle of frames (net/codec.h): one
+                 ///< transport payload carrying [u32 len][frame] sub-frames.
+                 ///< Only emitted/consumed by a negotiated CodecTransport;
+                 ///< a solver receiving one raw reports a codec mismatch.
 };
 
 /// Reads the MsgType byte of a payload without decoding the rest; rejects
@@ -41,9 +45,20 @@ Result<MsgType> PeekType(const uint8_t* data, size_t size);
 /// nomad::Precision (f64 = 0, f32 = 1) but is its own type so the wire
 /// contract does not move if the solver enum grows.
 enum class WirePrecision : uint8_t {
-  kF64 = 0,  ///< 8-byte IEEE double payload entries.
-  kF32 = 1,  ///< 4-byte IEEE float payload entries.
+  kF64 = 0,   ///< 8-byte IEEE double payload entries.
+  kF32 = 1,   ///< 4-byte IEEE float payload entries.
+  kBf16 = 2,  ///< 2-byte bfloat16 entries (top half of an IEEE float).
+              ///< Wire-only: produced/consumed by a negotiated
+              ///< CodecTransport (net/codec.h), never by the solver.
+  kF16 = 3,   ///< 2-byte IEEE 754 half entries. Wire-only, like kBf16.
 };
+
+/// Payload bytes per factor entry for a WirePrecision tag.
+constexpr size_t WireEntryBytes(WirePrecision precision) {
+  return precision == WirePrecision::kF64   ? 8
+         : precision == WirePrecision::kF32 ? 4
+                                            : 2;
+}
 
 /// The WirePrecision tag for a Real storage type (float or double).
 template <typename Real>
@@ -72,11 +87,17 @@ enum FactorRowFlags : uint32_t {
   /// with a dead rank. The receiver must accept it and reset its version
   /// counter to the frame's even if a (stale) higher local version exists.
   kFactorRowFlagRegrant = 1u << 0,
+  /// kToken/kHRow: the payload is delta-coded against the receiver's cached
+  /// copy of this row (net/codec.h). Such frames are produced and unwrapped
+  /// entirely inside a negotiated CodecTransport pair; DecodeFactorRow
+  /// rejects them so a codec mismatch surfaces as a clean error.
+  kFactorRowFlagDelta = 1u << 1,
 };
 
 /// Every flag bit a decoder understands; frames with unknown bits set are
 /// rejected, keeping the word extensible without silent misinterpretation.
-constexpr uint32_t kFactorRowKnownFlags = kFactorRowFlagRegrant;
+constexpr uint32_t kFactorRowKnownFlags =
+    kFactorRowFlagRegrant | kFactorRowFlagDelta;
 
 /// Decoded view of a factor-row frame (kToken / kHRow / kWRow). `values`
 /// points into the caller's payload buffer and is valid only while that
@@ -122,10 +143,13 @@ struct HelloFrame {
   int32_t world = 0;  ///< Sender's world size.
   int k = 0;          ///< Latent dimensionality (0 = not yet known).
   WirePrecision precision = WirePrecision::kF64;  ///< Factor storage.
+  uint8_t codec = 0;  ///< Negotiated wire-codec stages as a
+                      ///< WireCodecSpec byte (net/codec.h); 0 = none. Both
+                      ///< ends must agree, exactly like k and precision.
 };
 
 /// Encodes a HelloFrame into `out` (cleared first). Layout:
-/// [type u8][magic u32][rank i32][world i32][k u16][precision u8].
+/// [type u8][magic u32][rank i32][world i32][k u16][precision u8][codec u8].
 void EncodeHello(const HelloFrame& hello, std::vector<uint8_t>* out);
 
 /// Decodes and validates a HelloFrame (magic, exact length, known

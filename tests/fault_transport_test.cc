@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/codec.h"
 #include "net/loopback_transport.h"
 #include "net/wire_format.h"
 
@@ -186,6 +187,132 @@ TEST(FaultTransportTest, KillOnKindFiresAtTheProtocolPoint) {
   EXPECT_TRUE(faulty->killed());
   EXPECT_EQ(DrainCount(fabric[1].get()), 3)
       << "the triggering frame still goes out";
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection composed with the wire codec (net/codec.h): injected
+// duplicate/delayed token replicas must never decode a delta against the
+// wrong baseline — the hop-version guard drops them instead.
+// ---------------------------------------------------------------------------
+
+CodecOptions DeltaCodec() {
+  CodecOptions copts;
+  copts.spec = WireCodecSpec::Parse("bf16+delta").value();
+  return copts;
+}
+
+TEST(FaultTransportTest, DuplicatedDeltaTokensNeverDecodeStale) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.duplicate_rate = 1.0;  // every token frame doubled below the codec
+  auto [faulty, fabric] = FaultyPair(plan);
+  CodecTransport tx(faulty, DeltaCodec());
+  CodecTransport rx(fabric[1].get(), DeltaCodec());
+
+  std::vector<double> row = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint8_t> frame, got;
+  int src = -1;
+
+  // A duplicated full row is harmless: the cache update is monotone, so
+  // both replicas surface and decode identically.
+  EncodeFactorRow<double>(MsgType::kToken, 3, 1u, row.data(), 8, &frame);
+  ASSERT_TRUE(tx.Send(1, frame).ok());
+  int full_seen = 0;
+  while (rx.TryReceive(&got, &src)) {
+    auto view = DecodeFactorRow<double>(got.data(), got.size());
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view.value().version, 1u);
+    ++full_seen;
+  }
+  EXPECT_EQ(full_seen, 2);
+
+  // A duplicated *delta* replica is the dangerous case: the first copy
+  // patches the receiver cache from version 1 to 2; the byte-identical
+  // second copy then claims base version 1 against a cache at 2. Decoding
+  // it anyway would resurrect the stale row — the guard must drop it.
+  row[4] = 9.0;
+  EncodeFactorRow<double>(MsgType::kToken, 3, 2u, row.data(), 8, &frame);
+  ASSERT_TRUE(tx.Send(1, frame).ok());
+  EXPECT_EQ(tx.codec_stats().delta_hits, 1);
+  int delta_seen = 0;
+  while (rx.TryReceive(&got, &src)) {
+    auto view = DecodeFactorRow<double>(got.data(), got.size());
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view.value().version, 2u);
+    ASSERT_EQ(view.value().k, 8);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(view.value().values[i],
+                static_cast<double>(F32FromBf16(Bf16FromF32(
+                    static_cast<float>(row[static_cast<size_t>(i)])))))
+          << "entry " << i;
+    }
+    ++delta_seen;
+  }
+  EXPECT_EQ(delta_seen, 1);
+  EXPECT_EQ(rx.codec_stats().stale_rejects, 1);
+}
+
+TEST(FaultTransportTest, DelayedDeltaReplicaIsRejectedAfterChannelFlush) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.delay_rate = 1.0;  // every token held back delay_ops transport ops
+  plan.delay_ops = 2;
+  auto [faulty, fabric] = FaultyPair(plan);
+  CodecTransport tx(faulty, DeltaCodec());
+  CodecTransport rx(fabric[1].get(), DeltaCodec());
+
+  // Ticks the fault layer until any held frame is released.
+  auto release = [&] {
+    for (int i = 0; i < 4; ++i) {
+      std::vector<uint8_t> f;
+      int s = -1;
+      (void)faulty->TryReceive(&f, &s);
+    }
+  };
+
+  std::vector<double> row = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint8_t> frame, got;
+  int src = -1;
+
+  EncodeFactorRow<double>(MsgType::kToken, 3, 1u, row.data(), 8, &frame);
+  ASSERT_TRUE(tx.Send(1, frame).ok());
+  release();
+  ASSERT_TRUE(rx.TryReceive(&got, &src));  // full row primes both caches
+
+  // The delta replica of version 2 is held back at the fault layer while a
+  // kLeaseSync channel-flush marker — control frames are never delayed —
+  // overtakes it, exactly the recovery race: both codec caches flush, then
+  // the stale in-flight delta finally arrives. It must be dropped, not
+  // decoded against post-flush state.
+  row[2] = -7.0;
+  EncodeFactorRow<double>(MsgType::kToken, 3, 2u, row.data(), 8, &frame);
+  ASSERT_TRUE(tx.Send(1, frame).ok());
+  EXPECT_EQ(tx.codec_stats().delta_hits, 1);
+
+  ControlFrame marker;
+  marker.kind = ControlKind::kLeaseSync;
+  marker.rank = 0;
+  std::vector<uint8_t> ctrl;
+  EncodeControl(marker, &ctrl);
+  ASSERT_TRUE(tx.Send(1, ctrl).ok());
+  ASSERT_TRUE(rx.TryReceive(&got, &src));  // the marker arrives first
+  EXPECT_EQ(got[1], static_cast<uint8_t>(ControlKind::kLeaseSync));
+
+  release();
+  EXPECT_FALSE(rx.TryReceive(&got, &src)) << "stale delta surfaced";
+  EXPECT_EQ(rx.codec_stats().stale_rejects, 1);
+
+  // The channel recovers: the sender's cache was flushed too, so the next
+  // row goes full and decodes cleanly.
+  row[0] = 11.0;
+  EncodeFactorRow<double>(MsgType::kToken, 3, 3u, row.data(), 8, &frame);
+  ASSERT_TRUE(tx.Send(1, frame).ok());
+  EXPECT_EQ(tx.codec_stats().delta_full, 2);  // the v1 prime plus this one
+  release();
+  ASSERT_TRUE(rx.TryReceive(&got, &src));
+  auto view = DecodeFactorRow<double>(got.data(), got.size());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view.value().version, 3u);
 }
 
 TEST(FaultTransportTest, ApplyFaultPlanWrapsOnlyTheTarget) {

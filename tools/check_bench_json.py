@@ -189,6 +189,45 @@ def check_dist(doc):
     for backend, world in (("loopback", 1), ("loopback", 2), ("loopback", 4), ("tcp", 2)):
         if runs is not None and (backend, world) not in combos:
             problems.append(f"runs: missing {backend} world={world}")
+    codec = require(problems, doc, "codec", (dict,), "root")
+    if codec is not None:
+        require(problems, codec, "world", (int,), "codec")
+        require(problems, codec, "rank", (int,), "codec")
+        arms = require(problems, codec, "arms", (list,), "codec")
+        specs = set()
+        for i, arm in enumerate(arms or []):
+            ctx = f"codec.arms[{i}]"
+            spec = require(problems, arm, "spec", (str,), ctx)
+            specs.add(spec)
+            require(problems, arm, "bytes_per_remote_token", (int, float), ctx)
+            require(problems, arm, "final_rmse", (int, float), ctx)
+        for required in ("none", "bf16", "bf16+delta"):
+            if arms is not None and required not in specs:
+                problems.append(f"codec.arms: missing spec '{required}'")
+        summary = require(problems, codec, "summary", (dict,), "codec")
+        if summary is not None:
+            reduction = require(
+                problems, summary, "reduction_factor", (int, float), "codec.summary"
+            )
+            rmse_delta = require(
+                problems, summary, "rmse_delta_vs_none", (int, float), "codec.summary"
+            )
+            # Semantic guarantees of the codec, not perf numbers (like the
+            # fault-scenario checks above): the arms run an annealed planted
+            # configuration whose run-to-run spread sits well under these
+            # bars, so a miss means the codec regressed — quantization got
+            # lossier than the kernels tolerate, or compression stopped
+            # compressing.
+            if isinstance(reduction, (int, float)) and reduction < 2.0:
+                problems.append(
+                    f"codec.summary: bf16+delta reduces bytes/token only "
+                    f"{reduction:.2f}x vs none; the documented bar is >= 2x"
+                )
+            if isinstance(rmse_delta, (int, float)) and rmse_delta >= 1e-3:
+                problems.append(
+                    f"codec.summary: rmse_delta_vs_none {rmse_delta:.6f} "
+                    f"breaches the < 1e-3 quantization-cost bar"
+                )
     parity = require(problems, doc, "parity", (dict,), "root")
     if parity is not None:
         for field in ("single_rank_rmse", "loopback4_rmse", "abs_diff"):

@@ -22,6 +22,11 @@
 // probability, default uniform-global), --model (rank 0 saves the gathered
 // model there).
 //
+// Wire codec: --wire-codec selects the payload-compression stages stacked
+// over the transport (net/codec.h): "none" (default) or "+"-joined stages
+// out of bf16|f16|delta|batch, e.g. --wire-codec=bf16+delta. Every rank of
+// a job must pass the same value; the TCP handshake refuses mismatches.
+//
 // Observability: --metrics-port N exports the process metrics registry
 // over HTTP while training (Prometheus text; N=0 binds an ephemeral port,
 // printed at startup). In loopback mode one endpoint serves every rank —
@@ -108,6 +113,9 @@ Result<DistNomadOptions> OptionsFromFlags(const Flags& flags) {
   if (!numa.ok()) return numa.status();
   t.numa_policy = numa.value();
   o.remote_token_fraction = flags.GetDouble("remote-fraction", -1.0);
+  auto codec = net::WireCodecSpec::Parse(flags.GetString("wire-codec", "none"));
+  if (!codec.ok()) return codec.status();
+  o.wire_codec = codec.value();
   return o;
 }
 
@@ -131,6 +139,25 @@ void PrintTrafficTable(const TrainResult& r) {
                 HumanBytes(static_cast<uint64_t>(t.bytes_sent)).c_str(),
                 HumanBytes(static_cast<uint64_t>(t.bytes_received)).c_str());
   }
+}
+
+/// One parseable line for harnesses comparing codec configurations (the CI
+/// dist-smoke asserts bytes/token strictly decreases as stages are added).
+/// Bytes are the transport's own count — framing, control plane, and codec
+/// savings all included — so the ratio reflects what actually hit the wire.
+void PrintCodecSummary(const TrainResult& r, const net::WireCodecSpec& spec) {
+  int64_t tokens = 0;
+  int64_t bytes = 0;
+  for (const RankTrafficStats& t : r.rank_traffic) {
+    tokens += t.tokens_sent;
+    bytes += t.bytes_sent;
+  }
+  if (tokens <= 0) return;
+  std::printf(
+      "wire-codec %s: tokens_sent=%lld bytes_sent=%lld bytes_per_token=%.1f\n",
+      spec.ToString().c_str(), static_cast<long long>(tokens),
+      static_cast<long long>(bytes),
+      static_cast<double>(bytes) / static_cast<double>(tokens));
 }
 
 int FinishRankZero(const Flags& flags, TrainResult result) {
@@ -204,6 +231,7 @@ int RunLoopback(const Flags& flags, const Dataset& ds,
     std::printf("rank %d was declared dead and recovered from\n", r);
   }
   PrintResult(results[0].value(), 0);
+  PrintCodecSummary(results[0].value(), options.wire_codec);
   return FinishRankZero(flags, std::move(results[0]).value());
 }
 
@@ -225,6 +253,7 @@ int RunTcp(const Flags& flags, const Dataset& ds,
   net::TcpOptions topts;
   topts.hello_k = options.train.rank;
   topts.hello_f32 = options.train.precision == Precision::kF32;
+  topts.hello_codec = options.wire_codec.ToByte();
   topts.connect_timeout_seconds =
       flags.GetDouble("connect-timeout", 30.0);
   topts.heartbeat = HeartbeatFromFlags(flags);
@@ -252,6 +281,7 @@ int RunTcp(const Flags& flags, const Dataset& ds,
     std::printf("rank %d was declared dead and recovered from\n", r);
   }
   PrintResult(result.value(), rank);
+  if (rank == 0) PrintCodecSummary(result.value(), options.wire_codec);
   const Status closed = transport->Close();
   if (!closed.ok()) return Fail(closed.ToString());
   if (rank == 0) return FinishRankZero(flags, std::move(result).value());
