@@ -1,0 +1,315 @@
+// Serving-plane benchmark: what does train-while-serve cost, and how
+// fresh is it?
+//
+// Three measurements over one ServeEngine on synthetic factors:
+//
+//  1. "arms" — top-N query throughput with reader threads hammering TopN,
+//     once quiesced (ingest off) and once against applier threads folding
+//     a firehose of random ratings into the same factor rows. Reports
+//     queries/sec, applied updates/sec, and the cache-hit fraction per
+//     arm; the delta between arms is the price of serving live factors.
+//  2. "staleness" — time-to-reflect-a-new-rating: submit through the real
+//     RatingIngest queue while background churn runs, poll user_version
+//     until the rating lands. Reports p50/p99/max seconds over the trials
+//     (the same contract tests/serve_race_test.cc asserts a bound on).
+//  3. "parity" — served top-N vs the offline full-precision model.cc TopN
+//     on quiesced factors. Same dot kernel, same snapshot ⇒ the max
+//     absolute score difference must be exactly 0; anything else means
+//     the serving scan drifted from the training-side definition.
+//
+// Output: BENCH_serve.json (override with --out=<path>), checked by
+// tools/check_bench_json.py mode `serve` in CI. Flags: --users (default
+// 2000), --items (default 8000), --rank (default 32), --n (default 10),
+// --readers (default 4), --appliers (default 2), --seconds-per-case
+// (default 0.5), --staleness-trials (default 50), --seed (default 42).
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "solver/model.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+namespace {
+
+Model RandomModel(int64_t users, int64_t items, int k, uint64_t seed) {
+  Model m;
+  m.w = FactorMatrix(users, k);
+  m.h = FactorMatrix(items, k);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int64_t i = 0; i < users; ++i) {
+    double* row = m.w.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    double* row = m.h.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  return m;
+}
+
+struct ArmResult {
+  std::string ingest;                 // "off" or "concurrent"
+  double queries_per_sec = 0.0;
+  double applied_per_sec = 0.0;       // 0 in the quiesced arm
+  double cache_hit_fraction = 0.0;
+  int64_t queries = 0;
+  int64_t applied = 0;
+};
+
+/// One throughput arm: `readers` query threads for `seconds`, plus
+/// (optionally) `appliers` threads folding random ratings as fast as the
+/// row-ownership CAS lets them.
+ArmResult RunArm(serve::ServeEngine* engine, int readers, int appliers,
+                 int n, double seconds, bool with_ingest) {
+  const int64_t users = engine->users();
+  const int64_t items = engine->items();
+  const uint64_t applied0 = engine->applied_seq();
+  const uint64_t hits0 = engine->observability().cache_hits.Value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> queries{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      std::mt19937_64 rng(1000 + static_cast<uint64_t>(r));
+      // Zipf-ish: half the queries hit a hot 1/16th of the user base, so
+      // the candidate cache has something to do, as in real serving.
+      const int64_t hot = std::max<int64_t>(1, users / 16);
+      int64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t u = (rng() % 2 == 0)
+                              ? static_cast<int64_t>(rng() % hot)
+                              : static_cast<int64_t>(rng() % users);
+        auto result = engine->TopN(static_cast<int32_t>(u), n);
+        NOMAD_CHECK(result.ok()) << result.status().ToString();
+        ++local;
+      }
+      queries.fetch_add(local);
+    });
+  }
+  if (with_ingest) {
+    for (int a = 0; a < appliers; ++a) {
+      threads.emplace_back([&, a] {
+        std::mt19937_64 rng(2000 + static_cast<uint64_t>(a));
+        while (!stop.load(std::memory_order_relaxed)) {
+          const int32_t u = static_cast<int32_t>(rng() % users);
+          const int32_t j = static_cast<int32_t>(rng() % items);
+          const double v = 1.0 + static_cast<double>(rng() % 5);
+          NOMAD_CHECK(engine->ApplyRating(u, j, v, a).ok());
+        }
+      });
+    }
+  }
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000)));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  ArmResult arm;
+  arm.ingest = with_ingest ? "concurrent" : "off";
+  arm.queries = queries.load();
+  arm.applied = static_cast<int64_t>(engine->applied_seq() - applied0);
+  arm.queries_per_sec = static_cast<double>(arm.queries) / elapsed;
+  arm.applied_per_sec = static_cast<double>(arm.applied) / elapsed;
+  const int64_t hits =
+      static_cast<int64_t>(engine->observability().cache_hits.Value() - hits0);
+  arm.cache_hit_fraction =
+      arm.queries > 0 ? static_cast<double>(hits) / arm.queries : 0.0;
+  return arm;
+}
+
+struct StalenessResult {
+  int trials = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Time-to-reflect through the real ingest queue, with background churn.
+StalenessResult RunStaleness(serve::ServeEngine* engine, int appliers,
+                             int trials) {
+  serve::RatingIngest ingest(engine, appliers);
+  const int64_t users = engine->users();
+  const int64_t items = engine->items();
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    std::mt19937_64 rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int32_t u = 1 + static_cast<int32_t>(rng() % (users - 1));
+      (void)ingest.Submit(u, static_cast<int32_t>(rng() % items), 3.0);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  std::vector<double> reflect;
+  reflect.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t v0 = engine->user_version(0);
+    Stopwatch watch;
+    NOMAD_CHECK(ingest.Submit(0, t % static_cast<int>(items), 4.5).ok());
+    NOMAD_CHECK(ingest.WaitUntilApplied(0, v0, 10.0)) << "trial " << t;
+    reflect.push_back(watch.ElapsedSeconds());
+  }
+  stop.store(true);
+  churn.join();
+  ingest.Drain();
+  ingest.Stop();
+
+  std::sort(reflect.begin(), reflect.end());
+  StalenessResult r;
+  r.trials = trials;
+  r.p50_s = reflect[reflect.size() / 2];
+  r.p99_s = reflect[std::min(reflect.size() - 1,
+                             reflect.size() * 99 / 100)];
+  r.max_s = reflect.back();
+  return r;
+}
+
+/// Max |served − offline| score difference over a sweep of users on
+/// quiesced factors. Must be exactly 0 (same kernel, same snapshot).
+double RunParity(serve::ServeEngine* engine, int n, int* users_checked) {
+  const Model offline = engine->QuiescedModel();
+  double max_diff = 0.0;
+  int checked = 0;
+  for (int64_t u = 0; u < engine->users(); u += 97) {
+    const std::vector<ScoredItem> expected =
+        TopN(offline, static_cast<int32_t>(u), n);
+    auto served = engine->TopN(static_cast<int32_t>(u), n);
+    NOMAD_CHECK(served.ok()) << served.status().ToString();
+    NOMAD_CHECK(served.value().items.size() == expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      NOMAD_CHECK(served.value().items[i].item == expected[i].item)
+          << "user " << u << " position " << i;
+      max_diff = std::max(max_diff, std::abs(served.value().items[i].score -
+                                             expected[i].score));
+    }
+    ++checked;
+  }
+  *users_checked = checked;
+  return max_diff;
+}
+
+void WriteJson(const std::string& path, int64_t users, int64_t items,
+               int rank, int n, int readers, int appliers, double seconds,
+               const ArmResult& off, const ArmResult& live,
+               const StalenessResult& staleness, int parity_users,
+               double parity_diff) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  NOMAD_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"users\": %lld,\n", static_cast<long long>(users));
+  std::fprintf(f, "  \"items\": %lld,\n", static_cast<long long>(items));
+  std::fprintf(f, "  \"rank\": %d,\n", rank);
+  std::fprintf(f, "  \"n\": %d,\n", n);
+  std::fprintf(f, "  \"readers\": %d,\n", readers);
+  std::fprintf(f, "  \"appliers\": %d,\n", appliers);
+  std::fprintf(f, "  \"seconds_per_case\": %.3f,\n", seconds);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"arms\": [\n");
+  const ArmResult* arms[] = {&off, &live};
+  for (size_t a = 0; a < 2; ++a) {
+    const ArmResult& arm = *arms[a];
+    std::fprintf(f,
+                 "    {\"ingest\": \"%s\", \"queries_per_sec\": %.3e, "
+                 "\"applied_per_sec\": %.3e, \"cache_hit_fraction\": %.4f, "
+                 "\"queries\": %lld, \"applied\": %lld}%s\n",
+                 arm.ingest.c_str(), arm.queries_per_sec,
+                 arm.applied_per_sec, arm.cache_hit_fraction,
+                 static_cast<long long>(arm.queries),
+                 static_cast<long long>(arm.applied), a == 0 ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"staleness\": {\n");
+  std::fprintf(f, "    \"trials\": %d,\n", staleness.trials);
+  std::fprintf(f, "    \"p50_seconds\": %.6f,\n", staleness.p50_s);
+  std::fprintf(f, "    \"p99_seconds\": %.6f,\n", staleness.p99_s);
+  std::fprintf(f, "    \"max_seconds\": %.6f\n", staleness.max_s);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"parity\": {\n");
+  std::fprintf(f, "    \"users_checked\": %d,\n", parity_users);
+  std::fprintf(f, "    \"max_abs_score_diff\": %.3e\n", parity_diff);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc, argv).ok());
+  const int64_t users = flags.GetInt("users", 2000);
+  const int64_t items = flags.GetInt("items", 8000);
+  const int rank = static_cast<int>(flags.GetInt("rank", 32));
+  const int n = static_cast<int>(flags.GetInt("n", 10));
+  const int readers = static_cast<int>(flags.GetInt("readers", 4));
+  const int appliers = static_cast<int>(flags.GetInt("appliers", 2));
+  const double seconds = flags.GetDouble("seconds-per-case", 0.5);
+  const int trials =
+      static_cast<int>(flags.GetInt("staleness-trials", 50));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string out = flags.GetString("out", "BENCH_serve.json");
+
+  std::printf("== serve bench (%lld users x %lld items, k=%d, %d readers, "
+              "%d appliers) ==\n",
+              static_cast<long long>(users), static_cast<long long>(items),
+              rank, readers, appliers);
+  obs::MetricsRegistry reg;  // live handles so cache-hit counts are real
+  serve::ServeOptions options;
+  options.metrics = &reg;
+  auto engine = serve::ServeEngine::Create(
+      RandomModel(users, items, rank, seed), options);
+  NOMAD_CHECK(engine.ok()) << engine.status().ToString();
+
+  // Parity first, while the factors are untouched and quiesced.
+  int parity_users = 0;
+  const double parity_diff = RunParity(engine.value().get(), n,
+                                       &parity_users);
+  std::printf("parity: %d users checked, max |Δscore| = %.3e\n",
+              parity_users, parity_diff);
+
+  const ArmResult off =
+      RunArm(engine.value().get(), readers, appliers, n, seconds,
+             /*with_ingest=*/false);
+  std::printf("ingest off:        %.3e queries/s (cache hit %.1f%%)\n",
+              off.queries_per_sec, 100.0 * off.cache_hit_fraction);
+  const ArmResult live =
+      RunArm(engine.value().get(), readers, appliers, n, seconds,
+             /*with_ingest=*/true);
+  std::printf("ingest concurrent: %.3e queries/s, %.3e applied/s "
+              "(cache hit %.1f%%)\n",
+              live.queries_per_sec, live.applied_per_sec,
+              100.0 * live.cache_hit_fraction);
+
+  const StalenessResult staleness =
+      RunStaleness(engine.value().get(), appliers, trials);
+  std::printf("time-to-reflect: p50 %.0f us, p99 %.0f us, max %.0f us "
+              "(%d trials)\n",
+              staleness.p50_s * 1e6, staleness.p99_s * 1e6,
+              staleness.max_s * 1e6, staleness.trials);
+
+  WriteJson(out, users, items, rank, n, readers, appliers, seconds, off,
+            live, staleness, parity_users, parity_diff);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) { return nomad::Run(argc, argv); }

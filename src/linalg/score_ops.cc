@@ -1,0 +1,29 @@
+#include "linalg/score_ops.h"
+
+#include "linalg/simd_ops.h"
+
+namespace nomad {
+
+template <typename Real>
+void ScoreRows(const Real* query, const FactorMatrixT<Real>& items,
+               int64_t begin, int64_t end, Real* out) {
+  const auto& table = simd::ActiveTable<Real>();
+  const int k = items.cols();
+  int64_t j = begin;
+  for (; j + 4 <= end; j += 4) {
+    out[j - begin + 0] = table.dot(query, items.Row(j + 0), k);
+    out[j - begin + 1] = table.dot(query, items.Row(j + 1), k);
+    out[j - begin + 2] = table.dot(query, items.Row(j + 2), k);
+    out[j - begin + 3] = table.dot(query, items.Row(j + 3), k);
+  }
+  for (; j < end; ++j) {
+    out[j - begin] = table.dot(query, items.Row(j), k);
+  }
+}
+
+template void ScoreRows<float>(const float*, const FactorMatrixT<float>&,
+                               int64_t, int64_t, float*);
+template void ScoreRows<double>(const double*, const FactorMatrixT<double>&,
+                                int64_t, int64_t, double*);
+
+}  // namespace nomad

@@ -1,0 +1,28 @@
+#ifndef NOMAD_LINALG_SCORE_OPS_H_
+#define NOMAD_LINALG_SCORE_OPS_H_
+
+#include <cstdint>
+
+#include "linalg/factor_matrix.h"
+
+namespace nomad {
+
+/// Batched maximum-inner-product scoring: the serving-plane hot loop.
+///
+/// Scores one query row against a contiguous range of item factor rows,
+/// out[j - begin] = ⟨query, items.Row(j)⟩ for j in [begin, end), using the
+/// runtime-dispatched SIMD dot kernel (simd::ActiveTable<Real>()). The loop
+/// is unrolled 4 item rows deep so the 4 (double) / 8 (float) SIMD lanes of
+/// the dot kernel stay fed from L2 while the next rows stream in — the
+/// cache-line-padded FactorMatrixT stride makes every row start aligned.
+///
+/// Scores accumulate in Real (the storage precision): the serving engine
+/// re-computes exact double dots for the final candidates, so the scan only
+/// has to rank, not to be exact.
+template <typename Real>
+void ScoreRows(const Real* query, const FactorMatrixT<Real>& items,
+               int64_t begin, int64_t end, Real* out);
+
+}  // namespace nomad
+
+#endif  // NOMAD_LINALG_SCORE_OPS_H_

@@ -1,0 +1,29 @@
+#include "nomad/incremental_update.h"
+
+#include "linalg/dense_ops.h"
+
+namespace nomad {
+
+template <typename Real>
+double ApplyIncrementalRating(double rating,
+                              const IncrementalUpdateConfig& config, Real* w,
+                              Real* h, int k) {
+  const Real r = static_cast<Real>(rating);
+  const Real step = static_cast<Real>(config.step);
+  const Real lambda = static_cast<Real>(config.lambda);
+  for (int pass = 0; pass < config.passes; ++pass) {
+    SgdUpdatePair(r, step, lambda, w, h, k);
+  }
+  // SgdUpdatePair returns the pre-update error of its last pass; one more
+  // dot gives the post-update residual the caller reports.
+  const double post = rating - static_cast<double>(Dot(w, h, k));
+  return post * post;
+}
+
+template double ApplyIncrementalRating<float>(double,
+                                              const IncrementalUpdateConfig&,
+                                              float*, float*, int);
+template double ApplyIncrementalRating<double>(
+    double, const IncrementalUpdateConfig&, double*, double*, int);
+
+}  // namespace nomad

@@ -1,0 +1,42 @@
+#ifndef NOMAD_NOMAD_INCREMENTAL_UPDATE_H_
+#define NOMAD_NOMAD_INCREMENTAL_UPDATE_H_
+
+namespace nomad {
+
+/// Configuration for a single online (streaming) rating update.
+///
+/// Online ingest has no epoch schedule: each freshly observed rating is
+/// folded into the live factors with a few fixed-step SGD passes on the
+/// (w_u, h_j) pair — the same fused kernel the offline solver runs, minus
+/// the decaying step schedule (a long-lived serving process has no notion
+/// of "epoch t"). `passes` > 1 lets one observation pull the pair most of
+/// the way to its local least-squares target without touching any other
+/// row, which keeps the update strictly within NOMAD's two-row footprint.
+struct IncrementalUpdateConfig {
+  /// Fixed SGD step size applied on every pass.
+  double step = 0.05;
+  /// L2 regularization weight (same role as TrainOptions::lambda).
+  double lambda = 0.05;
+  /// Number of fused pair-update passes applied per ingested rating.
+  int passes = 4;
+};
+
+/// Applies `config.passes` fused SGD pair updates for one observed
+/// `rating` to the two private row buffers `w` and `h` of length `k`.
+///
+/// This is the incremental-update entry point the serving plane calls: the
+/// caller owns exclusivity (via RowOwnership) and passes *private copies*
+/// of the rows; the SIMD kernel therefore never races with lock-free
+/// readers, and the caller publishes the result under its seqlock.
+/// Returns the post-update squared error (a_ij − ⟨w,h⟩)² — a cheap
+/// convergence signal for ingest observability.
+///
+/// Instantiated for float and double (the two factor storage precisions).
+template <typename Real>
+double ApplyIncrementalRating(double rating,
+                              const IncrementalUpdateConfig& config, Real* w,
+                              Real* h, int k);
+
+}  // namespace nomad
+
+#endif  // NOMAD_NOMAD_INCREMENTAL_UPDATE_H_

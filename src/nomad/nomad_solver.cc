@@ -13,6 +13,7 @@
 #include "eval/metrics.h"
 #include "nomad/batch_controller.h"
 #include "nomad/pause_gate.h"
+#include "nomad/row_ownership.h"
 #include "nomad/token_router.h"
 #include "obs/metrics.h"
 #include "obs/solver_metrics.h"
@@ -162,9 +163,11 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
 
   // Owner table asserting the single-ownership invariant behind NOMAD's
   // lock-freedom and serializability: a token (and hence its h_j row) must
-  // never be held by two workers at once. -1 = in a queue / in flight.
-  std::vector<std::atomic<int>> owner(static_cast<size_t>(ds.cols));
-  for (auto& o : owner) o.store(-1, std::memory_order_relaxed);
+  // never be held by two workers at once. kUnowned = in a queue / in
+  // flight. The same RowOwnership type arbitrates writer exclusivity in the
+  // serving plane (serve::ServeEngine), where contention is real rather
+  // than a broken invariant.
+  RowOwnership owner(ds.cols);
 
   const UpdateKernelT<Real> kernel(*schedule.value(), loss.value().get(),
                                    options.lambda, k);
@@ -259,16 +262,10 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
       }
       for (size_t b = 0; b < got; ++b) {
         const int32_t j = tokens[b];
-        // Ownership invariant behind NOMAD's lock-freedom. The CAS runs as
-        // a named statement (not as a check-macro argument) so the side
-        // effect is obvious and survives if the always-on NOMAD_CHECK is
-        // ever demoted to a debug-only NOMAD_DCHECK.
-        int expected = -1;
-        const bool acquired =
-            owner[static_cast<size_t>(j)].compare_exchange_strong(
-                expected, q, std::memory_order_acquire);
-        NOMAD_CHECK(acquired)
-            << "item " << j << " already owned by worker " << expected;
+        // Ownership invariant behind NOMAD's lock-freedom: token
+        // circulation already guarantees exclusivity, so a failed CAS here
+        // is a broken invariant, not contention.
+        owner.AcquireOrDie(j, q);
         // At the cap the token hops on unprocessed; the driver will pause
         // everyone for the trace point before raising the cap.
         if (total_updates.load(std::memory_order_relaxed) <
@@ -285,7 +282,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
             wobs.NoteUpdates(n);
           }
         }
-        owner[static_cast<size_t>(j)].store(-1, std::memory_order_release);
+        owner.Release(j);
       }
       router.PickBatch(q, &rng, probe, static_cast<int>(got), dests.data());
       for (size_t b = 0; b < got; ++b) {

@@ -22,11 +22,16 @@ Status Errno(const std::string& what) {
 }
 
 /// Writes the whole buffer, retrying short writes; best-effort (a scraper
-/// that hangs up mid-response is its problem, not the trainer's).
+/// that hangs up mid-response is its problem, not the trainer's). Uses
+/// send(MSG_NOSIGNAL), not write(): a raw write() to a peer-reset socket
+/// raises SIGPIPE and kills the whole training process — the TCP transport
+/// suppresses the signal the same way (net/tcp_transport.cc).
 void WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;
     off += static_cast<size_t>(n);
   }

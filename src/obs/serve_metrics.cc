@@ -1,0 +1,41 @@
+#include "obs/serve_metrics.h"
+
+namespace nomad {
+namespace obs {
+
+const std::vector<double> kQueryLatencyBounds = {
+    50e-6, 100e-6, 200e-6, 400e-6, 800e-6, 1.6e-3, 3.2e-3, 6.4e-3,
+    12.8e-3, 25.6e-3, 51.2e-3, 0.1024, 0.2048, 0.4096, 0.8192, 1.6384};
+
+const std::vector<double> kStalenessBounds = {
+    1e-3, 2e-3, 4e-3, 8e-3, 16e-3, 32e-3, 64e-3, 0.128,
+    0.256, 0.512, 1.024, 2.048, 4.096, 8.192, 16.384, 32.768};
+
+ServeObs ServeObs::Create(MetricsRegistry* registry) {
+  ServeObs s;
+  if (registry == nullptr || !registry->enabled()) return s;
+  s.enabled_ = true;
+  s.queries = registry->GetCounter("nomad_serve_queries_total");
+  s.cache_hits = registry->GetCounter("nomad_serve_cache_hits_total");
+  s.cache_misses = registry->GetCounter("nomad_serve_cache_misses_total");
+  s.torn_retries =
+      registry->GetCounter("nomad_serve_torn_row_retries_total");
+  s.ratings_submitted =
+      registry->GetCounter("nomad_serve_ratings_submitted_total");
+  s.ratings_applied =
+      registry->GetCounter("nomad_serve_ratings_applied_total");
+  s.ingest_conflicts =
+      registry->GetCounter("nomad_serve_ingest_conflicts_total");
+  s.connections = registry->GetCounter("nomad_serve_connections_total");
+  s.protocol_errors =
+      registry->GetCounter("nomad_serve_protocol_errors_total");
+  s.query_latency = registry->GetHistogram(
+      "nomad_serve_query_latency_seconds", kQueryLatencyBounds);
+  s.staleness = registry->GetHistogram("nomad_serve_staleness_seconds",
+                                       kStalenessBounds);
+  s.queue_depth = registry->GetGauge("nomad_serve_ingest_queue_depth");
+  return s;
+}
+
+}  // namespace obs
+}  // namespace nomad

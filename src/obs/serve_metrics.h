@@ -1,0 +1,74 @@
+#ifndef NOMAD_OBS_SERVE_METRICS_H_
+#define NOMAD_OBS_SERVE_METRICS_H_
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nomad {
+namespace obs {
+
+/// `le` bounds (seconds) for the serve-plane latency histogram
+/// (nomad_serve_query_latency_seconds): 50µs … ~1.6s in powers of two, the
+/// range a single top-N scan spans from cache-hit to cold 100k-item scan.
+extern const std::vector<double> kQueryLatencyBounds;
+
+/// `le` bounds (seconds) for the ingest staleness histogram
+/// (nomad_serve_staleness_seconds): 1ms … ~32s; staleness is dominated by
+/// queueing, not by the two-row SGD update itself.
+extern const std::vector<double> kStalenessBounds;
+
+/// The serving plane's handle bundle — registered once per ServeEngine,
+/// shared by the query path, ingest appliers, and the socket front-end.
+/// A null/disabled registry yields null handles throughout (the hot path
+/// stays branch-free on `if (metrics)`).
+///
+/// Exported series:
+///   nomad_serve_queries_total           counter    top-N queries answered
+///   nomad_serve_cache_hits_total        counter    answered from the cache
+///   nomad_serve_cache_misses_total      counter    full scoring scans
+///   nomad_serve_torn_row_retries_total  counter    seqlock snapshot retries
+///   nomad_serve_ratings_submitted_total counter    ratings accepted by ingest
+///   nomad_serve_ratings_applied_total   counter    ratings folded into factors
+///   nomad_serve_ingest_conflicts_total  counter    ownership-CAS backoffs
+///   nomad_serve_query_latency_seconds   histogram  end-to-end TopN latency
+///   nomad_serve_staleness_seconds       histogram  submit→applied latency
+///   nomad_serve_ingest_queue_depth      gauge      pending ratings
+///   nomad_serve_connections_total       counter    accepted connections
+///   nomad_serve_protocol_errors_total   counter    malformed requests
+///
+/// qps is `rate(nomad_serve_queries_total)` at the scraper; p50/p99 come
+/// from the latency histogram buckets.
+struct ServeObs {
+  /// Null bundle — every handle is a no-op.
+  ServeObs() = default;
+
+  /// Registers all serve-plane series on `registry` (null or disabled ⇒
+  /// null bundle). Takes the registration mutex; call at engine/server
+  /// construction, never per request.
+  static ServeObs Create(MetricsRegistry* registry);
+
+  /// True when backed by a live registry.
+  bool enabled() const { return enabled_; }
+
+  Counter queries;             ///< nomad_serve_queries_total
+  Counter cache_hits;          ///< nomad_serve_cache_hits_total
+  Counter cache_misses;        ///< nomad_serve_cache_misses_total
+  Counter torn_retries;        ///< nomad_serve_torn_row_retries_total
+  Counter ratings_submitted;   ///< nomad_serve_ratings_submitted_total
+  Counter ratings_applied;     ///< nomad_serve_ratings_applied_total
+  Counter ingest_conflicts;    ///< nomad_serve_ingest_conflicts_total
+  Counter connections;         ///< nomad_serve_connections_total
+  Counter protocol_errors;     ///< nomad_serve_protocol_errors_total
+  Histogram query_latency;     ///< nomad_serve_query_latency_seconds
+  Histogram staleness;         ///< nomad_serve_staleness_seconds
+  Gauge queue_depth;           ///< nomad_serve_ingest_queue_depth
+
+ private:
+  bool enabled_ = false;
+};
+
+}  // namespace obs
+}  // namespace nomad
+
+#endif  // NOMAD_OBS_SERVE_METRICS_H_

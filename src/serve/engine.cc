@@ -1,0 +1,258 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "linalg/dense_ops.h"
+#include "linalg/score_ops.h"
+#include "serve/row_sync.h"
+#include "util/logging.h"
+
+namespace nomad::serve {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Descending score, ties toward the lower item id — the same deterministic
+// order model.cc's offline TopN uses.
+bool ScoreLess(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServeEngine>> ServeEngine::Create(
+    Model model, const ServeOptions& options) {
+  if (model.w.rows() <= 0 || model.h.rows() <= 0) {
+    return Status::InvalidArgument("empty model");
+  }
+  if (model.w.cols() != model.h.cols()) {
+    return Status::InvalidArgument("factor rank mismatch");
+  }
+  return std::unique_ptr<ServeEngine>(
+      new ServeEngine(std::move(model), options));
+}
+
+ServeEngine::ServeEngine(Model model, const ServeOptions& options)
+    : options_(options),
+      w_(std::move(model.w)),
+      h_(std::move(model.h)),
+      w_owner_(w_.rows()),
+      h_owner_(h_.rows()) {
+  w_seq_ = std::make_unique<std::atomic<uint32_t>[]>(
+      static_cast<size_t>(w_.rows()));
+  h_seq_ = std::make_unique<std::atomic<uint32_t>[]>(
+      static_cast<size_t>(h_.rows()));
+  user_ver_ = std::make_unique<std::atomic<uint64_t>[]>(
+      static_cast<size_t>(w_.rows()));
+  for (int64_t i = 0; i < w_.rows(); ++i) {
+    w_seq_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    user_ver_[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+  for (int64_t j = 0; j < h_.rows(); ++j) {
+    h_seq_[static_cast<size_t>(j)].store(0, std::memory_order_relaxed);
+  }
+  cache_.resize(static_cast<size_t>(w_.rows()));
+  obs_ = obs::ServeObs::Create(options_.metrics);
+}
+
+void ServeEngine::SnapshotUserRow(int32_t user, double* out) {
+  const int torn = SnapshotRow(w_seq_[static_cast<size_t>(user)],
+                               w_.Row(user), rank(), out);
+  if (torn > 0) obs_.torn_retries.Inc(torn);
+}
+
+Result<TopNResult> ServeEngine::TopN(int32_t user, int n,
+                                     const std::vector<int32_t>& exclude) {
+  if (user < 0 || user >= users()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  if (n <= 0) {
+    return Status::InvalidArgument("n must be positive");
+  }
+  const double t0 = NowSeconds();
+  obs_.queries.Inc();
+
+  const uint64_t uver = user_version(user);
+  const uint64_t seq0 = applied_seq();
+  const int shard = user % kCacheShards;
+
+  // Cache probe — only for plain queries; exclude lists bypass the cache
+  // because entries key on the user alone.
+  if (exclude.empty()) {
+    std::lock_guard<std::mutex> lock(cache_mu_[shard]);
+    const CacheEntry& e = cache_[static_cast<size_t>(user)];
+    if (e.n >= n && e.user_version == uver &&
+        seq0 - e.as_of_seq <= static_cast<uint64_t>(
+                                  options_.cache_staleness_limit)) {
+      TopNResult r;
+      r.items.assign(e.items.begin(),
+                     e.items.begin() +
+                         std::min<size_t>(e.items.size(),
+                                          static_cast<size_t>(n)));
+      r.as_of_seq = e.as_of_seq;
+      r.user_version = e.user_version;
+      r.cache_hit = true;
+      obs_.cache_hits.Inc();
+      obs_.query_latency.Observe(NowSeconds() - t0);
+      return r;
+    }
+  }
+  obs_.cache_misses.Inc();
+
+  const int k = rank();
+  const int64_t item_count = items();
+  std::vector<double> wq(static_cast<size_t>(k));
+  SnapshotUserRow(user, wq.data());
+
+  // Racy SIMD scan over every live item row. Concurrent writers may tear a
+  // row mid-read here; that only perturbs the *candidate ranking* — every
+  // candidate is re-scored below from a seqlock-stable snapshot, so a torn
+  // value is never served.
+  std::vector<double> scores(static_cast<size_t>(item_count));
+#if NOMAD_TSAN
+  // Under TSan the SIMD kernel's plain loads would (correctly) be flagged
+  // as the by-design race; use the relaxed-atomic scalar scan instead.
+  for (int64_t j = 0; j < item_count; ++j) {
+    scores[static_cast<size_t>(j)] = RaceyDot(wq.data(), h_.Row(j), k);
+  }
+#else
+  ScoreRows(wq.data(), h_, 0, item_count, scores.data());
+#endif
+
+  std::vector<int32_t> idx(static_cast<size_t>(item_count));
+  std::iota(idx.begin(), idx.end(), 0);
+  if (!exclude.empty()) {
+    std::vector<int32_t> banned(exclude);
+    std::sort(banned.begin(), banned.end());
+    idx.erase(std::remove_if(idx.begin(), idx.end(),
+                             [&banned](int32_t j) {
+                               return std::binary_search(banned.begin(),
+                                                         banned.end(), j);
+                             }),
+              idx.end());
+  }
+  const size_t want = std::min(
+      idx.size(),
+      static_cast<size_t>(n) +
+          static_cast<size_t>(std::max(0, options_.candidate_margin)));
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<ptrdiff_t>(want), idx.end(),
+                    [&scores](int32_t a, int32_t b) {
+                      const double sa = scores[static_cast<size_t>(a)];
+                      const double sb = scores[static_cast<size_t>(b)];
+                      if (sa != sb) return sa > sb;
+                      return a < b;
+                    });
+
+  // Exact re-validation: each candidate's score is recomputed from a
+  // stable snapshot of its row with the full-precision double dot — on
+  // quiesced factors this matches the offline model.cc TopN bit-for-bit.
+  std::vector<double> hj(static_cast<size_t>(k));
+  std::vector<ScoredItem> ranked;
+  ranked.reserve(want);
+  int torn = 0;
+  for (size_t c = 0; c < want; ++c) {
+    const int32_t j = idx[c];
+    torn += SnapshotRow(h_seq_[static_cast<size_t>(j)], h_.Row(j), k,
+                        hj.data());
+    ranked.push_back({j, Dot(wq.data(), hj.data(), k)});
+  }
+  if (torn > 0) obs_.torn_retries.Inc(torn);
+  std::sort(ranked.begin(), ranked.end(), ScoreLess);
+  if (ranked.size() > static_cast<size_t>(n)) {
+    ranked.resize(static_cast<size_t>(n));
+  }
+
+  TopNResult r;
+  r.items = std::move(ranked);
+  r.as_of_seq = seq0;
+  r.user_version = uver;
+  r.cache_hit = false;
+
+  if (exclude.empty()) {
+    CacheEntry e;
+    e.user_version = uver;
+    e.as_of_seq = seq0;
+    e.n = n;
+    e.items = r.items;
+    std::lock_guard<std::mutex> lock(cache_mu_[shard]);
+    CacheEntry& slot = cache_[static_cast<size_t>(user)];
+    // Keep a longer still-valid answer over a shorter fresh one only if it
+    // is just as fresh; otherwise newest wins.
+    if (slot.user_version != e.user_version ||
+        slot.as_of_seq < e.as_of_seq || slot.n <= e.n) {
+      slot = std::move(e);
+    }
+  }
+  obs_.query_latency.Observe(NowSeconds() - t0);
+  return r;
+}
+
+Status ServeEngine::ApplyRating(int32_t user, int32_t item, double value,
+                                int applier) {
+  if (user < 0 || user >= users()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  if (item < 0 || item >= items()) {
+    return Status::InvalidArgument("item out of range");
+  }
+  NOMAD_CHECK(applier >= 0) << "applier id must be non-negative";
+
+  // Two-row acquire with release-and-retry on conflict: never holds one
+  // row while spinning on the other, so appliers cannot deadlock however
+  // their (user, item) pairs overlap.
+  for (;;) {
+    if (w_owner_.TryAcquire(user, applier)) {
+      if (h_owner_.TryAcquire(item, applier)) break;
+      w_owner_.Release(user);
+    }
+    obs_.ingest_conflicts.Inc();
+    std::this_thread::yield();
+  }
+
+  const int k = rank();
+  std::vector<double> wl(static_cast<size_t>(k));
+  std::vector<double> hl(static_cast<size_t>(k));
+  CopyRowIn(w_.Row(user), k, wl.data());
+  CopyRowIn(h_.Row(item), k, hl.data());
+
+  // SIMD SGD on the private copies — the shared rows are only touched by
+  // the seqlock-guarded publish below.
+  ApplyIncrementalRating(value, options_.update, wl.data(), hl.data(), k);
+
+  SeqlockWriteBegin(&w_seq_[static_cast<size_t>(user)]);
+  PublishRow(wl.data(), k, w_.Row(user));
+  SeqlockWriteEnd(&w_seq_[static_cast<size_t>(user)]);
+
+  SeqlockWriteBegin(&h_seq_[static_cast<size_t>(item)]);
+  PublishRow(hl.data(), k, h_.Row(item));
+  SeqlockWriteEnd(&h_seq_[static_cast<size_t>(item)]);
+
+  h_owner_.Release(item);
+  w_owner_.Release(user);
+
+  // Version bumps come after the publish: once a poller sees the new
+  // user_version, a rescoring scan is guaranteed to see the new factors.
+  user_ver_[static_cast<size_t>(user)].fetch_add(1,
+                                                 std::memory_order_release);
+  applied_seq_.fetch_add(1, std::memory_order_release);
+  obs_.ratings_applied.Inc();
+  return Status();
+}
+
+Model ServeEngine::QuiescedModel() const {
+  Model m;
+  m.w = w_;
+  m.h = h_;
+  return m;
+}
+
+}  // namespace nomad::serve

@@ -1,0 +1,153 @@
+#ifndef NOMAD_SERVE_ENGINE_H_
+#define NOMAD_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "linalg/factor_matrix.h"
+#include "nomad/incremental_update.h"
+#include "nomad/row_ownership.h"
+#include "obs/serve_metrics.h"
+#include "solver/model.h"
+#include "util/status.h"
+
+namespace nomad::serve {
+
+/// Tuning knobs for a ServeEngine.
+struct ServeOptions {
+  /// SGD parameters for online (streamed) rating updates.
+  IncrementalUpdateConfig update;
+  /// A cached top-N answer is still served if at most this many ratings
+  /// were applied engine-wide since it was computed (and none of them
+  /// touched the user's own row). 0 = a cache entry dies on *any* applied
+  /// rating anywhere; item-row churn then can never go unnoticed.
+  int64_t cache_staleness_limit = 256;
+  /// Extra candidates taken from the racy scan before exact re-validation;
+  /// absorbs rank inversions caused by concurrent item-row updates.
+  int candidate_margin = 8;
+  /// Metrics sink (null ⇒ no-op handles).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One served recommendation list plus the versions it was computed at.
+struct TopNResult {
+  /// Ranked items, descending score, ties toward the lower item id.
+  std::vector<ScoredItem> items;
+  /// Engine-wide applied-rating sequence number observed at snapshot time.
+  uint64_t as_of_seq = 0;
+  /// The user's row version observed at snapshot time.
+  uint64_t user_version = 0;
+  /// True when answered from the candidate cache without rescoring.
+  bool cache_hit = false;
+};
+
+/// Top-N maximum-inner-product engine over *live* factor matrices —
+/// train-while-serve.
+///
+/// Readers (TopN) are lock-free: they snapshot the user row under a per-row
+/// seqlock (serve/row_sync.h), scan every item row with the SIMD dot kernel
+/// (linalg/score_ops.h) accepting racy reads, then re-validate each
+/// surviving candidate against a stable seqlock snapshot — a torn row is
+/// retried, never served. Writers (ApplyRating, driven by serve::RatingIngest)
+/// take per-row exclusivity through the same RowOwnership CAS table the
+/// NOMAD solver uses, run the incremental SGD update on private copies, and
+/// publish under the seqlock.
+///
+/// Freshness contract: once ApplyRating(u, j, ·) returns, the rating is
+/// visible to every subsequent TopN(u, ·) — the apply bumps the user's row
+/// version, which invalidates the user's cache entry, and the seqlock
+/// publish ordering makes the new factors visible to the rescoring scan.
+class ServeEngine {
+ public:
+  /// Takes ownership of a trained model's factors and starts serving them.
+  /// Fails with kInvalidArgument on an empty model.
+  static Result<std::unique_ptr<ServeEngine>> Create(
+      Model model, const ServeOptions& options);
+
+  int64_t users() const { return w_.rows(); }
+  int64_t items() const { return h_.rows(); }
+  int rank() const { return w_.cols(); }
+
+  /// Serves the `n` highest-scoring items for `user` (descending score,
+  /// ties toward the lower item id), skipping `exclude`. Lock-free with
+  /// respect to concurrent ApplyRating calls. Queries with a non-empty
+  /// exclude list bypass the candidate cache (the cache keys on user alone).
+  /// Fails with kInvalidArgument on an out-of-range user or n <= 0.
+  Result<TopNResult> TopN(int32_t user, int n,
+                          const std::vector<int32_t>& exclude = {});
+
+  /// Folds one observed rating into the live factors: acquires the user's
+  /// w-row and the item's h-row via ownership CAS (backing off on conflict
+  /// — deadlock-free: on a failed second acquire the first row is released
+  /// before retrying), applies the incremental SGD update on private
+  /// copies, publishes both rows under their seqlocks, and bumps the user
+  /// version + global applied sequence. `applier` is this writer thread's
+  /// non-negative owner id. Thread-safe; blocks only on row contention.
+  /// Fails with kInvalidArgument on out-of-range user/item.
+  Status ApplyRating(int32_t user, int32_t item, double value, int applier);
+
+  /// Total ratings applied engine-wide (monotone; the staleness clock).
+  uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Monotone per-user version, bumped by every applied rating for that
+  /// user. Lets callers detect "my rating is now reflected".
+  uint64_t user_version(int32_t user) const {
+    return user_ver_[static_cast<size_t>(user)].load(
+        std::memory_order_acquire);
+  }
+
+  /// The serve-plane metrics bundle (shared with ingest and the server).
+  const obs::ServeObs& observability() const { return obs_; }
+
+  /// Read-only view of the live factors. Only meaningful when quiesced (no
+  /// concurrent ApplyRating); used by parity tests and benches.
+  Model QuiescedModel() const;
+
+ private:
+  ServeEngine(Model model, const ServeOptions& options);
+
+  /// Stable seqlock snapshot of w row `user` into `out` (rank() doubles).
+  void SnapshotUserRow(int32_t user, double* out);
+
+  /// Candidate cache entry: the last full answer computed for a user.
+  struct CacheEntry {
+    uint64_t user_version = 0;
+    uint64_t as_of_seq = 0;
+    int n = 0;
+    std::vector<ScoredItem> items;
+  };
+
+  static constexpr int kCacheShards = 64;
+
+  ServeOptions options_;
+  FactorMatrix w_;  // live m × k user factors
+  FactorMatrix h_;  // live n × k item factors
+
+  // Per-row seqlock versions (even = stable).
+  std::unique_ptr<std::atomic<uint32_t>[]> w_seq_;
+  std::unique_ptr<std::atomic<uint32_t>[]> h_seq_;
+
+  // Writer exclusivity — the solver's ownership-CAS seam, reused.
+  RowOwnership w_owner_;
+  RowOwnership h_owner_;
+
+  std::atomic<uint64_t> applied_seq_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> user_ver_;
+
+  // Candidate cache: per-user entries behind sharded mutexes (the cache is
+  // an accelerator, never the consistency mechanism — validity is decided
+  // by user_version + applied_seq stamps).
+  mutable std::mutex cache_mu_[kCacheShards];
+  std::vector<CacheEntry> cache_;
+
+  obs::ServeObs obs_;
+};
+
+}  // namespace nomad::serve
+
+#endif  // NOMAD_SERVE_ENGINE_H_

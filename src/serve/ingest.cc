@@ -1,0 +1,114 @@
+#include "serve/ingest.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace nomad::serve {
+namespace {
+
+constexpr size_t kPopBatch = 32;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RatingIngest::RatingIngest(ServeEngine* engine, int appliers)
+    : engine_(engine) {
+  NOMAD_CHECK(engine_ != nullptr);
+  NOMAD_CHECK(appliers >= 1) << "need at least one applier";
+  threads_.reserve(static_cast<size_t>(appliers));
+  for (int a = 0; a < appliers; ++a) {
+    threads_.emplace_back([this, a] { ApplierLoop(a); });
+  }
+}
+
+RatingIngest::~RatingIngest() { Stop(); }
+
+Status RatingIngest::Submit(int32_t user, int32_t item, double value) {
+  if (stop_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("ingest stopped");
+  }
+  if (user < 0 || user >= engine_->users()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  if (item < 0 || item >= engine_->items()) {
+    return Status::InvalidArgument("item out of range");
+  }
+  PendingRating r;
+  r.user = user;
+  r.item = item;
+  r.value = static_cast<float>(value);
+  r.submit_time = NowSeconds();
+  queue_.Push(r);
+  submitted_.fetch_add(1, std::memory_order_release);
+  const auto& obs = engine_->observability();
+  obs.ratings_submitted.Inc();
+  obs.queue_depth.Set(static_cast<double>(queue_.SizeEstimate()));
+  return Status();
+}
+
+void RatingIngest::Drain() {
+  const uint64_t target = submitted_.load(std::memory_order_acquire);
+  while (drained_.load(std::memory_order_acquire) < target) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+bool RatingIngest::WaitUntilApplied(int32_t user, uint64_t version_before,
+                                    double timeout_seconds) const {
+  const double deadline = NowSeconds() + timeout_seconds;
+  while (engine_->user_version(user) <= version_before) {
+    if (NowSeconds() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return true;
+}
+
+void RatingIngest::Stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void RatingIngest::ApplierLoop(int applier) {
+  const auto& obs = engine_->observability();
+  PendingRating batch[kPopBatch];
+  int idle = 0;
+  for (;;) {
+    const size_t got = queue_.TryPopBatch(batch, kPopBatch);
+    if (got == 0) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      // NOMAD-worker-style idle backoff: spin briefly, then sleep with an
+      // exponential cap so an idle serve process burns no CPU.
+      ++idle;
+      if (idle <= 4) {
+        std::this_thread::yield();
+      } else {
+        const int exp = std::min(idle - 4, 7);  // 2^7 * 50us = 6.4ms cap
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(50L << exp));
+      }
+      continue;
+    }
+    idle = 0;
+    for (size_t i = 0; i < got; ++i) {
+      const PendingRating& r = batch[i];
+      // Submit() already validated the ids, so a failure here is a bug.
+      const Status s = engine_->ApplyRating(
+          r.user, r.item, static_cast<double>(r.value), applier);
+      NOMAD_CHECK(s.ok()) << "apply failed: " << s.message();
+      obs.staleness.Observe(NowSeconds() - r.submit_time);
+    }
+    drained_.fetch_add(got, std::memory_order_release);
+    obs.queue_depth.Set(static_cast<double>(queue_.SizeEstimate()));
+  }
+}
+
+}  // namespace nomad::serve

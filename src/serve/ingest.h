@@ -1,0 +1,87 @@
+#ifndef NOMAD_SERVE_INGEST_H_
+#define NOMAD_SERVE_INGEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "queue/mpmc_queue.h"
+#include "serve/engine.h"
+#include "util/status.h"
+
+namespace nomad::serve {
+
+/// One rating waiting to be folded into the live factors.
+struct PendingRating {
+  int32_t user = 0;
+  int32_t item = 0;
+  float value = 0.0f;
+  /// steady-clock submit time (seconds); basis of the staleness histogram.
+  double submit_time = 0.0;
+};
+
+/// The streaming ingest path: an unbounded MPMC queue of freshly observed
+/// ratings drained by a pool of applier threads, each calling
+/// ServeEngine::ApplyRating (ownership-CAS + seqlock publish) so queries
+/// keep flowing while the factors move.
+///
+/// Appliers pop in batches and back off exponentially when idle, the same
+/// discipline as the NOMAD worker loop. Staleness (submit → applied, in
+/// seconds) is observed per rating into nomad_serve_staleness_seconds.
+///
+/// To detect "my rating is reflected", callers record
+/// `engine->user_version(u)` before Submit and poll until it advances;
+/// `WaitUntilApplied` packages that for tests and benches.
+class RatingIngest {
+ public:
+  /// Starts `appliers` (>= 1) applier threads draining into `engine`
+  /// (not owned; must outlive this object).
+  RatingIngest(ServeEngine* engine, int appliers);
+
+  /// Stops and joins the appliers; queued-but-unapplied ratings are
+  /// dropped. Call Drain() first when every submitted rating must land.
+  ~RatingIngest();
+
+  /// Enqueues one rating. Fails with kInvalidArgument on out-of-range
+  /// user/item and kUnavailable after Stop(). Thread-safe, non-blocking.
+  Status Submit(int32_t user, int32_t item, double value);
+
+  /// Blocks until every rating submitted before the call has been applied.
+  void Drain();
+
+  /// Blocks until `engine->user_version(user)` exceeds `version_before`
+  /// or `timeout_seconds` elapses; returns true when the version advanced
+  /// (i.e. some rating for the user — normally the caller's — landed).
+  bool WaitUntilApplied(int32_t user, uint64_t version_before,
+                        double timeout_seconds) const;
+
+  /// Stops accepting submissions and joins the appliers (idempotent).
+  void Stop();
+
+  /// Ratings accepted so far.
+  uint64_t submitted() const {
+    return submitted_.load(std::memory_order_acquire);
+  }
+
+  /// Ratings applied to the live factors so far (engine-wide).
+  uint64_t applied() const { return engine_->applied_seq(); }
+
+  /// Current queue depth (approximate, lock-free).
+  size_t QueueDepth() const { return queue_.SizeEstimate(); }
+
+ private:
+  void ApplierLoop(int applier);
+
+  ServeEngine* engine_;
+  MpmcQueue<PendingRating> queue_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> drained_{0};  // popped + applied by any applier
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace nomad::serve
+
+#endif  // NOMAD_SERVE_INGEST_H_

@@ -1,0 +1,148 @@
+#ifndef NOMAD_SERVE_ROW_SYNC_H_
+#define NOMAD_SERVE_ROW_SYNC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+// Detect ThreadSanitizer so the racey element accesses below can switch to
+// relaxed __atomic builtins under TSan (which does not model fences and
+// would otherwise report the intentional seqlock races).
+#if defined(__SANITIZE_THREAD__)
+#define NOMAD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NOMAD_TSAN 1
+#endif
+#endif
+#ifndef NOMAD_TSAN
+#define NOMAD_TSAN 0
+#endif
+
+namespace nomad::serve {
+
+/// Per-row seqlock protocol for train-while-serve.
+///
+/// Each live factor row carries a 32-bit version counter: even = stable,
+/// odd = a writer is mid-update. Writers (ingest appliers, already exclusive
+/// per row via RowOwnership) bump the counter odd, publish the new row, and
+/// bump it even; lock-free readers snapshot the row and retry if the
+/// version was odd or changed across the copy — a torn row is retried,
+/// never served. The fence placement follows Boehm's seqlock construction
+/// ("Can seqlocks get along with programming language memory models?"):
+/// writer = relaxed odd store, release fence, element stores, release even
+/// store; reader = acquire begin load, element loads, acquire fence,
+/// relaxed re-load.
+///
+/// Element accesses themselves are plain loads/stores in normal builds (the
+/// Hogwild-style benign race every lock-free factor library tolerates; the
+/// version check discards any torn value before use) and relaxed
+/// `__atomic` builtins under TSan so the sanitizer sees them as atomics
+/// instead of flagging the by-design race.
+
+/// True when compiled under ThreadSanitizer (element accesses are atomic).
+inline constexpr bool kTsanInstrumented = NOMAD_TSAN != 0;
+
+/// Loads one shared row element (relaxed-atomic under TSan, plain
+/// otherwise).
+template <typename Real>
+inline Real LoadShared(const Real* p) {
+#if NOMAD_TSAN
+  // The generic form: __atomic_load_n rejects floating-point operands.
+  Real v;
+  __atomic_load(p, &v, __ATOMIC_RELAXED);
+  return v;
+#else
+  return *p;
+#endif
+}
+
+/// Stores one shared row element (relaxed-atomic under TSan, plain
+/// otherwise).
+template <typename Real>
+inline void StoreShared(Real* p, Real v) {
+#if NOMAD_TSAN
+  __atomic_store(p, &v, __ATOMIC_RELAXED);
+#else
+  *p = v;
+#endif
+}
+
+/// Copies `k` shared elements into a private buffer.
+template <typename Real>
+inline void CopyRowIn(const Real* shared, int k, Real* out) {
+  for (int i = 0; i < k; ++i) out[i] = LoadShared(shared + i);
+}
+
+/// Publishes `k` private elements into a shared row. Call only between
+/// SeqlockWriteBegin/SeqlockWriteEnd while holding row ownership.
+template <typename Real>
+inline void PublishRow(const Real* local, int k, Real* shared) {
+  for (int i = 0; i < k; ++i) StoreShared(shared + i, local[i]);
+}
+
+/// Dot product of a private query row against a shared (possibly racing)
+/// item row. Used for the candidate scan, whose output is re-validated
+/// against a stable snapshot before being served.
+template <typename Real>
+inline double RaceyDot(const Real* priv, const Real* shared, int k) {
+  double acc = 0.0;
+  for (int i = 0; i < k; ++i) {
+    acc += static_cast<double>(priv[i]) *
+           static_cast<double>(LoadShared(shared + i));
+  }
+  return acc;
+}
+
+/// Begins a reader-side critical section: returns the row version observed
+/// before the element loads (may be odd — the validate step rejects it).
+inline uint32_t SeqlockReadBegin(const std::atomic<uint32_t>& ver) {
+  return ver.load(std::memory_order_acquire);
+}
+
+/// Validates a reader-side critical section: true iff `begin` was even and
+/// the version is unchanged after the element loads.
+inline bool SeqlockReadValidate(const std::atomic<uint32_t>& ver,
+                                uint32_t begin) {
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return (begin & 1u) == 0u &&
+         ver.load(std::memory_order_relaxed) == begin;
+}
+
+/// Begins a writer-side critical section (version becomes odd). The caller
+/// must hold row ownership — seqlocks order one writer against readers,
+/// not writers against each other.
+inline void SeqlockWriteBegin(std::atomic<uint32_t>* ver) {
+  ver->store(ver->load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+/// Ends a writer-side critical section (version becomes even again).
+inline void SeqlockWriteEnd(std::atomic<uint32_t>* ver) {
+  ver->store(ver->load(std::memory_order_relaxed) + 1,
+             std::memory_order_release);
+}
+
+/// Copies a stable snapshot of `row` (length `k`) into `out`, retrying
+/// until the version is even and unchanged across the copy. Returns the
+/// number of retries (0 = first attempt was stable); callers feed this
+/// into the torn-row metric.
+template <typename Real>
+inline int SnapshotRow(const std::atomic<uint32_t>& ver, const Real* row,
+                       int k, Real* out) {
+  int retries = 0;
+  for (;;) {
+    const uint32_t begin = SeqlockReadBegin(ver);
+    if ((begin & 1u) == 0u) {
+      CopyRowIn(row, k, out);
+      if (SeqlockReadValidate(ver, begin)) return retries;
+    }
+    ++retries;
+    if (retries > 16) std::this_thread::yield();
+  }
+}
+
+}  // namespace nomad::serve
+
+#endif  // NOMAD_SERVE_ROW_SYNC_H_

@@ -1,0 +1,232 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace nomad::serve {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// Whole-buffer send with MSG_NOSIGNAL: a client that hangs up mid-response
+// must never SIGPIPE the serving process (the same discipline as
+// net/tcp_transport.cc and the metrics exporter).
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string FormatScore(double score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", score);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServeServer>> ServeServer::Start(
+    ServeEngine* engine, RatingIngest* ingest,
+    const ServerOptions& options) {
+  NOMAD_CHECK(engine != nullptr);
+  NOMAD_CHECK(ingest != nullptr);
+  std::unique_ptr<ServeServer> server(new ServeServer(engine, ingest));
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 2;
+  }
+  server->pool_ = std::make_unique<ThreadPool>(threads);
+
+  server->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) return Errno("serve socket");
+  int one = 1;
+  setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+             sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (bind(server->listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("serve bind port " + std::to_string(options.port));
+  }
+  if (listen(server->listen_fd_, 64) < 0) return Errno("serve listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(server->listen_fd_,
+                  reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    return Errno("serve getsockname");
+  }
+  server->port_ = ntohs(addr.sin_port);
+  if (pipe(server->stop_pipe_) < 0) return Errno("serve pipe");
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+ServeServer::ServeServer(ServeEngine* engine, RatingIngest* ingest)
+    : engine_(engine), ingest_(ingest) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+void ServeServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 1;
+    ssize_t ignored = write(stop_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // joins every in-flight handler
+  if (listen_fd_ >= 0) close(listen_fd_);
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  listen_fd_ = -1;
+}
+
+void ServeServer::AcceptLoop() {
+  for (;;) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {stop_pipe_[0], POLLIN, 0}};
+    const int pr = poll(pfds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pfds[1].revents != 0) return;  // Stop() woke us
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    engine_->observability().connections.Inc();
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void ServeServer::HandleConnection(int fd) {
+  // Bound the whole exchange per read: an idle client releases its handler
+  // thread back to the pool after 5s instead of pinning it forever.
+  struct timeval tv = {5, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string pending;
+  char buf[1024];
+  for (;;) {
+    // Serve every complete line already buffered.
+    size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      SendAll(fd, HandleCommand(line) + "\n");
+    }
+    if (pending.size() > 16 * 1024) break;  // unframed garbage; hang up
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF, timeout, or reset
+    pending.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+}
+
+std::string ServeServer::HandleCommand(const std::string& line) {
+  const auto& obs = engine_->observability();
+  const std::vector<std::string_view> fields = SplitFields(line);
+  if (fields.empty()) {
+    obs.protocol_errors.Inc();
+    return "err empty command";
+  }
+  const std::string_view verb = fields[0];
+
+  if (verb == "ping") return "ok pong";
+
+  if (verb == "stats") {
+    std::ostringstream out;
+    out << "ok applied " << ingest_->applied() << " submitted "
+        << ingest_->submitted() << " depth " << ingest_->QueueDepth();
+    return out.str();
+  }
+
+  if (verb == "topn") {
+    if (fields.size() != 3) {
+      obs.protocol_errors.Inc();
+      return "err usage: topn <user> <n>";
+    }
+    const auto user = ParseInt64(fields[1]);
+    const auto n = ParseInt64(fields[2]);
+    if (!user.ok() || !n.ok()) {
+      obs.protocol_errors.Inc();
+      return "err topn: malformed number";
+    }
+    if (user.value() < 0 || user.value() >= engine_->users() ||
+        n.value() <= 0 || n.value() > engine_->items()) {
+      obs.protocol_errors.Inc();
+      return "err topn: out of range";
+    }
+    auto result = engine_->TopN(static_cast<int32_t>(user.value()),
+                                static_cast<int>(n.value()));
+    if (!result.ok()) {
+      obs.protocol_errors.Inc();
+      return "err topn: " + result.status().message();
+    }
+    std::ostringstream out;
+    out << "ok " << user.value() << " " << result.value().items.size();
+    for (const ScoredItem& s : result.value().items) {
+      out << " " << s.item << ":" << FormatScore(s.score);
+    }
+    return out.str();
+  }
+
+  if (verb == "rate") {
+    if (fields.size() != 4) {
+      obs.protocol_errors.Inc();
+      return "err usage: rate <user> <item> <value>";
+    }
+    const auto user = ParseInt64(fields[1]);
+    const auto item = ParseInt64(fields[2]);
+    const auto value = ParseDouble(fields[3]);
+    if (!user.ok() || !item.ok() || !value.ok()) {
+      obs.protocol_errors.Inc();
+      return "err rate: malformed number";
+    }
+    const Status s = ingest_->Submit(static_cast<int32_t>(user.value()),
+                                     static_cast<int32_t>(item.value()),
+                                     value.value());
+    if (!s.ok()) {
+      obs.protocol_errors.Inc();
+      return "err rate: " + s.message();
+    }
+    return "ok queued " + std::to_string(ingest_->submitted());
+  }
+
+  obs.protocol_errors.Inc();
+  return "err unknown command '" + std::string(verb) + "'";
+}
+
+}  // namespace nomad::serve

@@ -1,0 +1,90 @@
+#ifndef NOMAD_SERVE_SERVER_H_
+#define NOMAD_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace nomad::serve {
+
+/// Tuning knobs for a ServeServer.
+struct ServerOptions {
+  /// TCP port to bind (0 = kernel-assigned ephemeral, reported by port()).
+  int port = 0;
+  /// Request-handler threads (thread-per-core request loop on the shared
+  /// ThreadPool); <= 0 means hardware_concurrency.
+  int threads = 0;
+};
+
+/// Line-protocol TCP front-end over a ServeEngine + RatingIngest —
+/// deliberately in the same tiny-blocking-server family as
+/// obs::MetricsServer, but with a ThreadPool of request handlers so
+/// queries ride a thread-per-core loop instead of a single accept thread.
+///
+/// Protocol (one command per line, '\n'-terminated; responses are a single
+/// line unless noted):
+///
+///   ping
+///     -> `ok pong`
+///   topn <user> <n>
+///     -> `ok <user> <count> <item>:<score> <item>:<score> ...`
+///        ranked best-first; count = min(n, items)
+///   rate <user> <item> <value>
+///     -> `ok queued <submitted-count>`  (applied asynchronously by ingest)
+///   stats
+///     -> `ok applied <n> submitted <n> depth <n>`
+///
+/// Any malformed or unknown command answers `err <reason>` and counts into
+/// nomad_serve_protocol_errors_total. A connection serves any number of
+/// commands and closes on EOF, error, or a 5s idle timeout. All writes use
+/// send(MSG_NOSIGNAL): a client hanging up mid-response must never signal
+/// the serving process.
+class ServeServer {
+ public:
+  /// Binds the port and starts the accept thread + handler pool. `engine`
+  /// and `ingest` are not owned and must outlive the server. Fails with
+  /// IOError when the port cannot be bound.
+  static Result<std::unique_ptr<ServeServer>> Start(
+      ServeEngine* engine, RatingIngest* ingest,
+      const ServerOptions& options);
+
+  /// Stops accepting, drains in-flight handlers, closes the socket.
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// The bound port (the kernel-assigned one when options.port was 0).
+  int port() const { return port_; }
+
+  /// Stops serving (idempotent).
+  void Stop();
+
+  /// Executes one protocol line against the engine/ingest and returns the
+  /// response line (without trailing '\n'). Exposed for tests and for the
+  /// in-process CLI path.
+  std::string HandleCommand(const std::string& line);
+
+ private:
+  ServeServer(ServeEngine* engine, RatingIngest* ingest);
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ServeEngine* engine_;
+  RatingIngest* ingest_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace nomad::serve
+
+#endif  // NOMAD_SERVE_SERVER_H_

@@ -1,7 +1,9 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace nomad {
@@ -40,20 +42,41 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   const auto r = ParseInt64(it->second);
-  return r.ok() ? r.value() : def;
+  NOMAD_CHECK(r.ok()) << "flag --" << name << ": invalid integer '"
+                      << it->second << "'";
+  return r.value();
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   const auto r = ParseDouble(it->second);
-  return r.ok() ? r.value() : def;
+  NOMAD_CHECK(r.ok()) << "flag --" << name << ": invalid number '"
+                      << it->second << "'";
+  return r.value();
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  NOMAD_CHECK(false) << "flag --" << name << ": invalid boolean '" << v
+                     << "' (use true/false, 1/0, yes/no, on/off)";
+  return def;  // unreachable
+}
+
+Status Flags::ExpectKnown(const std::vector<std::string>& known) const {
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown flag(s): " + unknown);
 }
 
 }  // namespace nomad

@@ -9,8 +9,13 @@
 
 namespace nomad {
 
-/// Minimal command-line flag parser for the bench/example binaries.
+/// Minimal command-line flag parser for the CLI and bench binaries.
 /// Accepts `--name=value` and `--name value`; bare `--name` sets "true".
+///
+/// A present-but-malformed value is an operator error, not a preference:
+/// the typed getters fatally abort with a diagnostic instead of silently
+/// returning the default (`--epochs=garbage` used to train with defaults
+/// and no message). Typos in flag *names* are caught by ExpectKnown().
 ///
 /// Usage:
 ///   Flags flags;
@@ -25,9 +30,20 @@ class Flags {
   bool Has(const std::string& name) const;
   std::string GetString(const std::string& name,
                         const std::string& def = "") const;
+  /// Returns the parsed value, or `def` when the flag is absent. A value
+  /// that fails to parse as a base-10 integer aborts with a diagnostic.
   int64_t GetInt(const std::string& name, int64_t def) const;
+  /// Double analogue of GetInt; malformed values abort.
   double GetDouble(const std::string& name, double def) const;
+  /// Accepts true/1/yes/on and false/0/no/off (bare `--name` parses as
+  /// "true"); any other value aborts.
   bool GetBool(const std::string& name, bool def) const;
+
+  /// Rejects unknown `--` flags: returns InvalidArgument naming every
+  /// parsed flag not in `known` (typos like `--metrics-prot` used to be
+  /// silently ignored). Positional arguments are not affected. CLIs call
+  /// this right after Parse with their per-command flag list.
+  Status ExpectKnown(const std::vector<std::string>& known) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

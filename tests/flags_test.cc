@@ -57,9 +57,53 @@ TEST(FlagsTest, BoolSpellings) {
   EXPECT_FALSE(f.GetBool("d", true));
 }
 
-TEST(FlagsTest, MalformedNumberFallsBackToDefault) {
+// A present-but-malformed value must be a hard error, never a silent
+// fallback: `--epochs=garbage` used to train with the default and no
+// diagnostic.
+TEST(FlagsDeathTest, MalformedIntAborts) {
   Flags f = ParseArgs({"--cores=abc"});
-  EXPECT_EQ(f.GetInt("cores", 3), 3);
+  EXPECT_DEATH(f.GetInt("cores", 3), "invalid integer 'abc'");
+}
+
+TEST(FlagsDeathTest, MalformedDoubleAborts) {
+  Flags f = ParseArgs({"--alpha=0.1x"});
+  EXPECT_DEATH(f.GetDouble("alpha", 0.05), "invalid number '0.1x'");
+}
+
+TEST(FlagsDeathTest, TrailingGarbageIntAborts) {
+  Flags f = ParseArgs({"--epochs=10q"});
+  EXPECT_DEATH(f.GetInt("epochs", 1), "invalid integer '10q'");
+}
+
+TEST(FlagsDeathTest, MalformedBoolAborts) {
+  Flags f = ParseArgs({"--bold-driver=tru"});
+  EXPECT_DEATH(f.GetBool("bold-driver", false), "invalid boolean 'tru'");
+}
+
+TEST(FlagsTest, ExtendedBoolSpellings) {
+  Flags f = ParseArgs({"--a=on", "--b=off", "--c=no", "--d=0"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_FALSE(f.GetBool("c", true));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, ExpectKnownAcceptsKnownFlags) {
+  Flags f = ParseArgs({"--epochs=3", "--rank", "16", "positional.txt"});
+  EXPECT_TRUE(f.ExpectKnown({"epochs", "rank", "seed"}).ok());
+}
+
+TEST(FlagsTest, ExpectKnownRejectsTypos) {
+  Flags f = ParseArgs({"--metrics-prot=9090", "--epochs=3"});
+  const Status s = f.ExpectKnown({"metrics-port", "epochs"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("--metrics-prot"), std::string::npos);
+  EXPECT_EQ(s.message().find("--epochs"), std::string::npos);
+}
+
+TEST(FlagsTest, ExpectKnownIgnoresPositional) {
+  Flags f = ParseArgs({"input.txt", "output.txt"});
+  EXPECT_TRUE(f.ExpectKnown({}).ok());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -204,6 +205,45 @@ TEST(MetricsServerTest, ServesScrapeOnEphemeralPort) {
   EXPECT_NE(HttpGet(server.value()->port()).find("smoke_total 43"),
             std::string::npos);
   server.value()->Stop();  // idempotent with the destructor's Stop
+}
+
+// Regression: WriteAll used raw write(), so a scraper that hung up
+// mid-request killed the whole process with SIGPIPE. The lethal sequence
+// is deterministic: the client sends a request WITHOUT the terminating
+// blank line and resets the connection (SO_LINGER zero-timeout close()
+// sends RST instead of FIN). The server's header loop reads the partial
+// request, finds no terminator, reads again — and that second read
+// consumes the pending ECONNRESET. The very next write() on the socket
+// then fails with EPIPE, which raises SIGPIPE; with raw write() the
+// default disposition terminates the process. send(MSG_NOSIGNAL) turns
+// the same EPIPE into a plain error return.
+TEST(MetricsServerTest, ClientHangupMidResponseDoesNotKillProcess) {
+  MetricsRegistry reg;
+  reg.GetCounter("smoke_total").Inc(7);
+  auto server = obs::MetricsServer::Start(0, &reg);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  // Half a request: no "\r\n\r\n", so the server keeps reading for more.
+  const char request[] = "GET /metrics HTTP/1.0\r\n";
+  ASSERT_GT(send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL), 0);
+  struct linger lg = {1, 0};
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  close(fd);  // RST; the server's read loop will consume the reset
+
+  // The process must survive the EPIPE write and still serve scrapes.
+  const std::string response = HttpGet(port);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("smoke_total 7"), std::string::npos);
 }
 
 // The rewiring claim of the tentpole: TrainResult::worker_batch is a view

@@ -1,0 +1,199 @@
+#include "serve/engine.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_ops.h"
+#include "obs/metrics.h"
+#include "solver/model.h"
+
+namespace nomad {
+namespace serve {
+namespace {
+
+Model RandomModel(int64_t users, int64_t items, int k, uint64_t seed) {
+  Model m;
+  m.w = FactorMatrix(users, k);
+  m.h = FactorMatrix(items, k);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int64_t i = 0; i < users; ++i) {
+    double* row = m.w.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    double* row = m.h.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  return m;
+}
+
+std::unique_ptr<ServeEngine> MakeEngine(Model model,
+                                        ServeOptions options = {}) {
+  auto engine = ServeEngine::Create(std::move(model), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+TEST(ServeEngineTest, RejectsEmptyModelAndRankMismatch) {
+  EXPECT_FALSE(ServeEngine::Create(Model{}, {}).ok());
+  Model m = RandomModel(4, 4, 8, 1);
+  m.h = FactorMatrix(4, 4);
+  EXPECT_FALSE(ServeEngine::Create(std::move(m), {}).ok());
+}
+
+TEST(ServeEngineTest, ValidatesQueryArguments) {
+  auto engine = MakeEngine(RandomModel(10, 20, 8, 2));
+  EXPECT_FALSE(engine->TopN(-1, 5).ok());
+  EXPECT_FALSE(engine->TopN(10, 5).ok());
+  EXPECT_FALSE(engine->TopN(0, 0).ok());
+  EXPECT_TRUE(engine->TopN(9, 5).ok());
+}
+
+// Acceptance criterion: on quiesced factors, the served top-N must match
+// the offline model.cc TopN — same items, same order, and scores equal to
+// the full-precision double dot products exactly.
+TEST(ServeEngineTest, ParityWithOfflineTopNOnQuiescedFactors) {
+  const int64_t users = 50, items = 400;
+  const int k = 24;
+  Model model = RandomModel(users, items, k, 3);
+  Model offline;
+  offline.w = model.w;
+  offline.h = model.h;
+  auto engine = MakeEngine(std::move(model));
+  for (int32_t u = 0; u < users; u += 7) {
+    const std::vector<ScoredItem> expected = TopN(offline, u, 10);
+    auto served = engine->TopN(u, 10);
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(served.value().items.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(served.value().items[i].item, expected[i].item)
+          << "user " << u << " position " << i;
+      // Same kernel, same snapshot — bit-for-bit equality, not tolerance.
+      EXPECT_EQ(served.value().items[i].score, expected[i].score)
+          << "user " << u << " position " << i;
+    }
+  }
+}
+
+TEST(ServeEngineTest, ExcludeListFiltersItems) {
+  auto engine = MakeEngine(RandomModel(10, 50, 8, 4));
+  auto full = engine->TopN(3, 5);
+  ASSERT_TRUE(full.ok());
+  const int32_t best = full.value().items[0].item;
+  auto filtered = engine->TopN(3, 5, {best});
+  ASSERT_TRUE(filtered.ok());
+  for (const ScoredItem& s : filtered.value().items) {
+    EXPECT_NE(s.item, best);
+  }
+  // The runner-up moves to the front.
+  EXPECT_EQ(filtered.value().items[0].item, full.value().items[1].item);
+}
+
+TEST(ServeEngineTest, CacheHitsAndVersionedInvalidation) {
+  obs::MetricsRegistry reg;
+  ServeOptions options;
+  options.metrics = &reg;
+  auto engine = MakeEngine(RandomModel(10, 50, 8, 5), options);
+
+  auto first = engine->TopN(2, 5);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().cache_hit);
+  auto second = engine->TopN(2, 5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().cache_hit);
+  EXPECT_EQ(second.value().items, first.value().items);
+  // A smaller n is a prefix of the cached answer.
+  auto prefix = engine->TopN(2, 3);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix.value().cache_hit);
+  ASSERT_EQ(prefix.value().items.size(), 3u);
+  EXPECT_EQ(prefix.value().items[0], first.value().items[0]);
+
+  // An applied rating for the user bumps their version and invalidates.
+  ASSERT_TRUE(engine->ApplyRating(2, 7, 5.0, 0).ok());
+  auto after = engine->TopN(2, 5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().cache_hit);
+  EXPECT_EQ(after.value().user_version, 1u);
+}
+
+TEST(ServeEngineTest, CacheStalenessBoundEvictsOnForeignChurn) {
+  ServeOptions options;
+  options.cache_staleness_limit = 0;  // any applied rating anywhere evicts
+  auto engine = MakeEngine(RandomModel(10, 50, 8, 6), options);
+  ASSERT_TRUE(engine->TopN(1, 5).ok());
+  EXPECT_TRUE(engine->TopN(1, 5).value().cache_hit);
+  // Another user's rating does not touch user 1's row, but the staleness
+  // bound of 0 still forces a rescore (item rows may have moved).
+  ASSERT_TRUE(engine->ApplyRating(9, 3, 4.0, 0).ok());
+  EXPECT_FALSE(engine->TopN(1, 5).value().cache_hit);
+}
+
+TEST(ServeEngineTest, ApplyRatingMovesPredictionTowardRating) {
+  auto engine = MakeEngine(RandomModel(10, 50, 8, 7));
+  const Model before = engine->QuiescedModel();
+  const double pred0 = before.Predict(4, 11);
+  const double target = pred0 + 2.0;  // push the pair upward
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine->ApplyRating(4, 11, target, 0).ok());
+  }
+  const Model after = engine->QuiescedModel();
+  EXPECT_LT(std::abs(after.Predict(4, 11) - target),
+            std::abs(pred0 - target));
+  EXPECT_EQ(engine->applied_seq(), 10u);
+  EXPECT_EQ(engine->user_version(4), 10u);
+  EXPECT_EQ(engine->user_version(5), 0u);
+}
+
+TEST(ServeEngineTest, ApplyRatingValidatesIds) {
+  auto engine = MakeEngine(RandomModel(10, 50, 8, 8));
+  EXPECT_FALSE(engine->ApplyRating(-1, 0, 1.0, 0).ok());
+  EXPECT_FALSE(engine->ApplyRating(0, 50, 1.0, 0).ok());
+}
+
+TEST(ServeEngineTest, FreshRatingIsReflectedInNextQuery) {
+  ServeOptions options;
+  options.update.step = 0.2;
+  options.update.passes = 16;
+  auto engine = MakeEngine(RandomModel(20, 100, 8, 9), options);
+  auto before = engine->TopN(5, 1);
+  ASSERT_TRUE(before.ok());
+  // Rate a previously-unremarkable item very highly, repeatedly: the pair
+  // update pulls ⟨w_5, h_j⟩ toward the rating, and the very next query
+  // must see the moved factors (freshness contract of ApplyRating).
+  const int32_t j = before.value().items[0].item == 42 ? 43 : 42;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine->ApplyRating(5, j, 5.0, 0).ok());
+  }
+  auto after = engine->TopN(5, 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().cache_hit);
+  EXPECT_EQ(after.value().items[0].item, j);
+}
+
+TEST(ServeEngineTest, ServeMetricsAreExported) {
+  obs::MetricsRegistry reg;
+  ServeOptions options;
+  options.metrics = &reg;
+  auto engine = MakeEngine(RandomModel(10, 50, 8, 10), options);
+  ASSERT_TRUE(engine->TopN(0, 5).ok());
+  ASSERT_TRUE(engine->TopN(0, 5).ok());
+  ASSERT_TRUE(engine->ApplyRating(0, 1, 3.0, 0).ok());
+  const std::string text = reg.RenderText();
+  EXPECT_NE(text.find("nomad_serve_queries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("nomad_serve_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("nomad_serve_cache_misses_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("nomad_serve_ratings_applied_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("nomad_serve_query_latency_seconds_count 2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nomad

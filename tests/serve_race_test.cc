@@ -1,0 +1,185 @@
+// Reader/writer race suite for the serving plane — the suite CI runs under
+// ThreadSanitizer (and ASan). Three layers:
+//
+//   1. The seqlock primitive itself: writers publish rows whose elements
+//      are all equal; validated reader snapshots must be uniform (a mixed
+//      snapshot is a torn read the seqlock failed to catch).
+//   2. The engine: lock-free TopN readers racing ownership-CAS ApplyRating
+//      writers on overlapping rows; every result must be well-formed.
+//   3. The freshness contract under concurrency: a rating submitted through
+//      RatingIngest must be reflected within a bounded staleness window
+//      even while background writers churn.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "serve/row_sync.h"
+#include "solver/model.h"
+
+namespace nomad {
+namespace serve {
+namespace {
+
+Model RandomModel(int64_t users, int64_t items, int k, uint64_t seed) {
+  Model m;
+  m.w = FactorMatrix(users, k);
+  m.h = FactorMatrix(items, k);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int64_t i = 0; i < users; ++i) {
+    double* row = m.w.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    double* row = m.h.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  return m;
+}
+
+// Layer 1: pattern-uniformity. Each writer pass fills the row with one
+// value; any validated snapshot mixing two values is a torn read.
+TEST(RowSyncTest, ValidatedSnapshotsAreNeverTorn) {
+  constexpr int kK = 31;  // odd on purpose: no lucky cache-line alignment
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  alignas(64) double row[kK];
+  for (double& v : row) v = 0.0;
+  std::atomic<uint32_t> ver{0};
+  std::mutex writer_mu;  // seqlock orders writers vs readers, not writers
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      double value = w + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(writer_mu);
+        SeqlockWriteBegin(&ver);
+        for (int i = 0; i < kK; ++i) StoreShared(&row[i], value);
+        SeqlockWriteEnd(&ver);
+        value += kWriters;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      double snap[kK];
+      while (!stop.load(std::memory_order_relaxed)) {
+        SnapshotRow(ver, row, kK, snap);
+        for (int i = 1; i < kK; ++i) {
+          if (snap[i] != snap[0]) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+// Layer 2: readers racing ownership-CAS incremental updates on the same
+// rows. Results must always be well-formed (right count, sorted, finite
+// scores) — and under TSan the whole interleaving must be clean.
+TEST(ServeRaceTest, ReadersRaceAppliersOnSharedRows) {
+  const int64_t users = 8, items = 64;  // small: maximal row contention
+  const int k = 16;
+  ServeOptions options;
+  options.cache_staleness_limit = 4;
+  auto engine =
+      ServeEngine::Create(RandomModel(users, items, k, 11), options);
+  ASSERT_TRUE(engine.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> queries{0};
+  std::vector<std::thread> threads;
+  constexpr int kAppliers = 2;
+  for (int a = 0; a < kAppliers; ++a) {
+    threads.emplace_back([&, a] {
+      std::mt19937_64 rng(100 + a);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int32_t u = static_cast<int32_t>(rng() % users);
+        const int32_t j = static_cast<int32_t>(rng() % items);
+        ASSERT_TRUE(engine.value()
+                        ->ApplyRating(u, j, 1.0 + (rng() % 5), a)
+                        .ok());
+      }
+    });
+  }
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      std::mt19937_64 rng(200 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int32_t u = static_cast<int32_t>(rng() % users);
+        auto result = engine.value()->TopN(u, 5);
+        ASSERT_TRUE(result.ok());
+        const auto& ranked = result.value().items;
+        ASSERT_EQ(ranked.size(), 5u);
+        for (size_t i = 0; i < ranked.size(); ++i) {
+          ASSERT_TRUE(std::isfinite(ranked[i].score));
+          if (i > 0) {
+            ASSERT_GE(ranked[i - 1].score, ranked[i].score);
+          }
+        }
+        queries.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(queries.load(), 0);
+}
+
+// Layer 3: bounded staleness through the full ingest path. A probe user's
+// rating must be applied and visible well within the deadline even while
+// background traffic churns other rows.
+TEST(ServeRaceTest, FreshRatingReflectedWithinBoundedStaleness) {
+  const int64_t users = 32, items = 128;
+  auto engine = ServeEngine::Create(RandomModel(users, items, 8, 12), {});
+  ASSERT_TRUE(engine.ok());
+  RatingIngest ingest(engine.value().get(), 2);
+
+  std::atomic<bool> stop{false};
+  std::thread background([&] {
+    std::mt19937_64 rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Background churn over every user but the probe (user 0).
+      const int32_t u = 1 + static_cast<int32_t>(rng() % (users - 1));
+      const int32_t j = static_cast<int32_t>(rng() % items);
+      (void)ingest.Submit(u, j, 3.0);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t v0 = engine.value()->user_version(0);
+    ASSERT_TRUE(ingest.Submit(0, trial % items, 4.5).ok());
+    // 5s is an eternity next to the observed microsecond-scale apply; a
+    // miss means the freshness contract broke, not that CI was slow.
+    ASSERT_TRUE(ingest.WaitUntilApplied(0, v0, 5.0)) << "trial " << trial;
+    auto result = engine.value()->TopN(0, 5);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().user_version, v0 + 1);
+  }
+  stop.store(true);
+  background.join();
+  ingest.Drain();
+  ingest.Stop();
+  EXPECT_EQ(ingest.applied(), ingest.submitted());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nomad

@@ -1,0 +1,190 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "solver/model.h"
+#include "util/string_util.h"
+
+namespace nomad {
+namespace serve {
+namespace {
+
+Model RandomModel(int64_t users, int64_t items, int k, uint64_t seed) {
+  Model m;
+  m.w = FactorMatrix(users, k);
+  m.h = FactorMatrix(items, k);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int64_t i = 0; i < users; ++i) {
+    double* row = m.w.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    double* row = m.h.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = dist(rng);
+  }
+  return m;
+}
+
+// A served stack (engine + ingest + socket server) on an ephemeral port.
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = ServeEngine::Create(RandomModel(20, 50, 8, 21), {});
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+    ingest_ = std::make_unique<RatingIngest>(engine_.get(), 1);
+    ServerOptions options;
+    options.threads = 2;
+    auto server = ServeServer::Start(engine_.get(), ingest_.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  int Connect() {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  // Sends one line and reads one '\n'-terminated response on `fd`.
+  std::string RoundTrip(int fd, const std::string& line) {
+    const std::string request = line + "\n";
+    EXPECT_GT(send(fd, request.data(), request.size(), MSG_NOSIGNAL), 0);
+    std::string response;
+    char buf[4096];
+    while (response.find('\n') == std::string::npos) {
+      const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<size_t>(n));
+    }
+    const size_t nl = response.find('\n');
+    if (nl != std::string::npos) response.resize(nl);
+    return response;
+  }
+
+  std::unique_ptr<ServeEngine> engine_;
+  std::unique_ptr<RatingIngest> ingest_;
+  std::unique_ptr<ServeServer> server_;
+};
+
+TEST_F(ServeServerTest, PingPong) {
+  const int fd = Connect();
+  EXPECT_EQ(RoundTrip(fd, "ping"), "ok pong");
+  close(fd);
+}
+
+TEST_F(ServeServerTest, TopNReturnsRankedItems) {
+  const int fd = Connect();
+  const std::string response = RoundTrip(fd, "topn 3 5");
+  close(fd);
+  const auto fields = SplitFields(response);
+  ASSERT_GE(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "ok");
+  EXPECT_EQ(fields[1], "3");
+  EXPECT_EQ(fields[2], "5");
+  ASSERT_EQ(fields.size(), 3u + 5u);
+  double prev = 1e300;
+  for (size_t i = 3; i < fields.size(); ++i) {
+    const std::string entry(fields[i]);
+    const size_t colon = entry.find(':');
+    ASSERT_NE(colon, std::string::npos) << entry;
+    const double score = std::stod(entry.substr(colon + 1));
+    EXPECT_LE(score, prev);
+    prev = score;
+  }
+}
+
+TEST_F(ServeServerTest, MultipleCommandsPerConnection) {
+  const int fd = Connect();
+  EXPECT_EQ(RoundTrip(fd, "ping"), "ok pong");
+  EXPECT_EQ(RoundTrip(fd, "topn 0 3").rfind("ok 0 3", 0), 0u);
+  EXPECT_EQ(RoundTrip(fd, "ping"), "ok pong");
+  close(fd);
+}
+
+TEST_F(ServeServerTest, RateQueuesAndApplies) {
+  const uint64_t v0 = engine_->user_version(7);
+  const int fd = Connect();
+  const std::string response = RoundTrip(fd, "rate 7 11 4.5");
+  close(fd);
+  EXPECT_EQ(response.rfind("ok queued", 0), 0u);
+  EXPECT_TRUE(ingest_->WaitUntilApplied(7, v0, 5.0));
+  EXPECT_GE(engine_->applied_seq(), 1u);
+}
+
+TEST_F(ServeServerTest, QueryMidIngestReturnsRankedResponse) {
+  // Stream ratings and interleave queries on the same connection — the
+  // serve-smoke scenario, in-process.
+  const int fd = Connect();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(RoundTrip(fd, "rate " + std::to_string(i % 20) + " " +
+                                std::to_string(i % 50) + " 4.0")
+                  .rfind("ok queued", 0),
+              0u);
+    const std::string response =
+        RoundTrip(fd, "topn " + std::to_string(i % 20) + " 3");
+    EXPECT_EQ(response.rfind("ok ", 0), 0u) << response;
+  }
+  close(fd);
+  ingest_->Drain();
+  EXPECT_EQ(ingest_->applied(), 20u);
+}
+
+TEST_F(ServeServerTest, MalformedCommandsAnswerErr) {
+  const int fd = Connect();
+  EXPECT_EQ(RoundTrip(fd, "topn"), "err usage: topn <user> <n>");
+  EXPECT_EQ(RoundTrip(fd, "topn x 5"), "err topn: malformed number");
+  EXPECT_EQ(RoundTrip(fd, "topn 99 5"), "err topn: out of range");
+  EXPECT_EQ(RoundTrip(fd, "rate 1 2"), "err usage: rate <user> <item> <value>");
+  EXPECT_EQ(RoundTrip(fd, "rate 1 2 abc"), "err rate: malformed number");
+  EXPECT_EQ(RoundTrip(fd, "bogus"), "err unknown command 'bogus'");
+  close(fd);
+}
+
+TEST_F(ServeServerTest, ClientHangupMidStreamDoesNotKillServer) {
+  // Abruptly reset a connection right after sending a query; the server
+  // must shrug (MSG_NOSIGNAL) and keep serving others.
+  const int fd = Connect();
+  const char request[] = "topn 0 10\n";
+  EXPECT_GT(send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL), 0);
+  struct linger lg = {1, 0};
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  close(fd);  // RST, likely while the response is in flight
+
+  const int fd2 = Connect();
+  EXPECT_EQ(RoundTrip(fd2, "ping"), "ok pong");
+  close(fd2);
+}
+
+TEST_F(ServeServerTest, StatsReportsIngestState) {
+  const int fd = Connect();
+  EXPECT_EQ(RoundTrip(fd, "rate 0 0 3.0").rfind("ok queued", 0), 0u);
+  ingest_->Drain();
+  const std::string response = RoundTrip(fd, "stats");
+  close(fd);
+  EXPECT_EQ(response.rfind("ok applied 1 submitted 1", 0), 0u) << response;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nomad

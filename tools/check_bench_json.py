@@ -8,6 +8,7 @@ Usage:
   tools/check_bench_json.py dist BENCH_dist.json
   tools/check_bench_json.py faults BENCH_faults.json
   tools/check_bench_json.py obs BENCH_obs.json
+  tools/check_bench_json.py serve BENCH_serve.json
 
 Exits non-zero (listing the problems) when a required field is missing or
 has the wrong shape. Values are not range-checked — CI runners are noisy;
@@ -334,6 +335,66 @@ def check_obs(doc):
     return problems
 
 
+def check_serve(doc):
+    problems = []
+    for field in ("users", "items", "rank", "n", "readers", "appliers"):
+        require(problems, doc, field, (int,), "root")
+    require(problems, doc, "seconds_per_case", (int, float), "root")
+    require(problems, doc, "hardware_threads", (int,), "root")
+    arms = require(problems, doc, "arms", (list,), "root")
+    modes = {}
+    for i, arm in enumerate(arms or []):
+        ctx = f"arms[{i}]"
+        mode = require(problems, arm, "ingest", (str,), ctx)
+        modes[mode] = arm
+        for field in ("queries_per_sec", "applied_per_sec", "cache_hit_fraction"):
+            require(problems, arm, field, (int, float), ctx)
+        for field in ("queries", "applied"):
+            require(problems, arm, field, (int,), ctx)
+    for required in ("off", "concurrent"):
+        if arms is not None and required not in modes:
+            problems.append(f"arms: missing ingest mode '{required}'")
+    # Semantic guarantees, not perf numbers: both arms must actually have
+    # served queries, and the concurrent arm must actually have trained
+    # while serving — otherwise the bench measured an idle engine.
+    for mode, arm in modes.items():
+        qps = arm.get("queries_per_sec")
+        if isinstance(qps, (int, float)) and qps <= 0:
+            problems.append(f"arms[{mode}]: queries_per_sec must be > 0")
+    concurrent = modes.get("concurrent")
+    if concurrent is not None:
+        applied = concurrent.get("applied")
+        if isinstance(applied, int) and applied <= 0:
+            problems.append("arms[concurrent]: no ratings applied mid-serve")
+    staleness = require(problems, doc, "staleness", (dict,), "root")
+    if staleness is not None:
+        require(problems, staleness, "trials", (int,), "staleness")
+        p50 = require(problems, staleness, "p50_seconds", (int, float), "staleness")
+        p99 = require(problems, staleness, "p99_seconds", (int, float), "staleness")
+        mx = require(problems, staleness, "max_seconds", (int, float), "staleness")
+        if all(isinstance(v, (int, float)) for v in (p50, p99, mx)):
+            if not (0 <= p50 <= p99 <= mx):
+                problems.append("staleness: expected 0 <= p50 <= p99 <= max")
+    parity = require(problems, doc, "parity", (dict,), "root")
+    if parity is not None:
+        checked = require(problems, parity, "users_checked", (int,), "parity")
+        diff = require(
+            problems, parity, "max_abs_score_diff", (int, float), "parity"
+        )
+        if isinstance(checked, int) and checked <= 0:
+            problems.append("parity: users_checked must be > 0")
+        # The serving scan and the offline evaluator share the double dot
+        # kernel and snapshot the same quiesced factors, so parity is
+        # bit-exact by construction; any drift means the scan kernel or
+        # the candidate re-validation diverged from the model definition.
+        if isinstance(diff, (int, float)) and diff > 1e-9:
+            problems.append(
+                f"parity: max_abs_score_diff {diff:.3e} breaks the "
+                f"bit-exact served-vs-offline contract (bar: <= 1e-9)"
+            )
+    return problems
+
+
 CHECKERS = {
     "kernels": check_kernels,
     "numa": check_numa,
@@ -341,6 +402,7 @@ CHECKERS = {
     "dist": check_dist,
     "faults": check_faults,
     "obs": check_obs,
+    "serve": check_serve,
 }
 
 

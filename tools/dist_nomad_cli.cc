@@ -297,9 +297,24 @@ int Usage() {
   return 1;
 }
 
+// The union of every flag this CLI accepts; ExpectKnown turns the
+// silent-typo failure mode (`--metrics-prot`) into a startup error.
+const std::vector<std::string> kKnownFlags = {
+    // dataset flags (bench::LoadDatasetFromFlags contract)
+    "input", "preset", "scale", "one-based", "test-fraction", "seed",
+    // training
+    "k", "rank", "lambda", "alpha", "beta", "loss", "workers",
+    "token-batch", "max-token-batch", "epochs", "max-seconds", "precision",
+    "numa", "model", "metrics-port",
+    // distributed topology + fault tolerance
+    "world", "peers", "remote-fraction", "wire-codec", "connect-timeout",
+    "heartbeat-interval", "heartbeat-timeout", "fault-plan"};
+
 int Run(int argc, char** argv) {
   Flags flags;
   NOMAD_CHECK(flags.Parse(argc, argv).ok());  // Parse skips argv[0] itself
+  const Status known = flags.ExpectKnown(kKnownFlags);
+  if (!known.ok()) return Fail(known.ToString());
   const int world = static_cast<int>(flags.GetInt("world", 0));
   if (world < 1) return Usage();
   auto ds = LoadInput(flags);

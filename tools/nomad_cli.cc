@@ -45,6 +45,20 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// The union of every flag any subcommand accepts; ExpectKnown turns the
+// silent-typo failure mode (`--metrics-prot`) into a startup error.
+const std::vector<std::string> kKnownFlags = {
+    // dataset flags (bench::LoadDatasetFromFlags contract)
+    "input", "preset", "scale", "one-based", "test-fraction", "seed",
+    // training
+    "rank", "lambda", "alpha", "beta", "loss", "workers", "token-batch",
+    "max-token-batch", "epochs", "max-seconds", "bold-driver", "precision",
+    "numa", "solver", "model", "metrics-port",
+    // topn
+    "user", "n",
+    // simulate
+    "machines", "network"};
+
 // Dataset flags are shared with dist_nomad_cli through bench_common so
 // both CLIs always produce identical train/test splits from identical
 // flags.
@@ -239,6 +253,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   Flags flags;
   NOMAD_CHECK(flags.Parse(argc - 1, argv + 1).ok());
+  const Status known = flags.ExpectKnown(kKnownFlags);
+  if (!known.ok()) return Fail(known.ToString());
   if (command == "solvers") return CmdSolvers();
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);

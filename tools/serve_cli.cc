@@ -1,0 +1,233 @@
+// serve_cli — online top-N serving front end (train-while-serve).
+//
+// Subcommands:
+//   serve   load a saved model (--model) or bootstrap-train one from a
+//           dataset preset, then serve top-N queries and streamed ratings
+//           over a line-protocol TCP socket (src/serve/server.h)
+//   query   ask a running server for a user's top-N (client mode)
+//   rate    stream one rating into a running server (client mode)
+//
+// Examples:
+//   serve_cli serve --model out.nomad --port 7070 --metrics-port 9090
+//   serve_cli serve --preset netflix --scale 0.05 --epochs 3 --port 0
+//   serve_cli query --port 7070 --user 42 --n 10
+//   serve_cli rate  --port 7070 --user 42 --item 7 --value 4.5
+//
+// `serve` prints `serving on 127.0.0.1:<port>` once ready (--port 0 binds
+// an ephemeral port). --max-seconds N exits after N seconds (CI smoke);
+// the default serves until killed. --metrics-port exports the serve-plane
+// metrics (docs/OBSERVABILITY.md).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/metrics_server.h"
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "serve/server.h"
+#include "solver/model.h"
+#include "solver/registry.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace nomad {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// The union of every flag any subcommand accepts; ExpectKnown turns the
+// silent-typo failure mode (`--metrics-prot`) into a startup error.
+const std::vector<std::string> kKnownFlags = {
+    // dataset flags (shared contract with the other CLIs via bench_common)
+    "input", "preset", "scale", "one-based", "test-fraction", "seed",
+    // bootstrap training
+    "model", "rank", "epochs", "workers", "lambda",
+    // serving
+    "port", "serve-threads", "ingest-threads", "metrics-port",
+    "max-seconds", "cache-staleness", "candidate-margin", "online-step",
+    "online-lambda", "online-passes",
+    // client mode
+    "user", "n", "item", "value"};
+
+// Loads --model if given, else bootstrap-trains on the dataset flags.
+Result<Model> ObtainModel(const Flags& flags) {
+  const std::string model_path = flags.GetString("model");
+  if (!model_path.empty()) return LoadModel(model_path);
+
+  auto ds = bench::LoadDatasetFromFlags(flags);
+  if (!ds.ok()) return ds.status();
+  auto solver = MakeSolver("nomad");
+  if (!solver.ok()) return solver.status();
+  TrainOptions o;
+  o.rank = static_cast<int>(flags.GetInt("rank", 16));
+  o.lambda = flags.GetDouble("lambda", 0.05);
+  o.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  o.max_epochs = static_cast<int>(flags.GetInt("epochs", 5));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  std::printf("bootstrap-training on %s (%lld ratings, rank %d)\n",
+              ds.value().name.c_str(),
+              static_cast<long long>(ds.value().train_nnz()), o.rank);
+  auto result = solver.value()->Train(ds.value(), o);
+  if (!result.ok()) return result.status();
+  return Model{std::move(result.value().w), std::move(result.value().h)};
+}
+
+int CmdServe(const Flags& flags) {
+  auto model = ObtainModel(flags);
+  if (!model.ok()) return Fail(model.status().ToString());
+
+  serve::ServeOptions eopt;
+  eopt.update.step = flags.GetDouble("online-step", 0.05);
+  eopt.update.lambda = flags.GetDouble("online-lambda", 0.05);
+  eopt.update.passes = static_cast<int>(flags.GetInt("online-passes", 4));
+  eopt.cache_staleness_limit = flags.GetInt("cache-staleness", 256);
+  eopt.candidate_margin =
+      static_cast<int>(flags.GetInt("candidate-margin", 8));
+  eopt.metrics = &obs::MetricsRegistry::Default();
+  auto engine = serve::ServeEngine::Create(std::move(model).value(), eopt);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+
+  serve::RatingIngest ingest(
+      engine.value().get(),
+      static_cast<int>(flags.GetInt("ingest-threads", 2)));
+
+  serve::ServerOptions sopt;
+  sopt.port = static_cast<int>(flags.GetInt("port", 0));
+  sopt.threads = static_cast<int>(flags.GetInt("serve-threads", 0));
+  auto server =
+      serve::ServeServer::Start(engine.value().get(), &ingest, sopt);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  if (flags.Has("metrics-port")) {
+    auto ms = obs::MetricsServer::Start(
+        static_cast<int>(flags.GetInt("metrics-port", 0)));
+    if (!ms.ok()) return Fail(ms.status().ToString());
+    metrics_server = std::move(ms).value();
+    std::printf("metrics on http://127.0.0.1:%d/metrics\n",
+                metrics_server->port());
+  }
+
+  std::printf("serving on 127.0.0.1:%d (%lld users, %lld items, rank %d)\n",
+              server.value()->port(),
+              static_cast<long long>(engine.value()->users()),
+              static_cast<long long>(engine.value()->items()),
+              engine.value()->rank());
+  std::fflush(stdout);
+
+  const double max_seconds = flags.GetDouble("max-seconds", -1.0);
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (max_seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= max_seconds) {
+      break;
+    }
+  }
+  server.value()->Stop();
+  ingest.Stop();
+  std::printf("applied %llu ratings\n",
+              static_cast<unsigned long long>(engine.value()->applied_seq()));
+  return 0;
+}
+
+// Connects to 127.0.0.1:port, sends `line` + '\n', prints the one-line
+// response, and returns 0 iff it starts with "ok".
+int RunClientCommand(int port, const std::string& line) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("socket: " + std::string(std::strerror(errno)));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) < 0) {
+    close(fd);
+    return Fail("connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                std::strerror(errno));
+  }
+  const std::string request = line + "\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = send(fd, request.data() + off, request.size() - off,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return Fail("send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t nl = response.find('\n');
+  if (nl != std::string::npos) response.resize(nl);
+  if (response.empty()) return Fail("no response from server");
+  std::printf("%s\n", response.c_str());
+  return response.rfind("ok", 0) == 0 ? 0 : 1;
+}
+
+int CmdQuery(const Flags& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) return Fail("query needs --port");
+  return RunClientCommand(
+      port, "topn " + std::to_string(flags.GetInt("user", 0)) + " " +
+                std::to_string(flags.GetInt("n", 10)));
+}
+
+int CmdRate(const Flags& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) return Fail("rate needs --port");
+  char value[32];
+  std::snprintf(value, sizeof(value), "%g", flags.GetDouble("value", 0.0));
+  return RunClientCommand(
+      port, "rate " + std::to_string(flags.GetInt("user", 0)) + " " +
+                std::to_string(flags.GetInt("item", 0)) + " " + value);
+}
+
+int Usage() {
+  std::printf(
+      "usage: serve_cli <serve|query|rate> [flags]\n"
+      "see the header of tools/serve_cli.cc for examples\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) {
+  using namespace nomad;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  NOMAD_CHECK(flags.Parse(argc - 1, argv + 1).ok());
+  const Status known = flags.ExpectKnown(kKnownFlags);
+  if (!known.ok()) return Fail(known.ToString());
+  if (command == "serve") return CmdServe(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "rate") return CmdRate(flags);
+  return Usage();
+}
