@@ -12,12 +12,18 @@
 //     several repeats each, interleaved so thermal/noise drift hits both
 //     arms equally. Reports end-to-end SGD updates/sec per arm (best of
 //     repeats) and the relative overhead.
+//  3. "timeline" — a third interleaved arm: metrics on PLUS a RunTimeline
+//     with its background sampler at 5 ms (an aggressive cadence; real
+//     runs sample at 100-1000 ms). Its throughput vs the off arm bounds
+//     the cost of the whole time-series capture path — snapshot, delta,
+//     ring append — reported in the "timeseries" JSON block.
 //
 // The claim under test (docs/OBSERVABILITY.md): instrumentation costs
 // <2% of hot-path throughput, because each worker's counters live on
 // cache lines no other thread touches and every increment is one relaxed
-// fetch_add. tools/check_bench_json.py (mode `obs`) checks the schema and
-// the overhead bound in CI.
+// fetch_add; the sampler adds nothing to the hot path (it snapshots with
+// relaxed reads off-thread). tools/check_bench_json.py (mode `obs`)
+// checks the schema and both overhead bounds in CI.
 //
 // Output: BENCH_obs.json (override with --out=<path>). Flags:
 // --seconds-per-case (default 0.4), --workers (default 4), --repeats
@@ -32,6 +38,7 @@
 #include "bench_common.h"
 #include "nomad/nomad_solver.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -45,10 +52,12 @@ struct MicroRow {
 };
 
 struct TrainArm {
-  std::string metrics;               // "on" or "off"
+  std::string metrics;               // "on", "off", or "timeline"
   std::vector<double> runs;          // updates/sec, one per repeat
   double updates_per_sec = 0.0;      // best of runs
   double final_rmse = 0.0;           // from the best run
+  int64_t timeline_points = 0;       // rows captured (timeline arm only)
+  int64_t sample_points = 0;         // of which sampler-driven
 };
 
 MicroRow RunMicro() {
@@ -73,8 +82,12 @@ MicroRow RunMicro() {
 
 /// One wall-clock-budgeted NomadSolver run against `registry`; returns
 /// end-to-end updates/sec (training clock, evaluation pauses excluded).
+/// With `timeline` non-null the run also captures into it with the
+/// background sampler at `sample_ms` — the timeline arm.
 double RunOnce(const Dataset& ds, obs::MetricsRegistry* registry, int p,
-               double seconds, uint64_t seed, double* rmse_out) {
+               double seconds, uint64_t seed, double* rmse_out,
+               obs::RunTimeline* timeline = nullptr, int sample_ms = 0,
+               TrainResult* result_out = nullptr) {
   NomadSolver solver;
   const bench::MiniParams mp = bench::GetMiniParams("netflix");
   TrainOptions o;
@@ -88,23 +101,33 @@ double RunOnce(const Dataset& ds, obs::MetricsRegistry* registry, int p,
   o.seed = seed;
   o.token_batch_mode = TokenBatchMode::kAuto;
   o.metrics = registry;
+  o.timeline = timeline;
+  o.metrics_sample_ms = sample_ms;
   auto result = solver.Train(ds, o);
   NOMAD_CHECK(result.ok()) << result.status().ToString();
   const TrainResult& r = result.value();
   if (rmse_out != nullptr) *rmse_out = r.trace.FinalRmse();
-  return r.total_seconds > 0
-             ? static_cast<double>(r.total_updates) / r.total_seconds
+  const double ups =
+      r.total_seconds > 0
+          ? static_cast<double>(r.total_updates) / r.total_seconds
+          : 0.0;
+  if (result_out != nullptr) *result_out = std::move(result).value();
+  return ups;
+}
+
+/// Relative throughput cost of `arm` vs the metrics-off baseline, percent.
+double OverheadPercent(const TrainArm& off, const TrainArm& arm) {
+  return off.updates_per_sec > 0
+             ? 100.0 * (off.updates_per_sec - arm.updates_per_sec) /
+                   off.updates_per_sec
              : 0.0;
 }
 
 void WriteJson(const std::string& path, int p, double scale, double seconds,
                int repeats, const MicroRow& micro, const TrainArm& on,
-               const TrainArm& off) {
-  const double overhead_percent =
-      off.updates_per_sec > 0
-          ? 100.0 * (off.updates_per_sec - on.updates_per_sec) /
-                off.updates_per_sec
-          : 0.0;
+               const TrainArm& off, const TrainArm& timeline,
+               int sample_ms) {
+  const double overhead_percent = OverheadPercent(off, on);
   FILE* f = std::fopen(path.c_str(), "w");
   NOMAD_CHECK(f != nullptr) << "cannot open " << path;
   std::fprintf(f, "{\n");
@@ -119,8 +142,8 @@ void WriteJson(const std::string& path, int p, double scale, double seconds,
   std::fprintf(f, "    \"inc_ns_null\": %.3f\n", micro.inc_ns_null);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"train\": [\n");
-  const TrainArm* arms[] = {&on, &off};
-  for (size_t a = 0; a < 2; ++a) {
+  const TrainArm* arms[] = {&on, &off, &timeline};
+  for (size_t a = 0; a < 3; ++a) {
     const TrainArm& arm = *arms[a];
     std::fprintf(f, "    {\"metrics\": \"%s\", \"updates_per_sec\": %.3e, "
                     "\"final_rmse\": %.4f, \"runs\": [",
@@ -129,7 +152,7 @@ void WriteJson(const std::string& path, int p, double scale, double seconds,
       std::fprintf(f, "%.3e%s", arm.runs[i],
                    i + 1 < arm.runs.size() ? ", " : "");
     }
-    std::fprintf(f, "]}%s\n", a == 0 ? "," : "");
+    std::fprintf(f, "]}%s\n", a + 1 < 3 ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"overhead\": {\n");
@@ -137,6 +160,18 @@ void WriteJson(const std::string& path, int p, double scale, double seconds,
   std::fprintf(f, "    \"updates_per_sec_off\": %.3e,\n",
                off.updates_per_sec);
   std::fprintf(f, "    \"overhead_percent\": %.3f,\n", overhead_percent);
+  std::fprintf(f, "    \"budget_percent\": 2.0\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"timeseries\": {\n");
+  std::fprintf(f, "    \"sample_ms\": %d,\n", sample_ms);
+  std::fprintf(f, "    \"updates_per_sec_timeline\": %.3e,\n",
+               timeline.updates_per_sec);
+  std::fprintf(f, "    \"points\": %lld,\n",
+               static_cast<long long>(timeline.timeline_points));
+  std::fprintf(f, "    \"sample_points\": %lld,\n",
+               static_cast<long long>(timeline.sample_points));
+  std::fprintf(f, "    \"overhead_percent\": %.3f,\n",
+               OverheadPercent(off, timeline));
   std::fprintf(f, "    \"budget_percent\": 2.0\n");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -158,8 +193,10 @@ int Run(int argc, char** argv) {
               micro.inc_ns_enabled, micro.inc_ns_null);
 
   const Dataset ds = bench::GetDataset("netflix", scale);
-  TrainArm on{"on", {}, 0.0, 0.0};
-  TrainArm off{"off", {}, 0.0, 0.0};
+  constexpr int kSampleMs = 5;  // aggressive; real runs use 100-1000 ms
+  TrainArm on{"on", {}, 0.0, 0.0, 0, 0};
+  TrainArm off{"off", {}, 0.0, 0.0, 0, 0};
+  TrainArm tl{"timeline", {}, 0.0, 0.0, 0, 0};
   // Fresh registries per repeat so each run registers + counts from zero,
   // exactly like a fresh process; interleaved so drift is shared.
   for (int rep = 0; rep < repeats; ++rep) {
@@ -187,16 +224,36 @@ int Run(int argc, char** argv) {
         off.final_rmse = rmse;
       }
     }
-    std::printf("repeat %d: on %.3e updates/s, off %.3e updates/s\n", rep,
-                on.runs.back(), off.runs.back());
+    {
+      obs::MetricsRegistry reg(/*enabled=*/true);
+      obs::RunTimeline timeline(&reg);
+      double rmse = 0.0;
+      TrainResult result;
+      const double ups =
+          RunOnce(ds, &reg, p, seconds, 17 + static_cast<uint64_t>(rep),
+                  &rmse, &timeline, kSampleMs, &result);
+      tl.runs.push_back(ups);
+      if (ups > tl.updates_per_sec) {
+        tl.updates_per_sec = ups;
+        tl.final_rmse = rmse;
+        tl.timeline_points = static_cast<int64_t>(result.timeline.size());
+        tl.sample_points = 0;
+        for (const obs::TimelinePoint& pt : result.timeline) {
+          if (pt.kind == obs::TimelineKind::kSample) ++tl.sample_points;
+        }
+      }
+    }
+    std::printf(
+        "repeat %d: on %.3e, off %.3e, timeline %.3e updates/s\n", rep,
+        on.runs.back(), off.runs.back(), tl.runs.back());
   }
-  std::printf("best: on %.3e, off %.3e (overhead %.2f%%)\n",
-              on.updates_per_sec, off.updates_per_sec,
-              off.updates_per_sec > 0
-                  ? 100.0 * (off.updates_per_sec - on.updates_per_sec) /
-                        off.updates_per_sec
-                  : 0.0);
-  WriteJson(out, p, scale, seconds, repeats, micro, on, off);
+  std::printf(
+      "best: on %.3e, off %.3e, timeline %.3e "
+      "(overhead on %.2f%%, timeline %.2f%%, %lld timeline rows)\n",
+      on.updates_per_sec, off.updates_per_sec, tl.updates_per_sec,
+      OverheadPercent(off, on), OverheadPercent(off, tl),
+      static_cast<long long>(tl.timeline_points));
+  WriteJson(out, p, scale, seconds, repeats, micro, on, off, tl, kSampleMs);
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }

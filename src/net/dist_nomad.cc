@@ -25,6 +25,7 @@
 #include "nomad/token_router.h"
 #include "obs/metrics.h"
 #include "obs/solver_metrics.h"
+#include "obs/timeseries.h"
 #include "queue/mpmc_queue.h"
 #include "sched/schedule.h"
 #include "solver/sgd_kernel.h"
@@ -85,6 +86,10 @@ class RankRun {
     TrainResult result;
     result.solver_name = "dist_nomad";
     result.precision = opt_.precision;
+    if (timeline_ != nullptr) {
+      timeline_->StopSampler();
+      result.timeline = timeline_->Points();
+    }
     result.trace = std::move(trace_);
     result.total_updates = global_updates_;
     result.total_seconds = global_seconds_;
@@ -268,6 +273,14 @@ class RankRun {
     router_->AttachMetrics(
         registry_->GetCounter("nomad_router_local_picks_total", rl),
         registry_->GetCounter("nomad_router_remote_picks_total", rl));
+    pump_latency_ = registry_->GetHistogram(
+        "nomad_dist_pump_round_latency_seconds", obs::kLatencyBounds, rl);
+    own_timeline_.Bind(registry_);
+    timeline_ = (rank_ == 0 && opt_.timeline != nullptr) ? opt_.timeline
+                                                         : &own_timeline_;
+    if (opt_.metrics_sample_ms > 0) {
+      timeline_->StartSampler(opt_.metrics_sample_ms);
+    }
   }
 
   // ---- the worker pool (the NomadSolver hot path + remote hand-off) ----
@@ -310,6 +323,14 @@ class RankRun {
         return queues_[static_cast<size_t>(d)]->SizeEstimate();
       };
       int idle_streak = 0;
+      // Same hot-path latency discipline as the shared-memory solver: two
+      // clock reads per round, gated on the bundle being live (it always
+      // is here — the fallback registry keeps dist accounting on — but the
+      // gate keeps the two loops textually parallel).
+      using LatencyClock = std::chrono::steady_clock;
+      const bool timed = wobs.enabled();
+      LatencyClock::time_point wait_start =
+          timed ? LatencyClock::now() : LatencyClock::time_point();
       while (!stop_.load(std::memory_order_relaxed)) {
         gate_.CheckIn();
         if (stop_.load(std::memory_order_relaxed)) break;
@@ -332,6 +353,12 @@ class RankRun {
           continue;
         }
         idle_streak = 0;
+        LatencyClock::time_point work_start;
+        if (timed) {
+          work_start = LatencyClock::now();
+          wobs.ObserveQueueWaitSeconds(
+              std::chrono::duration<double>(work_start - wait_start).count());
+        }
         {
           const size_t depth = queues_[static_cast<size_t>(q)]->SizeEstimate();
           if (auto_batch) {
@@ -449,6 +476,13 @@ class RankRun {
           }
           wobs.NotePushed(static_cast<int64_t>(local_n));
         }
+        if (timed) {
+          const LatencyClock::time_point round_end = LatencyClock::now();
+          wobs.ObserveServiceSeconds(
+              std::chrono::duration<double>(round_end - work_start).count() /
+              static_cast<double>(got));
+          wait_start = round_end;
+        }
       }
       batch_stats_[static_cast<size_t>(q)] =
           wobs.Finish(auto_batch ? &controller : nullptr, fixed_batch);
@@ -462,8 +496,21 @@ class RankRun {
 
   /// Drains every pending frame: tokens land in the local queues (or the
   /// barrier-held list), h/w rows are applied, control frames queue up for
-  /// the protocol code. Returns an error on an undecodable frame.
+  /// the protocol code. Returns an error on an undecodable frame. Each
+  /// round is timed into the pump latency histogram — Pump runs on the
+  /// driver/protocol path (every wait loop), never inside a worker's
+  /// token loop, so the two clock reads cost nothing the paper's hot path
+  /// would notice.
   Status Pump() {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status s = PumpFrames();
+    pump_latency_.Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+    return s;
+  }
+
+  Status PumpFrames() {
     if (codec_ != nullptr) {
       // Push out (and keep retrying) any coalesced token batches: every
       // wait loop of the protocol pumps, so buffered tokens never stall a
@@ -1155,6 +1202,7 @@ class RankRun {
       pt.updates = updates_total;
       pt.test_rmse = rmse;
       trace_.Add(pt);
+      timeline_->RecordTrace(pt);
       const int64_t max_updates =
           opt_.max_updates > 0
               ? opt_.max_updates
@@ -1222,6 +1270,7 @@ class RankRun {
         pt.updates = f.updates;
         pt.test_rmse = f.sq_err;
         trace_.Add(pt);
+        timeline_->RecordTrace(pt);
         global_updates_ = f.updates;
         global_seconds_ = f.seconds;
         updates_per_second_.Set(
@@ -1656,6 +1705,18 @@ class RankRun {
   // rank_traffic's bytes bit-identical at every barrier.
   obs::Gauge transport_bytes_sent_, transport_bytes_received_;
   obs::Gauge transport_msgs_sent_, transport_msgs_received_;
+  /// Pump-round latency (nomad_dist_pump_round_latency_seconds): how long
+  /// one full drain of the transport takes — the dist layer's third
+  /// hot-path histogram next to the worker service/wait pair.
+  obs::Histogram pump_latency_;
+  /// Run timeline (obs/timeseries.h): rank 0 records the global trace it
+  /// coordinates; every other rank records the kResume echoes it applies.
+  /// A caller-provided timeline (opt_.timeline) is honored on rank 0 only —
+  /// in loopback worlds all ranks share one TrainOptions, and the live
+  /// /timeseries view should carry the coordinator's rows, not an
+  /// interleaving of every rank's.
+  obs::RunTimeline own_timeline_;
+  obs::RunTimeline* timeline_ = nullptr;
 };
 
 template <typename Real>
@@ -1681,6 +1742,13 @@ Result<TrainResult> TrainImpl(const Dataset& ds,
     TracePoint pt;
     pt.test_rmse = Rmse(ds.test, w, h);
     result.trace.Add(pt);
+    obs::RunTimeline degenerate_timeline(nullptr);
+    obs::RunTimeline* const timeline =
+        options.train.timeline != nullptr && transport->rank() == 0
+            ? options.train.timeline
+            : &degenerate_timeline;
+    timeline->RecordTrace(pt);
+    result.timeline = timeline->Points();
     StoreTrainedFactors(std::move(w), std::move(h), &result);
     return result;
   }

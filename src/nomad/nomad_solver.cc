@@ -17,6 +17,7 @@
 #include "nomad/token_router.h"
 #include "obs/metrics.h"
 #include "obs/solver_metrics.h"
+#include "obs/timeseries.h"
 #include "queue/mpmc_queue.h"
 #include "solver/sgd_kernel.h"
 #include "util/logging.h"
@@ -50,6 +51,18 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   FactorMatrixT<Real> h;
   InitFactorsT<Real>(ds, options, &w, &h);
 
+  // Observability (obs/metrics.h): handles are null-safe no-ops when the
+  // resolved registry is disabled (NOMAD_METRICS=off), so the hot path
+  // below never branches on "metrics on?". The run timeline captures
+  // registry deltas at every trace point (and, with metrics_sample_ms, on
+  // a sampler thread between them); a caller-provided one lets the scrape
+  // endpoint serve /timeseries live, a private one still fills
+  // TrainResult::timeline.
+  obs::MetricsRegistry* const registry = obs::ResolveRegistry(options.metrics);
+  obs::RunTimeline local_timeline(registry);
+  obs::RunTimeline* const timeline =
+      options.timeline != nullptr ? options.timeline : &local_timeline;
+
   // An empty training set (or no items) can never satisfy an update-count
   // stopping criterion: the workers would circulate empty tokens forever.
   // Evaluate once and return.
@@ -57,6 +70,8 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
     TracePoint pt;
     pt.test_rmse = Rmse(ds.test, w, h);
     result.trace.Add(pt);
+    timeline->RecordTrace(pt);
+    result.timeline = timeline->Points();
     StoreTrainedFactors(std::move(w), std::move(h), &result);
     return result;
   }
@@ -128,11 +143,6 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   for (int32_t j = 0; j < ds.cols; ++j) {
     queues[scatter_rng.NextBelow(static_cast<uint64_t>(p))]->Push(j);
   }
-
-  // Observability (obs/metrics.h): handles are null-safe no-ops when the
-  // resolved registry is disabled (NOMAD_METRICS=off), so the hot path
-  // below never branches on "metrics on?".
-  obs::MetricsRegistry* const registry = obs::ResolveRegistry(options.metrics);
 
   TokenRouter router(options.routing, p);
   // numa=auto biases hand-offs toward the sender's node (interleave keeps
@@ -213,6 +223,14 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
     std::vector<std::vector<int32_t>> outbound(static_cast<size_t>(p));
     for (auto& buf : outbound) buf.reserve(static_cast<size_t>(max_batch));
     int idle_streak = 0;
+    // Hot-path latency histograms. The clock reads are gated on the
+    // registry being live (two steady_clock calls per *round*, not per
+    // token, and none at all under NOMAD_METRICS=off). wait_start spans
+    // from the end of the previous round to the next non-empty pop.
+    using LatencyClock = std::chrono::steady_clock;
+    const bool timed = wobs.enabled();
+    LatencyClock::time_point wait_start =
+        timed ? LatencyClock::now() : LatencyClock::time_point();
     while (!stop.load(std::memory_order_relaxed)) {
       gate.CheckIn();
       // Re-check after a pause: the driver may have taken the final trace
@@ -245,6 +263,12 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         continue;
       }
       idle_streak = 0;
+      LatencyClock::time_point work_start;
+      if (timed) {
+        work_start = LatencyClock::now();
+        wobs.ObserveQueueWaitSeconds(
+            std::chrono::duration<double>(work_start - wait_start).count());
+      }
       if (auto_batch) {
         const size_t depth = queues[static_cast<size_t>(q)]->SizeEstimate();
         controller.Observe(static_cast<size_t>(want), got, depth);
@@ -295,6 +319,13 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         buf.clear();
       }
       wobs.NotePushed(static_cast<int64_t>(got));
+      if (timed) {
+        const LatencyClock::time_point round_end = LatencyClock::now();
+        wobs.ObserveServiceSeconds(
+            std::chrono::duration<double>(round_end - work_start).count() /
+            static_cast<double>(got));
+        wait_start = round_end;
+      }
     }
     batch_stats[static_cast<size_t>(q)] =
         wobs.Finish(auto_batch ? &controller : nullptr, fixed_batch);
@@ -326,6 +357,9 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(p));
+  if (options.metrics_sample_ms > 0) {
+    timeline->StartSampler(options.metrics_sample_ms);
+  }
   Stopwatch wall;
   for (int q = 0; q < p; ++q) workers.emplace_back(worker_fn, q);
 
@@ -380,6 +414,7 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
         pt.objective = Objective(ds.train, w, h, options.lambda, &eval_pool);
       }
       result.trace.Add(pt);
+      timeline->RecordTrace(pt);
       next_eval = updates_now + eval_every;
       updates_cap.store(cap_for(next_eval), std::memory_order_relaxed);
       if (out_of_time || out_of_updates) {
@@ -396,6 +431,11 @@ Result<TrainResult> TrainImpl(const Dataset& ds, const TrainOptions& options,
   }
   for (auto& t : workers) t.join();
 
+  // Stop the sampler before reading the timeline out (a caller-owned
+  // timeline keeps sampling only if the caller restarts it — the run it
+  // was pacing is over).
+  timeline->StopSampler();
+  result.timeline = timeline->Points();
   result.total_updates = total_updates.load(std::memory_order_relaxed);
   result.total_seconds = train_seconds;
   result.worker_batch = std::move(batch_stats);

@@ -140,6 +140,11 @@ Histogram MetricsRegistry::GetHistogram(const std::string& name,
   const std::string key = MapKey(name, sorted);
   std::lock_guard<std::mutex> lock(mu_);
   if (!ClaimType(name, MetricType::kHistogram)) return Histogram();
+  // One bucket layout per metric name, fixed by the first registration:
+  // `le` buckets only aggregate across label sets when they agree, and a
+  // caller who asked for different bounds must not silently get others'.
+  auto [bit, bounds_inserted] = histogram_bounds_.emplace(name, bounds);
+  if (!bounds_inserted && bit->second != bounds) return Histogram();
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     HistogramEntry entry;
@@ -257,6 +262,35 @@ double MetricsSnapshot::SumByName(const std::string& name) const {
   return total;
 }
 
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta;
+  delta.samples_.reserve(samples_.size());
+  for (const MetricSample& cur : samples_) {
+    MetricSample d = cur;
+    const MetricSample* prev = base.Find(cur.name, cur.labels);
+    if (prev != nullptr && prev->type == cur.type) {
+      switch (cur.type) {
+        case MetricType::kCounter:
+          d.value = cur.value - prev->value;
+          break;
+        case MetricType::kGauge:
+          break;  // gauges report their level, not a difference
+        case MetricType::kHistogram:
+          d.count = cur.count - prev->count;
+          d.sum = cur.sum - prev->sum;
+          if (prev->buckets.size() == d.buckets.size()) {
+            for (size_t i = 0; i < d.buckets.size(); ++i) {
+              d.buckets[i] = cur.buckets[i] - prev->buckets[i];
+            }
+          }
+          break;
+      }
+    }
+    delta.samples_.push_back(std::move(d));
+  }
+  return delta;
+}
+
 MetricsRegistry* ResolveRegistry(MetricsRegistry* opt) {
   return opt != nullptr ? opt : &MetricsRegistry::Default();
 }
@@ -285,6 +319,21 @@ std::string RenderLabels(const Labels& labels) {
   }
   out += "}";
   return out;
+}
+
+std::vector<double> LogSpacedBounds(double lo, double hi, int per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) return {};
+  std::vector<double> bounds;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  double b = lo;
+  // Multiplying up accumulates rounding; recompute from the exponent so
+  // decade boundaries stay exact (1e-3, not 9.9999e-4).
+  for (int i = 0; b < hi * (1.0 - 1e-12); ++i) {
+    bounds.push_back(b);
+    b = lo * std::pow(step, i + 1);
+  }
+  bounds.push_back(hi);
+  return bounds;
 }
 
 }  // namespace obs

@@ -163,6 +163,17 @@ class MetricsSnapshot {
   /// Sum of every counter/gauge series of `name` across label sets.
   double SumByName(const std::string& name) const;
 
+  /// Windowed difference against an earlier snapshot of the same registry:
+  /// counter values and histogram buckets/count/sum become `this - base`
+  /// per series (a series absent from `base` keeps its full value — it was
+  /// born inside the window), while gauges keep their current level (the
+  /// delta of a last-write-wins value is meaningless). Series that exist
+  /// only in `base` are dropped; a registry never forgets series, so that
+  /// can only mean `base` came from a different registry. This is the
+  /// primitive RunTimeline (obs/timeseries.h) builds its per-window rows
+  /// from.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+
  private:
   friend class MetricsRegistry;
   std::vector<MetricSample> samples_;
@@ -206,7 +217,12 @@ class MetricsRegistry {
 
   /// Histogram analogue of GetCounter. `bounds` are cumulative (`le`)
   /// upper bounds and must be strictly increasing and non-empty (else a
-  /// null handle); they are fixed by the first registration of the key.
+  /// null handle). The first registration of a *name* fixes its bucket
+  /// layout for every label set: re-registering the name — same labels or
+  /// new ones — with different bounds returns a null handle instead of
+  /// silently handing back cells whose buckets are not what the caller
+  /// asked for (aggregating `le` buckets across label sets only makes
+  /// sense when they agree).
   Histogram GetHistogram(const std::string& name,
                          const std::vector<double>& bounds,
                          const Labels& labels = {});
@@ -242,6 +258,7 @@ class MetricsRegistry {
   const bool enabled_;
   mutable std::mutex mu_;  // registration + snapshot only, never hot
   std::map<std::string, MetricType> types_;
+  std::map<std::string, std::vector<double>> histogram_bounds_;  // per name
   std::map<std::string, CounterEntry> counters_;    // key: name + labels
   std::map<std::string, GaugeEntry> gauges_;
   std::map<std::string, HistogramEntry> histograms_;
@@ -254,6 +271,14 @@ MetricsRegistry* ResolveRegistry(MetricsRegistry* opt);
 /// Renders one label set as `{k="v",k2="v2"}` with Prometheus escaping
 /// (backslash, quote, newline); empty labels render as "".
 std::string RenderLabels(const Labels& labels);
+
+/// Log-spaced histogram bounds: `per_decade` boundaries per factor of ten
+/// from `lo` up to and including `hi` (both > 0, lo < hi, per_decade >= 1;
+/// anything else returns {}). The natural bucket layout for latency
+/// histograms, where observations span decades — e.g.
+/// LogSpacedBounds(1e-6, 1.0, 3) covers 1µs…1s in ~19 buckets at a
+/// constant ~2.15× resolution.
+std::vector<double> LogSpacedBounds(double lo, double hi, int per_decade);
 
 }  // namespace obs
 }  // namespace nomad

@@ -12,6 +12,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/timeseries.h"
+
 namespace nomad {
 namespace obs {
 
@@ -35,6 +37,35 @@ void WriteAll(int fd, const std::string& data) {
     if (n <= 0) return;
     off += static_cast<size_t>(n);
   }
+}
+
+/// Assembles a full HTTP/1.0 response; every status (404s included)
+/// carries Content-Length, so `curl --fail` and pipelining-averse scrapers
+/// see a well-formed exchange.
+std::string MakeResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string response = "HTTP/1.0 ";
+  response += status_line;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n" + body;
+  return response;
+}
+
+/// Extracts the request path ("/metrics") from an HTTP request line
+/// ("GET /metrics HTTP/1.0"), query string stripped; "/" when the line is
+/// malformed (an HTTP/0.9-style client still gets the exposition).
+std::string RequestPath(const std::string& request) {
+  const size_t sp1 = request.find(' ');
+  if (sp1 == std::string::npos) return "/";
+  const size_t start = sp1 + 1;
+  size_t end = request.find_first_of(" \r\n", start);
+  if (end == std::string::npos) end = request.size();
+  std::string path = request.substr(start, end - start);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path.empty() ? "/" : path;
 }
 
 }  // namespace
@@ -87,10 +118,10 @@ void MetricsServer::Serve() {
     struct timeval tv = {2, 0};
     setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    // Drain the request line + headers (content ignored — every path gets
-    // the same exposition). HTTP/1.0 clients send the whole request before
-    // reading, so one read is normally enough; loop until the blank line
-    // or timeout for the pedantic ones.
+    // Drain the request line + headers (only the path matters). HTTP/1.0
+    // clients send the whole request before reading, so one read is
+    // normally enough; loop until the blank line or timeout for the
+    // pedantic ones.
     char buf[1024];
     std::string request;
     while (request.find("\r\n\r\n") == std::string::npos &&
@@ -100,15 +131,25 @@ void MetricsServer::Serve() {
       if (n <= 0) break;
       request.append(buf, static_cast<size_t>(n));
     }
-    const std::string body = registry_->RenderText();
-    std::string response =
-        "HTTP/1.0 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) +
-        "\r\n"
-        "Connection: close\r\n\r\n" +
-        body;
+    const std::string path = RequestPath(request);
+    std::string response;
+    if (path == "/" || path == "/metrics") {
+      response = MakeResponse("200 OK",
+                              "text/plain; version=0.0.4; charset=utf-8",
+                              registry_->RenderText());
+    } else if (path == "/timeseries") {
+      const RunTimeline* timeline =
+          timeline_.load(std::memory_order_acquire);
+      response = timeline != nullptr
+                     ? MakeResponse("200 OK", "application/json",
+                                    timeline->ToJson())
+                     : MakeResponse("404 Not Found",
+                                    "text/plain; charset=utf-8",
+                                    "no timeline attached\n");
+    } else {
+      response = MakeResponse("404 Not Found", "text/plain; charset=utf-8",
+                              "not found: " + path + "\n");
+    }
     WriteAll(fd, response);
     close(fd);
   }

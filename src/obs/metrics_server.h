@@ -1,6 +1,7 @@
 #ifndef NOMAD_OBS_METRICS_SERVER_H_
 #define NOMAD_OBS_METRICS_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -10,12 +11,17 @@
 namespace nomad {
 namespace obs {
 
+class RunTimeline;  // obs/timeseries.h; only ever held by pointer here
+
 /// A deliberately tiny blocking HTTP/1.0 text exporter for one
-/// MetricsRegistry: a dedicated accept-loop thread serves every request
-/// (any path, any method) a `200 OK` whose body is the registry's
-/// Prometheus text exposition, then closes the connection. One request at
-/// a time is plenty for a scraper, and the server never touches the
-/// training hot path — rendering reads the cells with relaxed atomics.
+/// MetricsRegistry: a dedicated accept-loop thread routes each request by
+/// path — `/` and `/metrics` get the registry's Prometheus text
+/// exposition, `/timeseries` gets the attached RunTimeline as JSON, and
+/// anything else gets a proper `404 Not Found` (with Content-Length, so
+/// `curl --fail` and real scrapers behave) — then closes the connection.
+/// One request at a time is plenty for a scraper, and the server never
+/// touches the training hot path — rendering reads the cells with relaxed
+/// atomics.
 ///
 /// Ephemeral-port friendly like the TCP transport: Start(0) binds a
 /// kernel-assigned port, reported by port().
@@ -37,6 +43,15 @@ class MetricsServer {
   /// The bound port (the kernel-assigned one when Start() was given 0).
   int port() const { return port_; }
 
+  /// Attaches (or, with nullptr, detaches) the timeline served at
+  /// /timeseries. May be called at any time — the serving thread reads the
+  /// pointer atomically per request; while none is attached, /timeseries
+  /// answers 404. The timeline must outlive the server or be detached
+  /// first.
+  void AttachTimeline(const RunTimeline* timeline) {
+    timeline_.store(timeline, std::memory_order_release);
+  }
+
   /// Stops serving; subsequent connections are refused. Idempotent.
   void Stop();
 
@@ -45,6 +60,7 @@ class MetricsServer {
   void Serve();
 
   const MetricsRegistry* registry_ = nullptr;
+  std::atomic<const RunTimeline*> timeline_{nullptr};
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
   int port_ = 0;

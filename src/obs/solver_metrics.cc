@@ -5,6 +5,8 @@ namespace obs {
 
 const std::vector<double> kPopBatchBounds = {1, 2, 4, 8, 16, 32, 64, 128};
 
+const std::vector<double> kLatencyBounds = LogSpacedBounds(1e-6, 1.0, 3);
+
 Labels WorkerLabels(int rank, int worker) {
   Labels l;
   if (rank >= 0) l.emplace_back("rank", std::to_string(rank));
@@ -36,6 +38,10 @@ WorkerObs WorkerObs::Create(MetricsRegistry* registry, int rank, int worker,
   w.batch_max_ = registry->GetGauge("nomad_worker_batch_max", l);
   w.pop_batch_ =
       registry->GetHistogram("nomad_worker_pop_batch", kPopBatchBounds, l);
+  w.service_latency_ = registry->GetHistogram(
+      "nomad_worker_service_latency_seconds", kLatencyBounds, l);
+  w.queue_wait_latency_ = registry->GetHistogram(
+      "nomad_worker_queue_wait_latency_seconds", kLatencyBounds, l);
   w.rounds0_ = w.rounds_.Value();
   w.popped0_ = w.tokens_popped_.Value();
   w.pushed0_ = w.tokens_pushed_.Value();

@@ -16,6 +16,15 @@ namespace obs {
 /// range any real configuration reaches.
 extern const std::vector<double> kPopBatchBounds;
 
+/// The `le` bounds (seconds) shared by the hot-path latency histograms
+/// (nomad_worker_service_latency_seconds,
+/// nomad_worker_queue_wait_latency_seconds,
+/// nomad_dist_pump_round_latency_seconds): log-spaced 1µs…1s at three
+/// buckets per decade (LogSpacedBounds), since a service time can sit
+/// anywhere from a cache-warm few-rating column to a 100ms+ contended
+/// round.
+extern const std::vector<double> kLatencyBounds;
+
 /// The label set of one worker's metric series: {worker="q"}, plus
 /// rank="r" for distributed runs (rank >= 0). Keys come out sorted, as the
 /// registry canonicalizes them.
@@ -45,6 +54,11 @@ Labels WorkerLabels(int rank, int worker);
 ///   nomad_worker_batch_min            gauge    smallest batch this run
 ///   nomad_worker_batch_max            gauge    largest batch this run
 ///   nomad_worker_pop_batch            histogram  tokens per non-empty pop
+///   nomad_worker_service_latency_seconds    histogram  per-token service
+///                                           time (round work / tokens)
+///   nomad_worker_queue_wait_latency_seconds histogram  hand-off wait from
+///                                           round start to non-empty pop
+///                                           (includes yields/backoffs)
 class WorkerObs {
  public:
   /// Null bundle (all handles no-ops); Finish() then falls back to the
@@ -76,6 +90,20 @@ class WorkerObs {
   /// Accounts `n` applied single-rating updates.
   void NoteUpdates(int64_t n) { updates_.Inc(n); }
 
+  /// Records one round's mean per-token service time (elapsed work seconds
+  /// divided by tokens processed) — one Observe per round keeps the cost
+  /// off the per-token path. Callers gate the clock reads on enabled().
+  void ObserveServiceSeconds(double per_token_seconds) {
+    service_latency_.Observe(per_token_seconds);
+  }
+
+  /// Records one hand-off wait: round start (after the gate check-in of
+  /// the previous round's end) to the first non-empty pop, idle yields and
+  /// backoff sleeps included — the token-starvation signal.
+  void ObserveQueueWaitSeconds(double seconds) {
+    queue_wait_latency_.Observe(seconds);
+  }
+
   /// True when Create() attached to an enabled registry.
   bool enabled() const { return rounds_.valid(); }
 
@@ -102,7 +130,7 @@ class WorkerObs {
   Counter rounds_, tokens_popped_, tokens_pushed_, updates_;
   Counter grows_, shrinks_, backoffs_, batch_round_sum_;
   Gauge queue_depth_, batch_, batch_min_, batch_max_;
-  Histogram pop_batch_;
+  Histogram pop_batch_, service_latency_, queue_wait_latency_;
   // Start-of-run counter values, so Finish() reports per-run deltas even
   // on a registry that has already served earlier runs.
   int64_t rounds0_ = 0, popped0_ = 0, pushed0_ = 0, updates0_ = 0;

@@ -1,0 +1,249 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace nomad {
+namespace obs {
+
+namespace {
+
+/// JSON string escaping for series keys (label values may contain quotes
+/// and backslashes via RenderLabels).
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Shortest round-trippable rendering; integral values stay integral so
+/// counters diff cleanly in downstream tooling.
+void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; clamp to null
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+void AppendSeriesMap(const char* key,
+                     const std::vector<std::pair<std::string, double>>& kv,
+                     std::string* out) {
+  *out += ",\"";
+  *out += key;
+  *out += "\":{";
+  bool first = true;
+  for (const auto& [series, value] : kv) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(series, out);
+    out->push_back(':');
+    AppendJsonNumber(value, out);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+const char* TimelineKindName(TimelineKind kind) {
+  return kind == TimelineKind::kTrace ? "trace" : "sample";
+}
+
+RunTimeline::RunTimeline(MetricsRegistry* registry, size_t capacity)
+    : registry_(registry), capacity_(capacity > 0 ? capacity : 1) {
+  if (registry_ != nullptr) base_ = registry_->Snapshot();
+}
+
+RunTimeline::~RunTimeline() { StopSampler(); }
+
+void RunTimeline::Bind(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  base_ = registry_ != nullptr ? registry_->Snapshot() : MetricsSnapshot();
+  clock_.Restart();
+}
+
+void RunTimeline::Capture(TimelineKind kind, const TracePoint& pt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimelinePoint row;
+  row.kind = kind;
+  row.seconds = pt.seconds;
+  row.updates = pt.updates;
+  row.test_rmse = pt.test_rmse;
+  row.objective = pt.objective;
+  if (registry_ != nullptr && registry_->enabled()) {
+    MetricsSnapshot now = registry_->Snapshot();
+    const MetricsSnapshot delta = now.DeltaSince(base_);
+    for (const MetricSample& s : delta.samples()) {
+      const std::string series = s.name + RenderLabels(s.labels);
+      switch (s.type) {
+        case MetricType::kCounter:
+          if (s.value != 0.0) row.deltas.emplace_back(series, s.value);
+          break;
+        case MetricType::kGauge:
+          if (s.value != 0.0) row.gauges.emplace_back(series, s.value);
+          break;
+        case MetricType::kHistogram:
+          if (s.count != 0) {
+            row.deltas.emplace_back(series + "_count",
+                                    static_cast<double>(s.count));
+            row.deltas.emplace_back(series + "_sum", s.sum);
+          }
+          break;
+      }
+    }
+    base_ = std::move(now);
+  }
+  points_.push_back(std::move(row));
+  while (points_.size() > capacity_) {
+    points_.pop_front();
+    ++dropped_;
+  }
+}
+
+void RunTimeline::RecordTrace(const TracePoint& pt) {
+  Capture(TimelineKind::kTrace, pt);
+}
+
+void RunTimeline::RecordSample() {
+  TracePoint pt;
+  pt.seconds = clock_.ElapsedSeconds();
+  Capture(TimelineKind::kSample, pt);
+}
+
+void RunTimeline::StartSampler(int period_ms) {
+  if (period_ms <= 0) return;
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  if (sampler_.joinable()) return;  // already running
+  sampler_stop_ = false;
+  sampler_ = std::thread([this, period_ms] {
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    for (;;) {
+      if (sampler_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                               [this] { return sampler_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      RecordSample();
+      lock.lock();
+    }
+  });
+}
+
+void RunTimeline::StopSampler() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_.joinable()) return;
+    sampler_stop_ = true;
+    sampler_cv_.notify_all();
+    joinable = std::move(sampler_);
+  }
+  joinable.join();
+}
+
+std::vector<TimelinePoint> RunTimeline::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TimelinePoint>(points_.begin(), points_.end());
+}
+
+size_t RunTimeline::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+int64_t RunTimeline::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string RunTimeline::ToJson() const {
+  std::vector<TimelinePoint> points = Points();
+  std::string out = "{\"capacity\":";
+  AppendJsonNumber(static_cast<double>(capacity_), &out);
+  out += ",\"dropped\":";
+  AppendJsonNumber(static_cast<double>(dropped()), &out);
+  out += ",\"points\":[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += TimelinePointJson(points[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TimelinePointJson(const TimelinePoint& pt) {
+  std::string out = "{\"kind\":\"";
+  out += TimelineKindName(pt.kind);
+  out += "\",\"seconds\":";
+  AppendJsonNumber(pt.seconds, &out);
+  if (pt.kind == TimelineKind::kTrace) {
+    out += ",\"updates\":";
+    AppendJsonNumber(static_cast<double>(pt.updates), &out);
+    out += ",\"test_rmse\":";
+    AppendJsonNumber(pt.test_rmse, &out);
+    out += ",\"objective\":";
+    AppendJsonNumber(pt.objective, &out);
+  }
+  AppendSeriesMap("deltas", pt.deltas, &out);
+  AppendSeriesMap("gauges", pt.gauges, &out);
+  out.push_back('}');
+  return out;
+}
+
+Status WriteTimelineJsonl(const std::vector<TimelinePoint>& points,
+                          const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open timeline output: " + path);
+  }
+  for (const TimelinePoint& pt : points) {
+    const std::string line = TimelinePointJson(pt) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      return Status::IOError("short write to timeline output: " + path);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("close failed for timeline output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace nomad

@@ -1,0 +1,151 @@
+#ifndef NOMAD_OBS_TIMESERIES_H_
+#define NOMAD_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "eval/trace.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace nomad {
+namespace obs {
+
+/// Where a timeline row came from.
+enum class TimelineKind {
+  kTrace,   ///< Driven by a solver trace point (quiesced evaluation).
+  kSample,  ///< Driven by the background sampler thread.
+};
+
+/// "trace" / "sample".
+const char* TimelineKindName(TimelineKind kind);
+
+/// One captured timeline row: the solver's trace fields (for kTrace rows)
+/// plus what every registry series did *during the window* since the
+/// previous row. Counters and histogram count/sum are windowed deltas
+/// (zero-delta series are dropped — a quiet row costs almost nothing);
+/// gauges are levels at capture time. Series keys are
+/// `name{label="v",...}` exactly as the scrape endpoint renders them.
+struct TimelinePoint {
+  TimelineKind kind = TimelineKind::kTrace;  ///< Row provenance.
+  double seconds = 0.0;   ///< Train seconds (kTrace) / timeline-clock
+                          ///< seconds since Bind() (kSample).
+  int64_t updates = 0;    ///< Trace updates; 0 for sampler rows.
+  double test_rmse = 0.0;  ///< Trace RMSE; 0 for sampler rows.
+  double objective = 0.0;  ///< Trace objective (0 when not computed).
+  /// Windowed counter deltas plus histogram `_count`/`_sum` deltas,
+  /// non-zero entries only, sorted by key.
+  std::vector<std::pair<std::string, double>> deltas;
+  /// Gauge levels at capture, non-zero entries only, sorted by key.
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+/// A bounded in-memory time series over one MetricsRegistry: every
+/// RecordTrace/RecordSample call snapshots the registry, diffs it against
+/// the previous snapshot (MetricsSnapshot::DeltaSince), and appends a
+/// TimelinePoint to a drop-oldest ring. This is what turns the registry's
+/// cumulative counters into the RMSE-vs-time / updates-per-second-vs-time
+/// curves the paper plots (Figs. 9-17) — from a single run, with no
+/// external scraper.
+///
+/// Two producers drive it: the solver driver thread at every trace point,
+/// and (optionally) a background sampler thread (StartSampler) for the
+/// stretches between trace points. Capture takes this object's mutex plus
+/// the registry's snapshot mutex — never the training hot path, which
+/// remains untouched relaxed-atomic cells.
+///
+/// A null (or disabled) registry is fine: rows then carry the trace fields
+/// with empty deltas — how the virtual-time simulator, which has no
+/// registry instrumentation, still produces a timeline.
+class RunTimeline {
+ public:
+  /// Ring capacity when none is given: generous for any real trace cadence
+  /// and ~hours of 1 Hz sampling.
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// A timeline over `registry` (nullable). The sample clock starts now.
+  explicit RunTimeline(MetricsRegistry* registry = nullptr,
+                       size_t capacity = kDefaultCapacity);
+
+  /// Stops the sampler thread, if running.
+  ~RunTimeline();
+
+  RunTimeline(const RunTimeline&) = delete;
+  RunTimeline& operator=(const RunTimeline&) = delete;
+
+  /// Re-points the timeline at `registry` (nullable), resets the delta
+  /// base to its current state, and restarts the sample clock. Call before
+  /// the run starts, never mid-run.
+  void Bind(MetricsRegistry* registry);
+
+  /// Appends a kTrace row for `pt` carrying the registry deltas since the
+  /// previous row. Thread-safe against the sampler.
+  void RecordTrace(const TracePoint& pt);
+
+  /// Appends a kSample row stamped with the timeline clock (seconds since
+  /// Bind()/construction). Thread-safe.
+  void RecordSample();
+
+  /// Starts the background sampler recording every `period_ms` (> 0). A
+  /// no-op when already running or the period is degenerate.
+  void StartSampler(int period_ms);
+
+  /// Stops and joins the sampler thread (idempotent).
+  void StopSampler();
+
+  /// Copy of the ring, oldest first.
+  std::vector<TimelinePoint> Points() const;
+
+  /// Rows currently held (<= capacity).
+  size_t size() const;
+
+  /// Rows evicted by the drop-oldest ring so far.
+  int64_t dropped() const;
+
+  /// JSON document for the /timeseries endpoint:
+  /// {"capacity":N,"dropped":N,"points":[row,...]} with rows as in
+  /// TimelinePointJson.
+  std::string ToJson() const;
+
+ private:
+  /// Snapshot + diff + append, shared by both Record entry points.
+  void Capture(TimelineKind kind, const TracePoint& pt);
+
+  mutable std::mutex mu_;
+  MetricsRegistry* registry_ = nullptr;  // nullable; borrowed
+  size_t capacity_ = kDefaultCapacity;
+  MetricsSnapshot base_;  // previous capture, the delta baseline
+  std::deque<TimelinePoint> points_;
+  int64_t dropped_ = 0;
+  Stopwatch clock_;  // sample-row time axis, restarted by Bind()
+
+  // Sampler thread state. `sampler_mu_` only guards start/stop and the
+  // wakeup flag — capture itself synchronizes on mu_.
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  std::thread sampler_;
+  bool sampler_stop_ = false;
+};
+
+/// One timeline row as a single-line JSON object — the JSONL schema of
+/// `--trace-out` (docs/OBSERVABILITY.md "Time series & tracing"):
+/// {"kind":"trace","seconds":s,"updates":n,"test_rmse":r,"objective":o,
+///  "deltas":{"series":d,...},"gauges":{"series":v,...}}
+/// (sampler rows omit updates/test_rmse/objective).
+std::string TimelinePointJson(const TimelinePoint& pt);
+
+/// Writes one TimelinePointJson line per row to `path` (truncates).
+Status WriteTimelineJsonl(const std::vector<TimelinePoint>& points,
+                          const std::string& path);
+
+}  // namespace obs
+}  // namespace nomad
+
+#endif  // NOMAD_OBS_TIMESERIES_H_

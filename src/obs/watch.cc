@@ -1,0 +1,358 @@
+#include "obs/watch.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace nomad {
+namespace obs {
+
+namespace {
+
+/// Windowed counter delta between two scrapes, clamped at 0 so a counter
+/// reset (restarted trainer) shows a quiet frame instead of a negative
+/// rate.
+double Delta(const Scrape& prev, const Scrape& cur, const std::string& name) {
+  const double d = cur.SumByName(name) - prev.SumByName(name);
+  return d > 0.0 ? d : 0.0;
+}
+
+/// Mean histogram observation in the window, in milliseconds:
+/// Δ`name_sum` / Δ`name_count` across all label sets. 0 when nothing was
+/// observed.
+double MeanLatencyMs(const Scrape& prev, const Scrape& cur,
+                     const std::string& name) {
+  const double count = Delta(prev, cur, name + "_count");
+  if (count <= 0.0) return 0.0;
+  return 1e3 * Delta(prev, cur, name + "_sum") / count;
+}
+
+/// Appends one aligned `label: value` dashboard row.
+void AddRow(std::string* out, const char* label, const std::string& value) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-16s %s\n", label, value.c_str());
+  *out += line;
+}
+
+std::string FormatRate(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+/// Eight-level unicode sparkline of `history`, scaled to its own max.
+std::string Sparkline(const std::vector<double>& history) {
+  static const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  double max = 0.0;
+  for (double v : history) max = v > max ? v : max;
+  std::string out;
+  for (double v : history) {
+    int level = max > 0.0 ? static_cast<int>(v / max * 7.0 + 0.5) : 0;
+    if (level < 0) level = 0;
+    if (level > 7) level = 7;
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double Scrape::SumByName(const std::string& name) const {
+  double sum = 0.0;
+  for (const ScrapeSample& s : samples) {
+    if (s.name == name) sum += s.value;
+  }
+  return sum;
+}
+
+int Scrape::CountByName(const std::string& name) const {
+  int n = 0;
+  for (const ScrapeSample& s : samples) {
+    if (s.name == name) ++n;
+  }
+  return n;
+}
+
+double Scrape::Find(const std::string& name, const std::string& labels,
+                    double fallback) const {
+  for (const ScrapeSample& s : samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return fallback;
+}
+
+Result<Scrape> ParseExposition(const std::string& text) {
+  Scrape scrape;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ScrapeSample sample;
+    // Name runs to '{' or the first space.
+    const size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos || name_end == 0) {
+      return Status::InvalidArgument("bad exposition line: " + line);
+    }
+    sample.name = line.substr(0, name_end);
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      // Scan to the closing brace, honouring quoted label values (which
+      // may contain backslash-escaped quotes and literal braces).
+      size_t i = name_end + 1;
+      bool in_quotes = false;
+      for (; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+          if (c == '\\') {
+            ++i;  // skip the escaped character
+          } else if (c == '"') {
+            in_quotes = false;
+          }
+        } else if (c == '"') {
+          in_quotes = true;
+        } else if (c == '}') {
+          break;
+        }
+      }
+      if (i >= line.size()) {
+        return Status::InvalidArgument("unterminated labels: " + line);
+      }
+      sample.labels = line.substr(name_end, i - name_end + 1);
+      value_start = i + 1;
+    }
+    // One or more spaces, then the value.
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    if (value_start >= line.size()) {
+      return Status::InvalidArgument("missing value: " + line);
+    }
+    char* end = nullptr;
+    sample.value = std::strtod(line.c_str() + value_start, &end);
+    if (end == line.c_str() + value_start) {
+      return Status::InvalidArgument("bad value: " + line);
+    }
+    scrape.samples.push_back(std::move(sample));
+  }
+  return scrape;
+}
+
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::IOError("cannot resolve " + host);
+  }
+  const int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int rc = connect(fd, res->ai_addr, res->ai_addrlen);
+  freeaddrinfo(res);
+  if (rc != 0) {
+    close(fd);
+    return Status::IOError("connect " + host + ":" + port_str + ": " +
+                           std::strerror(errno));
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = send(fd, request.data() + off, request.size() - off,
+                           MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close(fd);
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  // "HTTP/1.0 200 OK" — the status code is the second token.
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos ||
+      response.compare(sp + 1, 3, "200") != 0) {
+    const size_t line_end = response.find('\r');
+    return Status::IOError(
+        "HTTP " + (line_end == std::string::npos
+                       ? std::string("response truncated")
+                       : response.substr(0, line_end)) +
+        " for " + path);
+  }
+  size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return Status::IOError("malformed HTTP response (no header break)");
+  }
+  return response.substr(body + 4);
+}
+
+Result<std::pair<std::string, int>> ParseEndpoint(
+    const std::string& endpoint) {
+  std::string host = "127.0.0.1";
+  std::string port_str = endpoint;
+  const size_t colon = endpoint.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = endpoint.substr(0, colon);
+    port_str = endpoint.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (port_str.empty() || *end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad endpoint (want host:port): " +
+                                   endpoint);
+  }
+  return std::make_pair(host, static_cast<int>(port));
+}
+
+Result<Scrape> ScrapeMetrics(const std::string& host, int port) {
+  auto body = HttpGet(host, port, "/metrics");
+  if (!body.ok()) return body.status();
+  auto scrape = ParseExposition(body.value());
+  if (!scrape.ok()) return scrape.status();
+  scrape.value().seconds = SteadySeconds();
+  return scrape;
+}
+
+WatchFrame ComputeFrame(const Scrape& prev, const Scrape& cur) {
+  WatchFrame f;
+  f.gap_seconds = cur.seconds - prev.seconds;
+  if (f.gap_seconds <= 0.0) return f;
+  f.updates_per_sec =
+      Delta(prev, cur, "nomad_worker_updates_total") / f.gap_seconds;
+  f.tokens_per_sec =
+      Delta(prev, cur, "nomad_worker_tokens_popped_total") / f.gap_seconds;
+  const double tokens_sent = Delta(prev, cur, "nomad_dist_tokens_sent_total");
+  if (tokens_sent > 0.0) {
+    f.bytes_per_token =
+        Delta(prev, cur, "nomad_dist_tx_bytes_total") / tokens_sent;
+  }
+  f.queue_depth = cur.SumByName("nomad_worker_queue_depth");
+  f.ranks_total = cur.CountByName("nomad_dist_peer_alive");
+  for (const ScrapeSample& s : cur.samples) {
+    if (s.name == "nomad_dist_peer_alive" && s.value >= 0.5) ++f.ranks_alive;
+  }
+  f.serve_qps =
+      Delta(prev, cur, "nomad_serve_queries_total") / f.gap_seconds;
+  f.service_ms =
+      MeanLatencyMs(prev, cur, "nomad_worker_service_latency_seconds");
+  f.queue_wait_ms =
+      MeanLatencyMs(prev, cur, "nomad_worker_queue_wait_latency_seconds");
+  f.pump_ms =
+      MeanLatencyMs(prev, cur, "nomad_dist_pump_round_latency_seconds");
+  f.serve_ms = MeanLatencyMs(prev, cur, "nomad_serve_query_latency_seconds");
+  return f;
+}
+
+std::string RenderDashboard(const WatchFrame& frame,
+                            const std::vector<double>& history) {
+  std::string out;
+  char header[96];
+  std::snprintf(header, sizeof(header), "nomad watch  (gap %.2fs)\n",
+                frame.gap_seconds);
+  out += header;
+  AddRow(&out, "updates/s:", FormatRate(frame.updates_per_sec));
+  AddRow(&out, "tokens/s:", FormatRate(frame.tokens_per_sec));
+  if (frame.bytes_per_token > 0.0) {
+    AddRow(&out, "bytes/token:", FormatRate(frame.bytes_per_token));
+  }
+  AddRow(&out, "queue depth:",
+         FormatRate(frame.queue_depth) + "  " + Sparkline(history));
+  if (frame.ranks_total > 0) {
+    AddRow(&out, "ranks alive:", std::to_string(frame.ranks_alive) + "/" +
+                                     std::to_string(frame.ranks_total));
+  }
+  if (frame.serve_qps > 0.0) {
+    AddRow(&out, "serve qps:", FormatRate(frame.serve_qps));
+  }
+  char lat[160];
+  std::snprintf(lat, sizeof(lat),
+                "  %-16s service %.3fms  wait %.3fms  pump %.3fms  "
+                "serve %.3fms\n",
+                "latency (mean):", frame.service_ms, frame.queue_wait_ms,
+                frame.pump_ms, frame.serve_ms);
+  out += lat;
+  return out;
+}
+
+int RunWatch(const WatchOptions& options) {
+  auto endpoint = ParseEndpoint(options.endpoint);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& host = endpoint.value().first;
+  const int port = endpoint.value().second;
+  const int interval_ms = options.interval_ms > 0 ? options.interval_ms : 1000;
+  const int max_frames = options.once ? 1 : options.frames;
+
+  auto prev = ScrapeMetrics(host, port);
+  if (!prev.ok()) {
+    std::fprintf(stderr, "error: %s\n", prev.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> history;
+  int frames = 0;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    auto cur = ScrapeMetrics(host, port);
+    if (!cur.ok()) {
+      // In --once mode a vanished endpoint is an error; in watch mode the
+      // run may simply have finished.
+      std::fprintf(stderr, "error: %s\n", cur.status().ToString().c_str());
+      return options.once ? 1 : 0;
+    }
+    const WatchFrame frame = ComputeFrame(prev.value(), cur.value());
+    history.push_back(frame.queue_depth);
+    // Bound the sparkline to a terminal-friendly width.
+    if (history.size() > 40) history.erase(history.begin());
+    if (options.clear_screen && !options.once) {
+      std::fputs("\x1b[H\x1b[2J", stdout);
+    }
+    std::fputs(RenderDashboard(frame, history).c_str(), stdout);
+    std::fflush(stdout);
+    prev = std::move(cur);
+    ++frames;
+    if (max_frames > 0 && frames >= max_frames) return 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace nomad

@@ -1,0 +1,108 @@
+#ifndef NOMAD_OBS_WATCH_H_
+#define NOMAD_OBS_WATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nomad {
+namespace obs {
+
+/// One parsed sample from a Prometheus text exposition: the metric name
+/// with its rendered label block kept verbatim (`{worker="0"}`, empty for
+/// unlabelled series). Histogram series arrive already flattened by the
+/// exporter as `name_bucket{...,le="..."}`, `name_sum`, `name_count`.
+struct ScrapeSample {
+  std::string name;    ///< Metric name, e.g. "nomad_worker_updates_total".
+  std::string labels;  ///< Rendered label block incl. braces; "" if none.
+  double value = 0.0;  ///< Sample value.
+};
+
+/// One scrape of a metrics endpoint: the parsed samples plus the monotonic
+/// time it was taken, so two scrapes give rates.
+struct Scrape {
+  double seconds = 0.0;  ///< Monotonic capture time (steady clock).
+  std::vector<ScrapeSample> samples;  ///< In exposition order.
+
+  /// Sum of every sample named exactly `name`, across all label sets.
+  double SumByName(const std::string& name) const;
+  /// Number of samples named exactly `name`.
+  int CountByName(const std::string& name) const;
+  /// Value of the (name, labels) sample, or `fallback` when absent.
+  double Find(const std::string& name, const std::string& labels,
+              double fallback = 0.0) const;
+};
+
+/// Parses a Prometheus text exposition (the format MetricsRegistry
+/// renders): `# ...` comment lines are skipped, every other non-empty line
+/// must be `name value` or `name{label="v",...} value`. Label values may
+/// contain backslash-escaped quotes and closing braces. Returns
+/// InvalidArgument on a malformed line. The scrape's `seconds` field is
+/// left at 0 — callers stamp it.
+Result<Scrape> ParseExposition(const std::string& text);
+
+/// Blocking HTTP/1.0 GET of `path` from `host:port` (numeric address or
+/// resolvable name) returning the response body. Fails with IOError on
+/// connect/read trouble and on any non-200 status.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path);
+
+/// Splits "host:port" (host defaults to 127.0.0.1 when the string is just
+/// a port, e.g. ":9090" or "9090"). InvalidArgument on an unparsable port.
+Result<std::pair<std::string, int>> ParseEndpoint(const std::string& endpoint);
+
+/// GETs /metrics from the endpoint, parses it, and stamps the scrape with
+/// the steady clock.
+Result<Scrape> ScrapeMetrics(const std::string& host, int port);
+
+/// The derived quantities one dashboard frame displays, computed from two
+/// successive scrapes (rates use the scrapes' own timestamps).
+struct WatchFrame {
+  double gap_seconds = 0.0;       ///< Time between the two scrapes.
+  double updates_per_sec = 0.0;   ///< Δ nomad_worker_updates_total / gap.
+  double tokens_per_sec = 0.0;    ///< Δ nomad_worker_tokens_popped_total.
+  double bytes_per_token = 0.0;   ///< Δ tx bytes / Δ tokens sent (dist).
+  double queue_depth = 0.0;       ///< Σ nomad_worker_queue_depth (level).
+  int ranks_alive = 0;            ///< nomad_dist_peer_alive samples == 1.
+  int ranks_total = 0;            ///< nomad_dist_peer_alive samples seen.
+  double serve_qps = 0.0;         ///< Δ nomad_serve_queries_total / gap.
+  double service_ms = 0.0;   ///< Mean worker service latency in the window.
+  double queue_wait_ms = 0.0;  ///< Mean token queue-wait latency, ditto.
+  double pump_ms = 0.0;        ///< Mean dist pump round latency, ditto.
+  double serve_ms = 0.0;       ///< Mean serve query latency, ditto.
+};
+
+/// Computes a frame from two successive scrapes of the same endpoint.
+/// Counter resets (cur < prev) clamp the delta to 0 rather than going
+/// negative. A non-positive gap yields all-zero rates.
+WatchFrame ComputeFrame(const Scrape& prev, const Scrape& cur);
+
+/// Renders `frame` as the multi-line terminal dashboard: one aligned
+/// `label: value` row per quantity (rows whose source series never
+/// appeared are dropped), plus a queue-depth sparkline over `history`
+/// (oldest first; pass the depths of the frames shown so far).
+std::string RenderDashboard(const WatchFrame& frame,
+                            const std::vector<double>& history);
+
+/// Options for RunWatch, mapped from `nomad_cli watch` flags.
+struct WatchOptions {
+  std::string endpoint = "127.0.0.1:9090";  ///< --endpoint host:port.
+  int interval_ms = 1000;  ///< --interval-ms between scrapes.
+  int frames = 0;          ///< Stop after this many frames; 0 = forever.
+  bool once = false;       ///< --once: two scrapes, one frame, exit.
+  bool clear_screen = true;  ///< ANSI home+clear before each frame.
+};
+
+/// The `nomad_cli watch` loop: scrapes the endpoint every interval,
+/// renders a frame per scrape pair to stdout, returns a process exit code
+/// (0 on success, 1 when the endpoint can't be scraped). `--once` renders
+/// exactly one frame with no screen clearing — the CI smoke mode.
+int RunWatch(const WatchOptions& options);
+
+}  // namespace obs
+}  // namespace nomad
+
+#endif  // NOMAD_OBS_WATCH_H_

@@ -6,6 +6,7 @@
 
 #include "data/shard.h"
 #include "nomad/batch_controller.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 #include "solver/sgd_kernel.h"
 #include "util/rng.h"
@@ -51,6 +52,15 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
 
   SimResult result;
   result.train.solver_name = Name();
+  // The simulator has no registry instrumentation (virtual time makes
+  // wall-clock cells meaningless), but its trace points still enter a
+  // timeline so every TrainResult exposes the same timeline shape; rows
+  // carry empty deltas. An external timeline (options.train.timeline) is
+  // honored so --trace-out works for `simulate` too.
+  obs::RunTimeline local_timeline(nullptr);
+  obs::RunTimeline* const timeline = train.timeline != nullptr
+                                         ? train.timeline
+                                         : &local_timeline;
   InitFactors(ds, train, &result.train.w, &result.train.h);
   FactorMatrix& w = result.train.w;
   FactorMatrix& h = result.train.h;
@@ -235,6 +245,7 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
       pt.objective = Objective(ds.train, w, h, train.lambda);
     }
     result.train.trace.Add(pt);
+    timeline->RecordTrace(pt);
   };
 
   try_start = [&](int worker, SimTime now) {
@@ -336,6 +347,8 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
     TracePoint pt;
     pt.test_rmse = Rmse(ds.test, w, h);
     result.train.trace.Add(pt);
+    timeline->RecordTrace(pt);
+    result.train.timeline = timeline->Points();
     return result;
   }
 
@@ -359,6 +372,7 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
       pt.objective = Objective(ds.train, w, h, train.lambda);
     }
     result.train.trace.Add(pt);
+    timeline->RecordTrace(pt);
     const bool done = (max_updates > 0 && total_updates >= max_updates) ||
                       (max_seconds > 0 && at >= max_seconds);
     if (done) {
@@ -374,6 +388,7 @@ Result<SimResult> SimNomadSolver::Train(const Dataset& ds,
 
   result.train.total_updates = total_updates;
   result.train.total_seconds = eq.now();
+  result.train.timeline = timeline->Points();
   if (options.worker_batch_auto) {
     result.worker_batch.reserve(controllers.size());
     for (int q = 0; q < num_workers; ++q) {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "eval/metrics.h"
+#include "obs/timeseries.h"
 #include "solver/solver.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -40,7 +41,18 @@ class EpochLoopT {
         w_(w),
         h_(h),
         result_(result),
-        eval_pool_(eval_pool) {}
+        eval_pool_(eval_pool),
+        own_timeline_(obs::ResolveRegistry(options.metrics)),
+        timeline_(options.timeline != nullptr ? options.timeline
+                                              : &own_timeline_) {
+    if (options.metrics_sample_ms > 0) {
+      timeline_->StartSampler(options.metrics_sample_ms);
+    }
+  }
+
+  /// Stops the sampler it may have started (a borrowed timeline's sampler
+  /// too: the run it was pacing ends with this loop).
+  ~EpochLoopT() { timeline_->StopSampler(); }
 
   /// True while no stopping criterion has fired.
   bool Continue() const {
@@ -79,6 +91,11 @@ class EpochLoopT {
       pt.objective = objective;
     }
     result_->trace.Add(pt);
+    // Per-epoch timeline row; the copy-out happens every epoch because the
+    // loop has no end-of-run hook (Continue() is const and solvers break
+    // out of their own loops).
+    timeline_->RecordTrace(pt);
+    result_->timeline = timeline_->Points();
     result_->total_seconds = train_seconds_;
     watch_.Restart();
     return objective;
@@ -94,6 +111,8 @@ class EpochLoopT {
   TrainResult* result_;
   ThreadPool* eval_pool_;  // borrowed or owned_pool_; null = serial eval
   std::unique_ptr<ThreadPool> owned_pool_;
+  obs::RunTimeline own_timeline_;  // used unless options.timeline is set
+  obs::RunTimeline* timeline_;     // borrowed or &own_timeline_
   Stopwatch watch_;
   double train_seconds_ = 0.0;
   int epochs_ = 0;

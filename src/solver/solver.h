@@ -9,17 +9,13 @@
 #include "data/dataset.h"
 #include "eval/trace.h"
 #include "linalg/factor_matrix.h"
+#include "obs/timeseries.h"
 #include "util/numa_topology.h"
 #include "util/status.h"
 
 /// The library namespace: solvers, data, linear algebra, evaluation, and
 /// the concurrency/placement utilities beneath them.
 namespace nomad {
-
-namespace obs {
-class MetricsRegistry;  // obs/metrics.h; forward-declared to keep the
-                        // solver interface header dependency-light
-}  // namespace obs
 
 /// How NOMAD routes a token after processing it (paper Sec. 3.1 vs 3.3).
 enum class Routing {
@@ -151,6 +147,19 @@ struct TrainOptions {
   /// Must outlive the Train call. NOMAD-family solvers honor this; the
   /// baselines ignore it.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Run timeline the solver records into at every trace point (and that
+  /// the background sampler fills between them): each row carries the
+  /// registry deltas for its window (obs/timeseries.h). nullptr keeps a
+  /// solver-private timeline — TrainResult::timeline is populated either
+  /// way; passing one is only needed to observe the run live (the CLIs
+  /// attach it to the metrics server's /timeseries endpoint). Must outlive
+  /// the Train call.
+  obs::RunTimeline* timeline = nullptr;
+  /// Background sampler period in milliseconds; > 0 runs a sampler thread
+  /// on the run's timeline for the stretches between trace points
+  /// (CLI: --metrics-sample-ms). 0 disables (the default): the timeline
+  /// then advances only at trace points.
+  int metrics_sample_ms = 0;
 
   // -- NOMAD-specific --
 
@@ -247,6 +256,11 @@ struct TrainResult {
   /// Ranks declared dead and recovered from during a distributed run
   /// (always empty for shared-memory solvers and fault-free jobs).
   std::vector<int> dead_ranks;
+  /// Run timeline rows (trace points + sampler rows, oldest first): the
+  /// per-window registry deltas behind the RMSE-vs-time and
+  /// updates/s-vs-time curves. Dumped as JSONL by the CLIs' --trace-out;
+  /// see obs/timeseries.h for the row schema.
+  std::vector<obs::TimelinePoint> timeline;
 };
 
 /// Interface implemented by NOMAD and by every baseline. Implementations

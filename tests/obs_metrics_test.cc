@@ -16,6 +16,7 @@
 #include "nomad/nomad_solver.h"
 #include "obs/metrics_server.h"
 #include "obs/solver_metrics.h"
+#include "obs/timeseries.h"
 
 #include "test_util.h"
 
@@ -166,7 +167,7 @@ TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
 }
 
 /// Minimal scrape client: one blocking GET against 127.0.0.1:port.
-std::string HttpGet(int port) {
+std::string HttpGet(int port, const std::string& path = "/metrics") {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
   struct sockaddr_in addr = {};
@@ -176,7 +177,7 @@ std::string HttpGet(int port) {
   EXPECT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                     sizeof(addr)),
             0);
-  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
   EXPECT_EQ(write(fd, request.data(), request.size()),
             static_cast<ssize_t>(request.size()));
   std::string response;
@@ -244,6 +245,153 @@ TEST(MetricsServerTest, ClientHangupMidResponseDoesNotKillProcess) {
   const std::string response = HttpGet(port);
   EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
   EXPECT_NE(response.find("smoke_total 7"), std::string::npos);
+}
+
+// Satellite: unknown paths get a well-formed 404 (with Content-Length, so
+// `curl --fail` behaves), while / and /metrics both serve the exposition.
+TEST(MetricsServerTest, UnknownPathGets404WithContentLength) {
+  MetricsRegistry reg;
+  reg.GetCounter("smoke_total").Inc(5);
+  auto server = obs::MetricsServer::Start(0, &reg);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+
+  const std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("Content-Length:"), std::string::npos);
+  // The advertised length matches the body the server actually sent.
+  const size_t header_end = missing.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const size_t cl = missing.find("Content-Length: ");
+  const size_t body_len = missing.size() - (header_end + 4);
+  EXPECT_EQ(std::stoul(missing.substr(cl + 16)), body_len);
+
+  // Root is an alias for /metrics; a query string doesn't change routing.
+  EXPECT_NE(HttpGet(port, "/").find("smoke_total 5"), std::string::npos);
+  EXPECT_NE(HttpGet(port, "/metrics?x=1").find("smoke_total 5"),
+            std::string::npos);
+  // 200s carry Content-Length too.
+  EXPECT_NE(HttpGet(port, "/metrics").find("Content-Length:"),
+            std::string::npos);
+}
+
+TEST(MetricsServerTest, TimeseriesEndpointNeedsAnAttachedTimeline) {
+  MetricsRegistry reg;
+  auto server = obs::MetricsServer::Start(0, &reg);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+  EXPECT_NE(HttpGet(port, "/timeseries").find("404 Not Found"),
+            std::string::npos);
+
+  obs::RunTimeline timeline(&reg);
+  reg.GetCounter("tick_total").Inc(3);
+  timeline.RecordSample();
+  server.value()->AttachTimeline(&timeline);
+  const std::string response = HttpGet(port, "/timeseries");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"tick_total\":3"), std::string::npos);
+  server.value()->AttachTimeline(nullptr);  // detach before timeline dies
+  EXPECT_NE(HttpGet(port, "/timeseries").find("404 Not Found"),
+            std::string::npos);
+}
+
+// Satellite: one bucket layout per metric name, fixed at first
+// registration — a second registration with different bounds (same or new
+// label set) must not silently alias onto the wrong buckets.
+TEST(MetricsRegistryTest, HistogramBoundsAreFixedPerName) {
+  MetricsRegistry reg;
+  ASSERT_TRUE(reg.GetHistogram("lat", {1.0, 2.0}, {{"w", "0"}}).valid());
+  // Same key, same bounds: fine (idempotent registration).
+  EXPECT_TRUE(reg.GetHistogram("lat", {1.0, 2.0}, {{"w", "0"}}).valid());
+  // Same key, different bounds: rejected.
+  EXPECT_FALSE(reg.GetHistogram("lat", {1.0, 4.0}, {{"w", "0"}}).valid());
+  // New label set under the same name, different bounds: also rejected.
+  EXPECT_FALSE(reg.GetHistogram("lat", {1.0, 4.0}, {{"w", "1"}}).valid());
+  // New label set, matching bounds: fine.
+  EXPECT_TRUE(reg.GetHistogram("lat", {1.0, 2.0}, {{"w", "1"}}).valid());
+}
+
+TEST(MetricsTest, LogSpacedBoundsShape) {
+  const std::vector<double> b = obs::LogSpacedBounds(1e-6, 1.0, 3);
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(b.back(), 1.0);
+  // 6 decades * 3 per decade + the final hi bound.
+  EXPECT_EQ(b.size(), 19u);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  // Valid histogram bounds as-is.
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.GetHistogram("h", b).valid());
+  // Degenerate inputs yield {} rather than a broken layout.
+  EXPECT_TRUE(obs::LogSpacedBounds(0.0, 1.0, 3).empty());
+  EXPECT_TRUE(obs::LogSpacedBounds(1.0, 1.0, 3).empty());
+  EXPECT_TRUE(obs::LogSpacedBounds(1e-3, 1.0, 0).empty());
+}
+
+// Satellite: SumByName across mixed label sets, including the unlabelled
+// series under the same name.
+TEST(MetricsSnapshotTest, SumByNameMixesLabelSets) {
+  MetricsRegistry reg;
+  reg.GetCounter("mixed_total").Inc(1);
+  reg.GetCounter("mixed_total", {{"w", "0"}}).Inc(2);
+  reg.GetCounter("mixed_total", {{"w", "1"}, {"rank", "3"}}).Inc(4);
+  reg.GetGauge("mixed_total_other").Set(100.0);  // different name: excluded
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.SumByName("mixed_total"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.SumByName("absent_total"), 0.0);
+}
+
+// Satellite: Find must locate series whose label VALUES contain the
+// characters the exposition escapes (quote, backslash, newline).
+TEST(MetricsSnapshotTest, FindHandlesEscapedLabelValues) {
+  MetricsRegistry reg;
+  const Labels nasty = {{"path", "a\\b\"c\nd"}};
+  reg.GetCounter("esc_total", nasty).Inc(9);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const obs::MetricSample* s = snap.Find("esc_total", nasty);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 9.0);
+  EXPECT_EQ(snap.CounterValue("esc_total", nasty), 9);
+  // A value differing only in escape-sensitive characters is a different
+  // series.
+  EXPECT_EQ(snap.Find("esc_total", {{"path", "a\\b\"c d"}}), nullptr);
+}
+
+// Satellite: the delta-between-snapshots primitive RunTimeline builds on.
+TEST(MetricsSnapshotTest, DeltaSinceWindowsCountersAndHistograms) {
+  MetricsRegistry reg;
+  obs::Counter c = reg.GetCounter("c_total");
+  obs::Gauge g = reg.GetGauge("g");
+  obs::Histogram h = reg.GetHistogram("h", {1.0, 2.0});
+  c.Inc(10);
+  g.Set(5.0);
+  h.Observe(0.5);
+  const MetricsSnapshot base = reg.Snapshot();
+  c.Inc(3);
+  g.Set(7.0);
+  h.Observe(1.5);
+  h.Observe(9.0);
+  reg.GetCounter("born_total").Inc(2);  // born inside the window
+  const MetricsSnapshot delta = reg.Snapshot().DeltaSince(base);
+  // Counter: windowed difference; newborn series keep their full value.
+  EXPECT_EQ(delta.CounterValue("c_total"), 3);
+  EXPECT_EQ(delta.CounterValue("born_total"), 2);
+  // Gauge: level, not difference.
+  EXPECT_DOUBLE_EQ(delta.GaugeValue("g"), 7.0);
+  // Histogram: windowed buckets, count and sum.
+  const obs::MetricSample* hd = delta.Find("h");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 2);
+  EXPECT_DOUBLE_EQ(hd->sum, 1.5 + 9.0);
+  ASSERT_EQ(hd->buckets.size(), 3u);
+  EXPECT_EQ(hd->buckets[0], 0);  // the base's 0.5 subtracted out
+  EXPECT_EQ(hd->buckets[1], 1);
+  EXPECT_EQ(hd->buckets[2], 1);
+  // An empty base (different-registry degenerate) passes everything
+  // through.
+  const MetricsSnapshot full = reg.Snapshot().DeltaSince(MetricsSnapshot());
+  EXPECT_EQ(full.CounterValue("c_total"), 13);
 }
 
 // The rewiring claim of the tentpole: TrainResult::worker_batch is a view

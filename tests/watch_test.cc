@@ -1,0 +1,190 @@
+#include "obs/watch.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/metrics_server.h"
+
+namespace nomad {
+namespace {
+
+using obs::ComputeFrame;
+using obs::MetricsRegistry;
+using obs::ParseExposition;
+using obs::Scrape;
+using obs::WatchFrame;
+
+TEST(WatchParserTest, ParsesCountersGaugesAndHistogramSeries) {
+  const std::string text =
+      "# TYPE app_latency histogram\n"
+      "app_latency_bucket{le=\"1\"} 1\n"
+      "app_latency_bucket{le=\"+Inf\"} 3\n"
+      "app_latency_sum 11.5\n"
+      "app_latency_count 3\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total{code=\"200\"} 3\n"
+      "app_requests_total{code=\"500\"} 1\n"
+      "app_temperature 36.5\n";
+  auto scrape = ParseExposition(text);
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  const Scrape& s = scrape.value();
+  EXPECT_EQ(s.samples.size(), 7u);  // comment lines skipped
+  EXPECT_DOUBLE_EQ(s.SumByName("app_requests_total"), 4.0);
+  EXPECT_EQ(s.CountByName("app_requests_total"), 2);
+  EXPECT_DOUBLE_EQ(s.Find("app_requests_total", "{code=\"500\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(s.Find("app_latency_sum", ""), 11.5);
+  EXPECT_DOUBLE_EQ(s.Find("app_temperature", ""), 36.5);
+  EXPECT_DOUBLE_EQ(s.Find("absent", "", -1.0), -1.0);
+}
+
+TEST(WatchParserTest, LabelValuesMayContainEscapesAndBraces) {
+  // RenderLabels escapes quotes/backslashes; '}' inside a quoted value is
+  // legal and must not end the label block early.
+  const std::string text = "weird_total{path=\"a\\\"b}c\"} 5\n";
+  auto scrape = ParseExposition(text);
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  ASSERT_EQ(scrape.value().samples.size(), 1u);
+  EXPECT_EQ(scrape.value().samples[0].labels, "{path=\"a\\\"b}c\"}");
+  EXPECT_DOUBLE_EQ(scrape.value().samples[0].value, 5.0);
+}
+
+TEST(WatchParserTest, MalformedLinesAreErrors) {
+  EXPECT_FALSE(ParseExposition("no_value_here\n").ok());
+  EXPECT_FALSE(ParseExposition("bad_value x\n").ok());
+  EXPECT_FALSE(ParseExposition("unterminated{a=\"b\" 1\n").ok());
+  EXPECT_TRUE(ParseExposition("").ok());  // empty exposition is fine
+}
+
+TEST(WatchEndpointTest, ParseEndpointVariants) {
+  auto full = obs::ParseEndpoint("10.0.0.2:9100");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().first, "10.0.0.2");
+  EXPECT_EQ(full.value().second, 9100);
+  auto bare = obs::ParseEndpoint("9090");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().first, "127.0.0.1");
+  auto colon = obs::ParseEndpoint(":9090");
+  ASSERT_TRUE(colon.ok());
+  EXPECT_EQ(colon.value().first, "127.0.0.1");
+  EXPECT_EQ(colon.value().second, 9090);
+  EXPECT_FALSE(obs::ParseEndpoint("host:").ok());
+  EXPECT_FALSE(obs::ParseEndpoint("host:notaport").ok());
+  EXPECT_FALSE(obs::ParseEndpoint("host:99999").ok());
+}
+
+Scrape SyntheticScrape(double seconds, double updates, double queries) {
+  Scrape s;
+  s.seconds = seconds;
+  s.samples.push_back({"nomad_worker_updates_total", "{worker=\"0\"}",
+                       updates / 2});
+  s.samples.push_back({"nomad_worker_updates_total", "{worker=\"1\"}",
+                       updates / 2});
+  s.samples.push_back({"nomad_worker_tokens_popped_total", "", updates / 10});
+  s.samples.push_back({"nomad_worker_queue_depth", "{worker=\"0\"}", 3.0});
+  s.samples.push_back({"nomad_dist_peer_alive", "{peer=\"1\"}", 1.0});
+  s.samples.push_back({"nomad_dist_peer_alive", "{peer=\"2\"}", 0.0});
+  s.samples.push_back({"nomad_serve_queries_total", "", queries});
+  s.samples.push_back(
+      {"nomad_worker_service_latency_seconds_sum", "", updates * 1e-6});
+  s.samples.push_back(
+      {"nomad_worker_service_latency_seconds_count", "", updates});
+  return s;
+}
+
+TEST(WatchFrameTest, RatesComeFromSuccessiveScrapes) {
+  const Scrape prev = SyntheticScrape(10.0, 1000.0, 50.0);
+  const Scrape cur = SyntheticScrape(12.0, 5000.0, 150.0);
+  const WatchFrame f = ComputeFrame(prev, cur);
+  EXPECT_DOUBLE_EQ(f.gap_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(f.updates_per_sec, 2000.0);
+  EXPECT_DOUBLE_EQ(f.tokens_per_sec, 200.0);
+  EXPECT_DOUBLE_EQ(f.queue_depth, 3.0);
+  EXPECT_EQ(f.ranks_alive, 1);
+  EXPECT_EQ(f.ranks_total, 2);
+  EXPECT_DOUBLE_EQ(f.serve_qps, 50.0);
+  // Mean windowed latency: Δsum/Δcount = 4000e-6 / 4000 = 1 µs = 0.001 ms.
+  EXPECT_NEAR(f.service_ms, 1e-3, 1e-9);
+}
+
+TEST(WatchFrameTest, CounterResetClampsToZeroRate) {
+  const Scrape prev = SyntheticScrape(10.0, 5000.0, 100.0);
+  const Scrape cur = SyntheticScrape(11.0, 100.0, 0.0);  // restarted job
+  const WatchFrame f = ComputeFrame(prev, cur);
+  EXPECT_DOUBLE_EQ(f.updates_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(f.serve_qps, 0.0);
+}
+
+TEST(WatchDashboardTest, RendersNonZeroRateColumns) {
+  const WatchFrame f = ComputeFrame(SyntheticScrape(10.0, 1000.0, 50.0),
+                                    SyntheticScrape(12.0, 5000.0, 150.0));
+  const std::string out =
+      obs::RenderDashboard(f, /*history=*/{0.0, 1.5, 3.0});
+  EXPECT_NE(out.find("updates/s:"), std::string::npos);
+  EXPECT_NE(out.find("2.0k"), std::string::npos);       // 2000 updates/s
+  EXPECT_NE(out.find("tokens/s:"), std::string::npos);
+  EXPECT_NE(out.find("ranks alive:"), std::string::npos);
+  EXPECT_NE(out.find("1/2"), std::string::npos);
+  EXPECT_NE(out.find("serve qps:"), std::string::npos);
+  EXPECT_NE(out.find("▁"), std::string::npos);  // sparkline blocks
+  EXPECT_NE(out.find("█"), std::string::npos);
+}
+
+// End to end: RunWatch --once against a live MetricsServer whose counters
+// advance between the two scrapes — the CI smoke in miniature.
+TEST(WatchEndToEndTest, OnceModeAgainstLiveEndpoint) {
+  MetricsRegistry reg;
+  obs::Counter updates =
+      reg.GetCounter("nomad_worker_updates_total", {{"worker", "0"}});
+  updates.Inc(100);
+  auto server = obs::MetricsServer::Start(0, &reg);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load()) {
+      updates.Inc(50);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  obs::WatchOptions options;
+  options.endpoint = "127.0.0.1:" + std::to_string(server.value()->port());
+  options.interval_ms = 50;
+  options.once = true;
+  ::testing::internal::CaptureStdout();
+  const int rc = obs::RunWatch(options);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  stop.store(true);
+  churn.join();
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("updates/s:"), std::string::npos);
+  // The churn thread guarantees a non-zero windowed rate. The row renders
+  // as "  updates/s:" padded to 16 columns plus one space before the value.
+  EXPECT_EQ(out.find("updates/s:       0.0"), std::string::npos);
+
+  // A dead endpoint in --once mode is a hard error.
+  server.value()->Stop();
+  EXPECT_EQ(obs::RunWatch(options), 1);
+}
+
+TEST(WatchHttpTest, NonOkStatusAndConnectFailuresSurface) {
+  MetricsRegistry reg;
+  auto server = obs::MetricsServer::Start(0, &reg);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = server.value()->port();
+  auto body = obs::HttpGet("127.0.0.1", port, "/metrics");
+  EXPECT_TRUE(body.ok()) << body.status().ToString();
+  auto missing = obs::HttpGet("127.0.0.1", port, "/definitely-not");
+  EXPECT_FALSE(missing.ok());  // 404 surfaces as an error
+  server.value()->Stop();
+  EXPECT_FALSE(obs::HttpGet("127.0.0.1", port, "/metrics").ok());
+}
+
+}  // namespace
+}  // namespace nomad

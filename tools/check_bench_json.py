@@ -306,7 +306,7 @@ def check_obs(doc):
         runs = require(problems, row, "runs", (list,), ctx)
         if runs is not None and repeats is not None and len(runs) != repeats:
             problems.append(f"{ctx}: runs[] length disagrees with repeats")
-    for required in ("on", "off"):
+    for required in ("on", "off", "timeline"):
         if rows is not None and required not in arms:
             problems.append(f"train: missing arm '{required}'")
     overhead = require(problems, doc, "overhead", (dict,), "root")
@@ -330,6 +330,34 @@ def check_obs(doc):
             if pct > budget + 10.0:
                 problems.append(
                     f"overhead: {pct:.2f}% is far beyond the documented "
+                    f"{budget:.1f}% budget even with CI noise allowance"
+                )
+    # The time-series capture path (snapshot + delta + ring append, driven
+    # by the background sampler) must stay inside the same budget: it runs
+    # off-thread, so a violation means it started contending with workers.
+    ts = require(problems, doc, "timeseries", (dict,), "root")
+    if ts is not None:
+        for field in (
+            "sample_ms",
+            "updates_per_sec_timeline",
+            "overhead_percent",
+            "budget_percent",
+        ):
+            require(problems, ts, field, (int, float), "timeseries")
+        for field in ("points", "sample_points"):
+            require(problems, ts, field, (int,), "timeseries")
+        points = ts.get("points")
+        if isinstance(points, int) and points <= 0:
+            problems.append("timeseries: expected captured points > 0")
+        samples = ts.get("sample_points")
+        if isinstance(samples, int) and samples <= 0:
+            problems.append("timeseries: sampler produced no rows")
+        pct = ts.get("overhead_percent")
+        budget = ts.get("budget_percent")
+        if isinstance(pct, (int, float)) and isinstance(budget, (int, float)):
+            if pct > budget + 10.0:
+                problems.append(
+                    f"timeseries: {pct:.2f}% is far beyond the documented "
                     f"{budget:.1f}% budget even with CI noise allowance"
                 )
     return problems

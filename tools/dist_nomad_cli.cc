@@ -31,8 +31,11 @@
 // over HTTP while training (Prometheus text; N=0 binds an ephemeral port,
 // printed at startup). In loopback mode one endpoint serves every rank —
 // the rank="r" labels keep the series apart; in TCP mode each process
-// serves its own rank (give each a distinct port). See
-// docs/OBSERVABILITY.md for the metric reference.
+// serves its own rank (give each a distinct port). --trace-out FILE makes
+// rank 0 write the coordinator's run timeline as JSONL after training;
+// --metrics-sample-ms N adds background sampler rows between trace points
+// and makes the endpoint's /timeseries live during the run. See
+// docs/OBSERVABILITY.md for the metric reference and JSONL schema.
 //
 // Fault tolerance: --heartbeat-interval / --heartbeat-timeout (seconds)
 // turn on liveness detection, which lets the job survive rank deaths (the
@@ -57,6 +60,7 @@
 #include "net/loopback_transport.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics_server.h"
+#include "obs/timeseries.h"
 #include "solver/model.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -162,6 +166,13 @@ void PrintCodecSummary(const TrainResult& r, const net::WireCodecSpec& spec) {
 
 int FinishRankZero(const Flags& flags, TrainResult result) {
   PrintTrafficTable(result);
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) {
+    const Status s = obs::WriteTimelineJsonl(result.timeline, trace_out);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("timeline (%zu rows) written to %s\n",
+                result.timeline.size(), trace_out.c_str());
+  }
   const std::string model_path = flags.GetString("model");
   if (!model_path.empty()) {
     Model model{std::move(result.w), std::move(result.h)};
@@ -205,13 +216,24 @@ int RunLoopback(const Flags& flags, const Dataset& ds,
                 const FaultPlan* plan) {
   std::printf("loopback world=%d (%d workers/rank) on %s\n", world,
               options.train.num_workers, ds.name.c_str());
+  // Rank 0 (the coordinator thread) records into this timeline; attaching
+  // it to the scrape endpoint makes /timeseries live while training.
+  // Declared before the server so it outlives the serving thread.
+  obs::RunTimeline timeline(obs::ResolveRegistry(nullptr));
   auto metrics_server = MaybeServeMetrics(flags);
   if (!metrics_server.ok()) return Fail(metrics_server.status().ToString());
+  DistNomadOptions opts = options;
+  opts.train.timeline = &timeline;
+  opts.train.metrics_sample_ms =
+      static_cast<int>(flags.GetInt("metrics-sample-ms", 0));
+  if (metrics_server.value() != nullptr) {
+    metrics_server.value()->AttachTimeline(&timeline);
+  }
   const HeartbeatOptions hb = HeartbeatFromFlags(flags);
   auto fabric = hb.enabled() ? net::MakeLoopbackFabric(world, hb)
                              : net::MakeLoopbackFabric(world);
   if (plan != nullptr) net::ApplyFaultPlan(&fabric, *plan);
-  auto results = net::TrainWorld(ds, options, &fabric);
+  auto results = net::TrainWorld(ds, opts, &fabric);
   for (int r = 0; r < world; ++r) {
     if (results[static_cast<size_t>(r)].ok()) continue;
     // A rank the fault plan killed is *supposed* to fail; the job result
@@ -272,10 +294,23 @@ int RunTcp(const Flags& flags, const Dataset& ds,
   }
   std::printf("mesh up; training %s (%d workers/rank)\n", ds.name.c_str(),
               options.train.num_workers);
+  // The solver honours an external timeline on rank 0 only (the
+  // coordinator owns the trace), so only rank 0's endpoint gets a live
+  // /timeseries; other ranks' endpoints answer 404 there.
+  obs::RunTimeline timeline(obs::ResolveRegistry(nullptr));
   auto metrics_server = MaybeServeMetrics(flags);
   if (!metrics_server.ok()) return Fail(metrics_server.status().ToString());
+  DistNomadOptions opts = options;
+  opts.train.metrics_sample_ms =
+      static_cast<int>(flags.GetInt("metrics-sample-ms", 0));
+  if (rank == 0) {
+    opts.train.timeline = &timeline;
+    if (metrics_server.value() != nullptr) {
+      metrics_server.value()->AttachTimeline(&timeline);
+    }
+  }
   DistNomadSolver solver;
-  auto result = solver.Train(ds, options, transport.get());
+  auto result = solver.Train(ds, opts, transport.get());
   if (!result.ok()) return Fail(result.status().ToString());
   for (int r : result.value().dead_ranks) {
     std::printf("rank %d was declared dead and recovered from\n", r);
@@ -305,7 +340,7 @@ const std::vector<std::string> kKnownFlags = {
     // training
     "k", "rank", "lambda", "alpha", "beta", "loss", "workers",
     "token-batch", "max-token-batch", "epochs", "max-seconds", "precision",
-    "numa", "model", "metrics-port",
+    "numa", "model", "metrics-port", "trace-out", "metrics-sample-ms",
     // distributed topology + fault tolerance
     "world", "peers", "remote-fraction", "wire-codec", "connect-timeout",
     "heartbeat-interval", "heartbeat-timeout", "fault-plan"};

@@ -6,6 +6,7 @@
 //   evaluate  report RMSE/MAE of a saved model on a ratings file
 //   topn      print the top-N recommendations for a user from a saved model
 //   simulate  run one simulated-cluster training and print its trace
+//   watch     live terminal dashboard over another process's /metrics
 //   solvers   list available solver names
 //
 // Examples:
@@ -13,13 +14,19 @@
 //             --rank 32 --epochs 15 --precision f32 --numa auto
 //   nomad_cli train --preset netflix --scale 0.1 --model out.nomad
 //   nomad_cli train --preset netflix --metrics-port 9090   # live scrape
+//   nomad_cli train --preset netflix --trace-out run.jsonl \
+//             --metrics-sample-ms 250                      # run timeline
 //   nomad_cli evaluate --input ratings.txt --model out.nomad
 //   nomad_cli topn --model out.nomad --user 42 --n 10
 //   nomad_cli simulate --preset yahoo --machines 32 --network commodity
+//   nomad_cli watch --endpoint 127.0.0.1:9090              # refreshing
+//   nomad_cli watch --endpoint :9090 --once                # one frame, CI
 //
 // --metrics-port N exports the process metrics registry over HTTP during
 // training (Prometheus text format; N=0 binds an ephemeral port, printed
-// at startup). See docs/OBSERVABILITY.md for the metric reference.
+// at startup). --trace-out FILE writes the run timeline as JSONL;
+// --metrics-sample-ms N adds background sampler rows between trace points.
+// See docs/OBSERVABILITY.md for the metric reference and JSONL schema.
 
 #include <cstdio>
 #include <memory>
@@ -30,6 +37,8 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "obs/metrics_server.h"
+#include "obs/timeseries.h"
+#include "obs/watch.h"
 #include "sim/cluster.h"
 #include "solver/model.h"
 #include "solver/registry.h"
@@ -54,10 +63,14 @@ const std::vector<std::string> kKnownFlags = {
     "rank", "lambda", "alpha", "beta", "loss", "workers", "token-batch",
     "max-token-batch", "epochs", "max-seconds", "bold-driver", "precision",
     "numa", "solver", "model", "metrics-port",
+    // timeline (train / simulate)
+    "trace-out", "metrics-sample-ms",
     // topn
     "user", "n",
     // simulate
-    "machines", "network"};
+    "machines", "network",
+    // watch
+    "endpoint", "once", "interval-ms", "frames"};
 
 // Dataset flags are shared with dist_nomad_cli through bench_common so
 // both CLIs always produce identical train/test splits from identical
@@ -136,8 +149,19 @@ int CmdTrain(const Flags& flags) {
   if (!solver.ok()) return Fail(solver.status().ToString());
   auto options = OptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status().ToString());
+  // The CLI owns the run timeline (over the same registry the solver
+  // instruments) so the scrape endpoint can serve /timeseries while the
+  // run is still going; the solver records into it at every trace point.
+  // Declared before the server so it outlives the serving thread.
+  obs::RunTimeline timeline(obs::ResolveRegistry(nullptr));
   auto metrics_server = MaybeServeMetrics(flags);
   if (!metrics_server.ok()) return Fail(metrics_server.status().ToString());
+  options.value().timeline = &timeline;
+  options.value().metrics_sample_ms =
+      static_cast<int>(flags.GetInt("metrics-sample-ms", 0));
+  if (metrics_server.value() != nullptr) {
+    metrics_server.value()->AttachTimeline(&timeline);
+  }
   std::printf("training %s (%s) on %s (%lld train / %lld test ratings)\n",
               solver_name.c_str(),
               PrecisionName(options.value().precision),
@@ -160,6 +184,14 @@ int CmdTrain(const Flags& flags) {
           static_cast<long long>(s.shrinks),
           static_cast<long long>(s.rounds));
     }
+  }
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) {
+    const Status s =
+        obs::WriteTimelineJsonl(result.value().timeline, trace_out);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("timeline (%zu rows) written to %s\n",
+                result.value().timeline.size(), trace_out.c_str());
   }
   const std::string model_path = flags.GetString("model");
   if (!model_path.empty()) {
@@ -215,11 +247,22 @@ int CmdSimulate(const Flags& flags) {
   SimOptions options = bench::MakeSimOptions(
       commodity ? bench::Preset::kCommodity : bench::Preset::kHpc, preset,
       solver_name, machines, rank, epochs);
+  // The simulator runs in virtual time with no registry instrumentation,
+  // so its timeline rows carry trace fields with empty deltas.
+  obs::RunTimeline timeline(nullptr);
+  options.train.timeline = &timeline;
   auto solver = MakeSimSolver(solver_name);
   if (!solver.ok()) return Fail(solver.status().ToString());
   auto result = solver.value()->Train(ds, options);
   if (!result.ok()) return Fail(result.status().ToString());
   const SimResult& r = result.value();
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) {
+    const Status s = obs::WriteTimelineJsonl(r.train.timeline, trace_out);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("timeline (%zu rows) written to %s\n",
+                r.train.timeline.size(), trace_out.c_str());
+  }
   std::printf("%s on %s, %d machines (%s network):\n", solver_name.c_str(),
               ds.name.c_str(), machines, commodity ? "commodity" : "hpc");
   for (const TracePoint& p : r.train.trace.points()) {
@@ -237,9 +280,21 @@ int CmdSimulate(const Flags& flags) {
   return 0;
 }
 
+/// `watch` — live dashboard over another process's scrape endpoint.
+/// --once renders exactly one frame (CI smoke); --frames N stops after N.
+int CmdWatch(const Flags& flags) {
+  obs::WatchOptions options;
+  options.endpoint = flags.GetString("endpoint", "127.0.0.1:9090");
+  options.interval_ms = static_cast<int>(flags.GetInt("interval-ms", 1000));
+  options.frames = static_cast<int>(flags.GetInt("frames", 0));
+  options.once = flags.GetBool("once", false);
+  return obs::RunWatch(options);
+}
+
 int Usage() {
   std::printf(
-      "usage: nomad_cli <train|evaluate|topn|simulate|solvers> [flags]\n"
+      "usage: nomad_cli <train|evaluate|topn|simulate|watch|solvers> "
+      "[flags]\n"
       "see the header of tools/nomad_cli.cc for examples\n");
   return 1;
 }
@@ -260,5 +315,6 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "topn") return CmdTopN(flags);
   if (command == "simulate") return CmdSimulate(flags);
+  if (command == "watch") return CmdWatch(flags);
   return Usage();
 }

@@ -16,7 +16,9 @@
 // `serve` prints `serving on 127.0.0.1:<port>` once ready (--port 0 binds
 // an ephemeral port). --max-seconds N exits after N seconds (CI smoke);
 // the default serves until killed. --metrics-port exports the serve-plane
-// metrics (docs/OBSERVABILITY.md).
+// metrics; --metrics-sample-ms N additionally runs a background timeline
+// sampler over them, served at the endpoint's /timeseries
+// (docs/OBSERVABILITY.md).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -35,6 +37,7 @@
 #include "bench_common.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
+#include "obs/timeseries.h"
 #include "serve/engine.h"
 #include "serve/ingest.h"
 #include "serve/server.h"
@@ -60,8 +63,8 @@ const std::vector<std::string> kKnownFlags = {
     "model", "rank", "epochs", "workers", "lambda",
     // serving
     "port", "serve-threads", "ingest-threads", "metrics-port",
-    "max-seconds", "cache-staleness", "candidate-margin", "online-step",
-    "online-lambda", "online-passes",
+    "metrics-sample-ms", "max-seconds", "cache-staleness",
+    "candidate-margin", "online-step", "online-lambda", "online-passes",
     // client mode
     "user", "n", "item", "value"};
 
@@ -114,15 +117,23 @@ int CmdServe(const Flags& flags) {
       serve::ServeServer::Start(engine.value().get(), &ingest, sopt);
   if (!server.ok()) return Fail(server.status().ToString());
 
+  // Declared before the metrics server so it outlives the serving thread;
+  // the sampler turns serve-plane counters (qps, cache hits, latency) into
+  // /timeseries rows while queries flow.
+  obs::RunTimeline timeline(obs::ResolveRegistry(nullptr));
   std::unique_ptr<obs::MetricsServer> metrics_server;
   if (flags.Has("metrics-port")) {
     auto ms = obs::MetricsServer::Start(
         static_cast<int>(flags.GetInt("metrics-port", 0)));
     if (!ms.ok()) return Fail(ms.status().ToString());
     metrics_server = std::move(ms).value();
+    metrics_server->AttachTimeline(&timeline);
     std::printf("metrics on http://127.0.0.1:%d/metrics\n",
                 metrics_server->port());
   }
+  const int sample_ms =
+      static_cast<int>(flags.GetInt("metrics-sample-ms", 0));
+  if (sample_ms > 0) timeline.StartSampler(sample_ms);
 
   std::printf("serving on 127.0.0.1:%d (%lld users, %lld items, rank %d)\n",
               server.value()->port(),
